@@ -1,0 +1,230 @@
+package ftbfs_test
+
+// One benchmark per experiment table (E1–E10 of EXPERIMENTS.md) plus
+// micro-benchmarks of the underlying engines. Sizes are kept moderate so
+// `go test -bench=. -benchmem` completes in minutes; the experiment binary
+// (cmd/experiments) runs the full-size tables.
+
+import (
+	"io"
+	"testing"
+
+	"ftbfs"
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/core"
+	"ftbfs/internal/experiments"
+	"ftbfs/internal/gen"
+	"ftbfs/internal/graph"
+	"ftbfs/internal/replacement"
+	"ftbfs/internal/sensitivity"
+	"ftbfs/internal/simulate"
+	"ftbfs/internal/tree"
+	"ftbfs/internal/vertexft"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E1: the headline reinforcement-backup tradeoff table (Thm 3.1).
+func BenchmarkE1TradeoffSweep(b *testing.B) { benchExperiment(b, "tradeoff-upper") }
+
+// E2: baseline FT-BFS size scaling ([14], ε = 1).
+func BenchmarkE2BaselineN32(b *testing.B) { benchExperiment(b, "baseline-n32") }
+
+// E3: single-source lower bound (Thm 5.1, Claim 5.3).
+func BenchmarkE3LowerBound(b *testing.B) { benchExperiment(b, "lower-bound") }
+
+// E4: multi-source lower bound (Thm 5.4).
+func BenchmarkE4MBFSLowerBound(b *testing.B) { benchExperiment(b, "mbfs-lower-bound") }
+
+// E5: cost-optimal ε vs price ratio (§1 corollary).
+func BenchmarkE5CostCurve(b *testing.B) { benchExperiment(b, "cost-curve") }
+
+// E6: the introduction's clique example.
+func BenchmarkE6CliqueExample(b *testing.B) { benchExperiment(b, "clique-example") }
+
+// E7: tree-decomposition facts (Fact 3.3, Fact 4.1).
+func BenchmarkE7Decomposition(b *testing.B) { benchExperiment(b, "decomposition") }
+
+// E8: interference census (Fig. 1–2).
+func BenchmarkE8Interference(b *testing.B) { benchExperiment(b, "interference") }
+
+// E9: phase ablation.
+func BenchmarkE9PhaseAblation(b *testing.B) { benchExperiment(b, "phase-ablation") }
+
+// E10: exhaustive contract verification (Def. 2.1).
+func BenchmarkE10VerifyExact(b *testing.B) { benchExperiment(b, "verify-exact") }
+
+// --- micro-benchmarks of the engines -----------------------------------
+
+func benchGraph(n int) *graph.Graph { return gen.RandomConnected(n, 3*n, 7) }
+
+func BenchmarkBFSTree(b *testing.B) {
+	g := benchGraph(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bfs.From(g, 0)
+	}
+}
+
+func BenchmarkRestrictedBFS(b *testing.B) {
+	g := benchGraph(5000)
+	sc := bfs.NewScratch(g.N())
+	out := make([]int32, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.DistancesAvoiding(g, 0, bfs.Restriction{BannedEdge: graph.EdgeID(i % g.M())}, out)
+	}
+}
+
+func BenchmarkTreeDecomposition(b *testing.B) {
+	g := benchGraph(5000)
+	bt := bfs.From(g, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Build(g, bt)
+	}
+}
+
+func BenchmarkLCA(b *testing.B) {
+	g := benchGraph(5000)
+	t := tree.Build(g, bfs.From(g, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := int32(i % g.N())
+		v := int32((i * 2654435761) % g.N())
+		t.LCA(u, v)
+	}
+}
+
+func BenchmarkReplacementAllPairs(b *testing.B) {
+	lb := gen.LowerBoundParams(3, 4, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en := replacement.NewEngine(lb.G, lb.S)
+		en.AllPairs()
+	}
+}
+
+func BenchmarkBuildEpsilon(b *testing.B) {
+	lb := gen.LowerBoundParams(4, 5, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(lb.G, lb.S, 0.25, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildBaseline(b *testing.B) {
+	lb := gen.LowerBoundParams(4, 5, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(lb.G, lb.S, 1, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOracleFailureQuery(b *testing.B) {
+	g := ftbfs.NewGraph(400)
+	lb := gen.RandomConnected(400, 1200, 9)
+	for _, e := range lb.Edges() {
+		g.MustAddEdge(int(e.U), int(e.V))
+	}
+	st, err := ftbfs.Build(g, 0, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := st.Oracle()
+	edges := st.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		if st.IsReinforced(e[0], e[1]) {
+			continue
+		}
+		if _, err := o.DistAvoiding(i%400, e[0], e[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyStructure(b *testing.B) {
+	lb := gen.LowerBoundParams(3, 4, 8)
+	st, err := core.Build(lb.G, lb.S, 0.25, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if viol := core.Verify(st, 0); len(viol) != 0 {
+			b.Fatal("violations")
+		}
+	}
+}
+
+// E11: the vertex-failure extension.
+func BenchmarkE11VertexFT(b *testing.B) {
+	lb := gen.LowerBoundParams(3, 4, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vertexft.Build(lb.G, lb.S); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSensitivityOracleQuery(b *testing.B) {
+	g := gen.RandomConnected(800, 2400, 3)
+	o, err := sensitivity.New(g, 0, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := g.M()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.DistAvoidingID(i%g.N(), graph.EdgeID(i%m))
+	}
+}
+
+func BenchmarkFailureCampaign(b *testing.B) {
+	lb := gen.LowerBoundParams(2, 3, 8)
+	st, err := core.Build(lb.G, lb.S, 0.3, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := simulate.EdgeCampaign(st, 4, int64(i))
+		if err != nil || !rep.Clean() {
+			b.Fatal("campaign failed")
+		}
+	}
+}
+
+func BenchmarkParallelReinforcementSweep(b *testing.B) {
+	lb := gen.LowerBoundParams(4, 5, 30)
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		name := "serial"
+		if workers > 1 {
+			name = "workers4"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(lb.G, lb.S, 0.25, core.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

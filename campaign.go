@@ -1,0 +1,39 @@
+package ftbfs
+
+import (
+	"ftbfs/internal/simulate"
+)
+
+// FailureReport aggregates a failure-simulation campaign; see
+// SimulateFailures.
+type FailureReport struct {
+	Failures       int   // distinct single-edge failures simulated
+	Probes         int   // (failure, target) distance probes
+	Violations     int   // probes where the contract was broken (0 expected)
+	Disconnections int   // probes whose target the failure cut off entirely
+	Impact         []int // histogram of distance increases caused by failures
+	MaxImpact      int
+}
+
+// Clean reports whether the campaign found no contract violations.
+func (r FailureReport) Clean() bool { return r.Violations == 0 }
+
+// SimulateFailures fails every backup edge of the structure and probes
+// distances through the survivors: probesPerFailure random targets per
+// failure (0 = every vertex; seed drives the sampling). A valid structure
+// always yields a Clean report; the impact histogram shows how much each
+// failure lengthened true network distances.
+func (s *Structure) SimulateFailures(probesPerFailure int, seed int64) (FailureReport, error) {
+	rep, err := simulate.EdgeCampaign(s.st, probesPerFailure, seed)
+	if err != nil {
+		return FailureReport{}, err
+	}
+	return FailureReport{
+		Failures:       rep.Failures,
+		Probes:         rep.Probes,
+		Violations:     rep.Violations,
+		Disconnections: rep.Disconnections,
+		Impact:         rep.Impact,
+		MaxImpact:      rep.MaxImpact,
+	}, nil
+}

@@ -1,0 +1,49 @@
+// Command experiments regenerates the paper-reproduction tables (E1–E10).
+//
+// Usage:
+//
+//	experiments [-quick] all        # every experiment
+//	experiments [-quick] <id>...    # selected experiments
+//	experiments -list               # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftbfs/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run smaller instances")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] all | <id>... (see -list)")
+		os.Exit(2)
+	}
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+	cfg := experiments.Config{Quick: *quick}
+	for _, id := range ids {
+		if err := experiments.Run(id, cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

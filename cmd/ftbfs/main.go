@@ -1,0 +1,14 @@
+// Command ftbfs builds, inspects and verifies fault-tolerant BFS structures
+// from the command line. Run `ftbfs help` for the subcommand reference; the
+// implementation lives in internal/cli.
+package main
+
+import (
+	"os"
+
+	"ftbfs/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

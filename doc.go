@@ -1,0 +1,35 @@
+// Package ftbfs constructs fault-tolerant BFS structures that trade
+// expensive fail-proof "reinforced" edges against cheap fault-prone
+// "backup" edges, implementing
+//
+//	Merav Parter and David Peleg,
+//	"Fault Tolerant BFS Structures: A Reinforcement-Backup Tradeoff",
+//	SPAA 2015 (arXiv:1504.04169).
+//
+// Given a network G and a source s, a (b, r) FT-BFS structure is a subgraph
+// H ⊆ G with r reinforced edges (assumed to never fail) and b backup edges
+// such that after the failure of any single non-reinforced edge e, the
+// surviving structure still preserves all BFS distances from s:
+//
+//	dist(s, v, H \ {e}) ≤ dist(s, v, G \ {e})   for every v.
+//
+// The tradeoff (Theorems 3.1 and 5.1 of the paper): for every ε ∈ [0, 1],
+// r(n) = Θ̃(n^{1−ε}) reinforced edges are necessary and sufficient for
+// b(n) = Θ̃(min{n^{1+ε}, n^{3/2}}) backup edges. ε = 1 recovers the
+// classical FT-BFS bound Θ(n^{3/2}); ε = 0 reinforces the BFS tree itself.
+//
+// # Quick start
+//
+//	g := ftbfs.NewGraph(4)
+//	g.MustAddEdge(0, 1)
+//	g.MustAddEdge(1, 2)
+//	g.MustAddEdge(2, 3)
+//	g.MustAddEdge(3, 0)
+//	st, err := ftbfs.Build(g, 0, 0.25)
+//	if err != nil { ... }
+//	fmt.Println(st.BackupCount(), st.ReinforcedCount())
+//
+// Use Structure.Oracle for distance queries under simulated failures, and
+// SweepCost / PredictOptimalEpsilon to pick ε from the per-edge prices of
+// backup and reinforced links.
+package ftbfs

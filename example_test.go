@@ -1,0 +1,52 @@
+package ftbfs_test
+
+import (
+	"fmt"
+
+	"ftbfs"
+)
+
+// Build a structure over a ring with one chord and inspect the split.
+func ExampleBuild() {
+	g := ftbfs.NewGraph(6)
+	for i := 0; i < 6; i++ {
+		g.MustAddEdge(i, (i+1)%6)
+	}
+	g.MustAddEdge(0, 3)
+
+	st, err := ftbfs.Build(g, 0, 0.25)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("edges:", st.Size())
+	fmt.Println("reinforced:", st.ReinforcedCount())
+	fmt.Println(st.Verify() == nil)
+	// Output:
+	// edges: 7
+	// reinforced: 0
+	// true
+}
+
+// Simulate a failure and compare against the damaged network.
+func ExampleStructure_Oracle() {
+	g := ftbfs.NewGraph(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 0)
+
+	st, _ := ftbfs.Build(g, 0, 1)
+	o := st.Oracle()
+	inH, _ := o.DistAvoiding(1, 0, 1) // fail edge {0,1}, ask for vertex 1
+	inG, _ := o.BaselineDistAvoiding(1, 0, 1)
+	fmt.Println(inH, inG)
+	// Output:
+	// 3 3
+}
+
+// Pick ε from per-edge prices.
+func ExamplePredictOptimalEpsilon() {
+	fmt.Printf("%.2f\n", ftbfs.PredictOptimalEpsilon(10000, 1, 100))
+	// Output:
+	// 0.25
+}

@@ -1,0 +1,66 @@
+// Costplanner: a rent-or-buy style planning session. Given per-edge prices
+// for fault-prone backup links and fail-proof reinforced links, sweep the
+// tradeoff parameter ε and pick the cheapest deployment — and compare the
+// measured optimum with the paper's closed-form prediction
+// ε* ≈ log(R/B) / (2 log n).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"ftbfs"
+)
+
+func main() {
+	// A metro network: ring backbone, two data-center meshes, random
+	// access links.
+	rng := rand.New(rand.NewSource(7))
+	const n = 120
+	g := ftbfs.NewGraph(n)
+	for i := 0; i < 40; i++ { // backbone ring
+		g.MustAddEdge(i, (i+1)%40)
+	}
+	for dc := 0; dc < 2; dc++ { // two meshes of 20 hanging off the ring
+		base := 40 + dc*20
+		for i := 0; i < 20; i++ {
+			for j := i + 1; j < 20; j++ {
+				if rng.Float64() < 0.3 {
+					g.MustAddEdge(base+i, base+j)
+				}
+			}
+		}
+		g.MustAddEdge(dc*17, base) // uplink
+		g.MustAddEdge(dc*17+5, base+1)
+	}
+	for v := 80; v < n; v++ { // access nodes
+		g.MustAddEdge(v, rng.Intn(40))
+		g.MustAddEdge(v, rng.Intn(v))
+	}
+
+	const source = 0
+	for _, prices := range [][2]float64{{1, 5}, {1, 40}, {1, 400}} {
+		backupPrice, reinforcePrice := prices[0], prices[1]
+		points, best, err := ftbfs.SweepCost(g, source, nil, backupPrice, reinforcePrice)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("prices: backup=%.0f reinforced=%.0f (R/B=%.0f)\n",
+			backupPrice, reinforcePrice, reinforcePrice/backupPrice)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "  eps\tbackup\treinforced\tcost\t")
+		for i, p := range points {
+			mark := ""
+			if i == best {
+				mark = "← cheapest"
+			}
+			fmt.Fprintf(w, "  %.3f\t%d\t%d\t%.0f\t%s\n", p.Eps, p.Backup, p.Reinforced, p.Cost, mark)
+		}
+		w.Flush()
+		fmt.Printf("  paper's prediction: ε* ≈ %.3f\n\n",
+			ftbfs.PredictOptimalEpsilon(g.N(), backupPrice, reinforcePrice))
+	}
+}

@@ -1,0 +1,82 @@
+// Tradeoff: sweep the ε parameter on an adversarial network and print the
+// reinforcement-backup curve of Theorem 3.1 — few reinforced edges demand
+// many backup edges and vice versa.
+//
+// The network mirrors the paper's lower-bound gadget (Fig. 10): fragile
+// backbone paths whose j'th edge, when it fails, forces a distinct fan of
+// exchange links. Escape paths have geometrically decreasing lengths
+// (6 + 2(d−j)) so that exactly one escape is optimal per failure.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"ftbfs"
+)
+
+const (
+	copies   = 4  // independent backbone gadgets
+	depth    = 8  // backbone length d
+	exchange = 30 // exchange nodes per gadget (the fan width)
+)
+
+func buildNetwork() (*ftbfs.Graph, int) {
+	perCopy := (depth + 1) + (depth*depth + 5*depth) + exchange
+	g := ftbfs.NewGraph(1 + copies*perCopy)
+	next := 1
+	alloc := func(c int) []int {
+		out := make([]int, c)
+		for i := range out {
+			out[i] = next
+			next++
+		}
+		return out
+	}
+	for i := 0; i < copies; i++ {
+		spine := alloc(depth + 1)
+		g.MustAddEdge(0, spine[0])
+		for j := 0; j+1 <= depth; j++ {
+			g.MustAddEdge(spine[j], spine[j+1])
+		}
+		hubs := make([]int, depth)
+		for j := 1; j <= depth; j++ {
+			esc := alloc(6 + 2*(depth-j))
+			prev := spine[j-1]
+			for _, w := range esc {
+				g.MustAddEdge(prev, w)
+				prev = w
+			}
+			hubs[j-1] = prev
+		}
+		for _, x := range alloc(exchange) {
+			g.MustAddEdge(spine[depth], x)
+			for _, h := range hubs {
+				g.MustAddEdge(x, h)
+			}
+		}
+	}
+	return g, 0
+}
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "eps\t|H|\tbackup\treinforced\tcost(B=1,R=50)")
+	for _, eps := range []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5, 1} {
+		g, source := buildNetwork()
+		st, err := ftbfs.Build(g, source, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := st.Verify(); err != nil {
+			log.Fatalf("eps=%g: %v", eps, err)
+		}
+		fmt.Fprintf(w, "%.2f\t%d\t%d\t%d\t%.0f\n",
+			eps, st.Size(), st.BackupCount(), st.ReinforcedCount(), st.Cost(1, 50))
+	}
+	w.Flush()
+	fmt.Println("\nsmall ε → reinforce the backbone and buy few fans;")
+	fmt.Println("large ε → buy the redundant fans and reinforce nothing")
+}

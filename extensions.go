@@ -1,0 +1,76 @@
+package ftbfs
+
+import (
+	"fmt"
+
+	"ftbfs/internal/sensitivity"
+	"ftbfs/internal/vertexft"
+)
+
+// VertexStructure is a vertex fault-tolerant BFS structure: after the
+// failure of any single vertex w ≠ source, the surviving structure
+// preserves all BFS distances of the surviving network. This extends the
+// paper's edge-failure model to the companion vertex-failure problem it
+// cites ([16]).
+type VertexStructure struct {
+	st *vertexft.Structure
+}
+
+// BuildVertexFT constructs a vertex fault-tolerant BFS structure.
+// The graph is frozen by this call.
+func BuildVertexFT(g *Graph, source int) (*VertexStructure, error) {
+	g.g.Freeze()
+	st, err := vertexft.Build(g.g, source)
+	if err != nil {
+		return nil, err
+	}
+	return &VertexStructure{st: st}, nil
+}
+
+// Size returns |E(H)|.
+func (v *VertexStructure) Size() int { return v.st.Size() }
+
+// Contains reports whether {a,b} belongs to the structure.
+func (v *VertexStructure) Contains(a, b int) bool {
+	id := v.st.G.EdgeIDOf(a, b)
+	return id >= 0 && v.st.Edges.Contains(id)
+}
+
+// Verify exhaustively checks the vertex FT-BFS contract.
+func (v *VertexStructure) Verify() error {
+	if viol := vertexft.Verify(v.st, 5); len(viol) > 0 {
+		return fmt.Errorf("ftbfs: vertex FT-BFS contract violated: %v", viol)
+	}
+	return nil
+}
+
+// SensitivityOracle answers dist(source, v, G\{e}) queries on the full
+// graph — the replacement-path distances that FT-BFS structures preserve.
+// Queries for failures that cannot affect v are O(1); others run one BFS
+// per distinct failed edge, cached.
+type SensitivityOracle struct {
+	o *sensitivity.Oracle
+}
+
+// NewSensitivityOracle builds the oracle; cacheCapacity bounds the number
+// of failure BFS results kept (≤ 0 uses the default).
+func NewSensitivityOracle(g *Graph, source, cacheCapacity int) (*SensitivityOracle, error) {
+	g.g.Freeze()
+	o, err := sensitivity.New(g.g, source, cacheCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return &SensitivityOracle{o: o}, nil
+}
+
+// Dist returns the intact distance from the source to v.
+func (s *SensitivityOracle) Dist(v int) int { return int(s.o.Dist(v)) }
+
+// DistAvoiding returns dist(source, v, G \ {u,w}) (Unreachable if cut off).
+func (s *SensitivityOracle) DistAvoiding(v, u, w int) (int, error) {
+	d, err := s.o.DistAvoiding(v, u, w)
+	return int(d), err
+}
+
+// CacheStats returns (hits, misses) of the failure cache.
+func (s *SensitivityOracle) CacheStats() (hits, misses int) { return s.o.CacheStats() }

@@ -1,0 +1,89 @@
+package ftbfs_test
+
+import (
+	"testing"
+
+	"ftbfs"
+)
+
+func TestBuildVertexFT(t *testing.T) {
+	g := ringWithChords(18)
+	vs, err := ftbfs.BuildVertexFT(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if vs.Size() < g.N()-1 || vs.Size() > g.M() {
+		t.Fatalf("size %d outside [n-1, m]", vs.Size())
+	}
+	found := false
+	for u := 0; u < g.N() && !found; u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if vs.Contains(u, v) {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("structure contains no edges?")
+	}
+	if vs.Contains(0, 0) {
+		t.Fatal("self-loop reported present")
+	}
+}
+
+func TestSensitivityOracle(t *testing.T) {
+	g := randomGraph(50, 80, 13)
+	o, err := ftbfs.NewSensitivityOracle(g, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Dist(0) != 0 {
+		t.Fatal("source distance not 0")
+	}
+	// cross-check a few failures against the structure oracle
+	st, err := ftbfs.Build(randomGraph(50, 80, 13), 0, 1) // baseline protects everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := st.Oracle()
+	for _, e := range st.Edges() {
+		if st.IsReinforced(e[0], e[1]) {
+			continue
+		}
+		for v := 0; v < 50; v += 11 {
+			want, err := so.BaselineDistAvoiding(v, e[0], e[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := o.DistAvoiding(v, e[0], e[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("failure {%d,%d} v=%d: sensitivity %d, baseline %d", e[0], e[1], v, got, want)
+			}
+		}
+	}
+	hits, misses := o.CacheStats()
+	if hits+misses == 0 {
+		t.Fatal("cache never exercised")
+	}
+	if _, err := o.DistAvoiding(1, 0, 49); err == nil && !g.HasEdge(0, 49) {
+		t.Fatal("non-edge accepted")
+	}
+}
+
+func TestVertexFTErrorPropagation(t *testing.T) {
+	g := ftbfs.NewGraph(3)
+	g.MustAddEdge(0, 1)
+	if _, err := ftbfs.BuildVertexFT(g, 9); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := ftbfs.NewSensitivityOracle(g, 9, 4); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}

@@ -1,0 +1,135 @@
+// Package bfs implements breadth-first search primitives with deterministic
+// canonical tie-breaking. The paper (Section 2) assumes a positive weight
+// assignment W that makes the shortest path between every pair of vertices
+// unique in every subgraph G' ⊆ G. We realise W with the min-index parent
+// rule: among all neighbours u of v with dist(s,u) = dist(s,v)-1, the
+// canonical parent is the smallest-id u. The resulting canonical paths are
+// unique and prefix-closed in every (sub)graph, which is exactly what the
+// constructions of Sections 3-4 rely on (Claims 4.4-4.6); see DESIGN.md §3
+// for the substitution note.
+package bfs
+
+import (
+	"ftbfs/internal/graph"
+)
+
+// Unreachable is the distance value used for vertices not reachable from the
+// source.
+const Unreachable int32 = -1
+
+// Tree is the canonical BFS tree T0(s): distances, min-index parents and the
+// tree-edge ids. It corresponds to the paper's T0 = ⋃_v π(s,v).
+type Tree struct {
+	Source     int32
+	Dist       []int32
+	Parent     []int32        // canonical parent; -1 for the source and unreachable vertices
+	ParentEdge []graph.EdgeID // id of {Parent[v], v}; NoEdge where Parent is -1
+	Order      []int32        // reachable vertices in increasing distance (BFS) order
+}
+
+// From runs a BFS from s over the frozen graph g and returns the canonical
+// tree. Parents are assigned by the min-index rule, not by discovery order,
+// so the result is independent of queue internals.
+func From(g *graph.Graph, s int) *Tree {
+	if !g.Frozen() {
+		panic("bfs: graph must be frozen")
+	}
+	n := g.N()
+	t := &Tree{
+		Source:     int32(s),
+		Dist:       make([]int32, n),
+		Parent:     make([]int32, n),
+		ParentEdge: make([]graph.EdgeID, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Dist[i] = Unreachable
+		t.Parent[i] = -1
+		t.ParentEdge[i] = graph.NoEdge
+	}
+	queue := make([]int32, 0, n)
+	t.Dist[s] = 0
+	queue = append(queue, int32(s))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, a := range g.Neighbors(int(u)) {
+			if t.Dist[a.To] == Unreachable {
+				t.Dist[a.To] = t.Dist[u] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	t.Order = queue
+	// Canonical min-index parents: adjacency lists are sorted by Freeze, so
+	// the first neighbour one level up is the smallest-id one.
+	for _, v := range queue {
+		if v == int32(s) {
+			continue
+		}
+		for _, a := range g.Neighbors(int(v)) {
+			if t.Dist[a.To] == t.Dist[v]-1 {
+				t.Parent[v] = a.To
+				t.ParentEdge[v] = a.ID
+				break
+			}
+		}
+	}
+	return t
+}
+
+// PathTo returns the canonical shortest path π(s,v) as a vertex sequence
+// from the source to v, or nil if v is unreachable.
+func (t *Tree) PathTo(v int) []int32 {
+	if t.Dist[v] == Unreachable {
+		return nil
+	}
+	path := make([]int32, t.Dist[v]+1)
+	x := int32(v)
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i] = x
+		x = t.Parent[x]
+	}
+	return path
+}
+
+// EdgeSet returns the set of tree-edge ids (the edges of T0).
+func (t *Tree) EdgeSet(m int) *graph.EdgeSet {
+	s := graph.NewEdgeSet(m)
+	for v := range t.ParentEdge {
+		if t.ParentEdge[v] != graph.NoEdge {
+			s.Add(t.ParentEdge[v])
+		}
+	}
+	return s
+}
+
+// OnPath reports whether tree edge id (given by its child endpoint, i.e. the
+// deeper endpoint) lies on π(s,v): true iff child is an ancestor-or-self of
+// v. This requires an ancestor oracle and therefore lives in package tree;
+// here we expose only the child-endpoint convention helper.
+//
+// ChildEndpoint returns, for a tree edge id on this tree, the endpoint
+// farther from the source (the paper directs tree edges away from s).
+func (t *Tree) ChildEndpoint(g *graph.Graph, id graph.EdgeID) int32 {
+	e := g.EdgeByID(id)
+	if t.Dist[e.U] > t.Dist[e.V] {
+		return e.U
+	}
+	return e.V
+}
+
+// Distances is a convenience wrapper returning only the distance array.
+func Distances(g *graph.Graph, s int) []int32 {
+	return From(g, s).Dist
+}
+
+// Eccentricity returns max_v dist(s,v) over reachable v (0 for isolated s).
+func Eccentricity(g *graph.Graph, s int) int {
+	d := Distances(g, s)
+	ecc := int32(0)
+	for _, x := range d {
+		if x > ecc {
+			ecc = x
+		}
+	}
+	return int(ecc)
+}

@@ -1,0 +1,241 @@
+package bfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftbfs/internal/graph"
+)
+
+func grid3x3() *graph.Graph {
+	// 0 1 2
+	// 3 4 5
+	// 6 7 8
+	b := graph.NewBuilder(9)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			v := r*3 + c
+			if c+1 < 3 {
+				b.Add(v, v+1)
+			}
+			if r+1 < 3 {
+				b.Add(v, v+3)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+func TestFromDistances(t *testing.T) {
+	g := grid3x3()
+	tr := From(g, 0)
+	want := []int32{0, 1, 2, 1, 2, 3, 2, 3, 4}
+	for v, d := range want {
+		if tr.Dist[v] != d {
+			t.Fatalf("dist[%d]=%d want %d", v, tr.Dist[v], d)
+		}
+	}
+	if tr.Parent[0] != -1 || tr.ParentEdge[0] != graph.NoEdge {
+		t.Fatal("source must have no parent")
+	}
+}
+
+func TestCanonicalMinIndexParent(t *testing.T) {
+	g := grid3x3()
+	tr := From(g, 0)
+	// vertex 4 has parents 1 and 3 at distance 1; canonical is min = 1.
+	if tr.Parent[4] != 1 {
+		t.Fatalf("parent[4]=%d want 1", tr.Parent[4])
+	}
+	// vertex 8 has parents 5 and 7 at distance 3; canonical is 5.
+	if tr.Parent[8] != 5 {
+		t.Fatalf("parent[8]=%d want 5", tr.Parent[8])
+	}
+}
+
+func TestPathToPrefixClosure(t *testing.T) {
+	g := grid3x3()
+	tr := From(g, 0)
+	for v := 0; v < g.N(); v++ {
+		p := tr.PathTo(v)
+		if int32(len(p)-1) != tr.Dist[v] {
+			t.Fatalf("path length %d != dist %d", len(p)-1, tr.Dist[v])
+		}
+		if p[0] != 0 || p[len(p)-1] != int32(v) {
+			t.Fatalf("bad endpoints %v", p)
+		}
+		// prefix closure: the canonical path to p[i] is p[:i+1]
+		for i, u := range p {
+			q := tr.PathTo(int(u))
+			if len(q) != i+1 {
+				t.Fatalf("prefix closure violated at %d on path to %d", u, v)
+			}
+			for j := range q {
+				if q[j] != p[j] {
+					t.Fatalf("prefix mismatch %v vs %v", q, p[:i+1])
+				}
+			}
+		}
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.Add(0, 1)
+	g := b.Graph()
+	tr := From(g, 0)
+	if tr.Dist[2] != Unreachable || tr.PathTo(2) != nil {
+		t.Fatal("vertex 2 should be unreachable")
+	}
+	if len(tr.Order) != 2 {
+		t.Fatalf("Order=%v", tr.Order)
+	}
+}
+
+func TestTreeEdgeSetAndChildEndpoint(t *testing.T) {
+	g := grid3x3()
+	tr := From(g, 0)
+	es := tr.EdgeSet(g.M())
+	if es.Len() != 8 {
+		t.Fatalf("tree must have n-1=8 edges, got %d", es.Len())
+	}
+	es.ForEach(func(id graph.EdgeID) {
+		child := tr.ChildEndpoint(g, id)
+		e := g.EdgeByID(id)
+		other := e.Other(child)
+		if tr.Dist[child] != tr.Dist[other]+1 {
+			t.Fatalf("edge %v: child %d not one deeper", e, child)
+		}
+		if tr.Parent[child] != other {
+			t.Fatalf("edge %v not a parent edge of %d", e, child)
+		}
+	})
+}
+
+func TestDistancesAvoidingEdge(t *testing.T) {
+	// cycle of 6: removing edge {0,1} forces the long way round.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.Add(i, (i+1)%6)
+	}
+	g := b.Graph()
+	sc := NewScratch(g.N())
+	out := make([]int32, g.N())
+	sc.DistancesAvoiding(g, 0, Restriction{BannedEdge: g.EdgeIDOf(0, 1)}, out)
+	if out[1] != 5 {
+		t.Fatalf("dist to 1 avoiding {0,1} = %d want 5", out[1])
+	}
+	if out[3] != 3 {
+		t.Fatalf("dist to 3 = %d want 3", out[3])
+	}
+}
+
+func TestDistancesAvoidingVertices(t *testing.T) {
+	g := grid3x3()
+	banned := graph.NewVertexSet(g.N())
+	banned.Add(1)
+	banned.Add(3)
+	sc := NewScratch(g.N())
+	out := make([]int32, g.N())
+	sc.DistancesAvoiding(g, 0, Restriction{BannedEdge: graph.NoEdge, BannedVertices: banned}, out)
+	if out[4] != Unreachable {
+		t.Fatalf("4 should be cut off, got %d", out[4])
+	}
+	if out[1] != Unreachable || out[3] != Unreachable {
+		t.Fatal("banned vertices must be unreachable")
+	}
+}
+
+func TestDistAvoidingEarlyExit(t *testing.T) {
+	b := graph.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.Add(i, (i+1)%6)
+	}
+	g := b.Graph()
+	sc := NewScratch(g.N())
+	d := sc.DistAvoiding(g, 0, 1, Restriction{BannedEdge: g.EdgeIDOf(0, 1)})
+	if d != 5 {
+		t.Fatalf("DistAvoiding=%d want 5", d)
+	}
+	if sc.DistAvoiding(g, 2, 2, Restriction{BannedEdge: graph.NoEdge}) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+}
+
+func TestDistAvoidingBannedSource(t *testing.T) {
+	g := grid3x3()
+	banned := graph.NewVertexSet(g.N())
+	banned.Add(0)
+	sc := NewScratch(g.N())
+	if d := sc.DistAvoiding(g, 0, 5, Restriction{BannedEdge: graph.NoEdge, BannedVertices: banned}); d != Unreachable {
+		t.Fatalf("banned source should be unreachable, got %d", d)
+	}
+}
+
+func TestCanonicalPathAvoiding(t *testing.T) {
+	g := grid3x3()
+	sc := NewScratch(g.N())
+	p := sc.CanonicalPathAvoiding(g, 8, 0, Restriction{BannedEdge: graph.NoEdge})
+	if len(p) != 5 || p[0] != 8 || p[4] != 0 {
+		t.Fatalf("bad path %v", p)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(int(p[i]), int(p[i+1])) {
+			t.Fatalf("non-edge %d-%d in path %v", p[i], p[i+1], p)
+		}
+	}
+	// Deterministic: same call twice gives identical path.
+	q := sc.CanonicalPathAvoiding(g, 8, 0, Restriction{BannedEdge: graph.NoEdge})
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatal("canonical path not deterministic")
+		}
+	}
+	// Unreachable target gives nil.
+	banned := graph.NewVertexSet(g.N())
+	banned.Add(1)
+	banned.Add(3)
+	if sc.CanonicalPathAvoiding(g, 0, 4, Restriction{BannedEdge: graph.NoEdge, BannedVertices: banned}) != nil {
+		t.Fatal("expected nil path")
+	}
+}
+
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := graph.NewBuilder(40)
+	for i := 1; i < 40; i++ {
+		b.Add(i, rng.Intn(i)) // random connected tree
+	}
+	for k := 0; k < 60; k++ {
+		b.Add(rng.Intn(40), rng.Intn(40))
+	}
+	g := b.Graph()
+	sc := NewScratch(g.N())
+	out := make([]int32, g.N())
+	for trial := 0; trial < 20; trial++ {
+		e := graph.EdgeID(rng.Intn(g.M()))
+		sc.DistancesAvoiding(g, 0, Restriction{BannedEdge: e}, out)
+		// brute force: rebuild graph without e
+		nb := graph.NewBuilder(g.N())
+		for id, ed := range g.Edges() {
+			if graph.EdgeID(id) != e {
+				nb.Add(int(ed.U), int(ed.V))
+			}
+		}
+		want := Distances(nb.Graph(), 0)
+		for v := range want {
+			if out[v] != want[v] {
+				t.Fatalf("trial %d: dist[%d]=%d want %d (edge %v)", trial, v, out[v], want[v], g.EdgeByID(e))
+			}
+		}
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddPath(0, 1, 2, 3, 4)
+	g := b.Graph()
+	if Eccentricity(g, 0) != 4 || Eccentricity(g, 2) != 2 {
+		t.Fatal("eccentricity wrong")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"ftbfs/internal/gen"
+)
+
+func TestBuildMultiValid(t *testing.T) {
+	g := gen.RandomConnected(40, 60, 21)
+	ms, err := BuildMulti(g, []int{0, 7, 13}, 0.3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Per) != 3 {
+		t.Fatalf("per-source structures: %d", len(ms.Per))
+	}
+	if viol := VerifyMulti(ms, 0); len(viol) != 0 {
+		t.Fatalf("FT-MBFS violations: %v", viol[:min(len(viol), 3)])
+	}
+	if ms.Size() != ms.BackupCount()+ms.ReinforcedCount() {
+		t.Fatal("size mismatch")
+	}
+	// union at least as large as each part
+	for _, st := range ms.Per {
+		if ms.Size() < st.Size() {
+			t.Fatal("union smaller than a part")
+		}
+	}
+}
+
+func TestBuildMultiOnLowerBoundGraph(t *testing.T) {
+	lb := gen.MultiLowerBoundParams(2, 2, 3, 4)
+	ms, err := BuildMulti(lb.G, lb.Sources, 0.3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol := VerifyMulti(ms, 0); len(viol) != 0 {
+		t.Fatalf("violations on the Thm 5.4 construction: %d", len(viol))
+	}
+}
+
+func TestBuildMultiErrors(t *testing.T) {
+	g := gen.Cycle(6)
+	if _, err := BuildMulti(g, nil, 0.3, Options{}); err == nil {
+		t.Fatal("empty source list accepted")
+	}
+	if _, err := BuildMulti(g, []int{99}, 0.3, Options{}); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestPredictedOptimalEps(t *testing.T) {
+	if PredictedOptimalEps(1000, 1, 1) != 0 {
+		t.Fatal("equal prices should predict ε=0")
+	}
+	// monotone in R/B and clamped
+	prev := -1.0
+	for _, ratio := range []float64{1, 4, 16, 256, 1 << 20} {
+		eps := PredictedOptimalEps(1000, 1, ratio)
+		if eps < prev {
+			t.Fatalf("not monotone at R/B=%g", ratio)
+		}
+		if eps < 0 || eps > 0.5 {
+			t.Fatalf("out of range: %g", eps)
+		}
+		prev = eps
+	}
+	if PredictedOptimalEps(1000, 4, 1) != 0 {
+		t.Fatal("cheap reinforcement must clamp to 0")
+	}
+	if PredictedOptimalEps(1, 1, 10) != 0 || PredictedOptimalEps(10, 0, 1) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+}
+
+func TestCostSweep(t *testing.T) {
+	g := gen.LowerBoundParams(2, 3, 5).G
+	grid := []float64{0, 0.25, 0.5, 1}
+	points, best, err := CostSweep(g, 0, grid, 1, 50, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(grid) || best < 0 || best >= len(points) {
+		t.Fatalf("sweep shape wrong: %d points, best=%d", len(points), best)
+	}
+	for _, p := range points {
+		if p.Cost < points[best].Cost {
+			t.Fatal("best is not minimal")
+		}
+		if p.Cost != float64(p.Backup)+50*float64(p.Reinforced) {
+			t.Fatal("cost arithmetic wrong")
+		}
+	}
+	if len(DefaultEpsGrid()) < 5 {
+		t.Fatal("default grid too small")
+	}
+}
+
+// When reinforcement is expensive, the sweep should not pick a
+// reinforcement-heavy point over the baseline; when it is cheap, ε=0 (all
+// tree edges reinforced, b=0) should win on the lower-bound family.
+func TestCostSweepDirection(t *testing.T) {
+	g := gen.LowerBoundParams(3, 4, 8).G
+	grid := []float64{0, 0.25, 1}
+	// reinforcement cheap: ε=0 optimal
+	_, best, err := CostSweep(g, 0, grid, 1000, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid[best] != 0 {
+		t.Fatalf("cheap reinforcement: best ε=%g want 0", grid[best])
+	}
+	// reinforcement exorbitant: the optimum must avoid reinforcement
+	// entirely (ε=1 guarantees r=0, but a smaller ε may reach r=0 with
+	// fewer backup edges and win — both are acceptable).
+	points, best, err := CostSweep(g, 0, grid, 1, 1e9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[best].Reinforced != 0 {
+		t.Fatalf("expensive reinforcement: best point still reinforces %d edges (ε=%g)",
+			points[best].Reinforced, grid[best])
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/graph"
+	"ftbfs/internal/replacement"
+)
+
+// LastUnprotectedParallel is LastUnprotected with the per-failure sweeps
+// distributed over workers goroutines (≤ 0 = GOMAXPROCS). The result is
+// identical to the sequential computation.
+func LastUnprotectedParallel(en *replacement.Engine, H *graph.EdgeSet, workers int) *graph.EdgeSet {
+	out := graph.NewEdgeSet(en.G.M())
+	var mu sync.Mutex
+	// SubtreeOf walks shared tree structures read-only; each worker keeps
+	// its own scratch slice.
+	type local struct{ subtree []int32 }
+	pool := sync.Pool{New: func() any { return &local{} }}
+	en.ForEachFailureParallel(workers, func(e graph.EdgeID, child int32, distE []int32) {
+		l := pool.Get().(*local)
+		l.subtree = en.SubtreeOf(child, l.subtree[:0])
+		for _, v := range l.subtree {
+			if !lastProtectedFor(en, H, v, e, distE) {
+				mu.Lock()
+				out.Add(e)
+				mu.Unlock()
+				break
+			}
+		}
+		pool.Put(l)
+	})
+	return out
+}
+
+// VerifyParallel is Verify with the failure checks parallelised. limit ≤ 0
+// checks everything; with a positive limit it may return slightly more than
+// limit violations (workers race to append) but never fewer when violations
+// exist. Violations are returned in unspecified order.
+func VerifyParallel(st *Structure, limit, workers int) []Violation {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := st.G
+	failures := st.TreeEdges.Minus(st.Reinforced).IDs()
+	var out []Violation
+	var mu sync.Mutex
+	var stop atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scG := bfs.NewScratch(g.N())
+			scH := bfs.NewScratch(g.N())
+			distG := make([]int32, g.N())
+			distH := make([]int32, g.N())
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(failures) || stop.Load() {
+					return
+				}
+				e := failures[i]
+				scG.DistancesAvoiding(g, st.S, bfs.Restriction{BannedEdge: e}, distG)
+				scH.DistancesAvoiding(g, st.S, bfs.Restriction{BannedEdge: e, AllowedEdges: st.Edges}, distH)
+				for v := int32(0); v < int32(g.N()); v++ {
+					if distG[v] == bfs.Unreachable {
+						continue
+					}
+					if distH[v] == bfs.Unreachable || distH[v] > distG[v] {
+						mu.Lock()
+						out = append(out, Violation{Edge: e, Vertex: v, InH: distH[v], InG: distG[v]})
+						full := limit > 0 && len(out) >= limit
+						mu.Unlock()
+						if full {
+							stop.Store(true)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"sort"
+
+	"ftbfs/internal/graph"
+	"ftbfs/internal/paths"
+)
+
+// runPhase2 executes Phase S2: given the collection S of (∼)-sets (I2 plus
+// the PC_i sets deferred by Phase S1), it adds to H
+//
+//	(S2.1) the last edges of every uncovered pair protecting a glue edge of
+//	       the Fact 3.3 tree decomposition (O(log n) per terminal by
+//	       Fact 4.1(a));
+//	(S2.2) for every set P and terminal v, the pairs of the light
+//	       subsegments of the exponential decomposition of π(s,v), plus the
+//	       upmost pair of every subsegment;
+//	(S2.3) for every decomposition path ψ met by π(s,v), the upmost pair on
+//	       ψ and — when small — the pairs of the first and last subsegments
+//	       that straddle ψ's boundary.
+//
+// It returns the number of last edges added by S2.1 and by S2.2–S2.3.
+func runPhase2(ix *pairIndex, H *graph.EdgeSet, sets [][]int32, threshold int) (glueAdded, added int) {
+	t := ix.en.T
+
+	// --- Sub-Phase S2.1: glue edges E⁻(TD). ---
+	glue := graph.NewEdgeSet(ix.en.G.M())
+	for _, e := range t.GlueEdges {
+		glue.Add(e)
+	}
+	for i, p := range ix.pairs {
+		if glue.Contains(p.Edge) && H.Add(ix.lastEdgeOf(int32(i))) {
+			glueAdded++
+		}
+	}
+
+	// --- Sub-Phases S2.2 and S2.3, per (∼)-set and terminal. ---
+	for _, set := range sets {
+		terminals, buckets := ix.groupByTerminal(set)
+		for _, v := range terminals {
+			vpairs := buckets[v]
+			// order by edge index (upmost first)
+			sort.Slice(vpairs, func(a, b int) bool {
+				return edgeIndexOf(ix, vpairs[a]) < edgeIndexOf(ix, vpairs[b])
+			})
+			add := make(map[int32]bool)
+			k := int(t.Depth[v])
+			dec := paths.DecomposeLen(k)
+
+			// S2.2: group v's pairs by subsegment.
+			type segGroup struct {
+				pairs   []int32
+				lastIDs map[graph.EdgeID]bool
+			}
+			groups := make(map[int]*segGroup)
+			for _, p := range vpairs {
+				j := dec.SegmentOfEdge(edgeIndexOf(ix, p))
+				grp := groups[j]
+				if grp == nil {
+					grp = &segGroup{lastIDs: map[graph.EdgeID]bool{}}
+					groups[j] = grp
+				}
+				grp.pairs = append(grp.pairs, p)
+				grp.lastIDs[ix.lastEdgeOf(p)] = true
+			}
+			for _, grp := range groups {
+				if len(grp.lastIDs) < threshold { // light subsegment
+					for _, p := range grp.pairs {
+						add[p] = true
+					}
+				}
+				add[grp.pairs[0]] = true // ⟨v, e*_j⟩ — upmost pair of the segment
+			}
+
+			// S2.3: per decomposition path ψ intersecting π(s,v). The
+			// ψ∩π(s,v) edges form the contiguous edge-index interval
+			// [D0, D1) where D0 = depth of ψ's head on the segment and D1 =
+			// depth of the deepest ψ-vertex that is an ancestor of v.
+			for _, seg := range t.SegmentsTo(v) {
+				path := t.Paths[seg.Path]
+				d0 := int(t.Depth[path[0]])
+				d1 := int(t.Depth[path[seg.BottomPos]])
+				if d1 <= d0 {
+					continue // single-vertex intersection: no π edges on ψ
+				}
+				// pairs with e ∈ ψ ∩ π(s,v)
+				onPsi := pairsInRange(ix, vpairs, d0, d1)
+				if len(onPsi) == 0 {
+					continue
+				}
+				add[onPsi[0]] = true // upmost pair ⟨v, e*⟩ on ψ
+
+				// boundary subsegments πU and πL: π-subsegments that meet ψ
+				// but are not contained in it.
+				first, last := -1, -1
+				for j := 0; j < dec.NumSegments(); j++ {
+					lo, hi := dec.EdgeRange(j)
+					meets := lo < d1 && hi > d0
+					contained := lo >= d0 && hi <= d1
+					if meets && !contained {
+						if first == -1 {
+							first = j
+						}
+						last = j
+					}
+				}
+				for _, j := range boundary(first, last) {
+					lo, hi := dec.EdgeRange(j)
+					clo, chi := max(lo, d0), min(hi, d1)
+					pu := pairsInRange(ix, vpairs, clo, chi)
+					if len(pu) == 0 {
+						continue
+					}
+					lastIDs := map[graph.EdgeID]bool{}
+					for _, p := range pu {
+						lastIDs[ix.lastEdgeOf(p)] = true
+					}
+					if len(lastIDs) <= threshold {
+						for _, p := range pu {
+							add[p] = true
+						}
+					}
+					add[pu[0]] = true // ⟨v, e*_U⟩ (resp. e*_L)
+				}
+			}
+
+			for p := range add {
+				if H.Add(ix.lastEdgeOf(p)) {
+					added++
+				}
+			}
+		}
+	}
+	return glueAdded, added
+}
+
+// edgeIndexOf returns the edge index of pair p's failing edge along
+// π(s, p.V): depth(child) − 1.
+func edgeIndexOf(ix *pairIndex, p int32) int {
+	return int(ix.en.T.Depth[ix.pairs[p].EdgeChild]) - 1
+}
+
+// pairsInRange returns the pairs (already sorted by edge index) whose edge
+// index lies in [lo, hi).
+func pairsInRange(ix *pairIndex, sorted []int32, lo, hi int) []int32 {
+	i := sort.Search(len(sorted), func(i int) bool { return edgeIndexOf(ix, sorted[i]) >= lo })
+	j := sort.Search(len(sorted), func(i int) bool { return edgeIndexOf(ix, sorted[i]) >= hi })
+	return sorted[i:j]
+}
+
+// boundary returns {first, last} deduplicated, skipping -1.
+func boundary(first, last int) []int {
+	if first == -1 {
+		return nil
+	}
+	if first == last {
+		return []int{first}
+	}
+	return []int{first, last}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/graph"
+	"ftbfs/internal/replacement"
+)
+
+// LastUnprotected computes the set of T0 edges that are last-unprotected in
+// the candidate structure H (Section 2 of the paper): edge e is
+// v-last-unprotected when no replacement path P_{v,e} has its last edge in
+// H, i.e. no H-edge (u,v) with dist(s,u,G\{e})+1 = dist(s,v,G\{e}) exists.
+// By Observation 2.2, every last-protected edge is protected, so
+// reinforcing exactly this set yields a valid (b,r) FT-BFS structure.
+//
+// Only T0 edges can ever be unprotected: failing a non-tree edge leaves
+// T0 ⊆ H intact and dist(s,v,G\{e}) ≥ dist(s,v,G).
+func LastUnprotected(en *replacement.Engine, H *graph.EdgeSet) *graph.EdgeSet {
+	out := graph.NewEdgeSet(en.G.M())
+	var subtree []int32
+	en.ForEachFailure(func(e graph.EdgeID, child int32, distE []int32) {
+		subtree = en.SubtreeOf(child, subtree[:0])
+		for _, v := range subtree {
+			if !lastProtectedFor(en, H, v, e, distE) {
+				out.Add(e)
+				break
+			}
+		}
+	})
+	return out
+}
+
+// lastProtectedFor reports whether edge e is v-last-protected in H.
+func lastProtectedFor(en *replacement.Engine, H *graph.EdgeSet, v int32, e graph.EdgeID, distE []int32) bool {
+	target := distE[v]
+	if target == bfs.Unreachable {
+		return true // e disconnects v: vacuously protected
+	}
+	for _, a := range en.G.Neighbors(int(v)) {
+		if a.ID == e || !H.Contains(a.ID) {
+			continue
+		}
+		if distE[a.To] != bfs.Unreachable && distE[a.To]+1 == target {
+			return true
+		}
+	}
+	return false
+}
+
+// UnprotectedReport lists, for diagnostics, each last-unprotected tree edge
+// together with one witness terminal whose replacement paths' last edges
+// are all missing from H.
+type UnprotectedReport struct {
+	Edge    graph.EdgeID
+	Witness int32
+}
+
+// LastUnprotectedReport is LastUnprotected with witnesses.
+func LastUnprotectedReport(en *replacement.Engine, H *graph.EdgeSet) []UnprotectedReport {
+	var out []UnprotectedReport
+	var subtree []int32
+	en.ForEachFailure(func(e graph.EdgeID, child int32, distE []int32) {
+		subtree = en.SubtreeOf(child, subtree[:0])
+		for _, v := range subtree {
+			if !lastProtectedFor(en, H, v, e, distE) {
+				out = append(out, UnprotectedReport{Edge: e, Witness: v})
+				break
+			}
+		}
+	})
+	return out
+}

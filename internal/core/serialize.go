@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/graph"
+)
+
+// The structure text format (companion of the graph format in
+// internal/graph):
+//
+//	ftbfs-structure 1
+//	source <s> eps <ε> alg <name>
+//	b <u> <v>        (one line per backup edge)
+//	r <u> <v>        (one line per reinforced edge)
+//
+// The base graph travels separately; DecodeStructure re-binds the edge
+// endpoints against it and recomputes the BFS tree.
+
+// EncodeStructure writes st in the structure text format.
+func EncodeStructure(w io.Writer, st *Structure) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "ftbfs-structure 1")
+	fmt.Fprintf(bw, "source %d eps %g alg %s\n", st.S, st.Eps, st.Stats.Algorithm)
+	var err error
+	st.Edges.ForEach(func(id graph.EdgeID) {
+		if err != nil {
+			return
+		}
+		e := st.G.EdgeByID(id).Canonical()
+		tag := "b"
+		if st.Reinforced.Contains(id) {
+			tag = "r"
+		}
+		_, err = fmt.Fprintf(bw, "%s %d %d\n", tag, e.U, e.V)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeStructure parses the structure format against its base graph g.
+// The BFS tree is recomputed from the recorded source; the decoded
+// structure is validated with CheckInvariants.
+func DecodeStructure(r io.Reader, g *graph.Graph) (*Structure, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text != "" && !strings.HasPrefix(text, "#") {
+				return text, true
+			}
+		}
+		return "", false
+	}
+	header, ok := next()
+	if !ok || header != "ftbfs-structure 1" {
+		return nil, fmt.Errorf("core: bad structure header %q", header)
+	}
+	meta, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("core: missing metadata line")
+	}
+	fields := strings.Fields(meta)
+	if len(fields) != 6 || fields[0] != "source" || fields[2] != "eps" || fields[4] != "alg" {
+		return nil, fmt.Errorf("core: bad metadata line %q", meta)
+	}
+	s, err := strconv.Atoi(fields[1])
+	if err != nil || s < 0 || s >= g.N() {
+		return nil, fmt.Errorf("core: bad source %q", fields[1])
+	}
+	eps, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad eps %q", fields[3])
+	}
+	st := &Structure{
+		G:          g,
+		S:          s,
+		Eps:        eps,
+		Edges:      graph.NewEdgeSet(g.M()),
+		Reinforced: graph.NewEdgeSet(g.M()),
+		TreeEdges:  bfs.From(g, s).EdgeSet(g.M()),
+	}
+	st.Stats.Algorithm = fields[5]
+	for {
+		text, ok := next()
+		if !ok {
+			break
+		}
+		f := strings.Fields(text)
+		if len(f) != 3 || (f[0] != "b" && f[0] != "r") {
+			return nil, fmt.Errorf("core: line %d: bad record %q", line, text)
+		}
+		u, err1 := strconv.Atoi(f[1])
+		v, err2 := strconv.Atoi(f[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("core: line %d: bad endpoints %q", line, text)
+		}
+		id := g.EdgeIDOf(u, v)
+		if id == graph.NoEdge {
+			return nil, fmt.Errorf("core: line %d: edge {%d,%d} not in the base graph", line, u, v)
+		}
+		st.Edges.Add(id)
+		if f[0] == "r" {
+			st.Reinforced.Add(id)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := CheckInvariants(st); err != nil {
+		return nil, fmt.Errorf("core: decoded structure invalid: %w", err)
+	}
+	return st, nil
+}

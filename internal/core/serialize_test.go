@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ftbfs/internal/gen"
+	"ftbfs/internal/graph"
+)
+
+func TestStructureRoundTrip(t *testing.T) {
+	g := gen.RandomConnected(50, 80, 13)
+	st := mustBuild(t, g, 3, 0.3, Options{})
+	var buf bytes.Buffer
+	if err := EncodeStructure(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeStructure(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.S != st.S || back.Eps != st.Eps || back.Stats.Algorithm != st.Stats.Algorithm {
+		t.Fatal("metadata lost")
+	}
+	a, b := st.Edges.IDs(), back.Edges.IDs()
+	if len(a) != len(b) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("edge sets differ")
+		}
+	}
+	ra, rb := st.Reinforced.IDs(), back.Reinforced.IDs()
+	if len(ra) != len(rb) {
+		t.Fatal("reinforced sets differ")
+	}
+	// the decoded structure still verifies
+	if err := MustVerify(back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeStructureErrors(t *testing.T) {
+	g := gen.Cycle(6)
+	st := mustBuild(t, g, 0, 0.25, Options{})
+	var buf bytes.Buffer
+	if err := EncodeStructure(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "nope\n",
+		"no meta":      "ftbfs-structure 1\n",
+		"bad meta":     "ftbfs-structure 1\nsource x eps y alg z q\n",
+		"bad source":   "ftbfs-structure 1\nsource 99 eps 0.2 alg epsilon\n",
+		"bad eps":      "ftbfs-structure 1\nsource 0 eps zz alg epsilon\n",
+		"bad record":   "ftbfs-structure 1\nsource 0 eps 0.2 alg epsilon\nq 1 2\n",
+		"bad endpoint": "ftbfs-structure 1\nsource 0 eps 0.2 alg epsilon\nb 1 x\n",
+		"non-edge":     "ftbfs-structure 1\nsource 0 eps 0.2 alg epsilon\nb 0 3\n",
+	}
+	for name, in := range cases {
+		if _, err := DecodeStructure(strings.NewReader(in), g); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+	// invariant breakage: reinforced edge outside T0
+	broken := strings.Replace(good, "b ", "r ", 1)
+	// (first backup line becomes reinforced; whether this breaks invariants
+	// depends on whether it is a tree edge — construct a guaranteed breach
+	// instead: reinforce a non-tree edge explicitly)
+	_ = broken
+	st2 := mustBuild(t, gen.Cycle(6), 0, 1, Options{})
+	nonTree := -1
+	for id := 0; id < st2.G.M(); id++ {
+		if st2.Edges.Contains(graphEdgeID(id)) && !st2.TreeEdges.Contains(graphEdgeID(id)) {
+			nonTree = id
+			break
+		}
+	}
+	if nonTree >= 0 {
+		e := st2.G.EdgeByID(graphEdgeID(nonTree)).Canonical()
+		in := "ftbfs-structure 1\nsource 0 eps 1 alg baseline\n"
+		in += "r " + itoa(int(e.U)) + " " + itoa(int(e.V)) + "\n"
+		if _, err := DecodeStructure(strings.NewReader(in), st2.G); err == nil {
+			t.Error("reinforced non-tree edge accepted")
+		}
+	}
+}
+
+func TestDecodeStructureSkipsComments(t *testing.T) {
+	g := gen.Cycle(6)
+	st := mustBuild(t, g, 0, 0.25, Options{})
+	var buf bytes.Buffer
+	if err := EncodeStructure(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	commented := "# saved structure\n" + strings.Replace(buf.String(), "\n", "\n# note\n", 1)
+	if _, err := DecodeStructure(strings.NewReader(commented), g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func graphEdgeID(i int) graph.EdgeID { return graph.EdgeID(i) }
+
+func itoa(i int) string { return strconv.Itoa(i) }

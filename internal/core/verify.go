@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/graph"
+)
+
+// Violation describes one breach of the FT-BFS contract found by Verify.
+type Violation struct {
+	Edge   graph.EdgeID // failed (non-reinforced) edge
+	Vertex int32        // vertex whose distance regressed
+	InH    int32        // dist(s, v, H \ {e}) (-1 = unreachable)
+	InG    int32        // dist(s, v, G \ {e})
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("edge %d, vertex %d: dist in H\\e = %d > dist in G\\e = %d",
+		v.Edge, v.Vertex, v.InH, v.InG)
+}
+
+// Verify exhaustively checks the (b, r) FT-BFS contract (Definition 2.1):
+// for every non-reinforced edge e of G and every vertex v,
+// dist(s,v,H\{e}) ≤ dist(s,v,G\{e}). Only T0 edges can violate the
+// contract (failing any other edge leaves T0 ⊆ H intact), so those are the
+// edges checked; the limit caps the number of reported violations
+// (0 = unlimited). Intended for tests and experiment E10 — it runs 2(n−1)
+// BFS passes.
+func Verify(st *Structure, limit int) []Violation {
+	g := st.G
+	scG := bfs.NewScratch(g.N())
+	scH := bfs.NewScratch(g.N())
+	distG := make([]int32, g.N())
+	distH := make([]int32, g.N())
+	var out []Violation
+	st.TreeEdges.ForEach(func(e graph.EdgeID) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		if st.Reinforced.Contains(e) {
+			return // reinforced edges never fail
+		}
+		scG.DistancesAvoiding(g, st.S, bfs.Restriction{BannedEdge: e}, distG)
+		scH.DistancesAvoiding(g, st.S, bfs.Restriction{BannedEdge: e, AllowedEdges: st.Edges}, distH)
+		for v := int32(0); v < int32(g.N()); v++ {
+			if distG[v] == bfs.Unreachable {
+				continue // v not required to be reachable
+			}
+			if distH[v] == bfs.Unreachable || distH[v] > distG[v] {
+				out = append(out, Violation{Edge: e, Vertex: v, InH: distH[v], InG: distG[v]})
+				if limit > 0 && len(out) >= limit {
+					return
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MustVerify is Verify returning an error summarising the first violations.
+func MustVerify(st *Structure) error {
+	if viol := Verify(st, 5); len(viol) > 0 {
+		return fmt.Errorf("core: structure violates FT-BFS contract: %v", viol)
+	}
+	return nil
+}
+
+// CheckInvariants validates internal consistency of a structure: the
+// reinforced set is contained in the tree edges, which are contained in H,
+// and every H edge exists in G.
+func CheckInvariants(st *Structure) error {
+	if st.Reinforced.Len() != st.Reinforced.Intersect(st.TreeEdges).Len() {
+		return fmt.Errorf("core: reinforced edges outside T0")
+	}
+	if st.TreeEdges.Len() != st.TreeEdges.Intersect(st.Edges).Len() {
+		return fmt.Errorf("core: T0 not contained in H")
+	}
+	bad := false
+	st.Edges.ForEach(func(e graph.EdgeID) {
+		if int(e) >= st.G.M() {
+			bad = true
+		}
+	})
+	if bad {
+		return fmt.Errorf("core: H references edges outside G")
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Every registered experiment runs in quick mode and produces at least one
+// populated table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are heavy")
+	}
+	cfg := Config{Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if tb.NumRows() == 0 {
+					t.Fatalf("table %q empty", tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := Run("nope", Config{Quick: true}, io.Discard); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunRendersTitle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are heavy")
+	}
+	var buf bytes.Buffer
+	if err := Run("clique-example", Config{Quick: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E6") || !strings.Contains(out, "clique") {
+		t.Fatalf("missing title in output:\n%s", out)
+	}
+}
+
+// Shape assertions on the cheap experiments: the verification table must be
+// all zeros, and the E2 exponents must land in the predicted bands.
+func TestVerifyExactAllZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are heavy")
+	}
+	tables, err := VerifyExact(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tables[0].RenderCSV(&buf)
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if i == 0 {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if fields[len(fields)-1] != "0" {
+			t.Fatalf("violations in row %q", line)
+		}
+	}
+}
+
+func TestBaselineExponentBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are heavy")
+	}
+	tables, err := BaselineN32(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tables[0].RenderCSV(&buf)
+	rows := strings.Split(strings.TrimSpace(buf.String()), "\n")[1:]
+	for _, row := range rows {
+		fields := strings.Split(row, ",")
+		exp := fields[len(fields)-1]
+		switch {
+		case strings.HasPrefix(fields[0], "lower-bound"):
+			if !within(exp, 1.35, 1.6) {
+				t.Fatalf("adversarial exponent %s outside [1.35,1.6]", exp)
+			}
+		default:
+			if !within(exp, 0.85, 1.25) {
+				t.Fatalf("sparse exponent %s outside [0.85,1.25]", exp)
+			}
+		}
+	}
+}
+
+func within(s string, lo, hi float64) bool {
+	x, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return false
+	}
+	return x >= lo && x <= hi
+}

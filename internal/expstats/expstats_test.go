@@ -1,0 +1,96 @@
+package expstats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFitPowerExact(t *testing.T) {
+	xs := []float64{10, 100, 1000, 10000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.5)
+	}
+	fit, err := FitPower(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exp-1.5) > 1e-9 || math.Abs(fit.C-3) > 1e-6 {
+		t.Fatalf("fit=%+v", fit)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("R2=%g", fit.R2)
+	}
+}
+
+func TestFitPowerNoisy(t *testing.T) {
+	xs := []float64{100, 200, 400, 800, 1600}
+	ys := []float64{105, 195, 410, 790, 1620} // ~linear
+	fit, err := FitPower(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exp-1.0) > 0.05 {
+		t.Fatalf("exp=%g want ~1", fit.Exp)
+	}
+}
+
+func TestFitPowerErrors(t *testing.T) {
+	if _, err := FitPower([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := FitPower([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitPower([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Fatal("negative x accepted")
+	}
+	if _, err := FitPower([]float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Fatal("zero y accepted")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean")
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("empty aggregates must be 0")
+	}
+	if Max([]float64{3, 9, 2}) != 9 {
+		t.Fatal("Max")
+	}
+	if math.Abs(GeoMean([]float64{1, 100})-10) > 1e-9 {
+		t.Fatal("GeoMean")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("GeoMean of negative must be 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "n", "b(n)", "note")
+	tb.AddRow(100, 1234, "ok")
+	tb.AddRow(200, 5678.5, "with, comma")
+	if tb.NumRows() != 2 {
+		t.Fatal("NumRows")
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "b(n)", "1234", "5678"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	tb.RenderCSV(&csv)
+	if !strings.Contains(csv.String(), `"with, comma"`) {
+		t.Fatalf("CSV quoting broken:\n%s", csv.String())
+	}
+	if !strings.HasPrefix(csv.String(), "n,b(n),note\n") {
+		t.Fatalf("CSV header broken:\n%s", csv.String())
+	}
+}

@@ -1,0 +1,108 @@
+// Package expstats provides the small statistics and formatting toolkit the
+// experiment harness uses: log-log power-law fits for exponent estimation
+// (e.g. "does |E(H)| scale like n^{1.5}?"), aligned table rendering and CSV
+// output.
+package expstats
+
+import (
+	"fmt"
+	"math"
+)
+
+// PowerFit is the least-squares fit of y = C · x^Exp on log-log scale.
+type PowerFit struct {
+	Exp float64 // fitted exponent
+	C   float64 // fitted constant
+	R2  float64 // coefficient of determination in log space
+}
+
+// FitPower fits y ≈ C·x^e by linear regression of log y on log x.
+// All inputs must be positive; len(xs) == len(ys) >= 2.
+func FitPower(xs, ys []float64) (PowerFit, error) {
+	if len(xs) != len(ys) {
+		return PowerFit{}, fmt.Errorf("expstats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return PowerFit{}, fmt.Errorf("expstats: need at least 2 points, got %d", len(xs))
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return PowerFit{}, fmt.Errorf("expstats: non-positive sample (%g, %g)", xs[i], ys[i])
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	slope, intercept, r2 := linreg(lx, ly)
+	return PowerFit{Exp: slope, C: math.Exp(intercept), R2: r2}, nil
+}
+
+// linreg returns slope, intercept and R² of the least-squares line.
+func linreg(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

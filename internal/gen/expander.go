@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"math/rand"
+	"sort"
+
+	"ftbfs/internal/graph"
+)
+
+// Circulant returns the circulant graph C_n(offsets): vertex i is adjacent
+// to i±o (mod n) for every offset o. Circulants are vertex-transitive and,
+// for suitable offsets, good expanders — a useful contrast family to the
+// adversarial lower-bound graphs (their FT-BFS structures stay near-linear).
+func Circulant(n int, offsets []int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for _, o := range offsets {
+			j := ((i+o)%n + n) % n
+			b.Add(i, j)
+		}
+	}
+	return b.Graph()
+}
+
+// RandomRegular returns a d-regular random simple graph via the pairing
+// model with edge-swap repair: stubs are matched uniformly, then every
+// self-loop or duplicate pairing is resolved by switching with a random
+// existing edge (the standard degree-preserving repair, terminating with
+// overwhelming probability). d·n must be even and d < n.
+func RandomRegular(n, d int, seed int64) *graph.Graph {
+	if n*d%2 != 0 {
+		panic("gen: n·d must be even for a d-regular graph")
+	}
+	if d >= n {
+		panic("gen: need d < n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pair = [2]int32
+	key := func(u, v int32) pair {
+		if u > v {
+			u, v = v, u
+		}
+		return pair{u, v}
+	}
+
+	stubs := make([]int32, 0, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	edgeSet := make(map[pair]bool, n*d/2)
+	var edges []pair
+	var bad []pair // colliding stub pairs awaiting repair
+	addOrDefer := func(u, v int32) {
+		k := key(u, v)
+		if u == v || edgeSet[k] {
+			bad = append(bad, pair{u, v})
+			return
+		}
+		edgeSet[k] = true
+		edges = append(edges, k)
+	}
+	for i := 0; i+1 < len(stubs); i += 2 {
+		addOrDefer(stubs[i], stubs[i+1])
+	}
+	// Repair: for a bad pair (u,v), pick a random existing edge (a,b) and
+	// switch to (u,a), (v,b) when both are fresh; this preserves degrees.
+	for guard := 0; len(bad) > 0 && guard < 100*n*d; guard++ {
+		u, v := bad[len(bad)-1][0], bad[len(bad)-1][1]
+		e := edges[rng.Intn(len(edges))]
+		a, b := e[0], e[1]
+		if rng.Intn(2) == 0 {
+			a, b = b, a
+		}
+		if u == a || v == b || edgeSet[key(u, a)] || edgeSet[key(v, b)] || key(u, a) == key(v, b) {
+			continue
+		}
+		bad = bad[:len(bad)-1]
+		delete(edgeSet, e)
+		edgeSet[key(u, a)] = true
+		edgeSet[key(v, b)] = true
+		// rebuild edges slice lazily: replace e with one new edge, append other
+		for i := range edges {
+			if edges[i] == e {
+				edges[i] = key(u, a)
+				break
+			}
+		}
+		edges = append(edges, key(v, b))
+	}
+	final := make([]pair, 0, len(edgeSet))
+	for e := range edgeSet {
+		final = append(final, e)
+	}
+	sort.Slice(final, func(i, j int) bool {
+		if final[i][0] != final[j][0] {
+			return final[i][0] < final[j][0]
+		}
+		return final[i][1] < final[j][1]
+	})
+	bld := graph.NewBuilder(n)
+	for _, e := range final {
+		bld.Add(int(e[0]), int(e[1]))
+	}
+	return bld.Graph()
+}

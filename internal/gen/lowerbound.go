@@ -1,0 +1,154 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"ftbfs/internal/graph"
+)
+
+// PiEdge describes one "costly" path edge e_j^i = (v_j, v_{j+1}) of the
+// lower-bound construction, together with the fan E_j^i = {(x, z_j^i)} that
+// Claim 5.3 forces into every ε FT-BFS structure that does not reinforce it.
+type PiEdge struct {
+	Copy int          // copy index i
+	J    int          // position on the path, 1-based
+	ID   graph.EdgeID // the edge (v_j, v_{j+1})
+	Z    int32        // z_j^i — the forced fan is {(x, Z) : x ∈ X of the fan}
+}
+
+// LowerBoundGraph is the single-source construction of Theorem 5.1
+// (Fig. 10): k copies of the gadget G_{ε,i} hanging off a common source.
+// Each gadget has a length-d path π_i, escape paths P_j^i of decreasing
+// length 6+2(d−j) ending at z_j^i, a vertex set X_i attached to the path's
+// terminal, and the complete bipartite graph X_i × Z_i.
+type LowerBoundGraph struct {
+	G   *graph.Graph
+	S   int     // the source (always 0)
+	Eps float64 // requested ε (0 when built from explicit parameters)
+
+	K, D    int       // number of copies, path length
+	X       [][]int32 // X_i per copy
+	Z       [][]int32 // Z_i per copy (z_1..z_d)
+	PiEdges []PiEdge  // all k·d costly edges, in copy-major order
+}
+
+// LowerBoundParams builds the construction from explicit parameters:
+// k copies, paths of length d, and xPerCopy vertices in each X_i.
+// Requires k ≥ 1, d ≥ 1, xPerCopy ≥ 1.
+func LowerBoundParams(k, d, xPerCopy int) *LowerBoundGraph {
+	if k < 1 || d < 1 || xPerCopy < 1 {
+		panic(fmt.Sprintf("gen: bad lower-bound parameters k=%d d=%d x=%d", k, d, xPerCopy))
+	}
+	perCopy := (d + 1) + (d*d + 5*d) + xPerCopy
+	n := 1 + k*perCopy
+	b := graph.NewBuilder(n)
+	lb := &LowerBoundGraph{S: 0, K: k, D: d}
+	next := 1 // vertex allocator; 0 is the source
+	alloc := func(c int) []int32 {
+		out := make([]int32, c)
+		for i := range out {
+			out[i] = int32(next)
+			next++
+		}
+		return out
+	}
+	piVerts := make([][]int32, 0, k)
+	for i := 0; i < k; i++ {
+		pi := alloc(d + 1) // v_1 … v_{d+1}; v_1 = s_i, v_{d+1} = v*_i
+		piVerts = append(piVerts, pi)
+		b.Add(0, int(pi[0]))
+		for j := 0; j+1 <= d; j++ {
+			b.Add(int(pi[j]), int(pi[j+1]))
+		}
+		zs := make([]int32, d)
+		for j := 1; j <= d; j++ {
+			tj := 6 + 2*(d-j) // |P_j^i|
+			interior := alloc(tj)
+			prev := pi[j-1] // v_j
+			for _, w := range interior {
+				b.Add(int(prev), int(w))
+				prev = w
+			}
+			zs[j-1] = prev // z_j^i
+		}
+		xs := alloc(xPerCopy)
+		vstar := pi[d]
+		for _, x := range xs {
+			b.Add(int(vstar), int(x))
+			for _, z := range zs {
+				b.Add(int(x), int(z))
+			}
+		}
+		lb.X = append(lb.X, xs)
+		lb.Z = append(lb.Z, zs)
+		for j := 1; j <= d; j++ {
+			lb.PiEdges = append(lb.PiEdges, PiEdge{Copy: i, J: j, Z: zs[j-1]})
+		}
+	}
+	lb.G = b.Graph()
+	if lb.G.N() != n {
+		panic("gen: lower-bound vertex accounting is wrong")
+	}
+	// Resolve the costly-edge ids now that the graph is frozen.
+	for idx := range lb.PiEdges {
+		pe := &lb.PiEdges[idx]
+		pi := piVerts[pe.Copy]
+		pe.ID = lb.G.EdgeIDOf(int(pi[pe.J-1]), int(pi[pe.J]))
+		if pe.ID == graph.NoEdge {
+			panic("gen: missing π edge")
+		}
+	}
+	return lb
+}
+
+// LowerBound sizes the Theorem 5.1 construction to approximately n vertices
+// for the given ε ∈ (0, 1/2): d ≈ n^ε/4, k ≈ n^{1−2ε}, with X_i absorbing
+// the per-copy remainder. The actual vertex count is G.N().
+func LowerBound(n int, eps float64) *LowerBoundGraph {
+	if eps <= 0 || eps >= 0.5 {
+		panic(fmt.Sprintf("gen: LowerBound needs ε ∈ (0, 0.5), got %g", eps))
+	}
+	d := int(math.Pow(float64(n), eps) / 4)
+	if d < 1 {
+		d = 1
+	}
+	k := int(math.Pow(float64(n), 1-2*eps))
+	if k < 1 {
+		k = 1
+	}
+	fixed := (d + 1) + (d*d + 5*d)
+	x := n/k - 1 - fixed
+	if x < 1 {
+		x = 1
+	}
+	lb := LowerBoundParams(k, d, x)
+	lb.Eps = eps
+	return lb
+}
+
+// Fan returns the forced edge fan E_j^i for the given costly edge: all
+// biclique edges (x, z_j^i) with x ∈ X_i. Claim 5.3: every ε FT-BFS that
+// leaves pe unreinforced must contain the entire fan.
+func (lb *LowerBoundGraph) Fan(pe PiEdge) []graph.EdgeID {
+	out := make([]graph.EdgeID, 0, len(lb.X[pe.Copy]))
+	for _, x := range lb.X[pe.Copy] {
+		id := lb.G.EdgeIDOf(int(x), int(pe.Z))
+		if id == graph.NoEdge {
+			panic("gen: missing biclique edge")
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// TheoreticalBackupLowerBound returns the Ω(n^{1+ε})-scale quantity
+// (#unreinforced costly edges) × |X_i| realised by this instance when at
+// most r edges may be reinforced.
+func (lb *LowerBoundGraph) TheoreticalBackupLowerBound(r int) int {
+	costly := len(lb.PiEdges)
+	if r > costly {
+		return 0
+	}
+	return (costly - r) * len(lb.X[0])
+}

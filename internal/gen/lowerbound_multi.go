@@ -1,0 +1,160 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"ftbfs/internal/graph"
+)
+
+// MultiPiEdge is a costly edge e_ℓ^{i,j} of the multi-source construction.
+type MultiPiEdge struct {
+	Source int          // source index i (0-based)
+	Column int          // column index j (0-based): which shared X_j it targets
+	L      int          // position on π_{i,j}, 1-based
+	ID     graph.EdgeID // the edge (v_ℓ, v_{ℓ+1})
+	Z      int32        // z_ℓ^{i,j}
+}
+
+// MultiLowerBoundGraph is the Theorem 5.4 construction: K sources, each
+// with kk path gadgets; the gadgets of column j share one vertex set X_j
+// (attached through the hub v~_j) that is completely connected to all the
+// z vertices of that column.
+type MultiLowerBoundGraph struct {
+	G   *graph.Graph
+	Eps float64
+
+	Sources []int     // the K source vertices
+	KK, D   int       // columns per source, path length
+	X       [][]int32 // X_j per column
+	PiEdges []MultiPiEdge
+}
+
+// MultiLowerBoundParams builds the construction from explicit parameters:
+// nsrc sources, kk columns, path length d, and xPerColumn vertices per X_j.
+func MultiLowerBoundParams(nsrc, kk, d, xPerColumn int) *MultiLowerBoundGraph {
+	if nsrc < 1 || kk < 1 || d < 1 || xPerColumn < 1 {
+		panic(fmt.Sprintf("gen: bad multi lower-bound parameters K=%d kk=%d d=%d x=%d", nsrc, kk, d, xPerColumn))
+	}
+	perGadget := (d + 1) + (d*d + 5*d)
+	n := nsrc + kk*(nsrc*perGadget+1+xPerColumn)
+	b := graph.NewBuilder(n)
+	lb := &MultiLowerBoundGraph{KK: kk, D: d}
+	next := 0
+	alloc := func(c int) []int32 {
+		out := make([]int32, c)
+		for i := range out {
+			out[i] = int32(next)
+			next++
+		}
+		return out
+	}
+	srcs := alloc(nsrc)
+	for _, s := range srcs {
+		lb.Sources = append(lb.Sources, int(s))
+	}
+	type gadget struct {
+		pi []int32
+		zs []int32
+	}
+	piVerts := make([][]gadget, nsrc) // [source][column]
+	for i := range piVerts {
+		piVerts[i] = make([]gadget, kk)
+	}
+	for j := 0; j < kk; j++ {
+		var colZ []int32
+		for i := 0; i < nsrc; i++ {
+			pi := alloc(d + 1)
+			b.Add(int(srcs[i]), int(pi[0]))
+			for l := 0; l+1 <= d; l++ {
+				b.Add(int(pi[l]), int(pi[l+1]))
+			}
+			zs := make([]int32, d)
+			for l := 1; l <= d; l++ {
+				tl := 6 + 2*(d-l)
+				interior := alloc(tl)
+				prev := pi[l-1]
+				for _, w := range interior {
+					b.Add(int(prev), int(w))
+					prev = w
+				}
+				zs[l-1] = prev
+			}
+			colZ = append(colZ, zs...)
+			piVerts[i][j] = gadget{pi: pi, zs: zs}
+		}
+		hub := alloc(1)[0] // v~_j
+		xs := alloc(xPerColumn)
+		for i := 0; i < nsrc; i++ {
+			b.Add(int(hub), int(piVerts[i][j].pi[d])) // v~_j — v*_{i,j}
+		}
+		for _, x := range xs {
+			b.Add(int(hub), int(x))
+			for _, z := range colZ {
+				b.Add(int(x), int(z))
+			}
+		}
+		lb.X = append(lb.X, xs)
+		for i := 0; i < nsrc; i++ {
+			for l := 1; l <= d; l++ {
+				lb.PiEdges = append(lb.PiEdges, MultiPiEdge{
+					Source: i, Column: j, L: l, Z: piVerts[i][j].zs[l-1],
+				})
+			}
+		}
+	}
+	lb.G = b.Graph()
+	if lb.G.N() != n {
+		panic("gen: multi lower-bound vertex accounting is wrong")
+	}
+	for idx := range lb.PiEdges {
+		pe := &lb.PiEdges[idx]
+		pi := piVerts[pe.Source][pe.Column].pi
+		pe.ID = lb.G.EdgeIDOf(int(pi[pe.L-1]), int(pi[pe.L]))
+		if pe.ID == graph.NoEdge {
+			panic("gen: missing multi π edge")
+		}
+	}
+	return lb
+}
+
+// MultiLowerBound sizes the construction to approximately n vertices with K
+// sources and ε ∈ (0, 1/2]: d ≈ (n/4K)^ε, kk ≈ (n/K)^{1−2ε}.
+func MultiLowerBound(n, nsrc int, eps float64) *MultiLowerBoundGraph {
+	if eps <= 0 || eps > 0.5 {
+		panic(fmt.Sprintf("gen: MultiLowerBound needs ε ∈ (0, 0.5], got %g", eps))
+	}
+	if nsrc < 1 {
+		panic("gen: need at least one source")
+	}
+	d := int(math.Pow(float64(n)/(4*float64(nsrc)), eps))
+	if d < 1 {
+		d = 1
+	}
+	kk := int(math.Pow(float64(n)/float64(nsrc), 1-2*eps))
+	if kk < 1 {
+		kk = 1
+	}
+	perGadget := (d + 1) + (d*d + 5*d)
+	x := (n-nsrc)/kk - nsrc*perGadget - 1
+	if x < 1 {
+		x = 1
+	}
+	lb := MultiLowerBoundParams(nsrc, kk, d, x)
+	lb.Eps = eps
+	return lb
+}
+
+// Fan returns the forced fan E_ℓ^{i,j} = {(x, z_ℓ^{i,j}) : x ∈ X_j}
+// (Claim 5.6).
+func (lb *MultiLowerBoundGraph) Fan(pe MultiPiEdge) []graph.EdgeID {
+	out := make([]graph.EdgeID, 0, len(lb.X[pe.Column]))
+	for _, x := range lb.X[pe.Column] {
+		id := lb.G.EdgeIDOf(int(x), int(pe.Z))
+		if id == graph.NoEdge {
+			panic("gen: missing biclique edge")
+		}
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package gen
+
+import "ftbfs/internal/graph"
+
+// PathGraph returns the path 0-1-…-(n-1).
+func PathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.Add(i, i+1)
+	}
+	return b.Graph()
+}
+
+// Cycle returns the n-cycle (n >= 3).
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, (i+1)%n)
+	}
+	return b.Graph()
+}
+
+// Star returns the star with center 0 and n-1 leaves.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.Add(0, i)
+	}
+	return b.Graph()
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.Add(u, v)
+		}
+	}
+	return b.Graph()
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on the left,
+// a..a+b-1 on the right.
+func CompleteBipartite(a, b int) *graph.Graph {
+	bld := graph.NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			bld.Add(u, v)
+		}
+	}
+	return bld.Graph()
+}
+
+// CliqueChain builds the introduction's motivating example: a source vertex
+// 0 connected by a single edge to an (n-1)-vertex clique (via vertex 1).
+// Reinforcing the single bridge {0,1} makes the whole structure resilient
+// even when only a fraction of the clique is purchased.
+func CliqueChain(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	b.Add(0, 1)
+	for u := 1; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.Add(u, v)
+		}
+	}
+	return b.Graph()
+}
+
+// Grid returns the rows×cols grid graph, vertex (r,c) = r*cols+c.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				b.Add(v, v+1)
+			}
+			if r+1 < rows {
+				b.Add(v, v+cols)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// Torus returns the rows×cols torus (grid with wraparound); needs
+// rows, cols >= 3 to avoid duplicate edges.
+func Torus(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			b.Add(v, r*cols+(c+1)%cols)
+			b.Add(v, ((r+1)%rows)*cols+c)
+		}
+	}
+	return b.Graph()
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d vertices.
+func Hypercube(d int) *graph.Graph {
+	n := 1 << uint(d)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (1 << uint(bit))
+			if u > v {
+				b.Add(v, u)
+			}
+		}
+	}
+	return b.Graph()
+}

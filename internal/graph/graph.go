@@ -1,0 +1,231 @@
+// Package graph implements the undirected-graph substrate used by every
+// other package in this repository: a compact adjacency representation with
+// stable edge identifiers, mutation-free views, and helpers for the
+// edge-subset bookkeeping that fault-tolerant BFS constructions need.
+//
+// Vertices are dense integers 0..N()-1. Every undirected edge {u,v} has a
+// unique EdgeID assigned at insertion time; all higher-level structures
+// (BFS trees, replacement paths, FT-BFS structures) refer to edges by id so
+// that "the same edge" is unambiguous across subgraphs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EdgeID identifies an undirected edge within a Graph. IDs are dense:
+// 0..M()-1 in insertion order.
+type EdgeID int32
+
+// NoEdge is returned by lookups when the requested edge does not exist.
+const NoEdge EdgeID = -1
+
+// Edge is an undirected edge. U < V is NOT guaranteed; use Canonical to
+// normalize. Both orientations denote the same EdgeID.
+type Edge struct {
+	U, V int32
+}
+
+// Canonical returns the edge with endpoints ordered so that U <= V.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not x. It panics if x is not an
+// endpoint of e.
+func (e Edge) Other(x int32) int32 {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", x, e))
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.U, e.V) }
+
+// Arc is a directed view of an undirected edge as seen from one endpoint:
+// To is the neighbour, ID is the undirected edge's identifier.
+type Arc struct {
+	To int32
+	ID EdgeID
+}
+
+// Graph is an undirected multigraph-free graph with stable edge ids.
+// The zero value is an empty graph with no vertices; use New.
+//
+// Graph is immutable after Freeze (all algorithm packages require a frozen
+// graph); the builder API (AddEdge) may only be used before Freeze.
+type Graph struct {
+	n      int32
+	adj    [][]Arc
+	edges  []Edge
+	lookup map[int64]EdgeID
+	frozen bool
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{
+		n:      int32(n),
+		adj:    make([][]Arc, n),
+		lookup: make(map[int64]EdgeID),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return int(g.n) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+func (g *Graph) key(u, v int32) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(v)
+}
+
+// AddEdge inserts the undirected edge {u,v} and returns its id. Self-loops
+// and duplicate edges are rejected with an error. AddEdge panics if called
+// after Freeze.
+func (g *Graph) AddEdge(u, v int) (EdgeID, error) {
+	if g.frozen {
+		panic("graph: AddEdge after Freeze")
+	}
+	if u == v {
+		return NoEdge, fmt.Errorf("graph: self-loop at vertex %d", u)
+	}
+	if u < 0 || v < 0 || u >= int(g.n) || v >= int(g.n) {
+		return NoEdge, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
+	}
+	uu, vv := int32(u), int32(v)
+	k := g.key(uu, vv)
+	if _, dup := g.lookup[k]; dup {
+		return NoEdge, fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{uu, vv})
+	g.lookup[k] = id
+	g.adj[u] = append(g.adj[u], Arc{To: vv, ID: id})
+	g.adj[v] = append(g.adj[v], Arc{To: uu, ID: id})
+	return id, nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for generators whose
+// construction logic guarantees validity.
+func (g *Graph) MustAddEdge(u, v int) EdgeID {
+	id, err := g.AddEdge(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// HasEdge reports whether the undirected edge {u,v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= int(g.n) || v >= int(g.n) {
+		return false
+	}
+	_, ok := g.lookup[g.key(int32(u), int32(v))]
+	return ok
+}
+
+// EdgeIDOf returns the id of edge {u,v}, or NoEdge if absent.
+func (g *Graph) EdgeIDOf(u, v int) EdgeID {
+	if u < 0 || v < 0 || u >= int(g.n) || v >= int(g.n) {
+		return NoEdge
+	}
+	id, ok := g.lookup[g.key(int32(u), int32(v))]
+	if !ok {
+		return NoEdge
+	}
+	return id
+}
+
+// EdgeByID returns the endpoints of the given edge id.
+func (g *Graph) EdgeByID(id EdgeID) Edge {
+	return g.edges[id]
+}
+
+// Neighbors returns the adjacency list of u as (neighbour, edge id) arcs.
+// The returned slice is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []Arc {
+	return g.adj[u]
+}
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Edges returns a copy of the edge list indexed by EdgeID.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Freeze sorts every adjacency list by neighbour id (required for the
+// canonical min-index BFS tie-breaking used throughout this repository) and
+// marks the graph immutable. Freeze is idempotent.
+func (g *Graph) Freeze() *Graph {
+	if g.frozen {
+		return g
+	}
+	for u := range g.adj {
+		a := g.adj[u]
+		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
+	}
+	g.frozen = true
+	return g
+}
+
+// Frozen reports whether Freeze has been called.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// Clone returns a deep, unfrozen copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(int(g.n))
+	for id, e := range g.edges {
+		c.edges = append(c.edges, e)
+		c.lookup[c.key(e.U, e.V)] = EdgeID(id)
+	}
+	for u := range g.adj {
+		c.adj[u] = append([]Arc(nil), g.adj[u]...)
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by keep (vertices mapped to
+// 0..len(keep)-1 in the given order) together with the vertex mapping
+// old→new (-1 when dropped). Edge ids are NOT preserved.
+func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int32) {
+	remap := make([]int32, g.n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, v := range keep {
+		remap[v] = int32(i)
+	}
+	sub := New(len(keep))
+	for _, e := range g.edges {
+		nu, nv := remap[e.U], remap[e.V]
+		if nu >= 0 && nv >= 0 {
+			sub.MustAddEdge(int(nu), int(nv))
+		}
+	}
+	return sub, remap
+}
+
+// String implements fmt.Stringer with a short summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.n, len(g.edges))
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddPath(0, 1, 2, 3)
+	b.AddClique(3, 4, 5)
+	g := b.Graph()
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip size mismatch: %v vs %v", g2, g)
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(int(e.U), int(e.V)) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+	if err := Validate(g2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"edge first":   "e 0 1\n",
+		"bad header":   "p x 1\n",
+		"neg n":        "p -1 0\n",
+		"short edge":   "p 2 1\ne 0\n",
+		"bad endpoint": "p 2 1\ne 0 q\n",
+		"self loop":    "p 2 1\ne 1 1\n",
+		"out of range": "p 2 1\ne 0 5\n",
+		"dup edge":     "p 2 2\ne 0 1\ne 1 0\n",
+		"count lie":    "p 3 5\ne 0 1\n",
+		"dup header":   "p 2 0\np 2 0\n",
+		"unknown rec":  "p 2 0\nz 1 2\n",
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decode accepted %q", name, in)
+		}
+	}
+}
+
+func TestDecodeSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\np 3 2\n# mid\ne 0 1\n\ne 1 2\n"
+	g, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M=%d", g.M())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddPath(0, 1, 2)
+	g := b.Graph()
+	st := NewEdgeSet(g.M())
+	st.Add(0)
+	re := NewEdgeSet(g.M())
+	re.Add(0)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, DOTOptions{Structure: st, Reinforced: re, Source: 0}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph G {", "0 -- 1 [color=red", "1 -- 2 [style=dotted", "fillcolor=gold"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import "fmt"
+
+// Stats summarises a graph for experiment tables.
+type Stats struct {
+	N, M      int
+	MinDeg    int
+	MaxDeg    int
+	AvgDeg    float64
+	Connected bool
+	Diameter  int // -1 if disconnected or N==0
+}
+
+// ComputeStats returns basic structural statistics. Diameter is computed by
+// n BFS passes and is intended for the moderate graph sizes used in tests
+// and experiments.
+func ComputeStats(g *Graph, withDiameter bool) Stats {
+	st := Stats{N: g.N(), M: g.M(), MinDeg: -1, Diameter: -1}
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if st.MinDeg == -1 || d < st.MinDeg {
+			st.MinDeg = d
+		}
+		if d > st.MaxDeg {
+			st.MaxDeg = d
+		}
+	}
+	if g.N() > 0 {
+		st.AvgDeg = 2 * float64(g.M()) / float64(g.N())
+	}
+	st.Connected = IsConnected(g)
+	if withDiameter && st.Connected && g.N() > 0 {
+		diam := 0
+		dist := make([]int32, g.N())
+		queue := make([]int32, 0, g.N())
+		for src := 0; src < g.N(); src++ {
+			for i := range dist {
+				dist[i] = -1
+			}
+			queue = queue[:0]
+			dist[src] = 0
+			queue = append(queue, int32(src))
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				for _, a := range g.adj[u] {
+					if dist[a.To] == -1 {
+						dist[a.To] = dist[u] + 1
+						queue = append(queue, a.To)
+						if int(dist[a.To]) > diam {
+							diam = int(dist[a.To])
+						}
+					}
+				}
+			}
+		}
+		st.Diameter = diam
+	}
+	return st
+}
+
+// IsConnected reports whether g is connected (vacuously true for N<=1).
+func IsConnected(g *Graph) bool {
+	if g.N() <= 1 {
+		return true
+	}
+	seen := make([]bool, g.N())
+	queue := []int32{0}
+	seen[0] = true
+	count := 1
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, a := range g.adj[u] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				count++
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return count == g.N()
+}
+
+// IsBridge reports whether removing edge id disconnects the component of its
+// endpoints (single BFS in G\{id}).
+func IsBridge(g *Graph, id EdgeID) bool {
+	e := g.EdgeByID(id)
+	seen := make([]bool, g.N())
+	queue := []int32{e.U}
+	seen[e.U] = true
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, a := range g.adj[u] {
+			if a.ID == id || seen[a.To] {
+				continue
+			}
+			seen[a.To] = true
+			if a.To == e.V {
+				return false
+			}
+			queue = append(queue, a.To)
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d deg[%d..%d] avg=%.2f conn=%v diam=%d",
+		s.N, s.M, s.MinDeg, s.MaxDeg, s.AvgDeg, s.Connected, s.Diameter)
+}

@@ -1,0 +1,99 @@
+package graph
+
+import "testing"
+
+func pathGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.Add(i, i+1)
+	}
+	return b.Graph()
+}
+
+func TestStatsPath(t *testing.T) {
+	g := pathGraph(5)
+	st := ComputeStats(g, true)
+	if !st.Connected {
+		t.Fatal("path disconnected?")
+	}
+	if st.Diameter != 4 {
+		t.Fatalf("diameter=%d want 4", st.Diameter)
+	}
+	if st.MinDeg != 1 || st.MaxDeg != 2 {
+		t.Fatalf("deg range [%d,%d]", st.MinDeg, st.MaxDeg)
+	}
+	if st.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestStatsDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.Add(0, 1)
+	g := b.Graph()
+	st := ComputeStats(g, true)
+	if st.Connected {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if st.Diameter != -1 {
+		t.Fatalf("diameter=%d want -1", st.Diameter)
+	}
+}
+
+func TestIsConnectedTrivial(t *testing.T) {
+	if !IsConnected(New(0).Freeze()) || !IsConnected(New(1).Freeze()) {
+		t.Fatal("trivial graphs must be connected")
+	}
+}
+
+func TestIsBridge(t *testing.T) {
+	// triangle 0-1-2 plus pendant 2-3
+	b := NewBuilder(4)
+	b.AddClique(0, 1, 2)
+	b.Add(2, 3)
+	g := b.Graph()
+	pend := g.EdgeIDOf(2, 3)
+	if !IsBridge(g, pend) {
+		t.Fatal("pendant edge should be a bridge")
+	}
+	tri := g.EdgeIDOf(0, 1)
+	if IsBridge(g, tri) {
+		t.Fatal("triangle edge is not a bridge")
+	}
+}
+
+func TestBuilderHelpers(t *testing.T) {
+	b := NewBuilder(10)
+	b.AddStar(0, 1, 2, 3)
+	b.AddBiclique([]int{4, 5}, []int{6, 7})
+	b.AddClique(8, 9)
+	if b.M() != 3+4+1 {
+		t.Fatalf("M=%d", b.M())
+	}
+	if b.Add(0, 1) {
+		t.Fatal("duplicate add reported true")
+	}
+	if b.Add(0, 0) {
+		t.Fatal("self loop add reported true")
+	}
+	g := b.Graph()
+	if !g.Frozen() {
+		t.Fatal("builder result not frozen")
+	}
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgeList(t *testing.T) {
+	g, err := FromEdgeList(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || !g.Frozen() {
+		t.Fatal("FromEdgeList wrong")
+	}
+	if _, err := FromEdgeList(2, [][2]int{{0, 0}}); err == nil {
+		t.Fatal("self loop accepted")
+	}
+}

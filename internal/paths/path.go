@@ -1,0 +1,102 @@
+// Package paths provides path values (vertex sequences) and the exponential
+// segment decomposition of shortest paths used by Sub-Phase S2.2 of the
+// construction (Eq. 5 of the paper).
+package paths
+
+import (
+	"fmt"
+
+	"ftbfs/internal/graph"
+)
+
+// Path is a walk given as its vertex sequence. Paths are directed away from
+// the source (paper convention).
+type Path []int32
+
+// Len returns the length of the path in edges.
+func (p Path) Len() int { return len(p) - 1 }
+
+// First returns the first vertex.
+func (p Path) First() int32 { return p[0] }
+
+// Last returns the last vertex.
+func (p Path) Last() int32 { return p[len(p)-1] }
+
+// LastEdge returns the final edge of the path as (penultimate, last). It
+// panics on paths with no edge — matching the paper's LastE(P), which is
+// only applied to nonempty paths.
+func (p Path) LastEdge() graph.Edge {
+	if len(p) < 2 {
+		panic("paths: LastEdge of a path with no edges")
+	}
+	return graph.Edge{U: p[len(p)-2], V: p[len(p)-1]}
+}
+
+// Sub returns the subpath P[p[i], p[j]] (inclusive vertex indices).
+func (p Path) Sub(i, j int) Path {
+	if i < 0 || j >= len(p) || i > j {
+		panic(fmt.Sprintf("paths: bad subpath [%d,%d] of length-%d path", i, j, len(p)))
+	}
+	return p[i : j+1]
+}
+
+// Concat returns a ◦ b; the last vertex of a must equal the first of b.
+func Concat(a, b Path) Path {
+	if len(a) == 0 {
+		return append(Path(nil), b...)
+	}
+	if len(b) == 0 {
+		return append(Path(nil), a...)
+	}
+	if a.Last() != b.First() {
+		panic(fmt.Sprintf("paths: cannot concatenate: %d != %d", a.Last(), b.First()))
+	}
+	out := make(Path, 0, len(a)+len(b)-1)
+	out = append(out, a...)
+	out = append(out, b[1:]...)
+	return out
+}
+
+// Reverse returns the reversed path as a new slice.
+func (p Path) Reverse() Path {
+	out := make(Path, len(p))
+	for i, v := range p {
+		out[len(p)-1-i] = v
+	}
+	return out
+}
+
+// Divergence returns the index of the first divergence point of a from b:
+// the largest i such that a[:i+1] == b[:i+1] — i.e. a[i] is the last common
+// prefix vertex (the paper's divergence point when the paths then split).
+// It returns -1 when the paths have no common prefix at all.
+func Divergence(a, b Path) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := -1
+	for k := 0; k < n && a[k] == b[k]; k++ {
+		i = k
+	}
+	return i
+}
+
+// ValidateOn checks that p is a walk in g (every consecutive pair is an
+// edge) with no repeated vertices; used by tests and the exact verifier.
+func (p Path) ValidateOn(g *graph.Graph) error {
+	seen := make(map[int32]bool, len(p))
+	for i, v := range p {
+		if v < 0 || int(v) >= g.N() {
+			return fmt.Errorf("paths: vertex %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("paths: repeated vertex %d", v)
+		}
+		seen[v] = true
+		if i > 0 && !g.HasEdge(int(p[i-1]), int(v)) {
+			return fmt.Errorf("paths: non-edge %d-%d", p[i-1], v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package paths
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftbfs/internal/graph"
+)
+
+func TestPathBasics(t *testing.T) {
+	p := Path{0, 1, 2, 3}
+	if p.Len() != 3 || p.First() != 0 || p.Last() != 3 {
+		t.Fatal("basics wrong")
+	}
+	if e := p.LastEdge(); e.U != 2 || e.V != 3 {
+		t.Fatalf("LastEdge=%v", e)
+	}
+	sub := p.Sub(1, 2)
+	if len(sub) != 2 || sub[0] != 1 || sub[1] != 2 {
+		t.Fatalf("Sub=%v", sub)
+	}
+	r := p.Reverse()
+	if r[0] != 3 || r[3] != 0 {
+		t.Fatalf("Reverse=%v", r)
+	}
+}
+
+func TestLastEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LastEdge on single-vertex path should panic")
+		}
+	}()
+	Path{7}.LastEdge()
+}
+
+func TestConcat(t *testing.T) {
+	a := Path{0, 1, 2}
+	b := Path{2, 5, 6}
+	c := Concat(a, b)
+	want := Path{0, 1, 2, 5, 6}
+	if len(c) != len(want) {
+		t.Fatalf("Concat=%v", c)
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("Concat=%v want %v", c, want)
+		}
+	}
+	if got := Concat(nil, b); len(got) != len(b) {
+		t.Fatal("Concat with empty lhs")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Concat should panic")
+		}
+	}()
+	Concat(Path{0, 1}, Path{2, 3})
+}
+
+func TestDivergence(t *testing.T) {
+	if Divergence(Path{0, 1, 2, 3}, Path{0, 1, 5, 6}) != 1 {
+		t.Fatal("divergence at index 1 expected")
+	}
+	if Divergence(Path{0, 1}, Path{0, 1, 2}) != 1 {
+		t.Fatal("prefix case: last common index")
+	}
+	if Divergence(Path{3}, Path{4}) != -1 {
+		t.Fatal("no common prefix → -1")
+	}
+}
+
+func TestValidateOn(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddPath(0, 1, 2, 3)
+	g := b.Graph()
+	if err := (Path{0, 1, 2}).ValidateOn(g); err != nil {
+		t.Fatal(err)
+	}
+	if (Path{0, 2}).ValidateOn(g) == nil {
+		t.Fatal("non-edge accepted")
+	}
+	if (Path{0, 1, 0}).ValidateOn(g) == nil {
+		t.Fatal("repeated vertex accepted")
+	}
+	if (Path{0, 9}).ValidateOn(g) == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestDecomposeSmall(t *testing.T) {
+	d := DecomposeLen(0)
+	if d.NumSegments() != 0 {
+		t.Fatalf("k=0 gives %d segments", d.NumSegments())
+	}
+	d = DecomposeLen(1)
+	if d.NumSegments() != 1 || d.Bounds[1] != 1 {
+		t.Fatalf("k=1: %+v", d)
+	}
+	d = DecomposeLen(8)
+	// boundaries at 8-(8>>j): j=1→4, j=2→6, j=3→7, then final 8
+	want := []int{0, 4, 6, 7, 8}
+	if len(d.Bounds) != len(want) {
+		t.Fatalf("k=8 bounds=%v", d.Bounds)
+	}
+	for i := range want {
+		if d.Bounds[i] != want[i] {
+			t.Fatalf("k=8 bounds=%v want %v", d.Bounds, want)
+		}
+	}
+}
+
+// Eq. (5)-style invariants for every k: segments partition [0,k); the first
+// segment holds about half the edges; each tail is at least half the
+// preceding segment (up to the +1 slack of integer rounding absorbed by
+// extending the final segment).
+func TestDecomposeInvariants(t *testing.T) {
+	f := func(kk uint16) bool {
+		k := int(kk%5000) + 1
+		d := DecomposeLen(k)
+		if d.Bounds[0] != 0 || d.Bounds[len(d.Bounds)-1] != k {
+			return false
+		}
+		total := 0
+		for j := 0; j < d.NumSegments(); j++ {
+			l := d.SegLen(j)
+			if l <= 0 {
+				return false
+			}
+			total += l
+			if j+1 < d.NumSegments() {
+				// tail ≥ (seg-1)/2: geometric halving with rounding slack
+				if 2*d.TailLen(j)+1 < l-1 {
+					return false
+				}
+			}
+		}
+		if total != k {
+			return false
+		}
+		// first segment ≈ k/2
+		if d.SegLen(0) != k-(k>>1) {
+			return false
+		}
+		// number of segments is ≤ ⌊log2 k⌋ + 1
+		lg := 0
+		for 1<<uint(lg+1) <= k {
+			lg++
+		}
+		return d.NumSegments() <= lg+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentOfEdgeConsistent(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 7, 8, 9, 100, 1023, 1024} {
+		d := DecomposeLen(k)
+		for a := 0; a < k; a++ {
+			j := d.SegmentOfEdge(a)
+			lo, hi := d.EdgeRange(j)
+			if a < lo || a >= hi {
+				t.Fatalf("k=%d edge %d assigned segment %d [%d,%d)", k, a, j, lo, hi)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range SegmentOfEdge should panic")
+		}
+	}()
+	DecomposeLen(5).SegmentOfEdge(5)
+}

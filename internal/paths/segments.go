@@ -1,0 +1,73 @@
+package paths
+
+import "fmt"
+
+// SegDecomp is the exponential decomposition of a length-k shortest path
+// π(s,v) into k' = ⌊log₂ k⌋ subsegments of geometrically decreasing length
+// (Sub-Phase S2.2, Eq. 5): the j'th boundary sits at distance
+// ⌈Σ_{ℓ≤j} k/2^ℓ⌉ = k − ⌊k/2^j⌋ from s. The final segment is extended to
+// cover the residual edge so that the segments partition all k edges.
+//
+// Edges are addressed by their index a ∈ [0,k): edge a connects the vertices
+// at depth a and a+1 along the path (equivalently a = depth(child)−1).
+type SegDecomp struct {
+	K      int   // path length in edges
+	Bounds []int // Bounds[0]=0 < ... < Bounds[len-1]=K; segment j covers [Bounds[j], Bounds[j+1])
+}
+
+// DecomposeLen builds the decomposition for a path of k edges (k >= 0).
+func DecomposeLen(k int) SegDecomp {
+	if k < 0 {
+		panic("paths: negative path length")
+	}
+	d := SegDecomp{K: k, Bounds: []int{0}}
+	if k == 0 {
+		return d
+	}
+	for j := 1; ; j++ {
+		b := k - (k >> uint(j)) // = ⌈k − k/2^j⌉ for integral k
+		if k>>uint(j) == 0 || b >= k {
+			break
+		}
+		if b > d.Bounds[len(d.Bounds)-1] {
+			d.Bounds = append(d.Bounds, b)
+		}
+		if 1<<uint(j+1) > k { // j reached ⌊log₂ k⌋
+			break
+		}
+	}
+	d.Bounds = append(d.Bounds, k)
+	return d
+}
+
+// NumSegments returns the number of segments (≥1 for k≥1).
+func (d SegDecomp) NumSegments() int { return len(d.Bounds) - 1 }
+
+// EdgeRange returns the half-open edge-index range [lo,hi) of segment j.
+func (d SegDecomp) EdgeRange(j int) (lo, hi int) {
+	return d.Bounds[j], d.Bounds[j+1]
+}
+
+// SegmentOfEdge returns the segment index containing edge index a.
+func (d SegDecomp) SegmentOfEdge(a int) int {
+	if a < 0 || a >= d.K {
+		panic(fmt.Sprintf("paths: edge index %d out of [0,%d)", a, d.K))
+	}
+	lo, hi := 0, d.NumSegments()-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.Bounds[mid+1] <= a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// TailLen returns the total number of edges strictly below segment j —
+// the quantity Σ_{j'>j} |π_{j'}| that Lemma 4.14 compares against |π_j|/2.
+func (d SegDecomp) TailLen(j int) int { return d.K - d.Bounds[j+1] }
+
+// SegLen returns the length of segment j in edges.
+func (d SegDecomp) SegLen(j int) int { return d.Bounds[j+1] - d.Bounds[j] }

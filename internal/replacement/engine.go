@@ -1,0 +1,166 @@
+// Package replacement computes single-failure replacement paths: for a
+// source s, a terminal v and a failing tree edge e ∈ π(s,v), the canonical
+// shortest s–v path in G \ {e}. It implements Phase S0 of the paper
+// (Algorithm Pcons), including the classification of vertex-edge pairs into
+// covered pairs (a replacement path can reuse a T0 last edge) and uncovered
+// pairs (the path is new-ending), and the extraction of detour segments.
+package replacement
+
+import (
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/graph"
+	"ftbfs/internal/paths"
+	"ftbfs/internal/tree"
+)
+
+// Pair is an uncovered vertex-edge pair ⟨v,e⟩ together with its canonical
+// new-ending replacement path P_{v,e} in decomposed form
+// P = π(s, Div) ◦ Detour (Observation 3.2).
+type Pair struct {
+	V         int32        // terminal
+	Edge      graph.EdgeID // failing tree edge e ∈ π(s,v)
+	EdgeChild int32        // deeper endpoint of e (edges point away from s)
+	Dist      int32        // |P| = dist(s, v, G\{e})
+	Div       int32        // unique divergence point d(P) ∈ π(s,v)
+	Detour    paths.Path   // Detour[0]=Div … Detour[last]=V; interior avoids π(s,v)
+	LastID    graph.EdgeID // id of LastE(P) — never a T0 edge
+}
+
+// LastEdge returns LastE(P_{v,e}).
+func (p *Pair) LastEdge() graph.Edge { return p.Detour.LastEdge() }
+
+// DepthOfEdge returns dist(s,e): the depth of the failing edge's child
+// endpoint, so deeper edges have larger values.
+func (p *Pair) DepthOfEdge(t *tree.Tree) int32 { return t.Depth[p.EdgeChild] }
+
+// DistFromV returns dist(v, e, π(s,v)) — the ordering key used by Phase S1
+// ("increasing distance of the failing edge from v" = deepest edge first).
+func (p *Pair) DistFromV(t *tree.Tree) int32 {
+	return t.Depth[p.V] - t.Depth[p.EdgeChild]
+}
+
+// Engine bundles everything Phases S0–S2 need about (G, s): the canonical
+// BFS tree, the rooted-tree structure, and reusable scratch space for the
+// per-failure searches. An Engine is not safe for concurrent use.
+type Engine struct {
+	G  *graph.Graph
+	S  int
+	BT *bfs.Tree
+	T  *tree.Tree
+
+	TreeEdges *graph.EdgeSet // edges of T0
+
+	sc      *bfs.Scratch
+	distE   []int32 // dist(s, ·, G\{e}) for the failure being processed
+	banned  *graph.VertexSet
+	workers int // preferred parallelism for failure sweeps (0/1 = serial)
+}
+
+// SetWorkers records the preferred parallelism for failure sweeps run on
+// behalf of this engine: 0 or 1 mean sequential, negative means
+// GOMAXPROCS, positive sets an explicit worker count.
+func (en *Engine) SetWorkers(w int) { en.workers = w }
+
+// Workers returns the preference recorded by SetWorkers.
+func (en *Engine) Workers() int { return en.workers }
+
+// NewEngine builds the engine for (g, s). g must be frozen.
+func NewEngine(g *graph.Graph, s int) *Engine {
+	bt := bfs.From(g, s)
+	t := tree.Build(g, bt)
+	return &Engine{
+		G:         g,
+		S:         s,
+		BT:        bt,
+		T:         t,
+		TreeEdges: bt.EdgeSet(g.M()),
+		sc:        bfs.NewScratch(g.N()),
+		distE:     make([]int32, g.N()),
+		banned:    graph.NewVertexSet(g.N()),
+	}
+}
+
+// ForEachFailure iterates over every tree edge e (every failure that can
+// change distances), computing dist(s, ·, G\{e}) once per edge and invoking
+// fn(e, child endpoint, distances). The distance slice is reused between
+// calls: fn must not retain it.
+func (en *Engine) ForEachFailure(fn func(e graph.EdgeID, child int32, distE []int32)) {
+	for v := 0; v < en.G.N(); v++ {
+		id := en.BT.ParentEdge[v]
+		if id == graph.NoEdge {
+			continue
+		}
+		en.sc.DistancesAvoiding(en.G, en.S, bfs.Restriction{BannedEdge: id}, en.distE)
+		fn(id, int32(v), en.distE)
+	}
+}
+
+// SubtreeOf appends to out all vertices in the subtree rooted at c (the
+// terminals v with e ∈ π(s,v) for the edge whose child endpoint is c).
+func (en *Engine) SubtreeOf(c int32, out []int32) []int32 {
+	out = append(out, c)
+	for head := len(out) - 1; head < len(out); head++ {
+		for _, ch := range en.T.Children(out[head]) {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// CoveredBy reports whether ⟨v,e⟩ is covered, returning a certifying T0
+// last edge when one exists: an edge (u,v) ∈ T0, different from e, with
+// dist(s,u,G\{e})+1 = dist(s,v,G\{e}). Pairs with v unreachable in G\{e}
+// are vacuously covered (nothing to protect, certificate NoEdge). distE
+// must be the distance array for failure e.
+func (en *Engine) CoveredBy(v int32, e graph.EdgeID, distE []int32) (graph.EdgeID, bool) {
+	target := distE[v]
+	if target == bfs.Unreachable {
+		return graph.NoEdge, true // vacuously protected: e disconnects v
+	}
+	for _, a := range en.G.Neighbors(int(v)) {
+		if a.ID == e || !en.TreeEdges.Contains(a.ID) {
+			continue
+		}
+		if distE[a.To] != bfs.Unreachable && distE[a.To]+1 == target {
+			return a.ID, true
+		}
+	}
+	return graph.NoEdge, false
+}
+
+// AllPairs enumerates every vertex-edge pair ⟨v,e⟩ with e ∈ π(s,v) and
+// returns the uncovered ones with their canonical replacement paths. The
+// returned slice is ordered by failing edge (outer) and terminal (inner),
+// which downstream phases re-sort as needed.
+func (en *Engine) AllPairs() []*Pair {
+	var out []*Pair
+	var subtree []int32
+	en.ForEachFailure(func(e graph.EdgeID, child int32, distE []int32) {
+		subtree = en.SubtreeOf(child, subtree[:0])
+		for _, v := range subtree {
+			// CoveredBy also reports vacuous pairs (v unreachable in
+			// G\{e}) as covered: there is nothing to protect.
+			if _, covered := en.CoveredBy(v, e, distE); covered {
+				continue
+			}
+			out = append(out, en.Pcons(v, e, child, distE[v]))
+		}
+	})
+	return out
+}
+
+// UncoveredCount returns the number of uncovered pairs without materialising
+// their paths (used by experiments).
+func (en *Engine) UncoveredCount() int {
+	count := 0
+	var subtree []int32
+	en.ForEachFailure(func(e graph.EdgeID, child int32, distE []int32) {
+		subtree = en.SubtreeOf(child, subtree[:0])
+		for _, v := range subtree {
+			if _, covered := en.CoveredBy(v, e, distE); !covered {
+				count++
+			}
+		}
+	})
+	return count
+}

@@ -1,0 +1,98 @@
+package replacement
+
+import (
+	"testing"
+
+	"ftbfs/internal/gen"
+	"ftbfs/internal/graph"
+)
+
+// On the Theorem 5.1 instances the canonical replacement paths are known in
+// closed form: for a costly edge e_j = (v_j, v_{j+1}) and terminal x ∈ X_i,
+// the unique replacement path diverges at v_j, runs down the escape path
+// P_j to z_j, and ends with the fan edge (z_j, x). Pcons must reproduce
+// exactly this.
+func TestPconsOnLowerBoundFamily(t *testing.T) {
+	lb := gen.LowerBoundParams(2, 4, 5)
+	g := lb.G
+	en := NewEngine(g, lb.S)
+	pairs := en.AllPairs()
+
+	fanPairs := map[[2]int32]*Pair{} // (x, costly edge) → pair
+	for _, p := range pairs {
+		fanPairs[[2]int32{p.V, int32(p.Edge)}] = p
+	}
+	for _, pe := range lb.PiEdges {
+		ed := g.EdgeByID(pe.ID)
+		vj := ed.U // shallower endpoint = v_j (edges canonicalised by depth below)
+		if en.T.Depth[ed.V] < en.T.Depth[ed.U] {
+			vj = ed.V
+		}
+		for _, x := range lb.X[pe.Copy] {
+			p, ok := fanPairs[[2]int32{x, int32(pe.ID)}]
+			if !ok {
+				// the one x that is z_j's BFS parent is covered by the tree
+				// edge (x, z_j) and produces no uncovered pair
+				if en.BT.Parent[pe.Z] == x {
+					continue
+				}
+				t.Fatalf("no uncovered pair for terminal x=%d, costly edge %v", x, ed)
+			}
+			if p.Div != vj {
+				t.Fatalf("divergence point %d, want v_j=%d", p.Div, vj)
+			}
+			last := p.LastEdge().Canonical()
+			want := graph.Edge{U: x, V: pe.Z}.Canonical()
+			if last != want {
+				t.Fatalf("last edge %v, want fan edge %v", last, want)
+			}
+			// detour = v_j ∘ P_j ∘ z_j ∘ x: length t_j + 1
+			tj := 6 + 2*(lb.D-pe.J)
+			if p.Detour.Len() != tj+1 {
+				t.Fatalf("detour length %d, want t_j+1=%d", p.Detour.Len(), tj+1)
+			}
+			// replacement distance 2d − j + 7
+			if int(p.Dist) != 2*lb.D-pe.J+7 {
+				t.Fatalf("replacement distance %d, want %d", p.Dist, 2*lb.D-pe.J+7)
+			}
+		}
+	}
+}
+
+// Every fan pair of the same costly edge shares the escape-path detour
+// except for the final hop — the interference structure Phase S1 exploits
+// ((∼)-interference between fan pairs of one edge).
+func TestFanPairsShareEscapePath(t *testing.T) {
+	lb := gen.LowerBoundParams(1, 3, 4)
+	en := NewEngine(lb.G, lb.S)
+	pairs := en.AllPairs()
+	inX := map[int32]bool{}
+	for _, xs := range lb.X {
+		for _, x := range xs {
+			inX[x] = true
+		}
+	}
+	byEdge := map[graph.EdgeID][]*Pair{}
+	for _, p := range pairs {
+		if inX[p.V] {
+			byEdge[p.Edge] = append(byEdge[p.Edge], p)
+		}
+	}
+	for _, pe := range lb.PiEdges {
+		fan := byEdge[pe.ID]
+		if len(fan) < 2 {
+			continue
+		}
+		base := fan[0].Detour
+		for _, p := range fan[1:] {
+			if len(p.Detour) != len(base) {
+				t.Fatalf("fan detour lengths differ: %d vs %d", len(p.Detour), len(base))
+			}
+			for i := 0; i < len(base)-1; i++ { // all but the terminal
+				if p.Detour[i] != base[i] {
+					t.Fatalf("fan detours diverge before the last hop at %d", i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package replacement
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/graph"
+)
+
+// ForEachFailureParallel is ForEachFailure with the per-failure BFS passes
+// spread across workers goroutines (≤ 0 means GOMAXPROCS). The failures are
+// independent — one BFS on G\{e} each — so this is an embarrassingly
+// parallel sweep; fn must be safe for concurrent invocation and must not
+// retain distE. The set of (e, child, distE) triples delivered is identical
+// to the sequential method's, in unspecified order.
+func (en *Engine) ForEachFailureParallel(workers int, fn func(e graph.EdgeID, child int32, distE []int32)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		en.ForEachFailure(fn)
+		return
+	}
+	// collect the failure list up front (children with parent edges)
+	var children []int32
+	for v := 0; v < en.G.N(); v++ {
+		if en.BT.ParentEdge[v] != graph.NoEdge {
+			children = append(children, int32(v))
+		}
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := bfs.NewScratch(en.G.N())
+			dist := make([]int32, en.G.N())
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(children) {
+					return
+				}
+				child := children[i]
+				id := en.BT.ParentEdge[child]
+				sc.DistancesAvoiding(en.G, en.S, bfs.Restriction{BannedEdge: id}, dist)
+				fn(id, child, dist)
+			}
+		}()
+	}
+	wg.Wait()
+}

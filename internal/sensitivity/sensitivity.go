@@ -1,0 +1,112 @@
+// Package sensitivity provides a single-source distance-sensitivity oracle
+// for edge failures: queries dist(s, v, G\{e}) for arbitrary (v, e). It is
+// the query-side companion of the FT-BFS structures (the paper's related
+// work connects FT-BFS to the single-source replacement-paths problem [9]).
+//
+// Design: only failures of T0 edges lying on π(s,v) can change dist(s,v),
+// so all other queries answer from the intact BFS tree in O(1). Tree-edge
+// failures trigger one BFS on G\{e} whose distance array is kept in a
+// bounded FIFO cache — a failed edge is typically probed for many targets,
+// so the amortised cost per query is O(1) after the first probe.
+package sensitivity
+
+import (
+	"fmt"
+
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/graph"
+	"ftbfs/internal/tree"
+)
+
+// Oracle answers dist(s, v, G\{e}) queries. Not safe for concurrent use.
+type Oracle struct {
+	g  *graph.Graph
+	s  int
+	bt *bfs.Tree
+	t  *tree.Tree
+
+	treeEdges *graph.EdgeSet
+	sc        *bfs.Scratch
+
+	capacity int
+	cache    map[graph.EdgeID][]int32
+	order    []graph.EdgeID // FIFO eviction order
+
+	hits, misses int
+}
+
+// New builds an oracle for (g, s) caching up to capacity failure BFS
+// results (capacity < 1 means 16).
+func New(g *graph.Graph, s int, capacity int) (*Oracle, error) {
+	if !g.Frozen() {
+		return nil, fmt.Errorf("sensitivity: graph must be frozen")
+	}
+	if s < 0 || s >= g.N() {
+		return nil, fmt.Errorf("sensitivity: source %d out of range", s)
+	}
+	if capacity < 1 {
+		capacity = 16
+	}
+	bt := bfs.From(g, s)
+	return &Oracle{
+		g:         g,
+		s:         s,
+		bt:        bt,
+		t:         tree.Build(g, bt),
+		treeEdges: bt.EdgeSet(g.M()),
+		sc:        bfs.NewScratch(g.N()),
+		capacity:  capacity,
+		cache:     make(map[graph.EdgeID][]int32),
+	}, nil
+}
+
+// Dist returns the intact distance dist(s, v).
+func (o *Oracle) Dist(v int) int32 { return o.bt.Dist[v] }
+
+// DistAvoiding returns dist(s, v, G \ {u,w}), or bfs.Unreachable.
+func (o *Oracle) DistAvoiding(v, u, w int) (int32, error) {
+	id := o.g.EdgeIDOf(u, w)
+	if id == graph.NoEdge {
+		return 0, fmt.Errorf("sensitivity: {%d,%d} is not an edge", u, w)
+	}
+	return o.DistAvoidingID(v, id), nil
+}
+
+// DistAvoidingID is DistAvoiding addressed by edge id.
+func (o *Oracle) DistAvoidingID(v int, id graph.EdgeID) int32 {
+	// failures off the canonical tree path cannot hurt v
+	if !o.treeEdges.Contains(id) {
+		return o.bt.Dist[v]
+	}
+	child := o.t.ChildEndpoint(o.g, id)
+	if !o.t.IsAncestor(child, int32(v)) {
+		return o.bt.Dist[v]
+	}
+	return o.failureDists(id)[v]
+}
+
+// failureDists returns (computing and caching if needed) the distance
+// array of G\{id}.
+func (o *Oracle) failureDists(id graph.EdgeID) []int32 {
+	if d, ok := o.cache[id]; ok {
+		o.hits++
+		return d
+	}
+	o.misses++
+	d := make([]int32, o.g.N())
+	o.sc.DistancesAvoiding(o.g, o.s, bfs.Restriction{BannedEdge: id}, d)
+	if len(o.order) >= o.capacity {
+		evict := o.order[0]
+		o.order = o.order[1:]
+		delete(o.cache, evict)
+	}
+	o.cache[id] = d
+	o.order = append(o.order, id)
+	return d
+}
+
+// CacheStats returns (hits, misses) of the failure-BFS cache.
+func (o *Oracle) CacheStats() (hits, misses int) { return o.hits, o.misses }
+
+// CachedFailures returns the number of failure arrays currently cached.
+func (o *Oracle) CachedFailures() int { return len(o.cache) }

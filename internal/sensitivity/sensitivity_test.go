@@ -1,0 +1,147 @@
+package sensitivity
+
+import (
+	"testing"
+
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/gen"
+	"ftbfs/internal/graph"
+	"ftbfs/internal/replacement"
+)
+
+func bruteAvoiding(g *graph.Graph, s int, e graph.EdgeID) []int32 {
+	b := graph.NewBuilder(g.N())
+	for id, ed := range g.Edges() {
+		if graph.EdgeID(id) != e {
+			b.Add(int(ed.U), int(ed.V))
+		}
+	}
+	return bfs.Distances(b.Graph(), s)
+}
+
+func TestOracleMatchesBruteForce(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.RandomConnected(40, 60, 1),
+		gen.Cycle(16),
+		gen.Grid(5, 6),
+		gen.LowerBoundParams(2, 3, 4).G,
+	} {
+		o, err := New(g, 0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < g.M(); id++ {
+			want := bruteAvoiding(g, 0, graph.EdgeID(id))
+			for v := 0; v < g.N(); v += 3 {
+				got := o.DistAvoidingID(v, graph.EdgeID(id))
+				// Oracle may answer from the intact tree when the failure
+				// cannot hurt v — that answer must equal the true distance.
+				if got != want[v] {
+					t.Fatalf("edge %v, v=%d: oracle %d, brute %d", g.EdgeByID(graph.EdgeID(id)), v, got, want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestOracleErrors(t *testing.T) {
+	if _, err := New(graph.New(3), 0, 4); err == nil {
+		t.Fatal("unfrozen accepted")
+	}
+	g := gen.Cycle(5)
+	if _, err := New(g, 9, 4); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	o, err := New(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.DistAvoiding(1, 0, 3); err == nil {
+		t.Fatal("non-edge accepted")
+	}
+	if d, err := o.DistAvoiding(2, 0, 1); err != nil || d != 3 {
+		t.Fatalf("DistAvoiding(2,{0,1}) = %d, %v; want 3", d, err)
+	}
+}
+
+func TestCacheBehaviour(t *testing.T) {
+	g := gen.RandomConnected(60, 90, 5)
+	o, err := New(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// find tree edges on some deep path to force cache activity
+	var treeIDs []graph.EdgeID
+	for id := 0; id < g.M() && len(treeIDs) < 8; id++ {
+		eid := graph.EdgeID(id)
+		if o.treeEdges.Contains(eid) {
+			treeIDs = append(treeIDs, eid)
+		}
+	}
+	for _, id := range treeIDs {
+		child := o.t.ChildEndpoint(g, id)
+		o.DistAvoidingID(int(child), id) // each forces a BFS (miss)
+	}
+	_, misses := o.CacheStats()
+	if misses != len(treeIDs) {
+		t.Fatalf("misses=%d want %d", misses, len(treeIDs))
+	}
+	if o.CachedFailures() > 4 {
+		t.Fatalf("cache grew to %d beyond capacity 4", o.CachedFailures())
+	}
+	// re-query the most recent edge: must hit
+	last := treeIDs[len(treeIDs)-1]
+	o.DistAvoidingID(int(o.t.ChildEndpoint(g, last)), last)
+	hits, _ := o.CacheStats()
+	if hits == 0 {
+		t.Fatal("expected a cache hit")
+	}
+}
+
+func TestOffPathQueriesAreFree(t *testing.T) {
+	g := gen.Star(10) // tree: every edge is a tree edge
+	o, err := New(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// failing edge (0,1) cannot hurt v=2 (not a descendant)
+	if d := o.DistAvoidingID(2, g.EdgeIDOf(0, 1)); d != 1 {
+		t.Fatalf("dist=%d want 1", d)
+	}
+	if _, misses := o.CacheStats(); misses != 0 {
+		t.Fatal("off-path query triggered a BFS")
+	}
+	// intact distances
+	if o.Dist(0) != 0 || o.Dist(5) != 1 {
+		t.Fatal("intact distances wrong")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	g := gen.Cycle(6)
+	o, err := New(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.capacity != 16 {
+		t.Fatalf("default capacity %d", o.capacity)
+	}
+}
+
+// Cross-validation: the oracle agrees with the replacement engine's
+// per-failure distance streams on every (failure, vertex) pair.
+func TestOracleMatchesReplacementEngine(t *testing.T) {
+	g := gen.RandomConnected(60, 100, 17)
+	o, err := New(g, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := replacement.NewEngine(g, 0)
+	en.ForEachFailure(func(e graph.EdgeID, child int32, distE []int32) {
+		for v := 0; v < g.N(); v += 2 {
+			if got := o.DistAvoidingID(v, e); got != distE[v] {
+				t.Fatalf("edge %v v=%d: oracle %d engine %d", g.EdgeByID(e), v, got, distE[v])
+			}
+		}
+	})
+}

@@ -1,0 +1,99 @@
+// Package simulate runs operational failure campaigns against built
+// structures: fail every (or a sampled set of) backup edge(s), probe
+// distances through the surviving structure, and aggregate contract
+// violations and failure-impact statistics. It is the analytics layer a
+// network operator would run before deploying a structure.
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/core"
+	"ftbfs/internal/graph"
+)
+
+// Report aggregates a campaign.
+type Report struct {
+	Failures       int // distinct single-edge failures simulated
+	Probes         int // (failure, target) distance probes
+	Violations     int // probes where H's distance exceeded G's
+	Disconnections int // probes where the failure cut the target off in G itself
+
+	// Impact histogram: how much a failure lengthened the true distance
+	// (dist(s,v,G\{e}) − dist(s,v,G)), over probes with finite distances.
+	// Index capped at len(Impact)-1.
+	Impact    []int
+	MaxImpact int
+}
+
+// EdgeCampaign fails every non-reinforced edge of the structure and probes
+// probesPerFailure random targets per failure (0 = every vertex). The seed
+// drives target sampling only; the failure sweep is exhaustive.
+func EdgeCampaign(st *core.Structure, probesPerFailure int, seed int64) (*Report, error) {
+	if st == nil || st.G == nil {
+		return nil, fmt.Errorf("simulate: nil structure")
+	}
+	g := st.G
+	rng := rand.New(rand.NewSource(seed))
+	rep := &Report{Impact: make([]int, 8)}
+	scG := bfs.NewScratch(g.N())
+	scH := bfs.NewScratch(g.N())
+	distG := make([]int32, g.N())
+	distH := make([]int32, g.N())
+	dist0 := bfs.Distances(g, st.S)
+
+	fail := func(e graph.EdgeID) {
+		rep.Failures++
+		scG.DistancesAvoiding(g, st.S, bfs.Restriction{BannedEdge: e}, distG)
+		scH.DistancesAvoiding(g, st.S, bfs.Restriction{BannedEdge: e, AllowedEdges: st.Edges}, distH)
+		probe := func(v int32) {
+			rep.Probes++
+			if distG[v] == bfs.Unreachable {
+				rep.Disconnections++
+				return
+			}
+			if distH[v] == bfs.Unreachable || distH[v] > distG[v] {
+				rep.Violations++
+				return
+			}
+			if dist0[v] != bfs.Unreachable {
+				impact := int(distG[v] - dist0[v])
+				if impact > rep.MaxImpact {
+					rep.MaxImpact = impact
+				}
+				idx := impact
+				if idx >= len(rep.Impact) {
+					idx = len(rep.Impact) - 1
+				}
+				rep.Impact[idx]++
+			}
+		}
+		if probesPerFailure <= 0 {
+			for v := int32(0); v < int32(g.N()); v++ {
+				probe(v)
+			}
+		} else {
+			for i := 0; i < probesPerFailure; i++ {
+				probe(int32(rng.Intn(g.N())))
+			}
+		}
+	}
+
+	st.Edges.ForEach(func(e graph.EdgeID) {
+		if !st.Reinforced.Contains(e) {
+			fail(e)
+		}
+	})
+	return rep, nil
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("campaign{failures=%d probes=%d violations=%d disconnections=%d maxImpact=%d}",
+		r.Failures, r.Probes, r.Violations, r.Disconnections, r.MaxImpact)
+}
+
+// Clean reports whether the campaign found no contract violations.
+func (r *Report) Clean() bool { return r.Violations == 0 }

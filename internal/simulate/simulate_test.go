@@ -1,0 +1,113 @@
+package simulate
+
+import (
+	"testing"
+
+	"ftbfs/internal/core"
+	"ftbfs/internal/gen"
+	"ftbfs/internal/graph"
+)
+
+func TestEdgeCampaignCleanOnValidStructure(t *testing.T) {
+	for _, eps := range []float64{0, 0.3, 1} {
+		g := gen.RandomConnected(60, 90, 7)
+		st, err := core.Build(g, 0, eps, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := EdgeCampaign(st, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("ε=%g: %v", eps, rep)
+		}
+		if rep.Failures != st.BackupCount() {
+			t.Fatalf("failures %d != backup %d", rep.Failures, st.BackupCount())
+		}
+		if rep.Probes != rep.Failures*g.N() {
+			t.Fatalf("probes %d != failures×n", rep.Probes)
+		}
+	}
+}
+
+func TestEdgeCampaignSampledProbes(t *testing.T) {
+	g := gen.Grid(6, 6)
+	st, err := core.Build(g, 0, 0.25, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EdgeCampaign(st, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Probes != rep.Failures*5 {
+		t.Fatalf("probes %d != failures×5", rep.Probes)
+	}
+	if !rep.Clean() {
+		t.Fatalf("violations on valid structure: %v", rep)
+	}
+	// determinism for fixed seed
+	rep2, _ := EdgeCampaign(st, 5, 42)
+	if rep.Probes != rep2.Probes || rep.Violations != rep2.Violations || rep.MaxImpact != rep2.MaxImpact {
+		t.Fatal("campaign not deterministic")
+	}
+}
+
+func TestEdgeCampaignDetectsBrokenStructure(t *testing.T) {
+	g := gen.Cycle(16)
+	st, err := core.Build(g, 0, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := &core.Structure{
+		G: g, S: 0, Eps: 1,
+		Edges:      st.TreeEdges.Clone(), // tree only: cycle failures strand the subtree
+		Reinforced: graph.NewEdgeSet(g.M()),
+		TreeEdges:  st.TreeEdges.Clone(),
+	}
+	rep, err := EdgeCampaign(broken, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("campaign missed the violations")
+	}
+}
+
+func TestEdgeCampaignImpactHistogram(t *testing.T) {
+	// On a cycle, failing tree edge (0,1) lengthens v=1's distance from 1
+	// to n-1: large impacts land in the capped last bucket.
+	n := 20
+	g := gen.Cycle(n)
+	st, err := core.Build(g, 0, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EdgeCampaign(st, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxImpact < n/2-2 {
+		t.Fatalf("max impact %d suspiciously small", rep.MaxImpact)
+	}
+	total := 0
+	for _, c := range rep.Impact {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("empty impact histogram")
+	}
+	if rep.Impact[len(rep.Impact)-1] == 0 {
+		t.Fatal("expected capped bucket hits on a cycle")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestEdgeCampaignNilStructure(t *testing.T) {
+	if _, err := EdgeCampaign(nil, 0, 1); err == nil {
+		t.Fatal("nil accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/graph"
+)
+
+// Property test: LCA laws on random trees — identity, symmetry,
+// ancestor-absorption, and associativity of the meet operation.
+func TestLCAMeetLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + int(uint(seed)%60)
+		b := graph.NewBuilder(n)
+		for i := 1; i < n; i++ {
+			b.Add(i, rng.Intn(i))
+		}
+		g := b.Graph()
+		tr := Build(g, bfs.From(g, 0))
+		for k := 0; k < 50; k++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			w := int32(rng.Intn(n))
+			if tr.LCA(u, u) != u {
+				return false
+			}
+			if tr.LCA(u, v) != tr.LCA(v, u) {
+				return false
+			}
+			l := tr.LCA(u, v)
+			if !tr.IsAncestor(l, u) || !tr.IsAncestor(l, v) {
+				return false
+			}
+			// absorption: lca(anc, u) = anc for any ancestor of u
+			if tr.LCA(l, u) != l {
+				return false
+			}
+			// associativity of meet in a tree semilattice
+			if tr.LCA(tr.LCA(u, v), w) != tr.LCA(u, tr.LCA(v, w)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the deepest common ancestor is the LCA — no deeper common
+// ancestor exists.
+func TestLCAIsDeepestCommonAncestor(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	b := graph.NewBuilder(200)
+	for i := 1; i < 200; i++ {
+		b.Add(i, rng.Intn(i))
+	}
+	g := b.Graph()
+	tr := Build(g, bfs.From(g, 0))
+	for k := 0; k < 500; k++ {
+		u := int32(rng.Intn(200))
+		v := int32(rng.Intn(200))
+		l := tr.LCA(u, v)
+		for x := int32(0); x < 200; x++ {
+			if tr.IsAncestor(x, u) && tr.IsAncestor(x, v) && tr.Depth[x] > tr.Depth[l] {
+				t.Fatalf("deeper common ancestor %d of (%d,%d) than LCA %d", x, u, v, l)
+			}
+		}
+	}
+}

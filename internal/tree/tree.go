@@ -1,0 +1,254 @@
+// Package tree provides rooted-tree machinery over the canonical BFS tree
+// T0: ancestor tests, least common ancestors, and the recursive path
+// decomposition of Fact 3.3 (Sleator–Tarjan heavy paths in the variant of
+// Baswana–Khanna) that Phase S2 of the construction is built on.
+package tree
+
+import (
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/graph"
+)
+
+// Tree is a rooted tree with precomputed ancestor structure and the Fact 3.3
+// decomposition. All arrays are indexed by vertex; vertices unreachable from
+// the root have Depth -1 and PathOf -1.
+type Tree struct {
+	Root       int32
+	Parent     []int32
+	ParentEdge []graph.EdgeID
+	Depth      []int32
+	Size       []int32 // subtree sizes (0 for unreachable)
+
+	tin, tout []int32 // Euler intervals for O(1) ancestor tests
+
+	// Fact 3.3 decomposition TD. Every reachable vertex lies on exactly one
+	// path; Paths[i] lists its vertices from shallowest (head) to deepest.
+	Paths     [][]int32
+	PathOf    []int32 // index into Paths
+	PosOf     []int32 // position of v within Paths[PathOf[v]]
+	PathLevel []int32 // recursion level of each path (root path = 0)
+	MaxLevel  int32
+
+	// GlueEdges is E⁻(TD): the tree edges e(ψ,i) connecting a hanging
+	// subtree's head to its parent path. PathEdges (E⁺(TD)) is the
+	// complement within the tree edges.
+	GlueEdges []graph.EdgeID
+
+	children [][]int32
+	order    []int32 // reachable vertices, top-down
+}
+
+// Build constructs the rooted-tree structure from a canonical BFS tree.
+func Build(g *graph.Graph, bt *bfs.Tree) *Tree {
+	n := g.N()
+	t := &Tree{
+		Root:       bt.Source,
+		Parent:     bt.Parent,
+		ParentEdge: bt.ParentEdge,
+		Depth:      bt.Dist,
+		Size:       make([]int32, n),
+		tin:        make([]int32, n),
+		tout:       make([]int32, n),
+		PathOf:     make([]int32, n),
+		PosOf:      make([]int32, n),
+		children:   make([][]int32, n),
+		order:      bt.Order,
+	}
+	for i := 0; i < n; i++ {
+		t.tin[i] = -1
+		t.PathOf[i] = -1
+	}
+	for _, v := range t.order {
+		if p := t.Parent[v]; p >= 0 {
+			t.children[p] = append(t.children[p], v)
+		}
+	}
+	// Subtree sizes bottom-up over the BFS order.
+	for i := len(t.order) - 1; i >= 0; i-- {
+		v := t.order[i]
+		t.Size[v] = 1
+		for _, c := range t.children[v] {
+			t.Size[v] += t.Size[c]
+		}
+	}
+	t.eulerTour()
+	t.decompose(g)
+	return t
+}
+
+// eulerTour assigns tin/tout via an iterative DFS so IsAncestor is O(1).
+func (t *Tree) eulerTour() {
+	if len(t.order) == 0 {
+		return
+	}
+	type frame struct {
+		v    int32
+		next int
+	}
+	stack := make([]frame, 0, 64)
+	timer := int32(0)
+	t.tin[t.Root] = timer
+	timer++
+	stack = append(stack, frame{v: t.Root})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(t.children[f.v]) {
+			c := t.children[f.v][f.next]
+			f.next++
+			t.tin[c] = timer
+			timer++
+			stack = append(stack, frame{v: c})
+		} else {
+			t.tout[f.v] = timer
+			timer++
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// decompose builds the Fact 3.3 decomposition: the root path descends to the
+// child with the largest subtree until a leaf; every subtree hanging off it
+// has at most half the vertices and is decomposed recursively (implemented
+// as a worklist). Glue edges connect each hanging head to its parent path.
+func (t *Tree) decompose(g *graph.Graph) {
+	if len(t.order) == 0 {
+		return
+	}
+	type job struct {
+		head  int32
+		level int32
+	}
+	work := []job{{head: t.Root, level: 0}}
+	for len(work) > 0 {
+		j := work[len(work)-1]
+		work = work[:len(work)-1]
+		if j.level > t.MaxLevel {
+			t.MaxLevel = j.level
+		}
+		idx := int32(len(t.Paths))
+		var path []int32
+		v := j.head
+		for {
+			t.PathOf[v] = idx
+			t.PosOf[v] = int32(len(path))
+			path = append(path, v)
+			// heaviest child continues the path
+			var heavy int32 = -1
+			for _, c := range t.children[v] {
+				if heavy == -1 || t.Size[c] > t.Size[heavy] {
+					heavy = c
+				}
+			}
+			if heavy == -1 {
+				break
+			}
+			for _, c := range t.children[v] {
+				if c != heavy {
+					t.GlueEdges = append(t.GlueEdges, t.ParentEdge[c])
+					work = append(work, job{head: c, level: j.level + 1})
+				}
+			}
+			v = heavy
+		}
+		t.Paths = append(t.Paths, path)
+		t.PathLevel = append(t.PathLevel, j.level)
+	}
+}
+
+// IsAncestor reports whether u is an ancestor of v (or u == v).
+func (t *Tree) IsAncestor(u, v int32) bool {
+	if t.tin[u] < 0 || t.tin[v] < 0 {
+		return false
+	}
+	return t.tin[u] <= t.tin[v] && t.tout[v] <= t.tout[u]
+}
+
+// LCA returns the least common ancestor of u and v via path-decomposition
+// ascent, or -1 if either vertex is unreachable.
+func (t *Tree) LCA(u, v int32) int32 {
+	if t.Depth[u] < 0 || t.Depth[v] < 0 {
+		return -1
+	}
+	for t.PathOf[u] != t.PathOf[v] {
+		hu := t.Paths[t.PathOf[u]][0]
+		hv := t.Paths[t.PathOf[v]][0]
+		// ascend from the path whose head is deeper
+		if t.Depth[hu] >= t.Depth[hv] {
+			u = t.Parent[hu]
+		} else {
+			v = t.Parent[hv]
+		}
+	}
+	if t.Depth[u] <= t.Depth[v] {
+		return u
+	}
+	return v
+}
+
+// ChildEndpoint returns the deeper endpoint of tree edge id (the paper
+// directs tree edges away from the root).
+func (t *Tree) ChildEndpoint(g *graph.Graph, id graph.EdgeID) int32 {
+	e := g.EdgeByID(id)
+	if t.Depth[e.U] > t.Depth[e.V] {
+		return e.U
+	}
+	return e.V
+}
+
+// Related implements the paper's e ∼ e' relation on tree edges, addressed by
+// their child endpoints a and b: e ∼ e' iff one child endpoint is an
+// ancestor-or-self of the other, i.e. both edges lie on a common root-leaf
+// path π(s,·).
+func (t *Tree) Related(a, b int32) bool {
+	return t.IsAncestor(a, b) || t.IsAncestor(b, a)
+}
+
+// OnRootPath reports whether the tree edge with child endpoint c lies on
+// π(root, v).
+func (t *Tree) OnRootPath(c, v int32) bool {
+	return t.IsAncestor(c, v)
+}
+
+// Segment is a maximal intersection of π(root,v) with one decomposition
+// path: vertices Paths[Path][0..BottomPos] are all ancestors of v.
+type Segment struct {
+	Path      int32 // index into Paths
+	BottomPos int32 // deepest position of the intersection within the path
+}
+
+// SegmentsTo returns the decomposition-path segments of π(root,v) ordered
+// from v upward to the root. Fact 4.1(b) bounds their number by O(log n).
+func (t *Tree) SegmentsTo(v int32) []Segment {
+	if t.Depth[v] < 0 {
+		return nil
+	}
+	var segs []Segment
+	for v >= 0 {
+		p := t.PathOf[v]
+		segs = append(segs, Segment{Path: p, BottomPos: t.PosOf[v]})
+		v = t.Parent[t.Paths[p][0]]
+	}
+	return segs
+}
+
+// GlueEdgesOn returns the glue edges (E⁻(TD)) lying on π(root,v), i.e. the
+// parent edges of every segment head below the root. Fact 4.1(a) bounds
+// their number by O(log n).
+func (t *Tree) GlueEdgesOn(v int32) []graph.EdgeID {
+	var out []graph.EdgeID
+	for v >= 0 {
+		head := t.Paths[t.PathOf[v]][0]
+		if t.Parent[head] < 0 {
+			break
+		}
+		out = append(out, t.ParentEdge[head])
+		v = t.Parent[head]
+	}
+	return out
+}
+
+// Children returns v's children (owned by the tree; do not modify).
+func (t *Tree) Children(v int32) []int32 { return t.children[v] }
+
+// Order returns the reachable vertices in top-down (BFS) order.
+func (t *Tree) Order() []int32 { return t.order }

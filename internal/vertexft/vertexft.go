@@ -1,0 +1,148 @@
+// Package vertexft extends the repository to single VERTEX failures: a
+// vertex fault-tolerant BFS structure H ⊆ G satisfies
+//
+//	dist(s, v, H \ {w}) ≤ dist(s, v, G \ {w})
+//
+// for every vertex v and every failed vertex w ≠ s. The paper treats edge
+// failures; vertex faults are the natural companion problem it cites
+// (Parter, DISC'14 [16]; Parter–Peleg ESA'13 handles both). The
+// construction mirrors the edge baseline: the BFS tree plus the last edge
+// of a replacement path for every pair ⟨v, w⟩ with w on π(s,v), justified
+// by the vertex analogue of Observation 2.2.
+package vertexft
+
+import (
+	"fmt"
+
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/graph"
+	"ftbfs/internal/tree"
+)
+
+// Structure is a vertex fault-tolerant BFS structure.
+type Structure struct {
+	G     *graph.Graph
+	S     int
+	Edges *graph.EdgeSet
+
+	// Pairs counts the ⟨v,w⟩ pairs that required a new last edge.
+	Pairs int
+}
+
+// Build constructs the vertex FT-BFS structure for (g, s). For every
+// non-source vertex w it runs one BFS on G\{w} and, for every descendant v
+// of w in T0 that stays reachable, ensures some edge (u,v) with
+// dist(s,u,G\{w})+1 = dist(s,v,G\{w}) is present (the canonical min-index
+// u is chosen when T0 provides none).
+func Build(g *graph.Graph, s int) (*Structure, error) {
+	if !g.Frozen() {
+		return nil, fmt.Errorf("vertexft: graph must be frozen")
+	}
+	if s < 0 || s >= g.N() {
+		return nil, fmt.Errorf("vertexft: source %d out of range", s)
+	}
+	bt := bfs.From(g, s)
+	t := tree.Build(g, bt)
+	h := bt.EdgeSet(g.M())
+	st := &Structure{G: g, S: s, Edges: h}
+
+	sc := bfs.NewScratch(g.N())
+	dist := make([]int32, g.N())
+	banned := graph.NewVertexSet(g.N())
+	treeEdges := bt.EdgeSet(g.M())
+	var stack []int32
+	for w := 0; w < g.N(); w++ {
+		if w == s || t.Depth[w] < 0 || len(t.Children(int32(w))) == 0 {
+			continue // failing a leaf of T0 affects nobody's tree path
+		}
+		banned.Clear()
+		banned.Add(int32(w))
+		sc.DistancesAvoiding(g, s, bfs.Restriction{BannedEdge: graph.NoEdge, BannedVertices: banned}, dist)
+		// walk the strict descendants of w
+		stack = stack[:0]
+		stack = append(stack, t.Children(int32(w))...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack = append(stack, t.Children(v)...)
+			target := dist[v]
+			if target == bfs.Unreachable {
+				continue // w disconnects v: vacuous
+			}
+			st.Pairs++
+			// already last-protected by a tree edge?
+			cand := int32(-1)
+			protected := false
+			for _, a := range g.Neighbors(int(v)) {
+				if a.To == int32(w) || dist[a.To] == bfs.Unreachable || dist[a.To]+1 != target {
+					continue
+				}
+				if treeEdges.Contains(a.ID) {
+					protected = true
+					break
+				}
+				if cand == -1 {
+					cand = a.To // adjacency sorted ⇒ first is min-index
+				}
+			}
+			if protected {
+				continue
+			}
+			if cand == -1 {
+				return nil, fmt.Errorf("vertexft: no replacement last edge for ⟨v=%d, w=%d⟩", v, w)
+			}
+			h.Add(g.EdgeIDOf(int(cand), int(v)))
+		}
+	}
+	return st, nil
+}
+
+// Size returns |E(H)|.
+func (st *Structure) Size() int { return st.Edges.Len() }
+
+// Violation is a breach of the vertex FT-BFS contract.
+type Violation struct {
+	Failed int32 // failed vertex w
+	Vertex int32
+	InH    int32
+	InG    int32
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("vertex %d failed, vertex %d: dist in H\\w = %d > dist in G\\w = %d",
+		v.Failed, v.Vertex, v.InH, v.InG)
+}
+
+// Verify exhaustively checks the contract over all single vertex failures;
+// limit caps the number of reported violations (0 = unlimited).
+func Verify(st *Structure, limit int) []Violation {
+	g := st.G
+	scG := bfs.NewScratch(g.N())
+	scH := bfs.NewScratch(g.N())
+	distG := make([]int32, g.N())
+	distH := make([]int32, g.N())
+	banned := graph.NewVertexSet(g.N())
+	var out []Violation
+	for w := 0; w < g.N(); w++ {
+		if w == st.S {
+			continue
+		}
+		banned.Clear()
+		banned.Add(int32(w))
+		scG.DistancesAvoiding(g, st.S, bfs.Restriction{BannedEdge: graph.NoEdge, BannedVertices: banned}, distG)
+		scH.DistancesAvoiding(g, st.S, bfs.Restriction{BannedEdge: graph.NoEdge, BannedVertices: banned, AllowedEdges: st.Edges}, distH)
+		for v := int32(0); v < int32(g.N()); v++ {
+			if v == int32(w) || distG[v] == bfs.Unreachable {
+				continue
+			}
+			if distH[v] == bfs.Unreachable || distH[v] > distG[v] {
+				out = append(out, Violation{Failed: int32(w), Vertex: v, InH: distH[v], InG: distG[v]})
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package ftbfs
+
+import (
+	"fmt"
+
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/graph"
+)
+
+// Oracle answers distance queries inside a structure under simulated
+// single-edge failures — the operational view of the FT-BFS guarantee.
+// An Oracle is not safe for concurrent use; create one per goroutine.
+type Oracle struct {
+	st      *Structure
+	scratch *bfs.Scratch
+	dist    []int32
+}
+
+// Oracle returns a failure-simulation oracle for the structure.
+func (s *Structure) Oracle() *Oracle {
+	return &Oracle{
+		st:      s,
+		scratch: bfs.NewScratch(s.st.G.N()),
+		dist:    make([]int32, s.st.G.N()),
+	}
+}
+
+// Unreachable is returned by distance queries for unreachable vertices.
+const Unreachable = int(bfs.Unreachable)
+
+// Dist returns dist(source, v) inside the intact structure H.
+func (o *Oracle) Dist(v int) int {
+	o.scratch.DistancesAvoiding(o.st.st.G, o.st.st.S,
+		bfs.Restriction{BannedEdge: graph.NoEdge, AllowedEdges: o.st.st.Edges}, o.dist)
+	return int(o.dist[v])
+}
+
+// DistAvoiding returns dist(source, v) in H \ {failedU, failedV}. Failing a
+// reinforced edge is rejected — reinforced edges cannot fail by contract.
+func (o *Oracle) DistAvoiding(v, failedU, failedV int) (int, error) {
+	id := o.st.st.G.EdgeIDOf(failedU, failedV)
+	if id == graph.NoEdge {
+		return 0, fmt.Errorf("ftbfs: {%d,%d} is not an edge of the base graph", failedU, failedV)
+	}
+	if o.st.st.Reinforced.Contains(id) {
+		return 0, fmt.Errorf("ftbfs: {%d,%d} is reinforced and cannot fail", failedU, failedV)
+	}
+	o.scratch.DistancesAvoiding(o.st.st.G, o.st.st.S,
+		bfs.Restriction{BannedEdge: id, AllowedEdges: o.st.st.Edges}, o.dist)
+	return int(o.dist[v]), nil
+}
+
+// BaselineDistAvoiding returns dist(source, v) in the full graph G minus
+// the failed edge — the yardstick the FT-BFS contract compares against.
+func (o *Oracle) BaselineDistAvoiding(v, failedU, failedV int) (int, error) {
+	id := o.st.st.G.EdgeIDOf(failedU, failedV)
+	if id == graph.NoEdge {
+		return 0, fmt.Errorf("ftbfs: {%d,%d} is not an edge of the base graph", failedU, failedV)
+	}
+	o.scratch.DistancesAvoiding(o.st.st.G, o.st.st.S,
+		bfs.Restriction{BannedEdge: id}, o.dist)
+	return int(o.dist[v]), nil
+}

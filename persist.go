@@ -1,0 +1,25 @@
+package ftbfs
+
+import (
+	"io"
+
+	"ftbfs/internal/core"
+)
+
+// Save serialises the structure (without its base graph) in a text format;
+// pair it with Graph.Write to persist a full deployment plan.
+func (s *Structure) Save(w io.Writer) error {
+	return core.EncodeStructure(w, s.st)
+}
+
+// LoadStructure parses a structure previously written with Save, re-binding
+// it against its base graph. The graph is frozen by this call; the decoded
+// structure is validated structurally (use Verify for the full contract).
+func LoadStructure(g *Graph, r io.Reader) (*Structure, error) {
+	g.g.Freeze()
+	st, err := core.DecodeStructure(r, g.g)
+	if err != nil {
+		return nil, err
+	}
+	return &Structure{st: st}, nil
+}

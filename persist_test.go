@@ -1,0 +1,37 @@
+package ftbfs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftbfs"
+)
+
+func TestSaveLoadStructure(t *testing.T) {
+	g := randomGraph(40, 60, 19)
+	st, err := ftbfs.Build(g, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ftbfs.LoadStructure(g, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != st.Size() || back.ReinforcedCount() != st.ReinforcedCount() {
+		t.Fatal("round trip changed counts")
+	}
+	if back.Source() != 2 || back.Epsilon() != 0.3 {
+		t.Fatal("metadata lost")
+	}
+	if err := back.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ftbfs.LoadStructure(g, strings.NewReader("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
