@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ftbfs"
+	"ftbfs/internal/batch"
 	"ftbfs/internal/bfs"
 	"ftbfs/internal/core"
 	"ftbfs/internal/experiments"
@@ -132,6 +133,40 @@ func BenchmarkBuildBaseline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBuildBatch compares one batched build of 8 (source, ε) requests
+// on the Epsilon path against the equivalent loop of sequential core.Build
+// calls. The batch shares, per source, the canonical trees, the Phase S0
+// replacement-path pass and the reinforcement sweep, and recycles engine
+// scratch and the Phase S2 workspace across all requests — so it wins on
+// wall-clock and allocations even single-threaded.
+func BenchmarkBuildBatch(b *testing.B) {
+	g := gen.RandomConnected(600, 1800, 13)
+	var reqs []batch.Request
+	for _, s := range []int{0, 151} {
+		for _, eps := range []float64{0.15, 0.2, 0.25, 0.3} {
+			reqs = append(reqs, batch.Request{Source: s, Eps: eps})
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range reqs {
+				if _, err := core.Build(g, r.Source, r.Eps, r.Opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := batch.Build(g, reqs, batch.Options{Workers: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkOracleFailureQuery(b *testing.B) {

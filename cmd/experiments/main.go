@@ -8,42 +8,58 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ftbfs/internal/experiments"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "run smaller instances")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses args, executes the selected
+// experiments writing tables to stdout, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run smaller instances")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-18s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
-	args := flag.Args()
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] all | <id>... (see -list)")
-		os.Exit(2)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fmt.Fprintln(stderr, "usage: experiments [-quick] all | <id>... (see -list)")
+		return 2
 	}
 	var ids []string
-	if len(args) == 1 && args[0] == "all" {
+	if len(rest) == 1 && rest[0] == "all" {
 		for _, e := range experiments.All() {
 			ids = append(ids, e.ID)
 		}
 	} else {
-		ids = args
+		ids = rest
 	}
 	cfg := experiments.Config{Quick: *quick}
 	for _, id := range ids {
-		if err := experiments.Run(id, cfg, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+		if err := experiments.Run(id, cfg, stdout); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke tests of the experiments binary's main path: each invocation must
+// return the documented exit status and produce parseable output.
+
+func TestRunList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, id := range []string{"tradeoff-upper", "verify-exact", "vertex-ft"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("-list output missing %q:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunQuickExperiment(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-quick", "clique-example"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.HasPrefix(text, "# E6") {
+		t.Fatalf("missing experiment header:\n%s", text)
+	}
+	// the table must have a header row and at least one data row
+	if !strings.Contains(text, "strategy") || !strings.Contains(text, "ε=0.3") {
+		t.Fatalf("table rows missing:\n%s", text)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage") {
+		t.Fatalf("no usage message: %s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"no-such-experiment"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown-id exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown id") {
+		t.Fatalf("unknown-id error not reported: %s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-bogus-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad-flag exit %d, want 2", code)
+	}
+}

@@ -31,5 +31,7 @@
 //
 // Use Structure.Oracle for distance queries under simulated failures, and
 // SweepCost / PredictOptimalEpsilon to pick ε from the per-edge prices of
-// backup and reinforced links.
+// backup and reinforced links. BuildBatch builds many (source, ε, algorithm)
+// requests at once, sharing the BFS tree, the replacement-path preprocessing
+// and the reinforcement sweep per source.
 package ftbfs

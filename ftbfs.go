@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"ftbfs/internal/batch"
 	"ftbfs/internal/core"
 	"ftbfs/internal/graph"
 )
@@ -227,12 +228,14 @@ type CostPoint = core.CostPoint
 // SweepCost builds a structure per ε in the grid, prices each with the
 // given per-edge costs, and returns the sweep plus the index of the
 // cheapest point. A nil grid uses the default {0, ⅛, ¼, ⅜, ½, ¾, 1}.
+// The sweep runs through the batch orchestrator, so the BFS tree and the
+// replacement-path preprocessing are computed once and shared by every ε.
 func SweepCost(g *Graph, source int, grid []float64, backupPrice, reinforcePrice float64) ([]CostPoint, int, error) {
 	if grid == nil {
 		grid = core.DefaultEpsGrid()
 	}
 	g.g.Freeze()
-	return core.CostSweep(g.g, source, grid, backupPrice, reinforcePrice, core.Options{})
+	return batch.CostSweep(g.g, source, grid, backupPrice, reinforcePrice, batch.Options{})
 }
 
 // PredictOptimalEpsilon returns the paper's closed-form guidance for the

@@ -1,0 +1,3 @@
+module ftbfs
+
+go 1.24

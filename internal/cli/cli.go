@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ftbfs/internal/batch"
 	"ftbfs/internal/core"
 	"ftbfs/internal/expstats"
 	"ftbfs/internal/gen"
@@ -263,7 +264,7 @@ func cmdSweep(args []string, stdout io.Writer) error {
 		}
 		grid = append(grid, x)
 	}
-	points, best, err := core.CostSweep(g, *source, grid, *bPrice, *rPrice, core.Options{})
+	points, best, err := batch.CostSweep(g, *source, grid, *bPrice, *rPrice, batch.Options{})
 	if err != nil {
 		return err
 	}

@@ -1,16 +1,17 @@
 package core
 
 import (
+	"ftbfs/internal/graph"
 	"ftbfs/internal/replacement"
 )
 
-// buildBaseline is the classical FT-BFS construction of [14] (Parter–Peleg,
+// baselineEdges is the classical FT-BFS construction of [14] (Parter–Peleg,
 // ESA'13), which the paper uses both as the ε ≥ ½ branch of Theorem 3.1 and
 // as the comparison point of the tradeoff: H = T0 plus the last edge of
 // every new-ending replacement path. Its analysis bounds |E(H)| by
 // O(n^{3/2}); every edge ends up protected, so no reinforcement is needed
 // (r = 0 up to degenerate tie-breaking residue, asserted empty in tests).
-func buildBaseline(en *replacement.Engine, eps float64) *Structure {
+func baselineEdges(en *replacement.Engine) (*graph.EdgeSet, BuildStats) {
 	h := en.TreeEdges.Clone()
 	added := 0
 	for _, p := range en.AllPairs() {
@@ -18,8 +19,5 @@ func buildBaseline(en *replacement.Engine, eps float64) *Structure {
 			added++
 		}
 	}
-	st := newStructure(en, eps, h)
-	st.Stats.Algorithm = Baseline.String()
-	st.Stats.BaselineAdded = added
-	return st
+	return h, BuildStats{Algorithm: Baseline.String(), BaselineAdded: added}
 }

@@ -18,8 +18,57 @@ func Build(g *graph.Graph, s int, eps float64, opt Options) (*Structure, error) 
 	if s < 0 || s >= g.N() {
 		return nil, fmt.Errorf("core: source %d out of range [0,%d)", s, g.N())
 	}
+	return BuildWithEngine(replacement.NewEngine(g, s), eps, opt)
+}
+
+// BuildWithEngine is Build against a prepared replacement-path engine, so
+// batch orchestrators can recycle one engine (and its memoised Phase S0
+// pairs) across many builds on the same source. The result is identical to
+// Build(en.G, en.S, eps, opt).
+func BuildWithEngine(en *replacement.Engine, eps float64, opt Options) (*Structure, error) {
+	en.SetWorkers(opt.Workers)
+	h, stats, err := buildEdges(en, eps, opt, &sharedS0{})
+	if err != nil {
+		return nil, err
+	}
+	st := newStructure(en, eps, h)
+	st.Stats = stats
+	return st, nil
+}
+
+// sharedS0 caches the ε-independent products of Phase S0 across the builds
+// of a same-source group: the pair interference index (with its memoised
+// π-intersection cache) and the I1/I2 interference split. A fresh value is
+// used per Build; BuildGroup shares one across all its items.
+type sharedS0 struct {
+	ix     *pairIndex
+	i1, i2 []int32
+}
+
+func (sh *sharedS0) load(en *replacement.Engine, opt Options) *pairIndex {
+	if sh.ix == nil {
+		sh.ix = buildPairIndex(en, en.AllPairs())
+		sh.i1, sh.i2 = sh.ix.splitI1I2()
+	}
+	if opt.Workspace != nil {
+		sh.ix.ws = opt.Workspace // honour each item's workspace preference
+	}
+	return sh.ix
+}
+
+// ValidateBuild reports whether (eps, opt) name a runnable construction,
+// without building anything. Batch orchestrators use it to reject a bad
+// request before any group starts paying for trees and replacement paths.
+func ValidateBuild(eps float64, opt Options) error {
+	_, err := resolveAlgorithm(eps, opt)
+	return err
+}
+
+// resolveAlgorithm validates eps and applies the Theorem 3.1 automatic
+// dispatch.
+func resolveAlgorithm(eps float64, opt Options) (Algorithm, error) {
 	if eps < 0 || eps > 1 {
-		return nil, fmt.Errorf("core: ε=%g outside [0,1]", eps)
+		return Auto, fmt.Errorf("core: ε=%g outside [0,1]", eps)
 	}
 	alg := opt.Algorithm
 	if alg == Auto {
@@ -32,35 +81,42 @@ func Build(g *graph.Graph, s int, eps float64, opt Options) (*Structure, error) 
 			alg = Epsilon
 		}
 	}
-	en := replacement.NewEngine(g, s)
-	en.SetWorkers(opt.Workers)
+	if alg == Epsilon && eps <= 0 {
+		return Auto, fmt.Errorf("core: the Epsilon algorithm needs ε > 0")
+	}
+	switch alg {
+	case Tree, Baseline, Epsilon, Greedy:
+		return alg, nil
+	}
+	return Auto, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
+}
+
+// buildEdges runs the selected construction and returns the chosen edge set H
+// (reinforcement not yet computed) together with the phase diagnostics.
+func buildEdges(en *replacement.Engine, eps float64, opt Options, sh *sharedS0) (*graph.EdgeSet, BuildStats, error) {
+	alg, err := resolveAlgorithm(eps, opt)
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
 	switch alg {
 	case Tree:
-		return buildTree(en, eps), nil
+		// The ε = 0 extreme: H = T0, reinforcing every tree edge that is
+		// last-unprotected in T0 (at most n−1 edges, no backup redundancy).
+		return en.TreeEdges.Clone(), BuildStats{Algorithm: Tree.String()}, nil
 	case Baseline:
-		return buildBaseline(en, eps), nil
-	case Epsilon:
-		if eps <= 0 {
-			return nil, fmt.Errorf("core: the Epsilon algorithm needs ε > 0")
-		}
-		return buildEpsilon(en, eps, opt), nil
+		h, stats := baselineEdges(en)
+		return h, stats, nil
 	case Greedy:
-		return buildGreedy(en, eps, opt), nil
+		h, stats := greedyEdges(en, eps, opt)
+		return h, stats, nil
+	default:
+		h, stats := epsilonEdges(en, eps, opt, sh)
+		return h, stats, nil
 	}
-	return nil, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
 }
 
-// buildTree is the ε = 0 extreme: H = T0, reinforcing every tree edge that
-// is last-unprotected in T0 (at most n−1 edges, no backup redundancy).
-func buildTree(en *replacement.Engine, eps float64) *Structure {
-	h := en.TreeEdges.Clone()
-	st := newStructure(en, eps, h)
-	st.Stats.Algorithm = Tree.String()
-	return st
-}
-
-// buildEpsilon runs the three-phase construction of Section 3.
-func buildEpsilon(en *replacement.Engine, eps float64, opt Options) *Structure {
+// epsilonEdges runs the three-phase construction of Section 3.
+func epsilonEdges(en *replacement.Engine, eps float64, opt Options, sh *sharedS0) (*graph.EdgeSet, BuildStats) {
 	n := en.G.N()
 	threshold := int(math.Ceil(math.Pow(float64(n), eps)))
 	if threshold < 1 {
@@ -69,13 +125,12 @@ func buildEpsilon(en *replacement.Engine, eps float64, opt Options) *Structure {
 	k := int(math.Ceil(1/eps)) + 2 // Eq. (4)
 
 	h := en.TreeEdges.Clone()
-	pairs := en.AllPairs()
-	ix := buildPairIndex(en, pairs)
-	i1, i2 := ix.splitI1I2()
+	ix := sh.load(en, opt)
+	i1, i2 := sh.i1, sh.i2
 
 	stats := BuildStats{
 		Algorithm:      Epsilon.String(),
-		UncoveredPairs: len(pairs),
+		UncoveredPairs: len(ix.pairs),
 		I1Size:         len(i1),
 		I2Size:         len(i2),
 		K:              k,
@@ -102,10 +157,7 @@ func buildEpsilon(en *replacement.Engine, eps float64, opt Options) *Structure {
 	if !opt.SkipPhase2 {
 		stats.S2GlueAdded, stats.S2Added = runPhase2(ix, h, sets, threshold)
 	}
-
-	st := newStructure(en, eps, h)
-	st.Stats = stats
-	return st
+	return h, stats
 }
 
 // newStructure assembles a Structure from the chosen edge set, reinforcing

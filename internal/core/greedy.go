@@ -24,7 +24,12 @@ var errNotFrozen = errors.New("core: graph must be frozen")
 // The result is a valid (b,r) FT-BFS structure (every unreinforced edge is
 // last-protected by construction); it is an upper-bound heuristic, not the
 // paper's algorithm — experiment E9 compares the two.
-func buildGreedy(en *replacement.Engine, eps float64, opt Options) *Structure {
+//
+// The reinforcement computed by the caller's sweep is the exact
+// last-unprotected set, which is the greedily chosen set minus any edge whose
+// fan turned out covered by other additions — the minimal set rather than the
+// nominal one.
+func greedyEdges(en *replacement.Engine, eps float64, opt Options) (*graph.EdgeSet, BuildStats) {
 	n := en.G.N()
 	budget := opt.GreedyBudget
 	if budget <= 0 {
@@ -68,13 +73,7 @@ func buildGreedy(en *replacement.Engine, eps float64, opt Options) *Structure {
 			h.Add(p.LastID)
 		}
 	}
-
-	st := newStructure(en, eps, h)
-	// newStructure reinforces the exact last-unprotected set, which is the
-	// greedily chosen set (minus any edge whose fan turned out covered by
-	// other additions) — keep that minimal set rather than the nominal one.
-	st.Stats.Algorithm = Greedy.String()
-	return st
+	return h, BuildStats{Algorithm: Greedy.String()}
 }
 
 // BuildReinforcing constructs a structure that reinforces (up to) the given

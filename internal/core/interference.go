@@ -20,9 +20,23 @@ type pairIndex struct {
 	byV      [][]int32 // terminal v → indices of its pairs
 
 	inSet   []int32 // iteration-stamped membership marks for classify
+	isA     []int32 // stamped type-A marks for classify's second pass
+	interf  []int32 // stamped has-interference marks for classify
+	seenT   []int32 // stamped per-terminal dedup marks, indexed by vertex
 	stamp   int32
-	seenT   map[int32]bool
 	piCache map[int64]bool // memoised π-intersection queries (pair, terminal)
+
+	ws *Workspace // scratch for the Phase S2 hot path; lazily created
+}
+
+// workspace returns the index's scratch workspace, creating one on first use.
+// Batch builders install a long-lived per-worker workspace instead (see
+// Options.Workspace) so repeated builds reuse the same buffers.
+func (ix *pairIndex) workspace() *Workspace {
+	if ix.ws == nil {
+		ix.ws = NewWorkspace()
+	}
+	return ix.ws
 }
 
 func buildPairIndex(en *replacement.Engine, pairs []*replacement.Pair) *pairIndex {
@@ -34,7 +48,9 @@ func buildPairIndex(en *replacement.Engine, pairs []*replacement.Pair) *pairInde
 		byVertex: make([][]int32, n),
 		byV:      make([][]int32, n),
 		inSet:    make([]int32, len(pairs)),
-		seenT:    make(map[int32]bool),
+		isA:      make([]int32, len(pairs)),
+		interf:   make([]int32, len(pairs)),
+		seenT:    make([]int32, n),
 		piCache:  make(map[int64]bool),
 	}
 	for i, p := range pairs {
@@ -114,28 +130,35 @@ func (ix *pairIndex) hasNonSimInterference(p int32, restrict func(int32) bool) b
 //	B: not A, and (≁)-interferes with another non-A pair of Pi;
 //	C: everything else — a (∼)-set deferred to Phase S2 (Obs. 4.11).
 func (ix *pairIndex) classify(pi []int32) (a, b, c []int32) {
+	// Three stamped mark sets replace the per-iteration maps: membership of
+	// Pi, the type-A verdicts and the has-interference flags. Stamps only
+	// ever grow, so marks from earlier iterations (or earlier builds sharing
+	// this index) can never alias the current ones.
 	ix.stamp++
+	inStamp := ix.stamp
 	for _, p := range pi {
-		ix.inSet[p] = ix.stamp
+		ix.inSet[p] = inStamp
 	}
-	isA := make(map[int32]bool, len(pi))
-	interferes := make(map[int32]bool, len(pi))
+	aStamp := ix.stamp + 1
+	interfStamp := ix.stamp + 2
+	ix.stamp += 2
 	for _, p := range pi {
 		vp := ix.pairs[p].V
-		clear(ix.seenT)
+		ix.stamp++
+		tStamp := ix.stamp // per-pair dedup of examined terminals
 		found := false
 	scanA:
 		for _, z := range ix.internal[p] {
 			for _, q := range ix.byVertex[z] {
-				if q == p || ix.inSet[q] != ix.stamp || ix.pairs[q].V == vp || ix.related(p, q) {
+				if q == p || ix.inSet[q] != inStamp || ix.pairs[q].V == vp || ix.related(p, q) {
 					continue
 				}
-				interferes[p] = true
+				ix.interf[p] = interfStamp
 				t := ix.pairs[q].V
-				if ix.seenT[t] {
+				if ix.seenT[t] == tStamp {
 					continue
 				}
-				ix.seenT[t] = true
+				ix.seenT[t] = tStamp
 				if ix.piIntersects(p, t) {
 					found = true
 					break scanA
@@ -143,17 +166,17 @@ func (ix *pairIndex) classify(pi []int32) (a, b, c []int32) {
 			}
 		}
 		if found {
-			isA[p] = true
+			ix.isA[p] = aStamp
 			a = append(a, p)
 		}
 	}
 	// second pass: B needs an interfering partner that is itself non-A
 	for _, p := range pi {
-		if isA[p] {
+		if ix.isA[p] == aStamp {
 			continue
 		}
-		if interferes[p] && ix.hasNonSimInterference(p, func(q int32) bool {
-			return ix.inSet[q] == ix.stamp && !isA[q]
+		if ix.interf[p] == interfStamp && ix.hasNonSimInterference(p, func(q int32) bool {
+			return ix.inSet[q] == inStamp && ix.isA[q] != aStamp
 		}) {
 			b = append(b, p)
 		} else {

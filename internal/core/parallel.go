@@ -37,20 +37,29 @@ func LastUnprotectedParallel(en *replacement.Engine, H *graph.EdgeSet, workers i
 }
 
 // VerifyParallel is Verify with the failure checks parallelised. limit ≤ 0
-// checks everything; with a positive limit it may return slightly more than
-// limit violations (workers race to append) but never fewer when violations
-// exist. Violations are returned in unspecified order.
+// checks everything. With a positive limit the returned slice is clamped to
+// at most limit violations and the result is deterministic — identical to
+// Verify(st, limit) regardless of worker count or scheduling: violations are
+// collected per failure (in increasing failure-edge-id order, vertices
+// ascending within a failure) and workers stop early only once a fully
+// processed prefix of the failure list already holds limit violations, so
+// the clamp always keeps the canonical first ones.
 func VerifyParallel(st *Structure, limit, workers int) []Violation {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	g := st.G
 	failures := st.TreeEdges.Minus(st.Reinforced).IDs()
-	var out []Violation
-	var mu sync.Mutex
-	var stop atomic.Bool
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	perFailure := make([][]Violation, len(failures))
+	done := make([]atomic.Bool, len(failures))
+	var (
+		mu         sync.Mutex
+		watermark  int // failures[:watermark] fully processed
+		prefixViol int // violations found within the watermark prefix
+		stop       atomic.Bool
+		next       atomic.Int64
+		wg         sync.WaitGroup
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -60,31 +69,46 @@ func VerifyParallel(st *Structure, limit, workers int) []Violation {
 			distG := make([]int32, g.N())
 			distH := make([]int32, g.N())
 			for {
-				i := next.Add(1) - 1
-				if int(i) >= len(failures) || stop.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= len(failures) || stop.Load() {
 					return
 				}
 				e := failures[i]
 				scG.DistancesAvoiding(g, st.S, bfs.Restriction{BannedEdge: e}, distG)
 				scH.DistancesAvoiding(g, st.S, bfs.Restriction{BannedEdge: e, AllowedEdges: st.Edges}, distH)
+				var viol []Violation
 				for v := int32(0); v < int32(g.N()); v++ {
 					if distG[v] == bfs.Unreachable {
 						continue
 					}
 					if distH[v] == bfs.Unreachable || distH[v] > distG[v] {
-						mu.Lock()
-						out = append(out, Violation{Edge: e, Vertex: v, InH: distH[v], InG: distG[v]})
-						full := limit > 0 && len(out) >= limit
-						mu.Unlock()
-						if full {
-							stop.Store(true)
-							return
-						}
+						viol = append(viol, Violation{Edge: e, Vertex: v, InH: distH[v], InG: distG[v]})
 					}
+				}
+				perFailure[i] = viol
+				done[i].Store(true)
+				if limit > 0 {
+					mu.Lock()
+					for watermark < len(failures) && done[watermark].Load() {
+						prefixViol += len(perFailure[watermark])
+						watermark++
+					}
+					if prefixViol >= limit {
+						stop.Store(true)
+					}
+					mu.Unlock()
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	var out []Violation
+	for _, viol := range perFailure {
+		out = append(out, viol...)
+		if limit > 0 && len(out) >= limit {
+			out = out[:limit]
+			break
+		}
+	}
 	return out
 }

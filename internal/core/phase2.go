@@ -21,16 +21,24 @@ import (
 //	       that straddle ψ's boundary.
 //
 // It returns the number of last edges added by S2.1 and by S2.2–S2.3.
+//
+// The per-terminal state (the add set, the subsegment grouping and the
+// distinct-last-edge counts) lives entirely in the pairIndex's workspace:
+// stamped mark arrays instead of maps, and contiguous runs of the
+// edge-index-sorted pair list instead of a segment hash. Per-terminal work
+// therefore allocates nothing once the workspace has warmed up.
 func runPhase2(ix *pairIndex, H *graph.EdgeSet, sets [][]int32, threshold int) (glueAdded, added int) {
 	t := ix.en.T
+	ws := ix.workspace()
+	ws.ensure(len(ix.pairs), ix.en.G.M())
 
 	// --- Sub-Phase S2.1: glue edges E⁻(TD). ---
-	glue := graph.NewEdgeSet(ix.en.G.M())
+	glueStamp := ws.nextStamp()
 	for _, e := range t.GlueEdges {
-		glue.Add(e)
+		ws.edgeMark[e] = glueStamp
 	}
 	for i, p := range ix.pairs {
-		if glue.Contains(p.Edge) && H.Add(ix.lastEdgeOf(int32(i))) {
+		if ws.edgeMark[p.Edge] == glueStamp && H.Add(ix.lastEdgeOf(int32(i))) {
 			glueAdded++
 		}
 	}
@@ -40,44 +48,49 @@ func runPhase2(ix *pairIndex, H *graph.EdgeSet, sets [][]int32, threshold int) (
 		terminals, buckets := ix.groupByTerminal(set)
 		for _, v := range terminals {
 			vpairs := buckets[v]
-			// order by edge index (upmost first)
-			sort.Slice(vpairs, func(a, b int) bool {
-				return edgeIndexOf(ix, vpairs[a]) < edgeIndexOf(ix, vpairs[b])
-			})
-			add := make(map[int32]bool)
-			k := int(t.Depth[v])
-			dec := paths.DecomposeLen(k)
-
-			// S2.2: group v's pairs by subsegment.
-			type segGroup struct {
-				pairs   []int32
-				lastIDs map[graph.EdgeID]bool
+			// The bucket arrives ordered deepest failing edge first; the edge
+			// indexes of one terminal's pairs are pairwise distinct (one pair
+			// per edge of π(s,v)), so reversing yields the strictly
+			// increasing edge-index order (upmost first) the sub-phases need.
+			for i, j := 0, len(vpairs)-1; i < j; i, j = i+1, j-1 {
+				vpairs[i], vpairs[j] = vpairs[j], vpairs[i]
 			}
-			groups := make(map[int]*segGroup)
-			for _, p := range vpairs {
-				j := dec.SegmentOfEdge(edgeIndexOf(ix, p))
-				grp := groups[j]
-				if grp == nil {
-					grp = &segGroup{lastIDs: map[graph.EdgeID]bool{}}
-					groups[j] = grp
+			addStamp := ws.nextStamp()
+			ws.addList = ws.addList[:0]
+			addPair := func(p int32) {
+				if ws.pairMark[p] != addStamp {
+					ws.pairMark[p] = addStamp
+					ws.addList = append(ws.addList, p)
 				}
-				grp.pairs = append(grp.pairs, p)
-				grp.lastIDs[ix.lastEdgeOf(p)] = true
 			}
-			for _, grp := range groups {
-				if len(grp.lastIDs) < threshold { // light subsegment
-					for _, p := range grp.pairs {
-						add[p] = true
+			k := int(t.Depth[v])
+			dec := paths.DecomposeLenInto(k, ws.bounds)
+			ws.bounds = dec.Bounds
+
+			// S2.2: group v's pairs by subsegment. Segments cover contiguous
+			// edge-index ranges, so each group is a run of the sorted bucket.
+			for i := 0; i < len(vpairs); {
+				_, hi := dec.EdgeRange(dec.SegmentOfEdge(edgeIndexOf(ix, vpairs[i])))
+				end := i + 1
+				for end < len(vpairs) && edgeIndexOf(ix, vpairs[end]) < hi {
+					end++
+				}
+				grp := vpairs[i:end]
+				if countDistinctLast(ix, ws, grp) < threshold { // light subsegment
+					for _, p := range grp {
+						addPair(p)
 					}
 				}
-				add[grp.pairs[0]] = true // ⟨v, e*_j⟩ — upmost pair of the segment
+				addPair(grp[0]) // ⟨v, e*_j⟩ — upmost pair of the segment
+				i = end
 			}
 
 			// S2.3: per decomposition path ψ intersecting π(s,v). The
 			// ψ∩π(s,v) edges form the contiguous edge-index interval
 			// [D0, D1) where D0 = depth of ψ's head on the segment and D1 =
 			// depth of the deepest ψ-vertex that is an ancestor of v.
-			for _, seg := range t.SegmentsTo(v) {
+			ws.segs = t.AppendSegmentsTo(ws.segs[:0], v)
+			for _, seg := range ws.segs {
 				path := t.Paths[seg.Path]
 				d0 := int(t.Depth[path[0]])
 				d1 := int(t.Depth[path[seg.BottomPos]])
@@ -89,7 +102,7 @@ func runPhase2(ix *pairIndex, H *graph.EdgeSet, sets [][]int32, threshold int) (
 				if len(onPsi) == 0 {
 					continue
 				}
-				add[onPsi[0]] = true // upmost pair ⟨v, e*⟩ on ψ
+				addPair(onPsi[0]) // upmost pair ⟨v, e*⟩ on ψ
 
 				// boundary subsegments πU and πL: π-subsegments that meet ψ
 				// but are not contained in it.
@@ -105,27 +118,26 @@ func runPhase2(ix *pairIndex, H *graph.EdgeSet, sets [][]int32, threshold int) (
 						last = j
 					}
 				}
-				for _, j := range boundary(first, last) {
+				for bi, j := range [2]int{first, last} { // {first, last} deduplicated
+					if j == -1 || (bi == 1 && last == first) {
+						break
+					}
 					lo, hi := dec.EdgeRange(j)
 					clo, chi := max(lo, d0), min(hi, d1)
 					pu := pairsInRange(ix, vpairs, clo, chi)
 					if len(pu) == 0 {
 						continue
 					}
-					lastIDs := map[graph.EdgeID]bool{}
-					for _, p := range pu {
-						lastIDs[ix.lastEdgeOf(p)] = true
-					}
-					if len(lastIDs) <= threshold {
+					if countDistinctLast(ix, ws, pu) <= threshold {
 						for _, p := range pu {
-							add[p] = true
+							addPair(p)
 						}
 					}
-					add[pu[0]] = true // ⟨v, e*_U⟩ (resp. e*_L)
+					addPair(pu[0]) // ⟨v, e*_U⟩ (resp. e*_L)
 				}
 			}
 
-			for p := range add {
+			for _, p := range ws.addList {
 				if H.Add(ix.lastEdgeOf(p)) {
 					added++
 				}
@@ -133,6 +145,20 @@ func runPhase2(ix *pairIndex, H *graph.EdgeSet, sets [][]int32, threshold int) (
 		}
 	}
 	return glueAdded, added
+}
+
+// countDistinctLast returns the number of distinct last-edge ids among the
+// given pairs, using the workspace's stamped edge marks.
+func countDistinctLast(ix *pairIndex, ws *Workspace, ps []int32) int {
+	stamp := ws.nextStamp()
+	distinct := 0
+	for _, p := range ps {
+		if e := ix.lastEdgeOf(p); ws.edgeMark[e] != stamp {
+			ws.edgeMark[e] = stamp
+			distinct++
+		}
+	}
+	return distinct
 }
 
 // edgeIndexOf returns the edge index of pair p's failing edge along
@@ -147,15 +173,4 @@ func pairsInRange(ix *pairIndex, sorted []int32, lo, hi int) []int32 {
 	i := sort.Search(len(sorted), func(i int) bool { return edgeIndexOf(ix, sorted[i]) >= lo })
 	j := sort.Search(len(sorted), func(i int) bool { return edgeIndexOf(ix, sorted[i]) >= hi })
 	return sorted[i:j]
-}
-
-// boundary returns {first, last} deduplicated, skipping -1.
-func boundary(first, last int) []int {
-	if first == -1 {
-		return nil
-	}
-	if first == last {
-		return []int{first}
-	}
-	return []int{first, last}
 }

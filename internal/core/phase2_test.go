@@ -117,18 +117,6 @@ func TestPhase1BudgetRespected(t *testing.T) {
 	}
 }
 
-func TestBoundaryHelper(t *testing.T) {
-	if boundary(-1, -1) != nil {
-		t.Fatal("boundary(-1) must be nil")
-	}
-	if got := boundary(2, 2); len(got) != 1 || got[0] != 2 {
-		t.Fatalf("boundary(2,2)=%v", got)
-	}
-	if got := boundary(1, 4); len(got) != 2 || got[0] != 1 || got[1] != 4 {
-		t.Fatalf("boundary(1,4)=%v", got)
-	}
-}
-
 func TestEdgeIndexOfConsistency(t *testing.T) {
 	g := gen.RandomConnected(40, 60, 21)
 	en := replacement.NewEngine(g, 0)

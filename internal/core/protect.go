@@ -30,6 +30,32 @@ func LastUnprotected(en *replacement.Engine, H *graph.EdgeSet) *graph.EdgeSet {
 	return out
 }
 
+// LastUnprotectedMulti computes LastUnprotected for several candidate
+// structures in ONE failure sweep: the per-failure restricted BFS — the
+// dominant O(n·m) cost — is shared, and only the O(deg(v)) protection probes
+// run once per structure. This is the batch orchestrator's reinforcement
+// path: all ε values of one source are swept together. Each returned set is
+// identical to LastUnprotected(en, hs[i]).
+func LastUnprotectedMulti(en *replacement.Engine, hs []*graph.EdgeSet) []*graph.EdgeSet {
+	outs := make([]*graph.EdgeSet, len(hs))
+	for i := range outs {
+		outs[i] = graph.NewEdgeSet(en.G.M())
+	}
+	var subtree []int32
+	en.ForEachFailure(func(e graph.EdgeID, child int32, distE []int32) {
+		subtree = en.SubtreeOf(child, subtree[:0])
+		for i, h := range hs {
+			for _, v := range subtree {
+				if !lastProtectedFor(en, h, v, e, distE) {
+					outs[i].Add(e)
+					break
+				}
+			}
+		}
+	})
+	return outs
+}
+
 // lastProtectedFor reports whether edge e is v-last-protected in H.
 func lastProtectedFor(en *replacement.Engine, H *graph.EdgeSet, v int32, e graph.EdgeID, distE []int32) bool {
 	target := distE[v]

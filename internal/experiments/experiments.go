@@ -13,6 +13,7 @@ import (
 	"io"
 	"math"
 
+	"ftbfs/internal/batch"
 	"ftbfs/internal/core"
 	"ftbfs/internal/expstats"
 	"ftbfs/internal/gen"
@@ -76,6 +77,25 @@ func must(st *core.Structure, err error) *core.Structure {
 	return st
 }
 
+// sweep builds one structure per (eps, options) item on a fixed (g, s)
+// through the batch orchestrator, so the whole sweep shares one BFS tree, one
+// Phase S0 pass and one reinforcement sweep.
+func sweep(g *graph.Graph, s int, items []batch.Request) ([]*core.Structure, error) {
+	for i := range items {
+		items[i].Source = s
+	}
+	return batch.Build(g, items, batch.Options{})
+}
+
+// epsSweep is sweep over a plain ε grid with default options.
+func epsSweep(g *graph.Graph, s int, grid []float64) ([]*core.Structure, error) {
+	items := make([]batch.Request, len(grid))
+	for i, eps := range grid {
+		items[i] = batch.Request{Eps: eps}
+	}
+	return sweep(g, s, items)
+}
+
 // lowerBoundDeep sizes a Theorem 5.1 instance like gen.LowerBound but
 // guarantees paths of length ≥ 3: with d ≤ 2 the whole biclique is already
 // forced by star-edge failures and reinforcing Π cannot pay off.
@@ -112,8 +132,13 @@ func TradeoffUpper(cfg Config) ([]*expstats.Table, error) {
 		"eps", "n", "|H|", "backup b", "reinforced r", "n^{1+eps}", "n^{1-eps}")
 	lb := gen.LowerBound(baseN, 0.42)
 	n := float64(lb.G.N())
-	for _, eps := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5} {
-		st := must(core.Build(lb.G, lb.S, eps, core.Options{}))
+	epsGrid := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
+	sts, err := epsSweep(lb.G, lb.S, epsGrid)
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range sts {
+		eps := epsGrid[i]
 		ta.AddRow(eps, lb.G.N(), st.Size(), st.BackupCount(), st.ReinforcedCount(),
 			math.Pow(n, 1+eps), math.Pow(n, 1-eps))
 	}
@@ -300,15 +325,18 @@ func CostCurve(cfg Config) ([]*expstats.Table, error) {
 	}
 	lb := gen.LowerBound(baseN, 0.42)
 	grid := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 1}
-	// build once per ε, reuse across ratios
+	// build once per ε (one batched sweep), reuse across ratios
 	type pt struct {
 		eps  float64
 		b, r int
 	}
 	var pts []pt
-	for _, eps := range grid {
-		st := must(core.Build(lb.G, lb.S, eps, core.Options{}))
-		pts = append(pts, pt{eps, st.BackupCount(), st.ReinforcedCount()})
+	sts, err := epsSweep(lb.G, lb.S, grid)
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range sts {
+		pts = append(pts, pt{grid[i], st.BackupCount(), st.ReinforcedCount()})
 	}
 	t := expstats.NewTable("E5: cost-minimising ε vs price ratio R/B",
 		"R/B", "best eps (measured)", "predicted eps", "best cost", "b at best", "r at best")
@@ -340,9 +368,13 @@ func CliqueExample(cfg Config) ([]*expstats.Table, error) {
 	t := expstats.NewTable(fmt.Sprintf("E6: clique example (n=%d, m=%d), prices B=1, R=20", n, g.M()),
 		"strategy", "|H|", "backup b", "reinforced r", "cost")
 	t.AddRow("conservative: buy all of G as backup+bridge reinforced", g.M(), g.M()-1, 1, float64(g.M()-1)+20)
-	for _, eps := range []float64{0, 0.3, 1} {
-		st := must(core.Build(g, 0, eps, core.Options{}))
-		t.AddRow(fmt.Sprintf("ε=%.1f (%s)", eps, st.Stats.Algorithm),
+	grid := []float64{0, 0.3, 1}
+	sts, err := epsSweep(g, 0, grid)
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range sts {
+		t.AddRow(fmt.Sprintf("ε=%.1f (%s)", grid[i], st.Stats.Algorithm),
 			st.Size(), st.BackupCount(), st.ReinforcedCount(), st.Cost(1, 20))
 	}
 	return []*expstats.Table{t}, nil
@@ -446,9 +478,16 @@ func PhaseAblation(cfg Config) ([]*expstats.Table, error) {
 		{"baseline [14]", core.Options{Algorithm: core.Baseline}, 1},
 		{"tree (ε=0)", core.Options{Algorithm: core.Tree}, 0},
 	}
-	for _, v := range variants {
-		st := must(core.Build(lb.G, lb.S, v.eps, v.opt))
-		t.AddRow(v.name, st.Size(), st.BackupCount(), st.ReinforcedCount(), st.Cost(1, 100))
+	reqs := make([]batch.Request, len(variants))
+	for i, v := range variants {
+		reqs[i] = batch.Request{Eps: v.eps, Opt: v.opt}
+	}
+	sts, err := sweep(lb.G, lb.S, reqs)
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range sts {
+		t.AddRow(variants[i].name, st.Size(), st.BackupCount(), st.ReinforcedCount(), st.Cost(1, 100))
 	}
 	return []*expstats.Table{t}, nil
 }
@@ -478,10 +517,14 @@ func VerifyExact(cfg Config) ([]*expstats.Table, error) {
 			}{"random-dense", gen.RandomConnected(120, 500, 7), 0})
 	}
 	for _, f := range fams {
-		for _, eps := range []float64{0, 0.2, 0.4, 1} {
-			st := must(core.Build(f.g, f.s, eps, core.Options{}))
+		grid := []float64{0, 0.2, 0.4, 1}
+		sts, err := epsSweep(f.g, f.s, grid)
+		if err != nil {
+			return nil, err
+		}
+		for i, st := range sts {
 			viol := core.Verify(st, 0)
-			t.AddRow(f.name, f.g.N(), eps, st.Stats.Algorithm, len(viol))
+			t.AddRow(f.name, f.g.N(), grid[i], st.Stats.Algorithm, len(viol))
 		}
 	}
 	return []*expstats.Table{t}, nil

@@ -17,10 +17,17 @@ type SegDecomp struct {
 
 // DecomposeLen builds the decomposition for a path of k edges (k >= 0).
 func DecomposeLen(k int) SegDecomp {
+	return DecomposeLenInto(k, nil)
+}
+
+// DecomposeLenInto is DecomposeLen recycling bounds' backing array for the
+// Bounds slice, so repeated decompositions (one per terminal in Phase S2) stay
+// allocation-free once the buffer has grown to ⌊log₂ k⌋+2 entries.
+func DecomposeLenInto(k int, bounds []int) SegDecomp {
 	if k < 0 {
 		panic("paths: negative path length")
 	}
-	d := SegDecomp{K: k, Bounds: []int{0}}
+	d := SegDecomp{K: k, Bounds: append(bounds[:0], 0)}
 	if k == 0 {
 		return d
 	}

@@ -54,6 +54,9 @@ type Engine struct {
 	distE   []int32 // dist(s, ·, G\{e}) for the failure being processed
 	banned  *graph.VertexSet
 	workers int // preferred parallelism for failure sweeps (0/1 = serial)
+
+	pairs      []*Pair // memoised AllPairs result; valid while pairsReady
+	pairsReady bool
 }
 
 // SetWorkers records the preferred parallelism for failure sweeps run on
@@ -66,18 +69,29 @@ func (en *Engine) Workers() int { return en.workers }
 
 // NewEngine builds the engine for (g, s). g must be frozen.
 func NewEngine(g *graph.Graph, s int) *Engine {
-	bt := bfs.From(g, s)
-	t := tree.Build(g, bt)
-	return &Engine{
-		G:         g,
-		S:         s,
-		BT:        bt,
-		T:         t,
-		TreeEdges: bt.EdgeSet(g.M()),
-		sc:        bfs.NewScratch(g.N()),
-		distE:     make([]int32, g.N()),
-		banned:    graph.NewVertexSet(g.N()),
+	en := &Engine{
+		G:      g,
+		sc:     bfs.NewScratch(g.N()),
+		distE:  make([]int32, g.N()),
+		banned: graph.NewVertexSet(g.N()),
 	}
+	en.Reset(s)
+	return en
+}
+
+// Reset rebinds the engine to a new source on the same graph, recomputing the
+// canonical trees but recycling every scratch allocation (BFS scratch,
+// distance array, banned-vertex set). The worker preference is preserved; the
+// AllPairs memo is invalidated. Batch builders use this to amortise the
+// scratch across one worker's whole stream of sources.
+func (en *Engine) Reset(s int) {
+	bt := bfs.From(en.G, s)
+	en.S = s
+	en.BT = bt
+	en.T = tree.Build(en.G, bt)
+	en.TreeEdges = bt.EdgeSet(en.G.M())
+	en.pairs = nil
+	en.pairsReady = false
 }
 
 // ForEachFailure iterates over every tree edge e (every failure that can
@@ -131,8 +145,18 @@ func (en *Engine) CoveredBy(v int32, e graph.EdgeID, distE []int32) (graph.EdgeI
 // AllPairs enumerates every vertex-edge pair ⟨v,e⟩ with e ∈ π(s,v) and
 // returns the uncovered ones with their canonical replacement paths. The
 // returned slice is ordered by failing edge (outer) and terminal (inner),
-// which downstream phases re-sort as needed.
+// which downstream phases re-sort as needed. The result is memoised until the
+// next Reset, so builders sharing an engine for several ε values on the same
+// source pay for Phase S0 once; callers must treat it as read-only.
 func (en *Engine) AllPairs() []*Pair {
+	if !en.pairsReady {
+		en.pairs = en.computeAllPairs()
+		en.pairsReady = true
+	}
+	return en.pairs
+}
+
+func (en *Engine) computeAllPairs() []*Pair {
 	var out []*Pair
 	var subtree []int32
 	en.ForEachFailure(func(e graph.EdgeID, child int32, distE []int32) {

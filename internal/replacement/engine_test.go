@@ -270,3 +270,51 @@ func TestFullPathPrefixIsTreePath(t *testing.T) {
 		}
 	}
 }
+
+func TestResetMatchesFreshEngine(t *testing.T) {
+	g := randomConnected(50, 80, 9)
+	en := NewEngine(g, 0)
+	en.SetWorkers(3)
+	first := en.AllPairs()
+	if len(first) == 0 {
+		t.Fatal("expected uncovered pairs on the random graph")
+	}
+	if &first[0] != &en.AllPairs()[0] {
+		t.Fatal("AllPairs is not memoised")
+	}
+	for _, s := range []int{7, 21, 0} {
+		en.Reset(s)
+		if en.Workers() != 3 {
+			t.Fatal("Reset dropped the worker preference")
+		}
+		fresh := NewEngine(g, s)
+		if en.S != fresh.S || en.BT.Source != fresh.BT.Source {
+			t.Fatalf("source %d not installed", s)
+		}
+		a, b := en.AllPairs(), fresh.AllPairs()
+		if len(a) != len(b) {
+			t.Fatalf("source %d: pair counts differ after Reset: %d vs %d", s, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].V != b[i].V || a[i].Edge != b[i].Edge || a[i].LastID != b[i].LastID {
+				t.Fatalf("source %d: pair %d differs after Reset", s, i)
+			}
+		}
+		if en.TreeEdges.Len() != fresh.TreeEdges.Len() {
+			t.Fatalf("source %d: tree edges differ after Reset", s)
+		}
+	}
+}
+
+func TestResetInvalidatesPairsMemo(t *testing.T) {
+	g := randomConnected(40, 60, 4)
+	en := NewEngine(g, 5)
+	before := len(en.AllPairs())
+	en.Reset(5) // same source: memo must be recomputed, result unchanged
+	if en.pairsReady {
+		t.Fatal("Reset did not invalidate the AllPairs memo")
+	}
+	if after := len(en.AllPairs()); after != before {
+		t.Fatalf("pair count changed across Reset to the same source: %d vs %d", after, before)
+	}
+}

@@ -219,10 +219,15 @@ type Segment struct {
 // SegmentsTo returns the decomposition-path segments of π(root,v) ordered
 // from v upward to the root. Fact 4.1(b) bounds their number by O(log n).
 func (t *Tree) SegmentsTo(v int32) []Segment {
+	return t.AppendSegmentsTo(nil, v)
+}
+
+// AppendSegmentsTo is SegmentsTo appending to segs, so repeated queries can
+// recycle one buffer.
+func (t *Tree) AppendSegmentsTo(segs []Segment, v int32) []Segment {
 	if t.Depth[v] < 0 {
-		return nil
+		return segs
 	}
-	var segs []Segment
 	for v >= 0 {
 		p := t.PathOf[v]
 		segs = append(segs, Segment{Path: p, BottomPos: t.PosOf[v]})
