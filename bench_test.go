@@ -6,7 +6,13 @@ package ftbfs_test
 // (cmd/experiments) runs the full-size tables.
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"ftbfs"
@@ -18,7 +24,9 @@ import (
 	"ftbfs/internal/graph"
 	"ftbfs/internal/replacement"
 	"ftbfs/internal/sensitivity"
+	"ftbfs/internal/server"
 	"ftbfs/internal/simulate"
+	"ftbfs/internal/store"
 	"ftbfs/internal/tree"
 	"ftbfs/internal/vertexft"
 )
@@ -191,6 +199,179 @@ func BenchmarkOracleFailureQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchServeFixture builds one structure on a moderate random graph and
+// returns it plus its failable edges; shared by the serving benchmarks.
+func benchServeFixture(b *testing.B) (*ftbfs.Structure, [][2]int) {
+	b.Helper()
+	g := ftbfs.NewGraph(400)
+	for _, e := range gen.RandomConnected(400, 1200, 9).Edges() {
+		g.MustAddEdge(int(e.U), int(e.V))
+	}
+	st, err := ftbfs.Build(g, 0, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var edges [][2]int
+	for _, e := range st.Edges() {
+		if !st.IsReinforced(e[0], e[1]) {
+			edges = append(edges, e)
+		}
+	}
+	return st, edges
+}
+
+// BenchmarkOraclePool measures concurrent failure queries: a fresh oracle per
+// query (what a naive server would allocate) against checkout from the
+// structure's OraclePool, and the pooled batched DistAvoidingMany path that
+// answers 16 queries per checkout with one early-exiting BFS scratch.
+func BenchmarkOraclePool(b *testing.B) {
+	st, edges := benchServeFixture(b)
+	n := 400
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		var i atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				k := int(i.Add(1))
+				e := edges[k%len(edges)]
+				o := st.Oracle()
+				if _, err := o.DistAvoiding(k%n, e[0], e[1]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := st.OraclePool()
+		var i atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				k := int(i.Add(1))
+				e := edges[k%len(edges)]
+				err := pool.Do(func(o *ftbfs.Oracle) error {
+					_, err := o.DistAvoiding(k%n, e[0], e[1])
+					return err
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+	b.Run("pooled-many16", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := st.OraclePool()
+		queries := make([]ftbfs.FailureQuery, 16)
+		out := make([]int, len(queries))
+		for j := range queries {
+			e := edges[j%len(edges)]
+			queries[j] = ftbfs.FailureQuery{V: (j * 31) % n, FailedU: e[0], FailedV: e[1]}
+		}
+		for i := 0; i < b.N; i++ {
+			err := pool.Do(func(o *ftbfs.Oracle) error {
+				_, err := o.DistAvoidingMany(queries, out)
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeQueries measures the HTTP serving hot path end to end:
+// concurrent GET /dist-avoiding requests and POST /batch-query vectors
+// against one structure resident in the store.
+func BenchmarkServeQueries(b *testing.B) {
+	reg, err := store.New(0, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ftbfs.NewGraph(400)
+	for _, e := range gen.RandomConnected(400, 1200, 9).Edges() {
+		g.MustAddEdge(int(e.U), int(e.V))
+	}
+	fp, err := reg.AddGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := reg.GetOrBuild(store.Key{Graph: fp, Source: 0, Eps: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var edges [][2]int
+	for _, e := range st.Edges() {
+		if !st.IsReinforced(e[0], e[1]) {
+			edges = append(edges, e)
+		}
+	}
+	ts := httptest.NewServer(server.New(reg))
+	defer ts.Close()
+	fpHex := fmt.Sprintf("%016x", fp)
+
+	b.Run("dist-avoiding", func(b *testing.B) {
+		b.ReportAllocs()
+		var i atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			client := &http.Client{}
+			for pb.Next() {
+				k := int(i.Add(1))
+				e := edges[k%len(edges)]
+				url := fmt.Sprintf("%s/dist-avoiding?graph=%s&eps=0.3&v=%d&fu=%d&fv=%d",
+					ts.URL, fpHex, k%400, e[0], e[1])
+				resp, err := client.Get(url)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		})
+	})
+	b.Run("batch-query16", func(b *testing.B) {
+		b.ReportAllocs()
+		eps := 0.3
+		req := server.BatchQueryRequest{Graph: fpHex, Eps: &eps}
+		for j := 0; j < 16; j++ {
+			e := edges[j%len(edges)]
+			req.Queries = append(req.Queries, struct {
+				V    int    `json:"v"`
+				Fail [2]int `json:"fail"`
+			}{V: (j * 31) % 400, Fail: e})
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var i atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			client := &http.Client{}
+			for pb.Next() {
+				i.Add(1)
+				resp, err := client.Post(ts.URL+"/batch-query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		})
+	})
 }
 
 func BenchmarkVerifyStructure(b *testing.B) {

@@ -34,4 +34,23 @@
 // backup and reinforced links. BuildBatch builds many (source, ε, algorithm)
 // requests at once, sharing the BFS tree, the replacement-path preprocessing
 // and the reinforcement sweep per source.
+//
+// # Concurrent serving
+//
+// Structures are immutable once built and safe to share; Oracles are not
+// (each owns a BFS scratch). A concurrent server therefore checks oracles
+// out of Structure.OraclePool — a sync.Pool-backed checkout that recycles
+// scratch buffers across requests — and answers query vectors with
+// Oracle.DistAvoidingMany, which reuses one scratch across a whole batch of
+// failures and early-exits each search at its target. The intact distance
+// vector behind Oracle.Dist is computed once per structure and cached
+// forever (structures never change), shared by every oracle of the pool.
+//
+// The internal/store package keys built structures by
+// (Graph.Fingerprint, source, ε, algorithm) with LRU eviction, builds
+// misses on demand through BuildBatch, and — given a directory — persists
+// everything via Save/LoadStructure so evicted entries load back through and
+// a restarted process warm-starts from disk. internal/server exposes that
+// registry over HTTP/JSON ("ftbfs serve": /build, /dist, /dist-avoiding,
+// /batch-query, /stats).
 package ftbfs

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"ftbfs/internal/batch"
 	"ftbfs/internal/core"
@@ -45,6 +46,16 @@ func (g *Graph) M() int { return g.g.M() }
 
 // HasEdge reports whether {u,v} is present.
 func (g *Graph) HasEdge(u, v int) bool { return g.g.HasEdge(u, v) }
+
+// Fingerprint returns a stable 64-bit hash of the graph (vertex count plus
+// the edge list in insertion order). Registries key built structures by it;
+// it is stable across processes, so it also keys on-disk structure caches.
+func (g *Graph) Fingerprint() uint64 { return g.g.Fingerprint() }
+
+// Freeze marks the graph immutable (idempotent). Build and BuildBatch freeze
+// implicitly; freeze explicitly before sharing one graph across concurrent
+// builders, since the first freeze mutates adjacency order.
+func (g *Graph) Freeze() { g.g.Freeze() }
 
 // Write serialises the graph in the library's text format.
 func (g *Graph) Write(w io.Writer) error { return graph.Encode(w, g.g) }
@@ -96,9 +107,17 @@ func WithoutPhase2() BuildOption {
 	return func(o *core.Options) { o.SkipPhase2 = true }
 }
 
-// Structure is a built (b, r) FT-BFS structure.
+// Structure is a built (b, r) FT-BFS structure. Structures are immutable
+// once built; the read-only query methods are safe for concurrent use, and
+// OraclePool serves concurrent failure-simulation queries.
 type Structure struct {
 	st *core.Structure
+
+	intactOnce sync.Once
+	intactDist []int32 // cached dist(s, ·) in the intact H; see intactDistances
+
+	poolOnce sync.Once
+	pool     *OraclePool
 }
 
 // Build constructs an ε FT-BFS structure for (g, source). The graph is

@@ -8,6 +8,7 @@
 //	sweep    price the tradeoff per ε and report the cheapest point
 //	verify   exhaustively check a built or saved structure
 //	vertexft build and verify a vertex fault-tolerant structure
+//	serve    run the HTTP/JSON failure-query service (internal/server)
 package cli
 
 import (
@@ -45,6 +46,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = cmdVerify(args[1:], stdout)
 	case "vertexft":
 		err = cmdVertexFT(args[1:], stdout)
+	case "serve":
+		err = cmdServe(args[1:], stdout)
 	case "-h", "--help", "help":
 		usage(stdout)
 		return 0
@@ -70,6 +73,8 @@ func usage(w io.Writer) {
   sweep    -in FILE -source S [-grid "0,0.25,0.5,1"] [-B 1] [-R 10] [-csv]
   verify   -in FILE -source S (-eps E | -structure FILE)
   vertexft -in FILE -source S [-verify]
+  serve    [-addr :8080] [-dir DIR] [-cap N]
+           [-in FILE [-sources "0,5"] [-eps "0.25,0.5"] [-alg auto]]
 
 FILE "-" means stdin/stdout.`)
 }
@@ -157,22 +162,6 @@ func cmdGen(args []string, stdout io.Writer) error {
 	return closeFn()
 }
 
-func parseAlg(s string) (core.Algorithm, error) {
-	switch s {
-	case "auto":
-		return core.Auto, nil
-	case "tree":
-		return core.Tree, nil
-	case "baseline":
-		return core.Baseline, nil
-	case "epsilon":
-		return core.Epsilon, nil
-	case "greedy":
-		return core.Greedy, nil
-	}
-	return core.Auto, fmt.Errorf("unknown algorithm %q", s)
-}
-
 func cmdBuild(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("build", flag.ContinueOnError)
 	in := fs.String("in", "-", "input graph (text format), - for stdin")
@@ -191,7 +180,7 @@ func cmdBuild(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	alg, err := parseAlg(*algName)
+	alg, err := core.ParseAlgorithm(*algName)
 	if err != nil {
 		return err
 	}

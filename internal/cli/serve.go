@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"ftbfs"
+	"ftbfs/internal/core"
+	"ftbfs/internal/server"
+	"ftbfs/internal/store"
+)
+
+// serveSignalContext returns the context the serve command runs under; it is
+// cancelled by SIGINT/SIGTERM. Tests replace it to drive shutdown.
+var serveSignalContext = func() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// serveReady is called with the bound address once the listener is up; tests
+// replace it to discover :0 ports.
+var serveReady = func(addr string) {}
+
+// readRootGraph reads a graph file (or stdin for "-") as the root package
+// type the store registers.
+func readRootGraph(path string) (*ftbfs.Graph, error) {
+	var r io.Reader
+	if path == "-" || path == "" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return ftbfs.ReadGraph(r)
+}
+
+func cmdServe(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	dir := fs.String("dir", "", "persist directory (warm start + write-through); empty = memory only")
+	capacity := fs.Int("cap", 128, "max structures resident in memory (0 = unlimited)")
+	in := fs.String("in", "", "graph file to register at startup (text format)")
+	sourcesSpec := fs.String("sources", "0", "comma-separated sources to pre-build for -in")
+	epsSpec := fs.String("eps", "", "comma-separated ε grid to pre-build for -in (empty = none)")
+	algName := fs.String("alg", "auto", "algorithm for pre-built structures")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	st, err := store.New(*capacity, *dir)
+	if err != nil {
+		return err
+	}
+	if *in != "" {
+		g, err := readRootGraph(*in)
+		if err != nil {
+			return err
+		}
+		fp, err := st.AddGraph(g)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "registered graph %016x (n=%d m=%d)\n", fp, g.N(), g.M())
+		if *epsSpec != "" {
+			alg, err := core.ParseAlgorithm(*algName)
+			if err != nil {
+				return err
+			}
+			var reqs []store.Req
+			for _, spart := range strings.Split(*sourcesSpec, ",") {
+				src, err := strconv.Atoi(strings.TrimSpace(spart))
+				if err != nil {
+					return fmt.Errorf("bad source %q", spart)
+				}
+				for _, epart := range strings.Split(*epsSpec, ",") {
+					eps, err := strconv.ParseFloat(strings.TrimSpace(epart), 64)
+					if err != nil {
+						return fmt.Errorf("bad eps %q", epart)
+					}
+					reqs = append(reqs, store.Req{Source: src, Eps: eps, Alg: alg})
+				}
+			}
+			sts, err := st.GetOrBuildMany(fp, reqs)
+			if err != nil {
+				return err
+			}
+			for i, s := range sts {
+				fmt.Fprintf(stdout, "pre-built s=%d eps=%g: |H|=%d backup=%d reinforced=%d\n",
+					reqs[i].Source, reqs[i].Eps, s.Size(), s.BackupCount(), s.ReinforcedCount())
+			}
+		}
+	}
+
+	ctx, cancel := serveSignalContext()
+	defer cancel()
+	srv := server.New(st)
+	err = server.Serve(ctx, *addr, srv, func(bound string) {
+		fmt.Fprintf(stdout, "ftbfs: serving on %s (graphs=%d, structures=%d)\n",
+			bound, st.Stats().Graphs, st.Len())
+		serveReady(bound)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "ftbfs: shut down cleanly")
+	return nil
+}

@@ -1,0 +1,122 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeCommand drives the full subcommand: generate a graph, start the
+// service with a persist directory and a pre-built structure, query it over
+// HTTP, and shut it down through the (stubbed) signal context.
+func TestServeCommand(t *testing.T) {
+	dir := t.TempDir()
+	graphFile := filepath.Join(dir, "g.txt")
+	if _, _, code := run(t, "gen", "-family", "gnp", "-n", "40", "-p", "0.15", "-seed", "3", "-o", graphFile); code != 0 {
+		t.Fatal("gen failed")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	oldCtx, oldReady := serveSignalContext, serveReady
+	defer func() { serveSignalContext, serveReady = oldCtx, oldReady }()
+	serveSignalContext = func() (context.Context, context.CancelFunc) {
+		return ctx, func() {}
+	}
+	addrc := make(chan string, 1)
+	serveReady = func(addr string) { addrc <- addr }
+
+	var out bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- Main([]string{"serve", "-addr", "127.0.0.1:0",
+			"-dir", filepath.Join(dir, "store"), "-cap", "4",
+			"-in", graphFile, "-sources", "0", "-eps", "0.3"}, &out, os.Stderr)
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not come up")
+	}
+
+	resp, err := http.Get("http://" + addr + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Store struct {
+			Graphs     int `json:"graphs"`
+			Structures int `json:"structures"`
+		} `json:"store"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store.Graphs != 1 || stats.Store.Structures != 1 {
+		t.Fatalf("pre-build missing from /stats: %+v", stats)
+	}
+
+	// The pre-registered fingerprint is printed at startup; query through it.
+	startup := out.String()
+	var fp string
+	for _, line := range strings.Split(startup, "\n") {
+		if strings.HasPrefix(line, "registered graph ") {
+			fp = strings.Fields(line)[2]
+		}
+	}
+	if fp == "" {
+		t.Fatalf("no fingerprint in startup output: %q", startup)
+	}
+	resp, err = http.Get(fmt.Sprintf("http://%s/dist?graph=%s&eps=0.3&v=5", addr, fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr struct {
+		Dist int `json:"dist"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&dr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/dist failed: %v (status %d)", err, resp.StatusCode)
+	}
+	if dr.Dist < 0 {
+		t.Fatalf("vertex 5 unreachable in a connected graph (dist %d)", dr.Dist)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("serve exited %d; output:\n%s", code, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	if !strings.Contains(out.String(), "shut down cleanly") {
+		t.Fatalf("missing graceful-shutdown message in %q", out.String())
+	}
+
+	// The persist directory survived: it holds the graph and the structure.
+	files, err := filepath.Glob(filepath.Join(dir, "store", "*"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("persist dir contents: %v (%v)", files, err)
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	if _, _, code := run(t, "serve", "-in", "/nonexistent/graph.txt"); code != 1 {
+		t.Fatal("missing graph file accepted")
+	}
+	if _, _, code := run(t, "serve", "-bogus"); code != 1 {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // Algorithm selects the construction Build runs.
 type Algorithm int
 
@@ -21,6 +23,24 @@ const (
 	// discussion section: reinforce the costliest tree edges first.
 	Greedy
 )
+
+// ParseAlgorithm is the inverse of Algorithm.String; the empty string means
+// Auto.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "auto":
+		return Auto, nil
+	case "tree":
+		return Tree, nil
+	case "baseline":
+		return Baseline, nil
+	case "epsilon":
+		return Epsilon, nil
+	case "greedy":
+		return Greedy, nil
+	}
+	return Auto, fmt.Errorf("core: unknown algorithm %q", s)
+}
 
 // String implements fmt.Stringer.
 func (a Algorithm) String() string {

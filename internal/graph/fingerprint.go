@@ -1,0 +1,29 @@
+package graph
+
+// Fingerprint returns a 64-bit FNV-1a hash of the graph's vertex count and
+// canonical edge list. Two graphs share a fingerprint iff they have the same
+// vertex count and the same edge set inserted in the same order (EdgeIDs are
+// part of the identity: every higher-level structure refers to edges by id).
+// The fingerprint is stable across processes, so it can key on-disk caches of
+// built structures.
+func (g *Graph) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(g.n))
+	mix(uint64(len(g.edges)))
+	for _, e := range g.edges {
+		c := e.Canonical()
+		mix(uint64(uint32(c.U))<<32 | uint64(uint32(c.V)))
+	}
+	return h
+}

@@ -1,0 +1,60 @@
+package graph
+
+import "testing"
+
+func TestFingerprintDeterministic(t *testing.T) {
+	mk := func() *Graph {
+		g := New(5)
+		g.MustAddEdge(0, 1)
+		g.MustAddEdge(1, 2)
+		g.MustAddEdge(2, 3)
+		g.MustAddEdge(3, 4)
+		return g
+	}
+	a, b := mk(), mk()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical graphs disagree on fingerprint")
+	}
+	// Frozen vs unfrozen must not matter: the fingerprint hashes the edge
+	// list, which Freeze does not touch.
+	b.Freeze()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("Freeze changed the fingerprint")
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	base := New(5)
+	base.MustAddEdge(0, 1)
+	base.MustAddEdge(1, 2)
+
+	moreVertices := New(6)
+	moreVertices.MustAddEdge(0, 1)
+	moreVertices.MustAddEdge(1, 2)
+	if base.Fingerprint() == moreVertices.Fingerprint() {
+		t.Fatal("fingerprint ignores vertex count")
+	}
+
+	otherEdge := New(5)
+	otherEdge.MustAddEdge(0, 1)
+	otherEdge.MustAddEdge(1, 3)
+	if base.Fingerprint() == otherEdge.Fingerprint() {
+		t.Fatal("fingerprint ignores edge identity")
+	}
+
+	reordered := New(5)
+	reordered.MustAddEdge(1, 2)
+	reordered.MustAddEdge(0, 1)
+	if base.Fingerprint() == reordered.Fingerprint() {
+		t.Fatal("fingerprint ignores insertion order (EdgeIDs differ)")
+	}
+
+	// Endpoint orientation must NOT matter: {u,v} and {v,u} are the same
+	// undirected edge.
+	flipped := New(5)
+	flipped.MustAddEdge(1, 0)
+	flipped.MustAddEdge(2, 1)
+	if base.Fingerprint() != flipped.Fingerprint() {
+		t.Fatal("fingerprint depends on endpoint orientation")
+	}
+}

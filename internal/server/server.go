@@ -1,0 +1,528 @@
+// Package server exposes the FT-BFS query service over HTTP/JSON: the
+// operational layer that answers "dist(s, v) avoiding failed edge e" against
+// structures held in an internal/store registry. Oracles are not
+// concurrency-safe, so every query checks one out of the structure's
+// OraclePool for the duration of the request; structures themselves are
+// immutable and shared.
+//
+// Endpoints:
+//
+//	POST /build          register a graph and build structures for it
+//	GET|POST /dist           dist(s, v) in the intact structure H
+//	GET|POST /dist-avoiding  dist(s, v) in H minus one failed edge
+//	POST /batch-query    a vector of failure queries on one structure
+//	GET  /stats          store and server counters
+//
+// Distances use -1 for "unreachable". Errors are {"error": "..."} with a
+// 4xx/5xx status.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ftbfs"
+	"ftbfs/internal/core"
+	"ftbfs/internal/store"
+)
+
+// DefaultEps is the tradeoff parameter assumed when a request leaves ε out.
+const DefaultEps = 0.25
+
+// MaxBuildN caps the vertex count of a /build request: a single small JSON
+// body must not be able to make the server allocate gigabytes of adjacency.
+const MaxBuildN = 1_000_000
+
+// maxBodyBytes bounds every JSON request body (graph text for 1M edges is
+// well under this).
+const maxBodyBytes = 64 << 20
+
+// Server is the HTTP handler of the query service.
+type Server struct {
+	store *store.Store
+	mux   *http.ServeMux
+	start time.Time
+
+	requests atomic.Uint64 // HTTP requests accepted
+	queries  atomic.Uint64 // individual distance queries answered
+	errs     atomic.Uint64 // requests answered with an error status
+}
+
+// New returns a service over the given registry.
+func New(st *store.Store) *Server {
+	s := &Server{store: st, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/build", s.handleBuild)
+	s.mux.HandleFunc("/dist", s.handleDist)
+	s.mux.HandleFunc("/dist-avoiding", s.handleDistAvoiding)
+	s.mux.HandleFunc("/batch-query", s.handleBatchQuery)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
+	s.errs.Add(1)
+	s.writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// BuildRequest is the body of POST /build. The graph arrives either as the
+// library text format (Graph) or inline as a vertex count plus an edge list
+// (N, Edges). Structures are built for the cross product Sources × Eps;
+// empty defaults are source 0, ε = DefaultEps, algorithm auto.
+type BuildRequest struct {
+	Graph   string    `json:"graph,omitempty"`
+	N       int       `json:"n,omitempty"`
+	Edges   [][2]int  `json:"edges,omitempty"`
+	Sources []int     `json:"sources,omitempty"`
+	Eps     []float64 `json:"eps,omitempty"`
+	Alg     string    `json:"alg,omitempty"`
+}
+
+// checkTextGraphSize rejects a text-format graph whose "p <n> <m>" header
+// declares more than MaxBuildN vertices before any adjacency is allocated.
+func checkTextGraphSize(text string) error {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "p" {
+			return fmt.Errorf("bad graph text: first record %q is not a p-header", line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad graph text: vertex count %q", fields[1])
+		}
+		if n > MaxBuildN {
+			return fmt.Errorf("n = %d exceeds the limit of %d vertices", n, MaxBuildN)
+		}
+		return nil
+	}
+	return fmt.Errorf("empty graph text")
+}
+
+// StructureInfo summarises one built structure in a BuildResponse.
+type StructureInfo struct {
+	Source     int     `json:"source"`
+	Eps        float64 `json:"eps"`
+	Alg        string  `json:"alg"`
+	Size       int     `json:"size"`
+	Backup     int     `json:"backup"`
+	Reinforced int     `json:"reinforced"`
+}
+
+// BuildResponse is the reply of POST /build. Fingerprint keys every
+// subsequent query for this graph.
+type BuildResponse struct {
+	Fingerprint string          `json:"fingerprint"`
+	N           int             `json:"n"`
+	M           int             `json:"m"`
+	Structures  []StructureInfo `json:"structures"`
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req BuildRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	var g *ftbfs.Graph
+	switch {
+	case req.Graph != "":
+		if err := checkTextGraphSize(req.Graph); err != nil {
+			s.writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		var err error
+		if g, err = ftbfs.ReadGraph(strings.NewReader(req.Graph)); err != nil {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad graph text: %w", err))
+			return
+		}
+	case req.N > 0:
+		if req.N > MaxBuildN {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("n = %d exceeds the limit of %d vertices", req.N, MaxBuildN))
+			return
+		}
+		g = ftbfs.NewGraph(req.N)
+		for _, e := range req.Edges {
+			if err := g.AddEdge(e[0], e[1]); err != nil {
+				s.writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+	default:
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf(`provide "graph" (text format) or "n"+"edges"`))
+		return
+	}
+	alg, err := core.ParseAlgorithm(req.Alg)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sources := req.Sources
+	if len(sources) == 0 {
+		sources = []int{0}
+	}
+	epsGrid := req.Eps
+	if len(epsGrid) == 0 {
+		epsGrid = []float64{DefaultEps}
+	}
+	fp, err := s.store.AddGraph(g)
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	var reqs []store.Req
+	for _, src := range sources {
+		for _, eps := range epsGrid {
+			reqs = append(reqs, store.Req{Source: src, Eps: eps, Alg: alg})
+		}
+	}
+	sts, err := s.store.GetOrBuildMany(fp, reqs)
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	resp := BuildResponse{Fingerprint: fmt.Sprintf("%016x", fp), N: g.N(), M: g.M()}
+	for i, st := range sts {
+		resp.Structures = append(resp.Structures, StructureInfo{
+			Source:     reqs[i].Source,
+			Eps:        reqs[i].Eps,
+			Alg:        alg.String(),
+			Size:       st.Size(),
+			Backup:     st.BackupCount(),
+			Reinforced: st.ReinforcedCount(),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// queryRequest addresses one structure plus one (target, failure) query.
+// GET requests carry the same fields as URL parameters (graph, source, eps,
+// alg, v, fu, fv). V is a pointer so an omitted target is distinguishable
+// from vertex 0 — the distance endpoints reject it as malformed.
+type queryRequest struct {
+	Graph  string   `json:"graph"`
+	Source int      `json:"source"`
+	Eps    *float64 `json:"eps,omitempty"`
+	Alg    string   `json:"alg,omitempty"`
+	V      *int     `json:"v,omitempty"`
+	Fail   *[2]int  `json:"fail,omitempty"`
+}
+
+// key resolves the addressed structure key.
+func (q *queryRequest) key() (store.Key, error) {
+	fp, err := strconv.ParseUint(q.Graph, 16, 64)
+	if err != nil {
+		return store.Key{}, fmt.Errorf("bad graph fingerprint %q", q.Graph)
+	}
+	alg, err := core.ParseAlgorithm(q.Alg)
+	if err != nil {
+		return store.Key{}, err
+	}
+	eps := DefaultEps
+	if q.Eps != nil {
+		eps = *q.Eps
+	}
+	if math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return store.Key{}, fmt.Errorf("eps must be finite, got %v", eps)
+	}
+	return store.Key{Graph: fp, Source: q.Source, Eps: eps, Alg: alg}, nil
+}
+
+// parseQuery decodes a queryRequest from a POST body or GET parameters.
+func parseQuery(r *http.Request) (queryRequest, error) {
+	var q queryRequest
+	if r.Method == http.MethodPost {
+		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+			return q, fmt.Errorf("bad body: %w", err)
+		}
+		return q, nil
+	}
+	if r.Method != http.MethodGet {
+		return q, fmt.Errorf("GET or POST required")
+	}
+	vals := r.URL.Query()
+	q.Graph = vals.Get("graph")
+	q.Alg = vals.Get("alg")
+	intParam := func(name string, dst *int) error {
+		s := vals.Get(name)
+		if s == "" {
+			return nil
+		}
+		x, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("bad %s=%q", name, s)
+		}
+		*dst = x
+		return nil
+	}
+	if err := intParam("source", &q.Source); err != nil {
+		return q, err
+	}
+	if vals.Get("v") != "" {
+		var v int
+		if err := intParam("v", &v); err != nil {
+			return q, err
+		}
+		q.V = &v
+	}
+	if s := vals.Get("eps"); s != "" {
+		x, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return q, fmt.Errorf("bad eps=%q", s)
+		}
+		q.Eps = &x
+	}
+	if vals.Get("fu") != "" || vals.Get("fv") != "" {
+		// Half a failed edge is a malformed query, not "the other endpoint
+		// is vertex 0" — answering that would be confidently wrong.
+		if vals.Get("fu") == "" || vals.Get("fv") == "" {
+			return q, fmt.Errorf("failed edge needs both fu= and fv=")
+		}
+		var fail [2]int
+		if err := intParam("fu", &fail[0]); err != nil {
+			return q, err
+		}
+		if err := intParam("fv", &fail[1]); err != nil {
+			return q, err
+		}
+		q.Fail = &fail
+	}
+	return q, nil
+}
+
+// statusFor classifies an error: persist-directory faults are the server's
+// (503-adjacent 500), everything else on these paths is caused by the
+// request (unknown graph, invalid parameters, non-edge failure).
+func statusFor(err error) int {
+	var pe *store.PersistError
+	if errors.As(err, &pe) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+// structureFor resolves (load-through or build-through) the structure a query
+// addresses and validates the target vertex.
+func (s *Server) structureFor(q queryRequest) (*ftbfs.Structure, store.Key, error) {
+	k, err := q.key()
+	if err != nil {
+		return nil, k, err
+	}
+	g, ok := s.store.Graph(k.Graph)
+	if !ok {
+		return nil, k, fmt.Errorf("unknown graph %s (POST /build first)", q.Graph)
+	}
+	if q.V != nil && (*q.V < 0 || *q.V >= g.N()) {
+		return nil, k, fmt.Errorf("vertex %d out of range [0,%d)", *q.V, g.N())
+	}
+	// GetOrBuild serves a resident structure on its fast path; misses fall
+	// through to load- or build-through.
+	st, err := s.store.GetOrBuild(k)
+	if err != nil {
+		return nil, k, err
+	}
+	return st, k, nil
+}
+
+type distResponse struct {
+	Dist int `json:"dist"` // -1 means unreachable
+}
+
+func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.V == nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("missing target vertex v"))
+		return
+	}
+	st, _, err := s.structureFor(q)
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	// Intact distances come from the structure's shared cached vector — no
+	// oracle (and no BFS scratch allocation) needed.
+	d := st.Dist(*q.V)
+	s.queries.Add(1)
+	s.writeJSON(w, http.StatusOK, distResponse{Dist: d})
+}
+
+func (s *Server) handleDistAvoiding(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.V == nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("missing target vertex v"))
+		return
+	}
+	if q.Fail == nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("missing failed edge (fail=[u,v] or fu=&fv=)"))
+		return
+	}
+	st, _, err := s.structureFor(q)
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	var d int
+	err = st.OraclePool().Do(func(o *ftbfs.Oracle) error {
+		var qerr error
+		d, qerr = o.DistAvoiding(*q.V, q.Fail[0], q.Fail[1])
+		return qerr
+	})
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.queries.Add(1)
+	s.writeJSON(w, http.StatusOK, distResponse{Dist: d})
+}
+
+// BatchQueryRequest is the body of POST /batch-query: one structure address
+// plus a vector of failure queries, answered with one pooled oracle and a
+// single BFS scratch (Oracle.DistAvoidingMany).
+type BatchQueryRequest struct {
+	Graph   string   `json:"graph"`
+	Source  int      `json:"source"`
+	Eps     *float64 `json:"eps,omitempty"`
+	Alg     string   `json:"alg,omitempty"`
+	Queries []struct {
+		V    int    `json:"v"`
+		Fail [2]int `json:"fail"`
+	} `json:"queries"`
+}
+
+type batchQueryResponse struct {
+	Dists []int `json:"dists"` // -1 means unreachable
+}
+
+func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req BatchQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("empty query vector"))
+		return
+	}
+	st, _, err := s.structureFor(queryRequest{Graph: req.Graph, Source: req.Source, Eps: req.Eps, Alg: req.Alg})
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	queries := make([]ftbfs.FailureQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = ftbfs.FailureQuery{V: q.V, FailedU: q.Fail[0], FailedV: q.Fail[1]}
+	}
+	dists := make([]int, len(queries))
+	err = st.OraclePool().Do(func(o *ftbfs.Oracle) error {
+		_, qerr := o.DistAvoidingMany(queries, dists)
+		return qerr
+	})
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.queries.Add(uint64(len(queries)))
+	s.writeJSON(w, http.StatusOK, batchQueryResponse{Dists: dists})
+}
+
+// StatsResponse is the reply of GET /stats.
+type StatsResponse struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Requests      uint64      `json:"requests"`
+	Queries       uint64      `json:"queries"`
+	Errors        uint64      `json:"errors"`
+	Store         store.Stats `json:"store"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Queries:       s.queries.Load(),
+		Errors:        s.errs.Load(),
+		Store:         s.store.Stats(),
+	})
+}
+
+// Serve runs handler on addr until ctx is cancelled, then drains in-flight
+// requests (graceful shutdown, 5 s deadline). ready, when non-nil, is called
+// once with the bound address — useful with addr ":0".
+func Serve(ctx context.Context, addr string, handler http.Handler, ready func(addr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler: handler,
+		// Slowloris guard: a client trickling header bytes must not pin a
+		// goroutine forever. Bodies are bounded by MaxBytesReader instead
+		// of a ReadTimeout so legitimate large /build uploads still work.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return err
+		}
+		<-errc // srv.Serve has returned http.ErrServerClosed
+		return nil
+	}
+}

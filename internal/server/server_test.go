@@ -1,0 +1,401 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ftbfs"
+	"ftbfs/internal/store"
+)
+
+func testGraph(t testing.TB, n, extra int, seed int64) *ftbfs.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := ftbfs.NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i, rng.Intn(i))
+	}
+	for k := 0; k < extra; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func newTestServer(t testing.TB) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(st))
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+func postJSON(t testing.TB, url string, body, out any) (int, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("bad response %q: %v", buf.String(), err)
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+func getJSON(t testing.TB, url string, out any) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("bad response %q: %v", buf.String(), err)
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+// buildVia registers g with the service and returns its fingerprint.
+func buildVia(t testing.TB, ts *httptest.Server, g *ftbfs.Graph, sources []int, eps float64) BuildResponse {
+	t.Helper()
+	var text bytes.Buffer
+	if err := g.Write(&text); err != nil {
+		t.Fatal(err)
+	}
+	var out BuildResponse
+	code, body := postJSON(t, ts.URL+"/build", BuildRequest{
+		Graph:   text.String(),
+		Sources: sources,
+		Eps:     []float64{eps},
+	}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("/build: %d %s", code, body)
+	}
+	return out
+}
+
+func TestBuildEndpoint(t *testing.T) {
+	ts, st := newTestServer(t)
+	g := testGraph(t, 40, 60, 1)
+	out := buildVia(t, ts, g, []int{0, 7}, 0.3)
+	if out.N != 40 || len(out.Structures) != 2 {
+		t.Fatalf("unexpected build response %+v", out)
+	}
+	for _, si := range out.Structures {
+		if si.Size == 0 || si.Eps != 0.3 {
+			t.Fatalf("bad structure info %+v", si)
+		}
+	}
+	if st.Len() != 2 {
+		t.Fatalf("store holds %d structures, want 2", st.Len())
+	}
+
+	// Inline n+edges form.
+	var out2 BuildResponse
+	code, body := postJSON(t, ts.URL+"/build", BuildRequest{
+		N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+	}, &out2)
+	if code != http.StatusOK || len(out2.Structures) != 1 {
+		t.Fatalf("/build inline: %d %s", code, body)
+	}
+
+	// Error paths.
+	if code, _ := postJSON(t, ts.URL+"/build", BuildRequest{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty build accepted: %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/build", BuildRequest{N: 3, Edges: [][2]int{{0, 0}}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("self-loop accepted: %d", code)
+	}
+	// A tiny request must not be able to allocate gigabytes of adjacency.
+	if code, _ := postJSON(t, ts.URL+"/build", BuildRequest{N: MaxBuildN + 1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized n accepted: %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/build", BuildRequest{Graph: "p 2000000000 1\ne 0 1\n"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized text-graph header accepted: %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/build")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /build: %d", resp.StatusCode)
+	}
+}
+
+func TestDistEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := testGraph(t, 50, 70, 2)
+	out := buildVia(t, ts, g, []int{0}, 0.3)
+	fp := out.Fingerprint
+
+	// Ground truth from a serial oracle over an identical graph.
+	g2 := testGraph(t, 50, 70, 2)
+	st2, err := ftbfs.Build(g2, 0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := st2.Oracle()
+
+	var dr distResponse
+	code, body := getJSON(t, fmt.Sprintf("%s/dist?graph=%s&eps=0.3&v=17", ts.URL, fp), &dr)
+	if code != http.StatusOK {
+		t.Fatalf("/dist: %d %s", code, body)
+	}
+	if want := o.Dist(17); dr.Dist != want {
+		t.Fatalf("/dist = %d, want %d", dr.Dist, want)
+	}
+
+	var fail [2]int
+	for _, e := range st2.Edges() {
+		if !st2.IsReinforced(e[0], e[1]) {
+			fail = e
+			break
+		}
+	}
+	want, err := o.DistAvoiding(17, fail[0], fail[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body = getJSON(t, fmt.Sprintf("%s/dist-avoiding?graph=%s&eps=0.3&v=17&fu=%d&fv=%d",
+		ts.URL, fp, fail[0], fail[1]), &dr)
+	if code != http.StatusOK {
+		t.Fatalf("/dist-avoiding GET: %d %s", code, body)
+	}
+	if dr.Dist != want {
+		t.Fatalf("/dist-avoiding = %d, want %d", dr.Dist, want)
+	}
+
+	// POST form of the same query.
+	eps := 0.3
+	v17 := 17
+	code, body = postJSON(t, ts.URL+"/dist-avoiding", queryRequest{
+		Graph: fp, Eps: &eps, V: &v17, Fail: &fail,
+	}, &dr)
+	if code != http.StatusOK || dr.Dist != want {
+		t.Fatalf("/dist-avoiding POST: %d %s (want dist %d)", code, body, want)
+	}
+
+	// Error paths: unknown graph, missing failure, bad vertex.
+	if code, _ := getJSON(t, ts.URL+"/dist?graph=ffffffffffffffff&v=1", nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown graph: %d", code)
+	}
+	if code, _ := getJSON(t, fmt.Sprintf("%s/dist-avoiding?graph=%s&eps=0.3&v=1", ts.URL, fp), nil); code != http.StatusBadRequest {
+		t.Fatalf("missing failed edge: %d", code)
+	}
+	if code, _ := getJSON(t, fmt.Sprintf("%s/dist?graph=%s&eps=0.3&v=999", ts.URL, fp), nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range vertex: %d", code)
+	}
+	// Half a failed edge must be rejected, not defaulted to vertex 0.
+	if code, _ := getJSON(t, fmt.Sprintf("%s/dist-avoiding?graph=%s&eps=0.3&v=17&fu=%d", ts.URL, fp, fail[0]), nil); code != http.StatusBadRequest {
+		t.Fatalf("fu without fv accepted: %d", code)
+	}
+	// So must a missing target vertex — it is not "vertex 0".
+	if code, _ := getJSON(t, fmt.Sprintf("%s/dist?graph=%s&eps=0.3", ts.URL, fp), nil); code != http.StatusBadRequest {
+		t.Fatalf("missing v accepted on /dist: %d", code)
+	}
+	if code, _ := getJSON(t, fmt.Sprintf("%s/dist-avoiding?graph=%s&eps=0.3&fu=%d&fv=%d", ts.URL, fp, fail[0], fail[1]), nil); code != http.StatusBadRequest {
+		t.Fatalf("missing v accepted on /dist-avoiding: %d", code)
+	}
+	// NaN eps must be rejected, not become an unfindable map key (ParseFloat
+	// accepts "NaN"; a NaN key would nil-deref in the store's single-flight).
+	for _, bad := range []string{"NaN", "+Inf"} {
+		if code, _ := getJSON(t, fmt.Sprintf("%s/dist-avoiding?graph=%s&eps=%s&v=17&fu=%d&fv=%d",
+			ts.URL, fp, bad, fail[0], fail[1]), nil); code != http.StatusBadRequest {
+			t.Fatalf("eps=%s accepted: %d", bad, code)
+		}
+	}
+}
+
+func TestBatchQueryMatchesSerial(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := testGraph(t, 60, 90, 3)
+	out := buildVia(t, ts, g, []int{0}, 0.25)
+
+	g2 := testGraph(t, 60, 90, 3)
+	st2, err := ftbfs.Build(g2, 0, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := st2.Oracle()
+
+	eps := 0.25
+	req := BatchQueryRequest{Graph: out.Fingerprint, Eps: &eps}
+	var want []int
+	for i, e := range st2.Edges() {
+		if st2.IsReinforced(e[0], e[1]) {
+			continue
+		}
+		v := (i * 11) % 60
+		req.Queries = append(req.Queries, struct {
+			V    int    `json:"v"`
+			Fail [2]int `json:"fail"`
+		}{V: v, Fail: e})
+		d, err := o.DistAvoiding(v, e[0], e[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, d)
+	}
+	var resp batchQueryResponse
+	code, body := postJSON(t, ts.URL+"/batch-query", req, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("/batch-query: %d %s", code, body)
+	}
+	if len(resp.Dists) != len(want) {
+		t.Fatalf("got %d dists, want %d", len(resp.Dists), len(want))
+	}
+	for i := range want {
+		if resp.Dists[i] != want[i] {
+			t.Fatalf("batch query %d: got %d, want %d", i, resp.Dists[i], want[i])
+		}
+	}
+	if code, _ := postJSON(t, ts.URL+"/batch-query", BatchQueryRequest{Graph: out.Fingerprint}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch accepted: %d", code)
+	}
+}
+
+// TestConcurrentDistAvoiding is the acceptance gate: many goroutines hammer
+// /dist-avoiding on one structure and every answer must equal the serial
+// Oracle.DistAvoiding ground truth (run under -race in CI).
+func TestConcurrentDistAvoiding(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := testGraph(t, 80, 120, 4)
+	out := buildVia(t, ts, g, []int{0}, 0.3)
+
+	g2 := testGraph(t, 80, 120, 4)
+	st2, err := ftbfs.Build(g2, 0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := st2.Oracle()
+	type q struct {
+		v, fu, fv, want int
+	}
+	var qs []q
+	for i, e := range st2.Edges() {
+		if st2.IsReinforced(e[0], e[1]) {
+			continue
+		}
+		v := (i * 17) % 80
+		d, err := serial.DistAvoiding(v, e[0], e[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q{v, e[0], e[1], d})
+	}
+
+	const workers = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := w; i < len(qs)*3; i += workers {
+				qq := qs[i%len(qs)]
+				url := fmt.Sprintf("%s/dist-avoiding?graph=%s&eps=0.3&v=%d&fu=%d&fv=%d",
+					ts.URL, out.Fingerprint, qq.v, qq.fu, qq.fv)
+				resp, err := client.Get(url)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var dr distResponse
+				err = json.NewDecoder(resp.Body).Decode(&dr)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if dr.Dist != qq.want {
+					t.Errorf("concurrent /dist-avoiding(v=%d, fail={%d,%d}) = %d, want %d",
+						qq.v, qq.fu, qq.fv, dr.Dist, qq.want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := testGraph(t, 30, 40, 5)
+	out := buildVia(t, ts, g, []int{0}, 0.25)
+	if code, _ := getJSON(t, fmt.Sprintf("%s/dist?graph=%s&v=3", ts.URL, out.Fingerprint), nil); code != http.StatusOK {
+		t.Fatal("dist failed")
+	}
+	var sr StatsResponse
+	code, body := getJSON(t, ts.URL+"/stats", &sr)
+	if code != http.StatusOK {
+		t.Fatalf("/stats: %d %s", code, body)
+	}
+	if sr.Requests < 3 || sr.Queries != 1 || sr.Store.Graphs != 1 || sr.Store.Builds != 1 {
+		t.Fatalf("unexpected stats %+v", sr)
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	st, err := store.New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, "127.0.0.1:0", New(st), func(a string) { addrc <- a })
+	}()
+	addr := <-addrc
+	resp, err := http.Get("http://" + addr + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not shut down")
+	}
+	if _, err := http.Get("http://" + addr + "/stats"); err == nil ||
+		!strings.Contains(err.Error(), "refused") && !strings.Contains(err.Error(), "connect") {
+		t.Fatalf("server still accepting after shutdown: %v", err)
+	}
+}

@@ -1,0 +1,491 @@
+// Package store is a thread-safe registry of built FT-BFS structures: the
+// state behind the query service in internal/server. Structures are keyed by
+// (graph fingerprint, source, ε, algorithm); the registry holds at most a
+// configured number of structures in memory (LRU eviction), builds missing
+// entries on demand through ftbfs.BuildBatch (one batched build per request
+// burst, deduplicated per key via single-flight), and — when given a
+// directory — persists every graph and structure with the library's text
+// formats so a restarted server warm-starts from disk and evicted structures
+// load back through instead of rebuilding.
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ftbfs"
+)
+
+// Key identifies one built structure in the registry.
+type Key struct {
+	Graph  uint64 // fingerprint of the base graph
+	Source int
+	Eps    float64
+	Alg    ftbfs.Algorithm
+}
+
+// String implements fmt.Stringer.
+func (k Key) String() string {
+	return fmt.Sprintf("%016x/s%d/eps%g/%s", k.Graph, k.Source, k.Eps, k.Alg)
+}
+
+// Req names one structure for GetOrBuildMany (the Key minus the fingerprint,
+// which is shared by the batch).
+type Req struct {
+	Source int
+	Eps    float64
+	Alg    ftbfs.Algorithm
+}
+
+// Stats is a point-in-time snapshot of the registry counters.
+type Stats struct {
+	Graphs     int `json:"graphs"`
+	Structures int `json:"structures"`
+	Capacity   int `json:"capacity"`
+
+	Hits        uint64 `json:"hits"`         // served from memory
+	Misses      uint64 `json:"misses"`       // not in memory (led to a load or build)
+	Loads       uint64 `json:"loads"`        // satisfied from the persist directory
+	Builds      uint64 `json:"builds"`       // satisfied by BuildBatch
+	Evictions   uint64 `json:"evictions"`    // structures dropped by the LRU
+	Saves       uint64 `json:"saves"`        // structures written to the directory
+	WarmSkipped uint64 `json:"warm_skipped"` // unreadable files skipped at warm start
+}
+
+// PersistError marks a failure of the persist directory (unwritable file,
+// full disk) as a server-side fault, distinguishing it from client-caused
+// errors like an unknown graph or invalid build parameters.
+type PersistError struct{ Err error }
+
+func (e *PersistError) Error() string { return fmt.Sprintf("store: persist: %v", e.Err) }
+func (e *PersistError) Unwrap() error { return e.Err }
+
+type entry struct {
+	key Key
+	st  *ftbfs.Structure
+	el  *list.Element // position in Store.lru; value is *entry
+}
+
+// flight is an in-progress load-or-build shared by concurrent requesters.
+type flight struct {
+	done chan struct{}
+	st   *ftbfs.Structure
+	err  error
+}
+
+// Store is the registry. The zero value is not usable; call New.
+type Store struct {
+	mu       sync.Mutex
+	capacity int    // max in-memory structures; ≤ 0 means unlimited
+	dir      string // persist directory; "" means memory-only
+	graphs   map[uint64]*ftbfs.Graph
+	entries  map[Key]*entry
+	lru      *list.List // front = most recently used
+	inflight map[Key]*flight
+	stats    Stats
+}
+
+// New returns a registry holding at most capacity structures in memory
+// (≤ 0 means unlimited). A non-empty dir enables persistence: the directory
+// is created if needed, every graph and structure ever registered is saved
+// there, and existing contents are loaded back (graphs eagerly; structures
+// lazily, through the LRU, so a huge directory does not blow the memory cap).
+func New(capacity int, dir string) (*Store, error) {
+	s := &Store{
+		capacity: capacity,
+		dir:      dir,
+		graphs:   make(map[uint64]*ftbfs.Graph),
+		entries:  make(map[Key]*entry),
+		lru:      list.New(),
+		inflight: make(map[Key]*flight),
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := s.warmStart(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// warmStart loads every graph file in the persist directory. Unreadable or
+// corrupt files are skipped (counted in Stats.WarmSkipped) so one bad file
+// cannot make the whole store unbootable. Structure files are only
+// enumerated lazily: their keys become loadable through GetOrBuild, and the
+// structures themselves stay on disk until requested.
+func (s *Store) warmStart() error {
+	paths, err := filepath.Glob(filepath.Join(s.dir, "graph-*.ftg"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			s.stats.WarmSkipped++
+			continue
+		}
+		g, err := ftbfs.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			s.stats.WarmSkipped++
+			continue
+		}
+		g.Freeze()
+		s.graphs[g.Fingerprint()] = g
+	}
+	return nil
+}
+
+// graphPath returns the persist path of a graph file.
+func (s *Store) graphPath(fp uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("graph-%016x.ftg", fp))
+}
+
+// structPath returns the persist path of a structure file. ε is encoded as
+// its IEEE-754 bit pattern so every distinct key maps to a distinct file.
+func (s *Store) structPath(k Key) string {
+	return filepath.Join(s.dir, fmt.Sprintf("st-%016x-s%d-e%016x-a%d.fts",
+		k.Graph, k.Source, math.Float64bits(k.Eps), int(k.Alg)))
+}
+
+// keyFromStructFile parses a structure file name produced by the store back
+// into its Key; ok is false for foreign names. The filename format is an
+// on-disk contract: structPath must stay its inverse.
+func keyFromStructFile(name string) (Key, bool) {
+	name = strings.TrimSuffix(filepath.Base(name), ".fts")
+	parts := strings.Split(name, "-")
+	if len(parts) != 5 || parts[0] != "st" ||
+		!strings.HasPrefix(parts[2], "s") || !strings.HasPrefix(parts[3], "e") || !strings.HasPrefix(parts[4], "a") {
+		return Key{}, false
+	}
+	fp, err1 := strconv.ParseUint(parts[1], 16, 64)
+	src, err2 := strconv.Atoi(parts[2][1:])
+	bits, err3 := strconv.ParseUint(parts[3][1:], 16, 64)
+	alg, err4 := strconv.Atoi(parts[4][1:])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		return Key{}, false
+	}
+	return Key{Graph: fp, Source: src, Eps: math.Float64frombits(bits), Alg: ftbfs.Algorithm(alg)}, true
+}
+
+// AddGraph registers (and freezes) a graph, persisting it when the store has
+// a directory, and returns its fingerprint. Re-adding a known fingerprint is
+// a no-op returning the existing registration.
+func (s *Store) AddGraph(g *ftbfs.Graph) (uint64, error) {
+	g.Freeze()
+	fp := g.Fingerprint()
+	s.mu.Lock()
+	if _, ok := s.graphs[fp]; ok {
+		s.mu.Unlock()
+		return fp, nil
+	}
+	s.graphs[fp] = g
+	dir := s.dir
+	s.mu.Unlock()
+	if dir != "" {
+		if err := writeAtomic(s.graphPath(fp), g.Write); err != nil {
+			return fp, &PersistError{Err: fmt.Errorf("graph %016x: %w", fp, err)}
+		}
+	}
+	return fp, nil
+}
+
+// Graph returns the registered graph with the given fingerprint.
+func (s *Store) Graph(fp uint64) (*ftbfs.Graph, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.graphs[fp]
+	return g, ok
+}
+
+// Graphs returns the fingerprints of every registered graph.
+func (s *Store) Graphs() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.graphs))
+	for fp := range s.graphs {
+		out = append(out, fp)
+	}
+	return out
+}
+
+// Get returns the structure for k if it is resident in memory, touching its
+// LRU position. It never loads or builds; use GetOrBuild for read-through.
+func (s *Store) Get(k Key) (*ftbfs.Structure, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	s.lru.MoveToFront(e.el)
+	return e.st, true
+}
+
+// Len returns the number of structures resident in memory.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a snapshot of the registry counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Graphs = len(s.graphs)
+	st.Structures = len(s.entries)
+	st.Capacity = s.capacity
+	return st
+}
+
+// GetOrBuild returns the structure for k, loading it from the persist
+// directory or building it through BuildBatch on a miss. Concurrent calls
+// for the same key share one load/build. A resident structure is returned
+// on an allocation-free fast path — the steady state of a serving hot loop.
+func (s *Store) GetOrBuild(k Key) (*ftbfs.Structure, error) {
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		s.stats.Hits++
+		s.lru.MoveToFront(e.el)
+		s.mu.Unlock()
+		return e.st, nil
+	}
+	s.mu.Unlock()
+	sts, err := s.GetOrBuildMany(k.Graph, []Req{{Source: k.Source, Eps: k.Eps, Alg: k.Alg}})
+	if err != nil {
+		return nil, err
+	}
+	return sts[0], nil
+}
+
+// GetOrBuildMany resolves a batch of requests against one registered graph.
+// Cached structures are served from memory; the remaining misses are first
+// tried against the persist directory and whatever is still missing is built
+// in a single ftbfs.BuildBatch call, so requests sharing a source share the
+// BFS tree, the replacement-path preprocessing and the reinforcement sweep.
+// Results are returned in request order.
+func (s *Store) GetOrBuildMany(fp uint64, reqs []Req) ([]*ftbfs.Structure, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	for _, r := range reqs {
+		// NaN never compares equal, so a NaN-eps Key would be inserted into
+		// the inflight map and never found again (nil-deref on the
+		// re-lookup, plus a permanent map leak). Inf is equally meaningless.
+		if math.IsNaN(r.Eps) || math.IsInf(r.Eps, 0) {
+			return nil, fmt.Errorf("store: eps must be finite, got %v", r.Eps)
+		}
+	}
+	s.mu.Lock()
+	g, ok := s.graphs[fp]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: unknown graph %016x (register it with AddGraph or /build first)", fp)
+	}
+	out := make([]*ftbfs.Structure, len(reqs))
+	var mine []Key // keys this call is responsible for resolving
+	mineIdx := make(map[Key][]int)
+	var waits []*flight // flights owned by other calls
+	waitIdx := make(map[*flight][]int)
+	for i, r := range reqs {
+		k := Key{Graph: fp, Source: r.Source, Eps: r.Eps, Alg: r.Alg}
+		if e, ok := s.entries[k]; ok {
+			s.stats.Hits++
+			s.lru.MoveToFront(e.el)
+			out[i] = e.st
+			continue
+		}
+		s.stats.Misses++
+		if fl, ok := s.inflight[k]; ok {
+			// In-progress elsewhere — or a duplicate key earlier in this
+			// very batch, whose flight we just registered; either way the
+			// flight is closed before the wait loop runs, so no deadlock.
+			if _, seen := waitIdx[fl]; !seen {
+				waits = append(waits, fl)
+			}
+			waitIdx[fl] = append(waitIdx[fl], i)
+			continue
+		}
+		fl := &flight{done: make(chan struct{})}
+		s.inflight[k] = fl
+		mine = append(mine, k)
+		mineIdx[k] = []int{i}
+	}
+	s.mu.Unlock()
+
+	var firstErr error
+	if len(mine) > 0 {
+		resolved, err := s.resolve(g, mine)
+		if err != nil {
+			firstErr = err
+		}
+		s.mu.Lock()
+		for _, k := range mine {
+			fl := s.inflight[k]
+			delete(s.inflight, k)
+			// A key that did resolve succeeds even when another key of the
+			// batch failed: its waiters must not inherit an unrelated error,
+			// and the loaded/built structure must not be thrown away.
+			if st := resolved[k]; st != nil {
+				fl.st = st
+				s.insertLocked(k, st)
+				for _, i := range mineIdx[k] {
+					out[i] = st
+				}
+			} else if err != nil {
+				fl.err = err
+			} else {
+				fl.err = fmt.Errorf("store: %v: not resolved", k)
+			}
+			close(fl.done)
+		}
+		s.mu.Unlock()
+	}
+	for _, fl := range waits {
+		<-fl.done
+		if fl.err != nil {
+			if firstErr == nil {
+				firstErr = fl.err
+			}
+			continue
+		}
+		for _, i := range waitIdx[fl] {
+			out[i] = fl.st
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// resolve loads or builds the structures for keys (all on graph g), returning
+// them keyed. Load failures fall through to a rebuild; the rebuilt structure
+// overwrites the unreadable file.
+func (s *Store) resolve(g *ftbfs.Graph, keys []Key) (map[Key]*ftbfs.Structure, error) {
+	resolved := make(map[Key]*ftbfs.Structure, len(keys))
+	var toBuild []Key
+	for _, k := range keys {
+		if st := s.loadFromDir(k, g); st != nil {
+			resolved[k] = st
+			continue
+		}
+		toBuild = append(toBuild, k)
+	}
+	if len(toBuild) == 0 {
+		return resolved, nil
+	}
+	breqs := make([]ftbfs.BatchRequest, len(toBuild))
+	for i, k := range toBuild {
+		breqs[i] = ftbfs.BatchRequest{
+			Source:  k.Source,
+			Eps:     k.Eps,
+			Options: []ftbfs.BuildOption{ftbfs.WithAlgorithm(k.Alg)},
+		}
+	}
+	sts, err := ftbfs.BuildBatch(g, breqs)
+	if err != nil {
+		return resolved, fmt.Errorf("store: build: %w", err)
+	}
+	s.mu.Lock()
+	s.stats.Builds += uint64(len(toBuild))
+	dir := s.dir
+	s.mu.Unlock()
+	var persistErr error
+	for i, k := range toBuild {
+		resolved[k] = sts[i]
+		if dir != "" {
+			if err := writeAtomic(s.structPath(k), sts[i].Save); err != nil {
+				// The builds succeeded — keep serving every one of them from
+				// memory, keep persisting the rest, and surface the first
+				// disk fault to the caller.
+				if persistErr == nil {
+					persistErr = &PersistError{Err: fmt.Errorf("%v: %w", k, err)}
+				}
+				continue
+			}
+			s.mu.Lock()
+			s.stats.Saves++
+			s.mu.Unlock()
+		}
+	}
+	return resolved, persistErr
+}
+
+// loadFromDir loads the persisted structure for k, or nil when the store is
+// memory-only, the file is absent, or it fails to decode (the caller then
+// rebuilds and overwrites it).
+func (s *Store) loadFromDir(k Key, g *ftbfs.Graph) *ftbfs.Structure {
+	s.mu.Lock()
+	dir := s.dir
+	s.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Open(s.structPath(k))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	st, err := ftbfs.LoadStructure(g, f)
+	if err != nil || st.Source() != k.Source || st.Epsilon() != k.Eps {
+		return nil
+	}
+	s.mu.Lock()
+	s.stats.Loads++
+	s.mu.Unlock()
+	return st
+}
+
+// insertLocked adds a resolved structure and evicts down to capacity.
+// s.mu must be held.
+func (s *Store) insertLocked(k Key, st *ftbfs.Structure) {
+	if e, ok := s.entries[k]; ok { // lost a race; keep the resident one
+		s.lru.MoveToFront(e.el)
+		return
+	}
+	e := &entry{key: k, st: st}
+	e.el = s.lru.PushFront(e)
+	s.entries[k] = e
+	for s.capacity > 0 && len(s.entries) > s.capacity {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, victim.key)
+		s.stats.Evictions++
+	}
+}
+
+// writeAtomic writes via a temp file + rename so readers never observe a
+// partial structure or graph file.
+func writeAtomic(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

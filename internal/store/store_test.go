@@ -1,0 +1,374 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ftbfs"
+)
+
+func testGraph(t testing.TB, n, extra int, seed int64) *ftbfs.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := ftbfs.NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i, rng.Intn(i))
+	}
+	for k := 0; k < extra; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func savedBytes(t *testing.T, st *ftbfs.Structure) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGetOrBuildCachesAndCounts(t *testing.T) {
+	s, err := New(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.AddGraph(testGraph(t, 40, 60, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Graph: fp, Source: 0, Eps: 0.25}
+	st1, err := s.GetOrBuild(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.GetOrBuild(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatal("second GetOrBuild did not hit the cache")
+	}
+	if got, ok := s.Get(k); !ok || got != st1 {
+		t.Fatal("Get missed a resident structure")
+	}
+	stats := s.Stats()
+	if stats.Builds != 1 || stats.Hits < 2 || stats.Misses != 1 || stats.Structures != 1 {
+		t.Fatalf("unexpected stats %+v", stats)
+	}
+	if _, err := s.GetOrBuild(Key{Graph: fp + 1, Source: 0, Eps: 0.25}); err == nil {
+		t.Fatal("unknown graph accepted")
+	}
+}
+
+func TestGetOrBuildManyBatchesAndDedups(t *testing.T) {
+	s, err := New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.AddGraph(testGraph(t, 40, 60, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Req{
+		{Source: 0, Eps: 0.2},
+		{Source: 3, Eps: 0.3},
+		{Source: 0, Eps: 0.2}, // duplicate inside one batch
+	}
+	sts, err := s.GetOrBuildMany(fp, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 3 || sts[0] == nil || sts[1] == nil || sts[2] == nil {
+		t.Fatalf("missing results: %v", sts)
+	}
+	if sts[0] != sts[2] {
+		t.Fatal("duplicate request resolved to distinct structures")
+	}
+	if sts[0].Source() != 0 || sts[1].Source() != 3 {
+		t.Fatal("results out of request order")
+	}
+	if got := s.Stats().Builds; got != 2 {
+		t.Fatalf("built %d structures, want 2 (deduplicated)", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, err := New(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.AddGraph(testGraph(t, 30, 40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := Key{Graph: fp, Source: 0, Eps: 0.2}
+	k2 := Key{Graph: fp, Source: 0, Eps: 0.3}
+	k3 := Key{Graph: fp, Source: 0, Eps: 0.4}
+	for _, k := range []Key{k1, k2} {
+		if _, err := s.GetOrBuild(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get(k1); !ok { // touch k1 so k2 is the LRU victim
+		t.Fatal("k1 not resident")
+	}
+	if _, err := s.GetOrBuild(k3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("capacity 2 holds %d structures", s.Len())
+	}
+	if _, ok := s.Get(k2); ok {
+		t.Fatal("LRU victim k2 still resident")
+	}
+	if _, ok := s.Get(k1); !ok {
+		t.Fatal("recently-used k1 was evicted")
+	}
+	if got := s.Stats().Evictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+}
+
+// TestPersistRoundTripThroughEviction is the satellite round-trip: build with
+// a persist directory, evict, load back through the store, and require the
+// reloaded structure's Save output to be byte-identical to the original.
+func TestPersistRoundTripThroughEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.AddGraph(testGraph(t, 50, 70, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := Key{Graph: fp, Source: 0, Eps: 0.25}
+	k2 := Key{Graph: fp, Source: 5, Eps: 0.3}
+	st1, err := s.GetOrBuild(k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := savedBytes(t, st1)
+
+	// Building k2 evicts k1 (capacity 1).
+	if _, err := s.GetOrBuild(k2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k1); ok {
+		t.Fatal("k1 survived eviction at capacity 1")
+	}
+	builds := s.Stats().Builds
+
+	st1b, err := s.GetOrBuild(k1) // must load through from disk, not rebuild
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if stats.Builds != builds {
+		t.Fatalf("evicted structure was rebuilt (builds %d → %d), not loaded", builds, stats.Builds)
+	}
+	if stats.Loads == 0 {
+		t.Fatal("load-through not counted")
+	}
+	if got := savedBytes(t, st1b); !bytes.Equal(got, want) {
+		t.Fatalf("reloaded Save output differs from original:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestWarmStartFromDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s1.AddGraph(testGraph(t, 40, 50, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Graph: fp, Source: 2, Eps: 0.3}
+	st, err := s1.GetOrBuild(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := savedBytes(t, st)
+
+	// A fresh store over the same directory knows the graph and serves the
+	// structure from disk without rebuilding.
+	s2, err := New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Graph(fp); !ok {
+		t.Fatal("warm start did not load the graph")
+	}
+	st2, err := s2.GetOrBuild(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := savedBytes(t, st2); !bytes.Equal(got, want) {
+		t.Fatal("warm-started structure differs from original")
+	}
+	stats := s2.Stats()
+	if stats.Builds != 0 || stats.Loads != 1 {
+		t.Fatalf("warm start rebuilt instead of loading: %+v", stats)
+	}
+
+	// The persisted file names round-trip to their keys.
+	files, err := filepath.Glob(filepath.Join(dir, "st-*.fts"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("expected 1 structure file, got %v (%v)", files, err)
+	}
+	got, ok := keyFromStructFile(files[0])
+	if !ok || got != k {
+		t.Fatalf("keyFromStructFile(%s) = %v, %v; want %v", filepath.Base(files[0]), got, ok, k)
+	}
+}
+
+func TestCorruptFileFallsBackToRebuild(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.AddGraph(testGraph(t, 30, 40, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Graph: fp, Source: 0, Eps: 0.25}
+	st, err := s.GetOrBuild(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := savedBytes(t, st)
+	path := s.structPath(k)
+	if err := os.WriteFile(path, []byte("ftbfs-structure 1\ngarbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Evict, then re-request: the corrupt file must be rebuilt around.
+	if _, err := s.GetOrBuild(Key{Graph: fp, Source: 1, Eps: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.GetOrBuild(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := savedBytes(t, st2); !bytes.Equal(got, want) {
+		t.Fatal("rebuild after corrupt file differs")
+	}
+	if got, err := os.ReadFile(path); err != nil || !bytes.Equal(got, want) {
+		t.Fatal("corrupt file was not overwritten by the rebuild")
+	}
+}
+
+// TestBatchErrorDoesNotPoisonResolvedKeys: when one key of a batch fails to
+// build, keys that did resolve (here: a load-through from disk) must still be
+// inserted and served — not discarded with the unrelated error.
+func TestBatchErrorDoesNotPoisonResolvedKeys(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.AddGraph(testGraph(t, 30, 40, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Key{Graph: fp, Source: 0, Eps: 0.25}
+	if _, err := s.GetOrBuild(good); err != nil {
+		t.Fatal(err)
+	}
+	// Evict `good` to disk, then request it together with an unbuildable key.
+	if _, err := s.GetOrBuild(Key{Graph: fp, Source: 1, Eps: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(good); ok {
+		t.Fatal("good key not evicted")
+	}
+	_, err = s.GetOrBuildMany(fp, []Req{
+		{Source: good.Source, Eps: good.Eps},
+		{Source: 999, Eps: 0.25}, // out of range: fails validation in BuildBatch
+	})
+	if err == nil {
+		t.Fatal("invalid source accepted")
+	}
+	if _, ok := s.Get(good); !ok {
+		t.Fatal("loaded structure was discarded because an unrelated key failed")
+	}
+}
+
+func TestWarmStartSkipsCorruptGraphFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s1.AddGraph(testGraph(t, 30, 40, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "graph-dead.ftg"), []byte("not a graph"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(0, dir)
+	if err != nil {
+		t.Fatalf("one corrupt file made the store unbootable: %v", err)
+	}
+	if _, ok := s2.Graph(fp); !ok {
+		t.Fatal("healthy graph not loaded alongside the corrupt file")
+	}
+	if got := s2.Stats().WarmSkipped; got != 1 {
+		t.Fatalf("WarmSkipped = %d, want 1", got)
+	}
+}
+
+func TestConcurrentGetOrBuildSingleFlight(t *testing.T) {
+	s, err := New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.AddGraph(testGraph(t, 60, 90, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []Key{
+		{Graph: fp, Source: 0, Eps: 0.2},
+		{Graph: fp, Source: 0, Eps: 0.3},
+		{Graph: fp, Source: 9, Eps: 0.2},
+	}
+	var wg sync.WaitGroup
+	got := make([]*ftbfs.Structure, 24)
+	for i := 0; i < 24; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := s.GetOrBuild(keys[i%len(keys)])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = st
+		}()
+	}
+	wg.Wait()
+	for i := range got {
+		if got[i] == nil {
+			t.Fatalf("request %d resolved to nil", i)
+		}
+		if got[i] != got[i%len(keys)] {
+			t.Fatalf("request %d: same key resolved to distinct structures", i)
+		}
+	}
+	if builds := s.Stats().Builds; builds != uint64(len(keys)) {
+		t.Fatalf("single-flight failed: %d builds for %d keys", builds, len(keys))
+	}
+}

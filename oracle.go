@@ -9,7 +9,8 @@ import (
 
 // Oracle answers distance queries inside a structure under simulated
 // single-edge failures — the operational view of the FT-BFS guarantee.
-// An Oracle is not safe for concurrent use; create one per goroutine.
+// An Oracle is not safe for concurrent use; create one per goroutine or
+// check oracles out of an OraclePool.
 type Oracle struct {
 	st      *Structure
 	scratch *bfs.Scratch
@@ -28,26 +29,89 @@ func (s *Structure) Oracle() *Oracle {
 // Unreachable is returned by distance queries for unreachable vertices.
 const Unreachable = int(bfs.Unreachable)
 
-// Dist returns dist(source, v) inside the intact structure H.
-func (o *Oracle) Dist(v int) int {
-	o.scratch.DistancesAvoiding(o.st.st.G, o.st.st.S,
-		bfs.Restriction{BannedEdge: graph.NoEdge, AllowedEdges: o.st.st.Edges}, o.dist)
-	return int(o.dist[v])
+// intactDistances returns the distance vector of the intact structure H,
+// computing it on the first call. Structures are immutable once built, so the
+// cache is never invalidated; the vector is shared read-only by every Oracle
+// of the structure.
+func (s *Structure) intactDistances() []int32 {
+	s.intactOnce.Do(func() {
+		sc := bfs.NewScratch(s.st.G.N())
+		s.intactDist = sc.DistancesAvoiding(s.st.G, s.st.S,
+			bfs.Restriction{BannedEdge: graph.NoEdge, AllowedEdges: s.st.Edges},
+			make([]int32, s.st.G.N()))
+	})
+	return s.intactDist
+}
+
+// Dist returns dist(source, v) inside the intact structure H. The vector is
+// computed once on first use and cached forever (structures are immutable
+// once built); the method is safe for concurrent use.
+func (s *Structure) Dist(v int) int {
+	return int(s.intactDistances()[v])
+}
+
+// Dist returns dist(source, v) inside the intact structure H; it reads the
+// structure's shared cached vector, so repeated calls are O(1) lookups.
+func (o *Oracle) Dist(v int) int { return o.st.Dist(v) }
+
+// failureEdge validates a failed edge for simulation: it must exist in the
+// base graph and must not be reinforced (reinforced edges cannot fail by
+// contract).
+func (o *Oracle) failureEdge(failedU, failedV int) (graph.EdgeID, error) {
+	id := o.st.st.G.EdgeIDOf(failedU, failedV)
+	if id == graph.NoEdge {
+		return graph.NoEdge, fmt.Errorf("ftbfs: {%d,%d} is not an edge of the base graph", failedU, failedV)
+	}
+	if o.st.st.Reinforced.Contains(id) {
+		return graph.NoEdge, fmt.Errorf("ftbfs: {%d,%d} is reinforced and cannot fail", failedU, failedV)
+	}
+	return id, nil
 }
 
 // DistAvoiding returns dist(source, v) in H \ {failedU, failedV}. Failing a
 // reinforced edge is rejected — reinforced edges cannot fail by contract.
 func (o *Oracle) DistAvoiding(v, failedU, failedV int) (int, error) {
-	id := o.st.st.G.EdgeIDOf(failedU, failedV)
-	if id == graph.NoEdge {
-		return 0, fmt.Errorf("ftbfs: {%d,%d} is not an edge of the base graph", failedU, failedV)
-	}
-	if o.st.st.Reinforced.Contains(id) {
-		return 0, fmt.Errorf("ftbfs: {%d,%d} is reinforced and cannot fail", failedU, failedV)
+	id, err := o.failureEdge(failedU, failedV)
+	if err != nil {
+		return 0, err
 	}
 	o.scratch.DistancesAvoiding(o.st.st.G, o.st.st.S,
 		bfs.Restriction{BannedEdge: id, AllowedEdges: o.st.st.Edges}, o.dist)
 	return int(o.dist[v]), nil
+}
+
+// FailureQuery is one entry of a DistAvoidingMany batch: the target vertex
+// and the endpoints of the simulated failed edge.
+type FailureQuery struct {
+	V       int
+	FailedU int
+	FailedV int
+}
+
+// DistAvoidingMany answers a vector of (target, failed-edge) queries, reusing
+// the oracle's single BFS scratch across the whole batch and early-exiting
+// each search at its target. Results land in out (allocated when nil) in
+// query order; the first invalid query (non-edge, or reinforced edge) aborts
+// the batch. Each result equals what DistAvoiding returns for that query.
+func (o *Oracle) DistAvoidingMany(queries []FailureQuery, out []int) ([]int, error) {
+	if out == nil {
+		out = make([]int, len(queries))
+	}
+	if len(out) != len(queries) {
+		return nil, fmt.Errorf("ftbfs: DistAvoidingMany: out has %d slots for %d queries", len(out), len(queries))
+	}
+	for i, q := range queries {
+		if q.V < 0 || q.V >= o.st.st.G.N() {
+			return nil, fmt.Errorf("ftbfs: query %d: vertex %d out of range [0,%d)", i, q.V, o.st.st.G.N())
+		}
+		id, err := o.failureEdge(q.FailedU, q.FailedV)
+		if err != nil {
+			return nil, fmt.Errorf("ftbfs: query %d: %w", i, err)
+		}
+		out[i] = int(o.scratch.DistAvoiding(o.st.st.G, o.st.st.S, q.V,
+			bfs.Restriction{BannedEdge: id, AllowedEdges: o.st.st.Edges}))
+	}
+	return out, nil
 }
 
 // BaselineDistAvoiding returns dist(source, v) in the full graph G minus

@@ -1,0 +1,162 @@
+package ftbfs_test
+
+import (
+	"sync"
+	"testing"
+
+	"ftbfs"
+)
+
+// failableEdges returns the structure edges that are allowed to fail.
+func failableEdges(st *ftbfs.Structure) [][2]int {
+	var out [][2]int
+	for _, e := range st.Edges() {
+		if !st.IsReinforced(e[0], e[1]) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestOracleDistCachedAcrossFailureQueries(t *testing.T) {
+	g := randomGraph(60, 80, 11)
+	st, err := ftbfs.Build(g, 0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := st.Oracle()
+	want := make([]int, g.N())
+	for v := range want {
+		want[v] = o.Dist(v)
+	}
+	// Interleave failure queries, which reuse the oracle's scratch, then
+	// re-read the intact distances: the cache must be unaffected.
+	for _, e := range failableEdges(st)[:4] {
+		if _, err := o.DistAvoiding(0, e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := range want {
+		if got := o.Dist(v); got != want[v] {
+			t.Fatalf("Dist(%d) = %d after failure queries, want %d", v, got, want[v])
+		}
+	}
+	// A second oracle of the same structure shares the cached vector.
+	o2 := st.Oracle()
+	for v := range want {
+		if got := o2.Dist(v); got != want[v] {
+			t.Fatalf("second oracle: Dist(%d) = %d, want %d", v, got, want[v])
+		}
+	}
+}
+
+func TestDistAvoidingManyMatchesSerial(t *testing.T) {
+	g := randomGraph(80, 120, 5)
+	st, err := ftbfs.Build(g, 0, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := st.Oracle()
+	var queries []ftbfs.FailureQuery
+	for i, e := range failableEdges(st) {
+		queries = append(queries, ftbfs.FailureQuery{V: (i * 7) % g.N(), FailedU: e[0], FailedV: e[1]})
+	}
+	got, err := o.DistAvoidingMany(queries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want, err := o.DistAvoiding(q.V, q.FailedU, q.FailedV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("query %d (%+v): batched %d, serial %d", i, q, got[i], want)
+		}
+	}
+}
+
+func TestDistAvoidingManyRejectsBadQueries(t *testing.T) {
+	g := ringWithChords(12)
+	st, err := ftbfs.Build(g, 0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := st.Oracle()
+	if _, err := o.DistAvoidingMany([]ftbfs.FailureQuery{{V: 1, FailedU: 0, FailedV: 5}}, nil); err == nil {
+		t.Fatal("non-edge failure accepted")
+	}
+	if _, err := o.DistAvoidingMany([]ftbfs.FailureQuery{{V: -1, FailedU: 0, FailedV: 1}}, nil); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if _, err := o.DistAvoidingMany(make([]ftbfs.FailureQuery, 2), make([]int, 1)); err == nil {
+		t.Fatal("mis-sized out accepted")
+	}
+}
+
+func TestOraclePoolConcurrentMatchesSerial(t *testing.T) {
+	g := randomGraph(100, 160, 23)
+	st, err := ftbfs.Build(g, 0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := failableEdges(st)
+
+	// Serial ground truth with a dedicated oracle.
+	serial := st.Oracle()
+	type q struct {
+		v, fu, fv int
+		want      int
+	}
+	var qs []q
+	for i, e := range edges {
+		v := (i * 13) % g.N()
+		d, err := serial.DistAvoiding(v, e[0], e[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q{v, e[0], e[1], d})
+	}
+
+	if st.OraclePool() != st.OraclePool() {
+		t.Fatal("OraclePool is not idempotent")
+	}
+	pool := st.OraclePool()
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < len(qs)*4; i += 8 {
+				qq := qs[i%len(qs)]
+				err := pool.Do(func(o *ftbfs.Oracle) error {
+					got, err := o.DistAvoiding(qq.v, qq.fu, qq.fv)
+					if err != nil {
+						return err
+					}
+					if got != qq.want {
+						t.Errorf("concurrent DistAvoiding(%d,%d,%d) = %d, want %d", qq.v, qq.fu, qq.fv, got, qq.want)
+					}
+					if o.Dist(qq.v) < 0 {
+						t.Errorf("negative intact distance")
+					}
+					return nil
+				})
+				if err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
