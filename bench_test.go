@@ -284,6 +284,103 @@ func BenchmarkOraclePool(b *testing.B) {
 	})
 }
 
+// BenchmarkQueryPlan measures the plan-backed failure-query fast paths that
+// make serving sublinear in practice, against the full-BFS reference:
+//
+//   - nontree-edge: the failed edge is off H's BFS tree, so the answer is an
+//     O(1) read of the cached intact vector (~0 allocs/op, no search).
+//   - tree-edge: the failed edge is a tree edge; only the subtree hanging
+//     below it is repaired (bfs.Repair over H's own CSR arcs).
+//   - batch16-grouped: a 16-query vector over 4 distinct failed tree edges,
+//     grouped by DistAvoidingMany so each failure repairs once.
+//   - reference-full-bfs: the pre-plan cost — a restricted BFS over all of
+//     G per query — kept as the yardstick the fast paths are gated against.
+func BenchmarkQueryPlan(b *testing.B) {
+	st, edges := benchServeFixture(b)
+	plan := st.Plan()
+	var treeEdges, nonTree [][2]int
+	for _, e := range edges {
+		if plan.IsTreeEdge(e[0], e[1]) {
+			treeEdges = append(treeEdges, e)
+		} else {
+			nonTree = append(nonTree, e)
+		}
+	}
+	if len(treeEdges) == 0 || len(nonTree) == 0 {
+		b.Fatalf("degenerate fixture: %d tree edges, %d non-tree", len(treeEdges), len(nonTree))
+	}
+	const n = 400
+	// The child (deeper) endpoint of a tree edge always lies inside the
+	// failed subtree, so targeting it forces a repair run on every op —
+	// otherwise most targets of this fixture hang outside the (typically
+	// small) subtree and the benchmark would measure the O(1) path instead.
+	childOf := func(e [2]int) int {
+		if st.Dist(e[0]) > st.Dist(e[1]) {
+			return e[0]
+		}
+		return e[1]
+	}
+	pool := st.OraclePool()
+	b.Run("nontree-edge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := nonTree[i%len(nonTree)]
+			err := pool.Do(func(o *ftbfs.Oracle) error {
+				_, err := o.DistAvoiding(i%n, e[0], e[1])
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tree-edge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := treeEdges[i%len(treeEdges)] // rotate edges: no repair reuse between ops
+			err := pool.Do(func(o *ftbfs.Oracle) error {
+				_, err := o.DistAvoiding(childOf(e), e[0], e[1])
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch16-grouped", func(b *testing.B) {
+		b.ReportAllocs()
+		queries := make([]ftbfs.FailureQuery, 16)
+		out := make([]int, len(queries))
+		for j := range queries {
+			e := treeEdges[(j%4)*len(treeEdges)/4] // 4 distinct failures, 4 targets each
+			v := (j * 31) % n
+			if j%2 == 0 {
+				v = childOf(e) // half the targets force the repaired subtree
+			}
+			queries[j] = ftbfs.FailureQuery{V: v, FailedU: e[0], FailedV: e[1]}
+		}
+		for i := 0; i < b.N; i++ {
+			err := pool.Do(func(o *ftbfs.Oracle) error {
+				_, err := o.DistAvoidingMany(queries, out)
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference-full-bfs", func(b *testing.B) {
+		b.ReportAllocs()
+		o := st.Oracle()
+		for i := 0; i < b.N; i++ {
+			e := treeEdges[i%len(treeEdges)]
+			if _, err := o.DistAvoidingRef(childOf(e), e[0], e[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkServeQueries measures the HTTP serving hot path end to end:
 // concurrent GET /dist-avoiding requests and POST /batch-query vectors
 // against one structure resident in the store.

@@ -38,13 +38,24 @@
 // # Concurrent serving
 //
 // Structures are immutable once built and safe to share; Oracles are not
-// (each owns a BFS scratch). A concurrent server therefore checks oracles
-// out of Structure.OraclePool — a sync.Pool-backed checkout that recycles
-// scratch buffers across requests — and answers query vectors with
-// Oracle.DistAvoidingMany, which reuses one scratch across a whole batch of
-// failures and early-exits each search at its target. The intact distance
-// vector behind Oracle.Dist is computed once per structure and cached
-// forever (structures never change), shared by every oracle of the pool.
+// (each owns its search scratches). A concurrent server therefore checks
+// oracles out of Structure.OraclePool — a sync.Pool-backed checkout that
+// recycles scratch buffers across requests. The intact distance vector
+// behind Oracle.Dist is computed once per structure and cached forever
+// (structures never change), shared by every oracle of the pool.
+//
+// Failure queries run against the structure's QueryPlan (Structure.Plan,
+// built once and shared): H is materialized as its own flat CSR adjacency,
+// and the plan classifies the failed edge against H's canonical BFS tree.
+// A failure off the tree — including every edge outside H — cannot change
+// any distance, so the answer is an O(1) read of the intact vector; a
+// failed tree edge repairs only the subtree hanging below it, seeded from
+// the intact-distance frontier crossing into it (bfs.Repair). The original
+// full-BFS search survives as Oracle.DistAvoidingRef, the reference the
+// fast paths are differential-tested against. Oracle.DistAvoidingMany
+// validates a whole query vector up front (an error never publishes
+// partial results) and answers it grouped by failed edge, so each distinct
+// tree-edge failure is repaired once for all its targets.
 //
 // The internal/store package keys built structures by
 // (Graph.Fingerprint, source, ε, algorithm) with LRU eviction, builds

@@ -116,6 +116,9 @@ type Structure struct {
 	intactOnce sync.Once
 	intactDist []int32 // cached dist(s, ·) in the intact H; see intactDistances
 
+	planOnce sync.Once
+	qplan    *QueryPlan // cached serving plan; see Plan
+
 	poolOnce sync.Once
 	pool     *OraclePool
 }

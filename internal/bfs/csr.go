@@ -1,0 +1,51 @@
+package bfs
+
+import (
+	"ftbfs/internal/graph"
+)
+
+// FromCSR runs a canonical BFS from s over a CSR adjacency view and returns
+// the tree. It is From for a materialized (sub)graph: rows of a CSR extracted
+// from a frozen graph keep the neighbour-sorted order, so the min-index
+// parent rule yields the same canonical tree the equivalent restricted
+// search over the base graph would.
+func FromCSR(c *graph.CSR, s int) *Tree {
+	n := c.N()
+	t := &Tree{
+		Source:     int32(s),
+		Dist:       make([]int32, n),
+		Parent:     make([]int32, n),
+		ParentEdge: make([]graph.EdgeID, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Dist[i] = Unreachable
+		t.Parent[i] = -1
+		t.ParentEdge[i] = graph.NoEdge
+	}
+	queue := make([]int32, 0, n)
+	t.Dist[s] = 0
+	queue = append(queue, int32(s))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, a := range c.ArcsOf(u) {
+			if t.Dist[a.To] == Unreachable {
+				t.Dist[a.To] = t.Dist[u] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	t.Order = queue
+	for _, v := range queue {
+		if v == int32(s) {
+			continue
+		}
+		for _, a := range c.ArcsOf(v) {
+			if t.Dist[a.To] == t.Dist[v]-1 {
+				t.Parent[v] = a.To
+				t.ParentEdge[v] = a.ID
+				break
+			}
+		}
+	}
+	return t
+}

@@ -96,7 +96,7 @@ func GNPConnected(n int, p float64, seed int64) *graph.Graph {
 	}
 	g := b.Graph()
 	nb := graph.NewBuilder(n)
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesView() {
 		nb.Add(int(e.U), int(e.V))
 		ru, rv := find(int(e.U)), find(int(e.V))
 		if ru != rv {

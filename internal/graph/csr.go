@@ -1,0 +1,87 @@
+package graph
+
+// CSR is a flat compressed-sparse-row adjacency view: the arcs leaving
+// vertex u occupy Arcs[RowStart[u]:RowStart[u+1]], each carrying the
+// neighbour and the undirected EdgeID. The two packed slices make a BFS over
+// the view a linear scan with no pointer chasing and no per-arc membership
+// tests — the whole point of materializing a subgraph H ⊆ G once instead of
+// filtering G's adjacency on every query.
+//
+// Rows inherit the frozen graph's neighbour-sorted order, so the canonical
+// min-index parent rule of package bfs applies to a CSR exactly as it does
+// to the graph it was extracted from. A CSR is immutable and safe for
+// concurrent use.
+type CSR struct {
+	n        int32
+	RowStart []int32 // len n+1; monotone
+	Arcs     []Arc   // packed rows
+}
+
+// N returns the number of vertices.
+func (c *CSR) N() int { return int(c.n) }
+
+// NumArcs returns the number of directed arcs (twice the undirected edges).
+func (c *CSR) NumArcs() int { return len(c.Arcs) }
+
+// ArcsOf returns the arcs leaving u. The slice aliases the CSR's packed
+// storage and must be treated as read-only.
+func (c *CSR) ArcsOf(u int32) []Arc {
+	return c.Arcs[c.RowStart[u]:c.RowStart[u+1]]
+}
+
+// Degree returns the number of arcs leaving u.
+func (c *CSR) Degree(u int32) int {
+	return int(c.RowStart[u+1] - c.RowStart[u])
+}
+
+// CSRView returns the flat CSR adjacency of the whole graph. It is built on
+// the first call and cached (the graph must be frozen, hence immutable), so
+// repeated callers share one view.
+func (g *Graph) CSRView() *CSR {
+	if !g.frozen {
+		panic("graph: CSRView before Freeze")
+	}
+	g.csrOnce.Do(func() { g.csr = g.buildCSR(nil) })
+	return g.csr
+}
+
+// SubgraphCSR extracts the subgraph with edge set allowed as its own CSR:
+// only arcs whose EdgeID is in allowed are packed. The extraction is O(n+m)
+// once; afterwards a search over the subgraph touches only its own arcs,
+// with zero membership tests. The graph must be frozen.
+func (g *Graph) SubgraphCSR(allowed *EdgeSet) *CSR {
+	if !g.frozen {
+		panic("graph: SubgraphCSR before Freeze")
+	}
+	return g.buildCSR(allowed)
+}
+
+// buildCSR packs the adjacency rows, keeping only arcs in allowed (nil keeps
+// everything).
+func (g *Graph) buildCSR(allowed *EdgeSet) *CSR {
+	c := &CSR{n: g.n, RowStart: make([]int32, g.n+1)}
+	for u := range g.adj {
+		cnt := 0
+		if allowed == nil {
+			cnt = len(g.adj[u])
+		} else {
+			for _, a := range g.adj[u] {
+				if allowed.Contains(a.ID) {
+					cnt++
+				}
+			}
+		}
+		c.RowStart[u+1] = c.RowStart[u] + int32(cnt)
+	}
+	c.Arcs = make([]Arc, c.RowStart[g.n])
+	pos := int32(0)
+	for u := range g.adj {
+		for _, a := range g.adj[u] {
+			if allowed == nil || allowed.Contains(a.ID) {
+				c.Arcs[pos] = a
+				pos++
+			}
+		}
+	}
+	return c
+}

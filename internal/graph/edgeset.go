@@ -2,7 +2,7 @@ package graph
 
 import (
 	"math/bits"
-	"sort"
+	"slices"
 )
 
 // EdgeSet is a dense bitset over the edge ids of a fixed graph. It is the
@@ -116,7 +116,7 @@ func (s *EdgeSet) IDs() []EdgeID {
 			word ^= b
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

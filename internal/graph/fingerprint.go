@@ -21,7 +21,7 @@ func (g *Graph) Fingerprint() uint64 {
 	}
 	mix(uint64(g.n))
 	mix(uint64(len(g.edges)))
-	for _, e := range g.edges {
+	for _, e := range g.EdgesView() {
 		c := e.Canonical()
 		mix(uint64(uint32(c.U))<<32 | uint64(uint32(c.V)))
 	}

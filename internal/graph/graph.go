@@ -10,8 +10,10 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // EdgeID identifies an undirected edge within a Graph. IDs are dense:
@@ -68,6 +70,9 @@ type Graph struct {
 	edges  []Edge
 	lookup map[int64]EdgeID
 	frozen bool
+
+	csrOnce sync.Once
+	csr     *CSR // cached CSRView; valid only after Freeze
 }
 
 // New returns an empty graph on n vertices.
@@ -173,6 +178,12 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
+// EdgesView returns the edge list indexed by EdgeID without copying. The
+// slice is owned by the graph and MUST be treated as read-only; use Edges
+// when the caller needs to retain or mutate the list. Hot paths that only
+// iterate (fingerprinting, persistence) use this to stay allocation-free.
+func (g *Graph) EdgesView() []Edge { return g.edges }
+
 // Freeze sorts every adjacency list by neighbour id (required for the
 // canonical min-index BFS tie-breaking used throughout this repository) and
 // marks the graph immutable. Freeze is idempotent.
@@ -181,8 +192,7 @@ func (g *Graph) Freeze() *Graph {
 		return g
 	}
 	for u := range g.adj {
-		a := g.adj[u]
-		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
+		slices.SortFunc(g.adj[u], func(a, b Arc) int { return cmp.Compare(a.To, b.To) })
 	}
 	g.frozen = true
 	return g

@@ -23,7 +23,7 @@ func Encode(w io.Writer, g *Graph) error {
 	if _, err := fmt.Fprintf(bw, "p %d %d\n", g.N(), g.M()); err != nil {
 		return err
 	}
-	for _, e := range g.edges {
+	for _, e := range g.EdgesView() {
 		if _, err := fmt.Fprintf(bw, "e %d %d\n", e.U, e.V); err != nil {
 			return err
 		}

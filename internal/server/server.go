@@ -5,6 +5,14 @@
 // OraclePool for the duration of the request; structures themselves are
 // immutable and shared.
 //
+// Failure queries route through each structure's QueryPlan (built once by
+// the store, shared by every oracle): a failed edge off H's BFS tree is an
+// O(1) lookup of the cached intact vector, a failed tree edge repairs only
+// the subtree hanging below it, and /batch-query vectors are answered in
+// failed-edge groups so one repair serves every target of the same failure
+// (Oracle.DistAvoidingMany). The repair scratches travel inside the pooled
+// oracles, so the steady-state hot path allocates nothing.
+//
 // Endpoints:
 //
 //	POST /build          register a graph and build structures for it
@@ -401,6 +409,8 @@ func (s *Server) handleDistAvoiding(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, statusFor(err), err)
 		return
 	}
+	// DistAvoiding runs against the structure's QueryPlan: O(1) for
+	// non-tree-edge failures, subtree-local repair otherwise.
 	var d int
 	err = st.OraclePool().Do(func(o *ftbfs.Oracle) error {
 		var qerr error
@@ -416,8 +426,10 @@ func (s *Server) handleDistAvoiding(w http.ResponseWriter, r *http.Request) {
 }
 
 // BatchQueryRequest is the body of POST /batch-query: one structure address
-// plus a vector of failure queries, answered with one pooled oracle and a
-// single BFS scratch (Oracle.DistAvoidingMany).
+// plus a vector of failure queries, answered with one pooled oracle through
+// the query plan; the batch is validated up front and grouped by failed
+// edge, so each tree-edge failure is repaired once for all its targets
+// (Oracle.DistAvoidingMany).
 type BatchQueryRequest struct {
 	Graph   string   `json:"graph"`
 	Source  int      `json:"source"`

@@ -6,7 +6,9 @@
 // burst, deduplicated per key via single-flight), and — when given a
 // directory — persists every graph and structure with the library's text
 // formats so a restarted server warm-starts from disk and evicted structures
-// load back through instead of rebuilding.
+// load back through instead of rebuilding. Structures leave the resolver
+// with their serving QueryPlan pre-built, so the query hot path never pays
+// the CSR extraction or tree preprocessing inline.
 package store
 
 import (
@@ -374,9 +376,17 @@ func (s *Store) GetOrBuildMany(fp uint64, reqs []Req) ([]*ftbfs.Structure, error
 
 // resolve loads or builds the structures for keys (all on graph g), returning
 // them keyed. Load failures fall through to a rebuild; the rebuilt structure
-// overwrites the unreadable file.
-func (s *Store) resolve(g *ftbfs.Graph, keys []Key) (map[Key]*ftbfs.Structure, error) {
-	resolved := make(map[Key]*ftbfs.Structure, len(keys))
+// overwrites the unreadable file. Every structure entering the registry is
+// handed out with its query plan already built (Structure.Plan), so the
+// first failure query a freshly built or loaded structure serves never pays
+// the plan extraction inline.
+func (s *Store) resolve(g *ftbfs.Graph, keys []Key) (resolved map[Key]*ftbfs.Structure, err error) {
+	defer func() {
+		for _, st := range resolved {
+			st.Plan()
+		}
+	}()
+	resolved = make(map[Key]*ftbfs.Structure, len(keys))
 	var toBuild []Key
 	for _, k := range keys {
 		if st := s.loadFromDir(k, g); st != nil {

@@ -21,6 +21,12 @@ type Tree struct {
 
 	tin, tout []int32 // Euler intervals for O(1) ancestor tests
 
+	// Dense preorder from the same Euler tour: the subtree of v is the
+	// contiguous slice PreOrder[PreIndex[v] : PreIndex[v]+Size[v]], which is
+	// what lets a failure repair enumerate exactly the affected vertices.
+	PreOrder []int32 // reachable vertices in DFS preorder
+	PreIndex []int32 // preorder position of v; -1 for unreachable vertices
+
 	// Fact 3.3 decomposition TD. Every reachable vertex lies on exactly one
 	// path; Paths[i] lists its vertices from shallowest (head) to deepest.
 	Paths     [][]int32
@@ -38,9 +44,22 @@ type Tree struct {
 	order    []int32 // reachable vertices, top-down
 }
 
-// Build constructs the rooted-tree structure from a canonical BFS tree.
+// Build constructs the rooted-tree structure from a canonical BFS tree,
+// including the Fact 3.3 decomposition.
 func Build(g *graph.Graph, bt *bfs.Tree) *Tree {
-	n := g.N()
+	t := BuildAncestry(g.N(), bt)
+	t.decompose(g)
+	return t
+}
+
+// BuildAncestry constructs only the ancestry machinery — subtree sizes,
+// Euler intervals, preorder subtree enumeration — without the Fact 3.3
+// decomposition. Query plans use it: they classify failures and enumerate
+// subtrees but never walk decomposition paths, and skipping decompose saves
+// an O(n) pass plus its allocations on every structure build and store
+// load-through. Paths/PathOf/PosOf/PathLevel/GlueEdges stay empty; LCA,
+// SegmentsTo and GlueEdgesOn must not be called on an ancestry-only tree.
+func BuildAncestry(n int, bt *bfs.Tree) *Tree {
 	t := &Tree{
 		Root:       bt.Source,
 		Parent:     bt.Parent,
@@ -49,6 +68,8 @@ func Build(g *graph.Graph, bt *bfs.Tree) *Tree {
 		Size:       make([]int32, n),
 		tin:        make([]int32, n),
 		tout:       make([]int32, n),
+		PreOrder:   make([]int32, 0, len(bt.Order)),
+		PreIndex:   make([]int32, n),
 		PathOf:     make([]int32, n),
 		PosOf:      make([]int32, n),
 		children:   make([][]int32, n),
@@ -56,6 +77,7 @@ func Build(g *graph.Graph, bt *bfs.Tree) *Tree {
 	}
 	for i := 0; i < n; i++ {
 		t.tin[i] = -1
+		t.PreIndex[i] = -1
 		t.PathOf[i] = -1
 	}
 	for _, v := range t.order {
@@ -72,7 +94,6 @@ func Build(g *graph.Graph, bt *bfs.Tree) *Tree {
 		}
 	}
 	t.eulerTour()
-	t.decompose(g)
 	return t
 }
 
@@ -87,16 +108,20 @@ func (t *Tree) eulerTour() {
 	}
 	stack := make([]frame, 0, 64)
 	timer := int32(0)
-	t.tin[t.Root] = timer
-	timer++
+	visit := func(v int32) {
+		t.tin[v] = timer
+		timer++
+		t.PreIndex[v] = int32(len(t.PreOrder))
+		t.PreOrder = append(t.PreOrder, v)
+	}
+	visit(t.Root)
 	stack = append(stack, frame{v: t.Root})
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		if f.next < len(t.children[f.v]) {
 			c := t.children[f.v][f.next]
 			f.next++
-			t.tin[c] = timer
-			timer++
+			visit(c)
 			stack = append(stack, frame{v: c})
 		} else {
 			t.tout[f.v] = timer
@@ -153,6 +178,27 @@ func (t *Tree) decompose(g *graph.Graph) {
 		t.Paths = append(t.Paths, path)
 		t.PathLevel = append(t.PathLevel, j.level)
 	}
+}
+
+// Subtree returns the vertices of v's subtree (v first, then descendants in
+// DFS preorder) as a slice of the tree's preorder array — zero-copy, so
+// repeated failure repairs enumerate a subtree without allocating. The slice
+// is owned by the tree and must not be modified; it is empty for vertices
+// unreachable from the root.
+func (t *Tree) Subtree(v int32) []int32 {
+	p := t.PreIndex[v]
+	if p < 0 {
+		return nil
+	}
+	return t.PreOrder[p : p+t.Size[v]]
+}
+
+// InSubtree reports whether v lies in the subtree rooted at c (including
+// v == c), in O(1) via the preorder interval.
+func (t *Tree) InSubtree(v, c int32) bool {
+	pv := t.PreIndex[v]
+	pc := t.PreIndex[c]
+	return pv >= pc && pc >= 0 && pv < pc+t.Size[c]
 }
 
 // IsAncestor reports whether u is an ancestor of v (or u == v).

@@ -294,3 +294,42 @@ func TestStarDecomposition(t *testing.T) {
 		t.Fatalf("MaxLevel=%d want 1", tr.MaxLevel)
 	}
 }
+
+func TestSubtreePreorderIntervals(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomConnected(70, int(seed)*25, seed)
+		tr := buildTree(g, 0)
+		if len(tr.PreOrder) != int(tr.Size[tr.Root]) {
+			t.Fatalf("seed %d: preorder has %d vertices, want %d", seed, len(tr.PreOrder), tr.Size[tr.Root])
+		}
+		for i, v := range tr.PreOrder {
+			if tr.PreIndex[v] != int32(i) {
+				t.Fatalf("seed %d: PreIndex[%d] = %d, want %d", seed, v, tr.PreIndex[v], i)
+			}
+		}
+		for v := int32(0); int(v) < g.N(); v++ {
+			sub := tr.Subtree(v)
+			if tr.Depth[v] < 0 {
+				if sub != nil || tr.PreIndex[v] != -1 {
+					t.Fatalf("seed %d: unreachable %d has a subtree", seed, v)
+				}
+				continue
+			}
+			if int32(len(sub)) != tr.Size[v] || sub[0] != v {
+				t.Fatalf("seed %d: Subtree(%d) has %d vertices starting at %d, want %d starting at %d",
+					seed, v, len(sub), sub[0], tr.Size[v], v)
+			}
+			// The interval must contain exactly the descendants-or-self.
+			for _, w := range sub {
+				if !tr.IsAncestor(v, w) {
+					t.Fatalf("seed %d: %d in Subtree(%d) but not a descendant", seed, w, v)
+				}
+			}
+			for w := int32(0); int(w) < g.N(); w++ {
+				if got, want := tr.InSubtree(w, v), tr.IsAncestor(v, w); got != want {
+					t.Fatalf("seed %d: InSubtree(%d,%d) = %v, IsAncestor = %v", seed, w, v, got, want)
+				}
+			}
+		}
+	}
+}

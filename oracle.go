@@ -2,6 +2,7 @@ package ftbfs
 
 import (
 	"fmt"
+	"slices"
 
 	"ftbfs/internal/bfs"
 	"ftbfs/internal/graph"
@@ -9,20 +10,39 @@ import (
 
 // Oracle answers distance queries inside a structure under simulated
 // single-edge failures — the operational view of the FT-BFS guarantee.
+// Failure queries run against the structure's QueryPlan: non-tree-edge
+// failures are O(1) lookups of the cached intact vector, tree-edge failures
+// repair only the failed subtree; DistAvoidingRef keeps the original
+// full-BFS search as the reference implementation.
 // An Oracle is not safe for concurrent use; create one per goroutine or
 // check oracles out of an OraclePool.
 type Oracle struct {
 	st      *Structure
+	plan    *QueryPlan
 	scratch *bfs.Scratch
 	dist    []int32
+
+	// Subtree-repair state: the scratch is allocated on the first tree-edge
+	// failure and then recycled (pooled oracles carry it across requests);
+	// repairedID names the failed edge whose repair it currently holds, so
+	// repeated failures of one edge — including a whole grouped batch —
+	// answer from a single repair run.
+	repair     *bfs.Repair
+	repairedID graph.EdgeID
+
+	// DistAvoidingMany scratch, reused across batches.
+	ids []graph.EdgeID
+	ord []int32
 }
 
 // Oracle returns a failure-simulation oracle for the structure.
 func (s *Structure) Oracle() *Oracle {
 	return &Oracle{
-		st:      s,
-		scratch: bfs.NewScratch(s.st.G.N()),
-		dist:    make([]int32, s.st.G.N()),
+		st:         s,
+		plan:       s.Plan(),
+		scratch:    bfs.NewScratch(s.st.G.N()),
+		dist:       make([]int32, s.st.G.N()),
+		repairedID: graph.NoEdge,
 	}
 }
 
@@ -68,9 +88,37 @@ func (o *Oracle) failureEdge(failedU, failedV int) (graph.EdgeID, error) {
 	return id, nil
 }
 
+// planDist answers one validated failure query through the query plan,
+// keeping the oracle's repair scratch in sync.
+func (o *Oracle) planDist(v int, id graph.EdgeID) int32 {
+	if o.repair == nil {
+		o.repair = bfs.NewRepair(o.st.st.G.N())
+	}
+	d, repaired := o.plan.dist(v, id, o.repair, o.repairedID)
+	o.repairedID = repaired
+	return d
+}
+
 // DistAvoiding returns dist(source, v) in H \ {failedU, failedV}. Failing a
 // reinforced edge is rejected — reinforced edges cannot fail by contract.
+//
+// The answer comes from the structure's QueryPlan: O(1) when the failed
+// edge is not a tree edge of H's BFS tree (the intact distances survive),
+// and a subtree-local repair search otherwise. It always equals what the
+// full-search DistAvoidingRef returns.
 func (o *Oracle) DistAvoiding(v, failedU, failedV int) (int, error) {
+	id, err := o.failureEdge(failedU, failedV)
+	if err != nil {
+		return 0, err
+	}
+	return int(o.planDist(v, id)), nil
+}
+
+// DistAvoidingRef is the reference implementation of DistAvoiding: a full
+// restricted BFS over the base graph, rejecting non-H arcs one by one. It
+// is what the plan-backed fast path is differential-tested against; prefer
+// DistAvoiding everywhere else.
+func (o *Oracle) DistAvoidingRef(v, failedU, failedV int) (int, error) {
 	id, err := o.failureEdge(failedU, failedV)
 	if err != nil {
 		return 0, err
@@ -88,11 +136,14 @@ type FailureQuery struct {
 	FailedV int
 }
 
-// DistAvoidingMany answers a vector of (target, failed-edge) queries, reusing
-// the oracle's single BFS scratch across the whole batch and early-exiting
-// each search at its target. Results land in out (allocated when nil) in
-// query order; the first invalid query (non-edge, or reinforced edge) aborts
-// the batch. Each result equals what DistAvoiding returns for that query.
+// DistAvoidingMany answers a vector of (target, failed-edge) queries.
+// The whole batch is validated up front — an invalid query (out-of-range
+// target, non-edge, or reinforced edge) fails the call before any result is
+// published, so out is never left partially written. Valid batches are then
+// answered in failed-edge groups: queries failing the same tree edge share
+// one subtree repair, and non-tree-edge failures are O(1) lookups. Results
+// land in out (allocated when nil) in query order; each equals what
+// DistAvoiding returns for that query.
 func (o *Oracle) DistAvoidingMany(queries []FailureQuery, out []int) ([]int, error) {
 	if out == nil {
 		out = make([]int, len(queries))
@@ -100,16 +151,27 @@ func (o *Oracle) DistAvoidingMany(queries []FailureQuery, out []int) ([]int, err
 	if len(out) != len(queries) {
 		return nil, fmt.Errorf("ftbfs: DistAvoidingMany: out has %d slots for %d queries", len(out), len(queries))
 	}
+	n := o.st.st.G.N()
+	o.ids = o.ids[:0]
+	o.ord = o.ord[:0]
 	for i, q := range queries {
-		if q.V < 0 || q.V >= o.st.st.G.N() {
-			return nil, fmt.Errorf("ftbfs: query %d: vertex %d out of range [0,%d)", i, q.V, o.st.st.G.N())
+		if q.V < 0 || q.V >= n {
+			return nil, fmt.Errorf("ftbfs: query %d: vertex %d out of range [0,%d)", i, q.V, n)
 		}
 		id, err := o.failureEdge(q.FailedU, q.FailedV)
 		if err != nil {
 			return nil, fmt.Errorf("ftbfs: query %d: %w", i, err)
 		}
-		out[i] = int(o.scratch.DistAvoiding(o.st.st.G, o.st.st.S, q.V,
-			bfs.Restriction{BannedEdge: id, AllowedEdges: o.st.st.Edges}))
+		o.ids = append(o.ids, id)
+		o.ord = append(o.ord, int32(i))
+	}
+	// Group by failed edge: answering in edge order means each tree-edge
+	// failure is repaired exactly once and serves all its targets (planDist
+	// reuses the scratch while the id repeats). The sort is on the oracle's
+	// recycled index buffer, so steady-state batches allocate nothing.
+	slices.SortFunc(o.ord, func(a, b int32) int { return int(o.ids[a]) - int(o.ids[b]) })
+	for _, i := range o.ord {
+		out[i] = int(o.planDist(queries[i].V, o.ids[i]))
 	}
 	return out, nil
 }

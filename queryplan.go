@@ -1,0 +1,130 @@
+package ftbfs
+
+import (
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/graph"
+	"ftbfs/internal/tree"
+)
+
+// QueryPlan is the precomputed serving view of a structure: H materialized
+// as its own flat CSR adjacency, the intact distance vector, and the
+// canonical BFS tree of H with preorder subtree intervals. Together they
+// make failure queries sublinear in practice:
+//
+//   - a failed edge that is not a tree edge of H's BFS tree (including
+//     every edge outside H) cannot change any distance from the source —
+//     the tree survives, so every vertex keeps its intact distance. Such
+//     queries answer in O(1) from the cached vector, no search at all.
+//   - a failed tree edge can only change distances inside the subtree
+//     hanging below it. The repair search (bfs.Repair) seeds that subtree
+//     from the intact-distance frontier crossing into it and relaxes only
+//     the subtree's own H-arcs — O(Σ deg_H(subtree)) work instead of a
+//     full O(|E(H)|) restricted BFS over G.
+//
+// Because H's BFS-tree parents follow the same canonical min-index rule as
+// the reference search, every plan answer equals Oracle.DistAvoidingRef
+// exactly (the randomized differential tests assert this edge-for-edge).
+//
+// A QueryPlan is immutable and safe for concurrent use; the per-query
+// repair scratch lives in the Oracle that uses the plan.
+type QueryPlan struct {
+	h         *graph.CSR // H's own adjacency; scans touch no non-H arc
+	intact    []int32    // dist(s, ·) in the intact H, shared with Structure
+	t         *tree.Tree // canonical BFS tree of H with subtree intervals
+	edgeChild []int32    // EdgeID → deeper endpoint if a tree edge, else -1
+}
+
+// Plan returns the structure's query plan, building it on the first call
+// (one CSR extraction plus two linear passes) and caching it forever —
+// structures are immutable once built.
+func (s *Structure) Plan() *QueryPlan {
+	s.planOnce.Do(func() {
+		g := s.st.G
+		h := g.SubgraphCSR(s.st.Edges)
+		bt := bfs.FromCSR(h, s.st.S)
+		p := &QueryPlan{
+			h:         h,
+			intact:    s.intactDistances(),
+			t:         tree.BuildAncestry(g.N(), bt),
+			edgeChild: make([]int32, g.M()),
+		}
+		for id := range p.edgeChild {
+			p.edgeChild[id] = -1
+		}
+		for _, v := range bt.Order {
+			if id := bt.ParentEdge[v]; id != graph.NoEdge {
+				p.edgeChild[id] = v
+			}
+		}
+		s.qplan = p
+	})
+	return s.qplan
+}
+
+// IsTreeEdge reports whether {u,v} is a tree edge of H's canonical BFS tree
+// — the only kind of failure that forces a repair search; all others answer
+// in O(1).
+func (p *QueryPlan) IsTreeEdge(u, v int) bool {
+	return p.treeChild(p.edgeID(u, v)) >= 0
+}
+
+// SubtreeSize returns the number of vertices a failure of {u,v} can affect:
+// the size of the subtree below the edge for tree edges, 0 otherwise. It is
+// the work bound of the repair search and useful for admission control.
+func (p *QueryPlan) SubtreeSize(u, v int) int {
+	c := p.treeChild(p.edgeID(u, v))
+	if c < 0 {
+		return 0
+	}
+	return int(p.t.Size[c])
+}
+
+// edgeID resolves endpoints against the underlying graph of the plan's CSR;
+// the plan only ever sees ids validated by Oracle.failureEdge, but the
+// exported classifiers accept raw endpoints.
+func (p *QueryPlan) edgeID(u, v int) graph.EdgeID {
+	// The CSR has no endpoint lookup; scan u's (H-only) row. Classification
+	// is diagnostics, not a hot path.
+	if u < 0 || v < 0 || u >= p.h.N() || v >= p.h.N() {
+		return graph.NoEdge
+	}
+	for _, a := range p.h.ArcsOf(int32(u)) {
+		if a.To == int32(v) {
+			return a.ID
+		}
+	}
+	return graph.NoEdge
+}
+
+// treeChild returns the deeper endpoint of a tree edge, or -1 when id is
+// not a tree edge of H's BFS tree (including NoEdge and edges outside H).
+func (p *QueryPlan) treeChild(id graph.EdgeID) int32 {
+	if id < 0 {
+		return -1
+	}
+	return p.edgeChild[id]
+}
+
+// dist answers dist(source, v) in H \ {id} using the plan's O(1) paths,
+// falling back to r for the subtree repair of a tree-edge failure. The
+// caller owns r and guarantees repairedID is the edge r last ran for
+// (NoEdge for none); dist returns the id the scratch holds afterwards, so
+// consecutive failures of one edge — the shape of a grouped batch — repair
+// once and serve every target from the same scratch.
+func (p *QueryPlan) dist(v int, id graph.EdgeID, r *bfs.Repair, repairedID graph.EdgeID) (int32, graph.EdgeID) {
+	c := p.edgeChild[id]
+	if c < 0 {
+		// Not a tree edge of H: the BFS tree survives, no distance changes.
+		return p.intact[v], repairedID
+	}
+	if !p.t.InSubtree(int32(v), c) {
+		// Tree edge, but v hangs outside the failed subtree: its tree path
+		// avoids the failure.
+		return p.intact[v], repairedID
+	}
+	if id != repairedID {
+		r.Run(p.h, p.intact, p.t.Subtree(c), id)
+		repairedID = id
+	}
+	return r.Dist(int32(v)), repairedID
+}
