@@ -14,10 +14,12 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"ftbfs"
 	"ftbfs/internal/batch"
 	"ftbfs/internal/bfs"
+	"ftbfs/internal/cluster"
 	"ftbfs/internal/core"
 	"ftbfs/internal/experiments"
 	"ftbfs/internal/gen"
@@ -441,10 +443,7 @@ func BenchmarkServeQueries(b *testing.B) {
 		req := server.BatchQueryRequest{Graph: fpHex, Eps: &eps}
 		for j := 0; j < 16; j++ {
 			e := edges[j%len(edges)]
-			req.Queries = append(req.Queries, struct {
-				V    int    `json:"v"`
-				Fail [2]int `json:"fail"`
-			}{V: (j * 31) % 400, Fail: e})
+			req.Queries = append(req.Queries, server.BatchQuery{V: (j * 31) % 400, Fail: e})
 		}
 		body, err := json.Marshal(req)
 		if err != nil {
@@ -469,6 +468,169 @@ func BenchmarkServeQueries(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkClusterRoute measures the sharded serving plane end to end on an
+// in-process local cluster (internal/cluster.StartLocal): real HTTP from
+// client to router to shard and back, replication factor 2. Point queries
+// exercise the hedged-read path on one structure; batch256 scatter-gathers a
+// 256-query vector spanning 16 structures into per-shard sub-batches.
+//
+// The scaling signal is the shardq/op metric: the maximum number of queries
+// any single shard served per batch. One shard absorbs all 256; four shards
+// split the vector roughly evenly, so per-shard load — the quantity that
+// caps throughput when shards are separate machines — drops ~4×. Wall-clock
+// ns/op on a shared-CPU test box cannot show that win (every "shard" here
+// competes for the same cores, so fan-out is pure overhead locally); ns/op
+// is still reported and gated to catch routing-layer regressions.
+func BenchmarkClusterRoute(b *testing.B) {
+	const n = 400
+	// 16 structures give the ring enough keys to spread primaries across 4
+	// shards (4 keys alone skew badly); the batch below spans all of them.
+	sources := make([]int, 16)
+	for i := range sources {
+		sources[i] = i * 25
+	}
+	newGraph := func() *ftbfs.Graph {
+		g := ftbfs.NewGraph(n)
+		for _, e := range gen.RandomConnected(n, 1200, 9).Edges() {
+			g.MustAddEdge(int(e.U), int(e.V))
+		}
+		return g
+	}
+	// Per-source failable edges from local ground-truth builds (reinforced
+	// sets differ per source, and a reinforced edge cannot fail).
+	failable := make(map[int][][2]int)
+	for _, src := range sources {
+		st, err := ftbfs.Build(newGraph(), src, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range st.Edges() {
+			if !st.IsReinforced(e[0], e[1]) {
+				failable[src] = append(failable[src], e)
+			}
+		}
+	}
+
+	for _, nShards := range []int{1, 4} {
+		lc, err := cluster.StartLocal(nShards, cluster.LocalOptions{
+			Replicas: 2,
+			// An in-process cluster under full benchmark load can exceed the
+			// production hedge delay on scheduler noise alone; a high delay
+			// keeps the hedged-read path wired in without duplicating load.
+			Router: cluster.RouterOptions{HedgeDelay: 50 * time.Millisecond},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := newGraph()
+		var text bytes.Buffer
+		if err := g.Write(&text); err != nil {
+			b.Fatal(err)
+		}
+		var br server.BuildResponse
+		body, _ := json.Marshal(server.BuildRequest{Graph: text.String(), Sources: sources, Eps: []float64{0.3}})
+		resp, err := http.Post(lc.URL()+"/build", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&br)
+		resp.Body.Close()
+		if err != nil || len(br.Structures) != len(sources) {
+			b.Fatalf("cluster build failed: %v (%d structures)", err, len(br.Structures))
+		}
+
+		b.Run(fmt.Sprintf("point-s%d", nShards), func(b *testing.B) {
+			b.ReportAllocs()
+			edges := failable[0]
+			var i atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				client := &http.Client{}
+				for pb.Next() {
+					k := int(i.Add(1))
+					e := edges[k%len(edges)]
+					url := fmt.Sprintf("%s/dist-avoiding?graph=%s&eps=0.3&v=%d&fu=%d&fv=%d",
+						lc.URL(), br.Fingerprint, k%n, e[0], e[1])
+					r, err := client.Get(url)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					io.Copy(io.Discard, r.Body)
+					r.Body.Close()
+					if r.StatusCode != http.StatusOK {
+						b.Errorf("status %d", r.StatusCode)
+						return
+					}
+				}
+			})
+		})
+		// The batch sub-benchmark is a single sequential client measuring
+		// end-to-end latency of one large multi-structure vector: with 4
+		// shards, the router's per-shard sub-batches decode, answer and
+		// encode in parallel on different shard servers, so the linear
+		// per-query serving cost splits across the cluster while the
+		// single shard pays it all in one request.
+		b.Run(fmt.Sprintf("batch256-s%d", nShards), func(b *testing.B) {
+			b.ReportAllocs()
+			eps := 0.3
+			req := server.BatchQueryRequest{Graph: br.Fingerprint, Eps: &eps}
+			for j := 0; j < 256; j++ {
+				src := sources[j%len(sources)]
+				srcCopy := src
+				e := failable[src][j%len(failable[src])]
+				req.Queries = append(req.Queries, server.BatchQuery{
+					Source: &srcCopy, V: (j * 31) % n, Fail: e,
+				})
+			}
+			payload, err := json.Marshal(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			shardQueries := func() []uint64 {
+				out := make([]uint64, len(lc.Shards))
+				for si, sh := range lc.Shards {
+					var sr server.StatsResponse
+					r, err := http.Get(sh.Addr() + "/stats")
+					if err != nil {
+						b.Fatal(err)
+					}
+					err = json.NewDecoder(r.Body).Decode(&sr)
+					r.Body.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					out[si] = sr.Queries
+				}
+				return out
+			}
+			client := &http.Client{}
+			before := shardQueries()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := client.Post(lc.URL()+"/batch-query", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, r.Body)
+				r.Body.Close()
+				if r.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", r.StatusCode)
+				}
+			}
+			b.StopTimer()
+			after := shardQueries()
+			var maxShard uint64
+			for si := range after {
+				if d := after[si] - before[si]; d > maxShard {
+					maxShard = d
+				}
+			}
+			b.ReportMetric(float64(maxShard)/float64(b.N), "shardq/op")
+		})
+		lc.Close()
+	}
 }
 
 func BenchmarkVerifyStructure(b *testing.B) {

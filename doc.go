@@ -63,5 +63,21 @@
 // everything via Save/LoadStructure so evicted entries load back through and
 // a restarted process warm-starts from disk. internal/server exposes that
 // registry over HTTP/JSON ("ftbfs serve": /build, /dist, /dist-avoiding,
-// /batch-query, /stats).
+// /batch-query, /stats, /healthz, /readyz); /batch-query vectors may span
+// several structures and answer with per-query error slots
+// (Oracle.DistAvoidingEach).
+//
+// # Sharded serving
+//
+// internal/cluster scales the serving plane past one machine: a
+// consistent-hash ring over the structure keyspace with a configurable
+// replication factor, shard membership with health probes, and a router
+// ("ftbfs route") that proxies the full query surface to the owning shards
+// — hedged reads across replicas for point queries, scatter-gather with
+// per-shard sub-batching for multi-structure batch vectors, and
+// single-flight build fan-out so one logical /build lands on every replica
+// exactly once. The ring depends only on shard IDs, so every router with
+// the same member set routes identically and a shard rejoin moves no keys.
+// cluster.StartLocal boots an N-shard cluster plus router in-process for
+// tests and benchmarks.
 package ftbfs

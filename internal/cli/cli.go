@@ -9,6 +9,7 @@
 //	verify   exhaustively check a built or saved structure
 //	vertexft build and verify a vertex fault-tolerant structure
 //	serve    run the HTTP/JSON failure-query service (internal/server)
+//	route    front a shard cluster with a consistent-hash router (internal/cluster)
 package cli
 
 import (
@@ -48,6 +49,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = cmdVertexFT(args[1:], stdout)
 	case "serve":
 		err = cmdServe(args[1:], stdout)
+	case "route":
+		err = cmdRoute(args[1:], stdout)
 	case "-h", "--help", "help":
 		usage(stdout)
 		return 0
@@ -73,8 +76,10 @@ func usage(w io.Writer) {
   sweep    -in FILE -source S [-grid "0,0.25,0.5,1"] [-B 1] [-R 10] [-csv]
   verify   -in FILE -source S (-eps E | -structure FILE)
   vertexft -in FILE -source S [-verify]
-  serve    [-addr :8080] [-dir DIR] [-cap N]
-           [-in FILE [-sources "0,5"] [-eps "0.25,0.5"] [-alg auto]]
+  serve    [-addr :8080] [-dir DIR] [-cap N] [-shard] [-id NAME]
+           [-drain-grace 0s] [-in FILE [-sources "0,5"] [-eps "0.25,0.5"] [-alg auto]]
+  route    -shards "s0=host:port,s1=host:port" [-addr :8081] [-replication 2]
+           [-vnodes 64] [-hedge 3ms] [-probe 2s] [-drain-grace 0s]
 
 FILE "-" means stdin/stdout.`)
 }

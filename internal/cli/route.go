@@ -1,0 +1,99 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"ftbfs/internal/cluster"
+	"ftbfs/internal/server"
+)
+
+// parseShardSpec splits a -shards value into (id, base-URL) pairs. Each
+// comma-separated entry is either "id=url" or a bare URL, whose ID defaults
+// to the host:port part. IDs — not addresses — position shards on the ring,
+// so naming them explicitly lets a shard move hosts without remapping keys.
+func parseShardSpec(spec string) ([][2]string, error) {
+	var out [][2]string
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url := "", part
+		if i := strings.Index(part, "="); i >= 0 && !strings.Contains(part[:i], "/") {
+			id, url = part[:i], part[i+1:]
+		}
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		url = strings.TrimRight(url, "/")
+		if id == "" {
+			id = strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://")
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("duplicate shard id %q", id)
+		}
+		seen[id] = true
+		out = append(out, [2]string{id, url})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-shards names no shards")
+	}
+	return out, nil
+}
+
+func cmdRoute(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("route", flag.ContinueOnError)
+	addr := fs.String("addr", ":8081", "listen address")
+	shardsSpec := fs.String("shards", "", `comma-separated shard list: "id=host:port" or bare "host:port"`)
+	replicas := fs.Int("replication", 2, "replicas per structure (capped at the shard count)")
+	vnodes := fs.Int("vnodes", cluster.DefaultVnodes, "virtual ring points per shard")
+	hedge := fs.Duration("hedge", cluster.DefaultHedgeDelay, "delay before hedging a point query to the next replica (0 or negative = off)")
+	probe := fs.Duration("probe", 2*time.Second, "shard health-probe interval (0 = no probing)")
+	id := fs.String("id", "", "router identity reported by /healthz and /stats")
+	drainGrace := fs.Duration("drain-grace", 0, "on shutdown, keep serving with /readyz=503 this long so balancers stop routing here first")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shards, err := parseShardSpec(*shardsSpec)
+	if err != nil {
+		return err
+	}
+
+	ms := cluster.NewMembership(*replicas, *vnodes)
+	for _, sh := range shards {
+		ms.Join(sh[0], sh[1])
+	}
+	hedgeDelay := *hedge
+	if hedgeDelay == 0 {
+		// RouterOptions treats 0 as "use the default"; an operator passing
+		// -hedge 0 means off.
+		hedgeDelay = -1
+	}
+	rt := cluster.NewRouter(ms, cluster.RouterOptions{HedgeDelay: hedgeDelay, ID: *id})
+
+	ctx, cancel := serveSignalContext()
+	defer cancel()
+	if *probe > 0 {
+		ms.StartProber(ctx, *probe, &http.Client{Timeout: *probe})
+		ms.ProbeAll(ctx, &http.Client{Timeout: *probe}) // seed health before the first request
+	}
+	err = server.ServeDraining(ctx, *addr, rt, *drainGrace, func(bound string) {
+		fmt.Fprintf(stdout, "ftbfs: routing on %s -> %d shards (replication=%d, healthy=%d)\n",
+			bound, len(shards), *replicas, ms.HealthyCount())
+		for _, sh := range shards {
+			fmt.Fprintf(stdout, "  shard %s @ %s\n", sh[0], sh[1])
+		}
+		serveReady(bound)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "ftbfs: router shut down cleanly")
+	return nil
+}

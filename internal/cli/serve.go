@@ -53,6 +53,9 @@ func cmdServe(args []string, stdout io.Writer) error {
 	sourcesSpec := fs.String("sources", "0", "comma-separated sources to pre-build for -in")
 	epsSpec := fs.String("eps", "", "comma-separated ε grid to pre-build for -in (empty = none)")
 	algName := fs.String("alg", "auto", "algorithm for pre-built structures")
+	shard := fs.Bool("shard", false, "run as a cluster shard (identity in /healthz, /stats; route to it with `ftbfs route`)")
+	id := fs.String("id", "", "node identity reported by /healthz and /stats (default: the bound address)")
+	drainGrace := fs.Duration("drain-grace", 0, "on shutdown, keep serving with /readyz=503 this long so balancers stop routing here first")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,9 +107,23 @@ func cmdServe(args []string, stdout io.Writer) error {
 	ctx, cancel := serveSignalContext()
 	defer cancel()
 	srv := server.New(st)
-	err = server.Serve(ctx, *addr, srv, func(bound string) {
-		fmt.Fprintf(stdout, "ftbfs: serving on %s (graphs=%d, structures=%d)\n",
-			bound, st.Stats().Graphs, st.Len())
+	role := ""
+	if *shard {
+		role = "shard"
+	}
+	err = server.ServeDraining(ctx, *addr, srv, *drainGrace, func(bound string) {
+		nodeID := *id
+		if nodeID == "" {
+			nodeID = bound
+		}
+		srv.SetIdentity(role, nodeID)
+		if *shard {
+			fmt.Fprintf(stdout, "ftbfs: shard %s serving on %s (graphs=%d, structures=%d)\n",
+				nodeID, bound, st.Stats().Graphs, st.Len())
+		} else {
+			fmt.Fprintf(stdout, "ftbfs: serving on %s (graphs=%d, structures=%d)\n",
+				bound, st.Stats().Graphs, st.Len())
+		}
 		serveReady(bound)
 	})
 	if err != nil {

@@ -1,0 +1,538 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"ftbfs"
+	"ftbfs/internal/server"
+)
+
+// clusterGraph builds a deterministic connected random graph and returns it
+// with its edge list (the root Graph type does not expose edges).
+func clusterGraph(n, extra int, seed int64) (*ftbfs.Graph, [][2]int) {
+	rng := rand.New(rand.NewSource(seed))
+	g := ftbfs.NewGraph(n)
+	var edges [][2]int
+	add := func(u, v int) {
+		g.MustAddEdge(u, v)
+		edges = append(edges, [2]int{u, v})
+	}
+	for i := 1; i < n; i++ {
+		add(i, rng.Intn(i))
+	}
+	for k := 0; k < extra; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			add(u, v)
+		}
+	}
+	return g, edges
+}
+
+func getJSON(t testing.TB, url string, out any) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("bad response %q: %v", buf.String(), err)
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+func postJSON(t testing.TB, url string, body, out any) (int, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("bad response %q: %v", buf.String(), err)
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+// fixture is one structure served by the cluster plus its single-node
+// ground truth.
+type fixture struct {
+	fp     string
+	source int
+	eps    float64
+	oracle *ftbfs.Oracle
+	n      int
+	// failable base-graph edges (not reinforced in the ground truth).
+	edges [][2]int
+}
+
+// buildFixtures registers graphs with the cluster via the router's /build
+// and builds identical single-node ground truths.
+func buildFixtures(t testing.TB, url string, seeds []int64, sources []int, eps float64) []fixture {
+	t.Helper()
+	var out []fixture
+	for _, seed := range seeds {
+		g, edges := clusterGraph(60, 90, seed)
+		var text bytes.Buffer
+		if err := g.Write(&text); err != nil {
+			t.Fatal(err)
+		}
+		var resp server.BuildResponse
+		code, body := postJSON(t, url+"/build", server.BuildRequest{
+			Graph:   text.String(),
+			Sources: sources,
+			Eps:     []float64{eps},
+		}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("/build via router: %d %s", code, body)
+		}
+		if len(resp.Structures) != len(sources) {
+			t.Fatalf("router built %d structures, want %d", len(resp.Structures), len(sources))
+		}
+		for _, src := range sources {
+			truth, err := ftbfs.Build(g, src, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var failable [][2]int
+			for _, e := range edges {
+				if !truth.IsReinforced(e[0], e[1]) {
+					failable = append(failable, e)
+				}
+			}
+			out = append(out, fixture{
+				fp:     resp.Fingerprint,
+				source: src,
+				eps:    eps,
+				oracle: truth.Oracle(),
+				n:      g.N(),
+				edges:  failable,
+			})
+		}
+	}
+	return out
+}
+
+// checkPoint asserts one routed /dist-avoiding answer against the
+// single-node oracle.
+func checkPoint(t testing.TB, url string, fx fixture, v int, e [2]int) {
+	t.Helper()
+	want, err := fx.oracle.DistAvoiding(v, e[0], e[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr struct {
+		Dist int `json:"dist"`
+	}
+	q := fmt.Sprintf("%s/dist-avoiding?graph=%s&source=%d&eps=%g&v=%d&fu=%d&fv=%d",
+		url, fx.fp, fx.source, fx.eps, v, e[0], e[1])
+	code, body := getJSON(t, q, &dr)
+	if code != http.StatusOK {
+		t.Fatalf("routed /dist-avoiding: %d %s (%s)", code, body, q)
+	}
+	if dr.Dist != want {
+		t.Fatalf("routed dist-avoiding(v=%d, fail={%d,%d}) = %d, single-node oracle says %d",
+			v, e[0], e[1], dr.Dist, want)
+	}
+}
+
+// TestRouterDifferentialVsSingleNode is the cluster correctness gate: every
+// failure query through a 4-shard / replication-2 cluster must answer
+// exactly what a single-node Oracle.DistAvoiding answers.
+func TestRouterDifferentialVsSingleNode(t *testing.T) {
+	lc, err := StartLocal(4, LocalOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	fixtures := buildFixtures(t, lc.URL(), []int64{11, 12}, []int{0, 5}, 0.3)
+
+	// Replication factor 2 really landed every structure on two stores.
+	total := 0
+	for _, sh := range lc.Shards {
+		total += sh.Store.Len()
+	}
+	if want := len(fixtures) * 2; total != want {
+		t.Fatalf("shards hold %d structures in total, want %d (R=2 × %d)", total, want, len(fixtures))
+	}
+
+	for _, fx := range fixtures {
+		// Intact distances through the router.
+		for v := 0; v < fx.n; v += 7 {
+			var dr struct {
+				Dist int `json:"dist"`
+			}
+			code, body := getJSON(t, fmt.Sprintf("%s/dist?graph=%s&source=%d&eps=%g&v=%d",
+				lc.URL(), fx.fp, fx.source, fx.eps, v), &dr)
+			if code != http.StatusOK {
+				t.Fatalf("routed /dist: %d %s", code, body)
+			}
+			if want := fx.oracle.Dist(v); dr.Dist != want {
+				t.Fatalf("routed dist(%d) = %d, want %d", v, dr.Dist, want)
+			}
+		}
+		// Every failable edge, two targets each.
+		for i, e := range fx.edges {
+			checkPoint(t, lc.URL(), fx, (i*13)%fx.n, e)
+			checkPoint(t, lc.URL(), fx, e[1], e)
+		}
+	}
+
+	// An unknown graph is 404 on every replica; the router retries it as
+	// possibly-cold shard state and relays the 404 when all replicas agree
+	// — not a 502.
+	if code, _ := getJSON(t, lc.URL()+"/dist?graph=ffffffffffffffff&v=1", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph through router: %d, want 404", code)
+	}
+	// A deterministic client error (bad vertex) must be relayed from the
+	// first replica without burning the rest.
+	var rsBefore RouterStatsResponse
+	getJSON(t, lc.URL()+"/stats", &rsBefore)
+	if code, _ := getJSON(t, fmt.Sprintf("%s/dist?graph=%s&eps=0.3&v=99999", lc.URL(), fixtures[0].fp), nil); code != http.StatusBadRequest {
+		t.Fatalf("bad vertex through router: %d, want 400", code)
+	}
+	var rsAfter RouterStatsResponse
+	getJSON(t, lc.URL()+"/stats", &rsAfter)
+	if rsAfter.Failovers != rsBefore.Failovers {
+		t.Fatalf("deterministic 400 burned replicas: failovers %d -> %d", rsBefore.Failovers, rsAfter.Failovers)
+	}
+}
+
+// TestRouterBatchScatterGather drives a multi-structure batch through the
+// router: slots spanning different structures (hence different shards),
+// plus invalid slots that must come back as per-query errors.
+func TestRouterBatchScatterGather(t *testing.T) {
+	lc, err := StartLocal(4, LocalOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	fixtures := buildFixtures(t, lc.URL(), []int64{21, 22}, []int{0, 5}, 0.25)
+
+	eps := 0.25
+	req := server.BatchQueryRequest{Graph: fixtures[0].fp, Eps: &eps}
+	type expect struct {
+		dist int
+		err  bool
+	}
+	var want []expect
+	for fi := range fixtures {
+		fx := &fixtures[fi]
+		src := fx.source
+		for i := 0; i < 6 && i < len(fx.edges); i++ {
+			e := fx.edges[i]
+			v := (i * 11) % fx.n
+			req.Queries = append(req.Queries, server.BatchQuery{
+				Graph: fx.fp, Source: &src, V: v, Fail: e,
+			})
+			d, err := fx.oracle.DistAvoiding(v, e[0], e[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, expect{dist: d})
+		}
+	}
+	// Invalid slots: bad target, non-edge, unknown structure.
+	req.Queries = append(req.Queries,
+		server.BatchQuery{V: 10_000, Fail: fixtures[0].edges[0]},
+		server.BatchQuery{V: 1, Fail: [2]int{0, 0}},
+		server.BatchQuery{Graph: "ffffffffffffffff", V: 1, Fail: fixtures[0].edges[0]},
+	)
+	want = append(want, expect{err: true}, expect{err: true}, expect{err: true})
+
+	var resp server.BatchQueryResponse
+	code, body := postJSON(t, lc.URL()+"/batch-query", req, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("routed /batch-query: %d %s", code, body)
+	}
+	if len(resp.Dists) != len(want) || len(resp.Errors) != len(want) {
+		t.Fatalf("got %d dists / %d errors, want %d", len(resp.Dists), len(resp.Errors), len(want))
+	}
+	for i, w := range want {
+		if w.err {
+			if resp.Errors[i] == "" {
+				t.Fatalf("slot %d: expected an error slot (%s)", i, body)
+			}
+			continue
+		}
+		if resp.Errors[i] != "" {
+			t.Fatalf("slot %d: unexpected error %q", i, resp.Errors[i])
+		}
+		if resp.Dists[i] != w.dist {
+			t.Fatalf("slot %d: routed %d, single-node oracle says %d", i, resp.Dists[i], w.dist)
+		}
+	}
+}
+
+// TestRouterSurvivesShardKillAndRejoin kills each shard in turn — the
+// acceptance gate: with replication 2, every query must keep answering the
+// single-node truth while any one shard is down, and after a rejoin.
+func TestRouterSurvivesShardKillAndRejoin(t *testing.T) {
+	lc, err := StartLocal(4, LocalOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	fixtures := buildFixtures(t, lc.URL(), []int64{31}, []int{0, 5}, 0.3)
+
+	sample := func(label string) {
+		for _, fx := range fixtures {
+			for i := 0; i < len(fx.edges); i += 3 {
+				e := fx.edges[i]
+				checkPoint(t, lc.URL(), fx, (i*17)%fx.n, e)
+			}
+		}
+		// A batch spanning both structures must also survive.
+		eps := 0.3
+		req := server.BatchQueryRequest{Eps: &eps}
+		var want []int
+		for fi := range fixtures {
+			fx := &fixtures[fi]
+			src := fx.source
+			e := fx.edges[1]
+			req.Queries = append(req.Queries, server.BatchQuery{Graph: fx.fp, Source: &src, V: e[0], Fail: e})
+			d, err := fx.oracle.DistAvoiding(e[0], e[0], e[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, d)
+		}
+		var resp server.BatchQueryResponse
+		code, body := postJSON(t, lc.URL()+"/batch-query", req, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("[%s] routed batch: %d %s", label, code, body)
+		}
+		if resp.Errors != nil {
+			t.Fatalf("[%s] batch error slots with one shard down: %v", label, resp.Errors)
+		}
+		for i := range want {
+			if resp.Dists[i] != want[i] {
+				t.Fatalf("[%s] batch slot %d: %d, want %d", label, i, resp.Dists[i], want[i])
+			}
+		}
+	}
+
+	sample("all-up")
+	for i := range lc.Shards {
+		lc.KillShard(i)
+		sample(fmt.Sprintf("shard%d-down", i))
+		lc.RestartShard(i)
+		sample(fmt.Sprintf("shard%d-rejoined", i))
+	}
+}
+
+// TestRouterConcurrentDifferential hammers the router from many goroutines
+// while a shard is killed and rejoined mid-flight; every answer must stay
+// correct (run under -race in CI).
+func TestRouterConcurrentDifferential(t *testing.T) {
+	lc, err := StartLocal(4, LocalOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	fixtures := buildFixtures(t, lc.URL(), []int64{41}, []int{0}, 0.3)
+	fx := fixtures[0]
+
+	type q struct {
+		v    int
+		e    [2]int
+		want int
+	}
+	var qs []q
+	for i, e := range fx.edges {
+		v := (i * 13) % fx.n
+		d, err := fx.oracle.DistAvoiding(v, e[0], e[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q{v: v, e: e, want: d})
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := w; i < len(qs)*4; i += workers {
+				qq := qs[i%len(qs)]
+				url := fmt.Sprintf("%s/dist-avoiding?graph=%s&source=%d&eps=0.3&v=%d&fu=%d&fv=%d",
+					lc.URL(), fx.fp, fx.source, qq.v, qq.e[0], qq.e[1])
+				resp, err := client.Get(url)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var dr struct {
+					Dist int `json:"dist"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&dr)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d mid-churn", resp.StatusCode)
+					return
+				}
+				if dr.Dist != qq.want {
+					t.Errorf("concurrent routed dist-avoiding(v=%d, fail=%v) = %d, want %d",
+						qq.v, qq.e, dr.Dist, qq.want)
+					return
+				}
+			}
+		}()
+	}
+	// Churn one shard at a time while the workers run: kill, let traffic
+	// fail over, rejoin.
+	go func() {
+		defer close(stop)
+		for _, i := range []int{2, 0} {
+			lc.KillShard(i)
+			time.Sleep(30 * time.Millisecond)
+			lc.RestartShard(i)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-stop
+}
+
+// TestRouterBuildSingleFlight launches identical concurrent /build requests
+// and asserts exactly-once fan-out: each owning shard builds each structure
+// once, no matter how many clients raced.
+func TestRouterBuildSingleFlight(t *testing.T) {
+	lc, err := StartLocal(4, LocalOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	g, _ := clusterGraph(150, 300, 51)
+	var text bytes.Buffer
+	if err := g.Write(&text); err != nil {
+		t.Fatal(err)
+	}
+	req := server.BuildRequest{Graph: text.String(), Sources: []int{0, 9}, Eps: []float64{0.25, 0.4}}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			var resp server.BuildResponse
+			code, body := postJSON(t, lc.URL()+"/build", req, &resp)
+			if code != http.StatusOK {
+				t.Errorf("/build: %d %s", code, body)
+				return
+			}
+			if len(resp.Structures) != 4 {
+				t.Errorf("built %d structures, want 4", len(resp.Structures))
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	// Exactly-once per replica: 4 pairs × R=2 = 8 shard-side builds in
+	// total, regardless of how many of the 8 clients coalesced. (Even a
+	// flight miss is absorbed by the shard store's own single-flight, so
+	// this holds unconditionally — the router flight just avoids the
+	// redundant fan-out traffic.)
+	var shardBuilds uint64
+	for _, sh := range lc.Shards {
+		shardBuilds += sh.Store.Stats().Builds
+	}
+	if shardBuilds != 8 {
+		t.Fatalf("shards performed %d builds in total, want exactly 8 (4 structures × R=2)", shardBuilds)
+	}
+	var rs RouterStatsResponse
+	if code, body := getJSON(t, lc.URL()+"/stats", &rs); code != http.StatusOK {
+		t.Fatalf("/stats: %d %s", code, body)
+	}
+	if rs.Builds+rs.BuildsCoalesced != clients {
+		t.Fatalf("router flight accounting: %d builds + %d coalesced != %d clients",
+			rs.Builds, rs.BuildsCoalesced, clients)
+	}
+	if rs.Builds == 0 {
+		t.Fatal("router reports zero executed builds")
+	}
+}
+
+func TestRouterStatsHealthReady(t *testing.T) {
+	lc, err := StartLocal(3, LocalOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	var hr server.HealthResponse
+	if code, body := getJSON(t, lc.URL()+"/healthz", &hr); code != http.StatusOK || !hr.OK || hr.Role != "router" {
+		t.Fatalf("/healthz: %d %s", code, body)
+	}
+	var rr RouterReadyResponse
+	if code, body := getJSON(t, lc.URL()+"/readyz", &rr); code != http.StatusOK || !rr.Ready || rr.Shards != 3 {
+		t.Fatalf("/readyz: %d %s", code, body)
+	}
+	var rs RouterStatsResponse
+	if code, body := getJSON(t, lc.URL()+"/stats", &rs); code != http.StatusOK {
+		t.Fatalf("/stats: %d %s", code, body)
+	}
+	if rs.Role != "router" || rs.Replicas != 2 || len(rs.Shards) != 3 {
+		t.Fatalf("unexpected router stats %+v", rs)
+	}
+	for _, sh := range rs.Shards {
+		if sh.Stats == nil || sh.Stats.Role != "shard" {
+			t.Fatalf("shard stats not gathered: %+v", sh)
+		}
+	}
+
+	// With every shard down and probed, the router must report not-ready.
+	for i := range lc.Shards {
+		lc.KillShard(i)
+	}
+	ctx := t.Context()
+	lc.Router.Membership().ProbeAll(ctx, &http.Client{Timeout: time.Second})
+	lc.Router.Membership().ProbeAll(ctx, &http.Client{Timeout: time.Second}) // second strike marks down
+	if code, _ := getJSON(t, lc.URL()+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with all shards down: %d, want 503", code)
+	}
+	// One shard back: ready again after a probe.
+	lc.RestartShard(1)
+	lc.Router.Membership().ProbeAll(ctx, &http.Client{Timeout: time.Second})
+	if code, _ := getJSON(t, lc.URL()+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("/readyz after rejoin: %d, want 200", code)
+	}
+}

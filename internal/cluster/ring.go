@@ -1,0 +1,137 @@
+// Package cluster shards the FT-BFS serving plane across many shard nodes:
+// a consistent-hash ring over the structure keyspace, replicated shard
+// ownership, membership with health probes, and a router that proxies the
+// full query surface (/build, /dist, /dist-avoiding, /batch-query, /stats)
+// to the owning shards — hedged reads across replicas for point queries,
+// scatter-gather with per-shard sub-batching for multi-structure
+// /batch-query vectors, and single-flight build fan-out so one logical
+// /build lands on every replica exactly once.
+//
+// Routing hashes exactly what the store keys: (graph fingerprint, source,
+// ε, algorithm). The ring depends only on the sorted member IDs, never on
+// addresses or health, so every router with the same member set computes
+// the same owners (deterministic rebalance on join/leave); health state
+// only reorders which replica is tried first.
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"ftbfs/internal/store"
+)
+
+// DefaultVnodes is the number of virtual points each member contributes to
+// the ring. More vnodes smooth the key distribution across members at the
+// cost of a larger (still tiny) sorted array.
+const DefaultVnodes = 64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a state byte by byte. The ring
+// only has to agree with itself (routers with the same member set must
+// compute identical owners), so the mixing is self-contained here.
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+func fnvMixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// KeyHash maps a structure key onto the ring's keyspace. ε enters as its
+// IEEE-754 bit pattern, so every distinct registry key hashes to a
+// distinct, process-stable point. Negative zero is folded into +0 first:
+// the store's map keys compare ±0 equal (Go float equality), and routing
+// must hash exactly what the store keys — two bit patterns for one key
+// would send queries for an ε=0 structure to shards that never built it.
+func KeyHash(k store.Key) uint64 {
+	eps := k.Eps
+	if eps == 0 {
+		eps = 0
+	}
+	h := uint64(fnvOffset64)
+	h = fnvMix(h, k.Graph)
+	h = fnvMix(h, uint64(int64(k.Source)))
+	h = fnvMix(h, math.Float64bits(eps))
+	h = fnvMix(h, uint64(int64(k.Alg)))
+	return h
+}
+
+// ringPoint is one virtual node: a position on the ring owned by a member.
+type ringPoint struct {
+	hash uint64
+	node int // index into Ring.nodes
+}
+
+// Ring is an immutable consistent-hash ring over member IDs. Build a new
+// one whenever membership changes; lookups are lock-free.
+type Ring struct {
+	nodes  []string // sorted member IDs
+	points []ringPoint
+}
+
+// NewRing builds a ring over the given member IDs with vnodes virtual
+// points each (DefaultVnodes when ≤ 0). The input is copied and sorted, so
+// any permutation of the same IDs yields an identical ring.
+func NewRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	nodes := append([]string(nil), ids...)
+	sort.Strings(nodes)
+	r := &Ring{nodes: nodes, points: make([]ringPoint, 0, len(nodes)*vnodes)}
+	for ni, id := range nodes {
+		h := fnvMixString(fnvOffset64, id)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: fnvMix(h, uint64(v)), node: ni})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node // total order: hash collisions stay deterministic
+	})
+	return r
+}
+
+// Nodes returns the sorted member IDs of the ring.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owners returns the first `replicas` distinct member IDs found walking the
+// ring clockwise from the key's hash — the replica set of the key, primary
+// first. Fewer members than replicas returns all members, still in ring
+// order for the key.
+func (r *Ring) Owners(keyHash uint64, replicas int) []string {
+	if len(r.points) == 0 || replicas <= 0 {
+		return nil
+	}
+	if replicas > len(r.nodes) {
+		replicas = len(r.nodes)
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= keyHash })
+	owners := make([]string, 0, replicas)
+	seen := make(map[int]bool, replicas)
+	for i := 0; i < len(r.points) && len(owners) < replicas; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			owners = append(owners, r.nodes[p.node])
+		}
+	}
+	return owners
+}

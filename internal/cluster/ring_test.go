@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ftbfs/internal/store"
+)
+
+func testKeys(n int, seed int64) []store.Key {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]store.Key, n)
+	for i := range keys {
+		keys[i] = store.Key{
+			Graph:  rng.Uint64(),
+			Source: rng.Intn(100),
+			Eps:    float64(rng.Intn(8)) / 8,
+		}
+	}
+	return keys
+}
+
+func TestRingDeterministicAcrossJoinOrder(t *testing.T) {
+	ids := []string{"a", "b", "c", "d", "e"}
+	r1 := NewRing(ids, 32)
+	shuffled := []string{"d", "a", "e", "c", "b"}
+	r2 := NewRing(shuffled, 32)
+	for _, k := range testKeys(500, 1) {
+		h := KeyHash(k)
+		o1 := r1.Owners(h, 3)
+		o2 := r2.Owners(h, 3)
+		if fmt.Sprint(o1) != fmt.Sprint(o2) {
+			t.Fatalf("owner sets differ for %v: %v vs %v", k, o1, o2)
+		}
+		if len(o1) != 3 {
+			t.Fatalf("want 3 owners, got %v", o1)
+		}
+		seen := map[string]bool{}
+		for _, id := range o1 {
+			if seen[id] {
+				t.Fatalf("duplicate owner in %v", o1)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestKeyHashNegativeZeroEps pins the routing invariant that KeyHash hashes
+// exactly what the store keys: ±0 compare equal as Go map keys, so they
+// must land on the same ring position.
+func TestKeyHashNegativeZeroEps(t *testing.T) {
+	pos := store.Key{Graph: 42, Source: 1, Eps: 0}
+	neg := store.Key{Graph: 42, Source: 1, Eps: math.Copysign(0, -1)}
+	if KeyHash(pos) != KeyHash(neg) {
+		t.Fatalf("KeyHash(+0 eps) = %x, KeyHash(-0 eps) = %x — same store key routes to different shards",
+			KeyHash(pos), KeyHash(neg))
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	ids := []string{"s0", "s1", "s2", "s3"}
+	r := NewRing(ids, 0) // DefaultVnodes
+	counts := map[string]int{}
+	keys := testKeys(4000, 2)
+	for _, k := range keys {
+		counts[r.Owners(KeyHash(k), 1)[0]]++
+	}
+	for _, id := range ids {
+		// With 64 vnodes the load factor stays within a loose band; the
+		// bound here only guards against a pathologically broken hash.
+		if counts[id] < len(keys)/16 {
+			t.Fatalf("shard %s owns %d of %d keys — distribution collapsed: %v", id, counts[id], len(keys), counts)
+		}
+	}
+}
+
+// TestRingMinimalRebalance is the consistent-hashing property that makes
+// join/leave cheap: removing one member only remaps keys that member owned.
+func TestRingMinimalRebalance(t *testing.T) {
+	ids := []string{"s0", "s1", "s2", "s3", "s4"}
+	before := NewRing(ids, 64)
+	after := NewRing([]string{"s0", "s1", "s2", "s4"}, 64) // s3 left
+	moved, owned := 0, 0
+	for _, k := range testKeys(3000, 3) {
+		h := KeyHash(k)
+		b := before.Owners(h, 1)[0]
+		a := after.Owners(h, 1)[0]
+		if b == "s3" {
+			owned++
+			continue // expected to move somewhere
+		}
+		if a != b {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the departed shard moved anyway", moved)
+	}
+	if owned == 0 {
+		t.Fatal("departed shard owned no keys — test is vacuous")
+	}
+}
+
+func TestMembershipJoinLeaveRejoin(t *testing.T) {
+	ms := NewMembership(2, 16)
+	ms.Join("s0", "http://h0")
+	ms.Join("s1", "http://h1")
+	ms.Join("s2", "http://h2")
+	k := testKeys(1, 4)[0]
+	ownersOf := func() string {
+		var ids []string
+		for _, m := range ms.Owners(KeyHash(k)) {
+			ids = append(ids, m.ID)
+		}
+		return fmt.Sprint(ids)
+	}
+	before := ownersOf()
+	// A rejoin under a new address must not remap anything: the ring hashes
+	// IDs, not addresses.
+	ms.Join("s1", "http://h1-restarted")
+	if got := ownersOf(); got != before {
+		t.Fatalf("rejoin remapped owners: %s -> %s", before, got)
+	}
+	m, _ := ms.Member("s1")
+	if m.Addr() != "http://h1-restarted" {
+		t.Fatalf("rejoin did not update the address: %s", m.Addr())
+	}
+	// Leaving removes the member from every owner set.
+	ms.Leave("s1")
+	for _, m := range ms.Owners(KeyHash(k)) {
+		if m.ID == "s1" {
+			t.Fatal("departed member still owns keys")
+		}
+	}
+	if len(ms.Members()) != 2 {
+		t.Fatalf("member count %d after leave, want 2", len(ms.Members()))
+	}
+}
+
+func TestMemberHealthThreshold(t *testing.T) {
+	m := &Member{ID: "x"}
+	m.markRequest(false, 2)
+	if !m.Healthy() {
+		t.Fatal("single request failure marked member down (threshold is 2)")
+	}
+	m.markRequest(false, 2)
+	if m.Healthy() {
+		t.Fatal("two consecutive request failures did not mark member down")
+	}
+	m.markRequest(true, 2)
+	if !m.Healthy() {
+		t.Fatal("request success did not recover the member")
+	}
+	// The probe signal is independent: a draining shard keeps serving
+	// requests (request signal healthy) yet its 503 probes drain it out —
+	// and request successes must not cancel that.
+	m.markProbe(false, 2)
+	m.markProbe(false, 2)
+	if m.Healthy() {
+		t.Fatal("two probe failures did not mark member down")
+	}
+	m.markRequest(true, 2)
+	if m.Healthy() {
+		t.Fatal("request success overrode probe-owned readiness")
+	}
+	m.markProbe(true, 2)
+	if !m.Healthy() {
+		t.Fatal("probe success did not restore the member")
+	}
+}

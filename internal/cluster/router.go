@@ -1,0 +1,844 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftbfs"
+	"ftbfs/internal/core"
+	"ftbfs/internal/server"
+	"ftbfs/internal/store"
+)
+
+// DefaultHedgeDelay is how long a point query waits on the primary replica
+// before hedging the same request to the next one. Loopback and same-rack
+// replicas answer in well under a millisecond, so a few milliseconds only
+// fires on a genuinely slow or dead primary.
+const DefaultHedgeDelay = 3 * time.Millisecond
+
+// DefaultBuildTimeout bounds one /build fan-out. Builds on graphs near
+// MaxBuildN legitimately run for minutes, so this is far above the query
+// client's timeout.
+const DefaultBuildTimeout = 15 * time.Minute
+
+// RouterOptions tunes a Router.
+type RouterOptions struct {
+	// HedgeDelay before a point query is hedged to the next replica;
+	// DefaultHedgeDelay when 0, negative disables hedging (failover on
+	// error still happens).
+	HedgeDelay time.Duration
+	// Client used for query and stats shard requests; a default with sane
+	// timeouts when nil. /build fan-outs use a dedicated timeout-free
+	// client bounded by BuildTimeout instead — a big build must not be
+	// killed by the query timeout.
+	Client *http.Client
+	// BuildTimeout bounds one /build fan-out (DefaultBuildTimeout when 0).
+	BuildTimeout time.Duration
+	// ID reported by /healthz and /stats.
+	ID string
+}
+
+// Router fronts a shard cluster with the same HTTP surface a single shard
+// serves, so clients cannot tell one node from forty. Point queries go to
+// the key's replica set with hedged reads; /batch-query vectors scatter as
+// one sub-batch per shard and gather per-query results with failover;
+// /build fans out to every owning replica exactly once (single-flight).
+type Router struct {
+	m     *Membership
+	mux   *http.ServeMux
+	opts  RouterOptions
+	start time.Time
+
+	// buildClient has no client-level timeout: /build fan-outs are bounded
+	// by the BuildTimeout context, not by the query client's deadline.
+	buildClient *http.Client
+
+	buildFlight flightGroup
+
+	requests        atomic.Uint64 // HTTP requests accepted
+	points          atomic.Uint64 // point queries routed (/dist, /dist-avoiding)
+	batches         atomic.Uint64 // /batch-query vectors routed
+	batchQueries    atomic.Uint64 // individual batch query slots routed
+	builds          atomic.Uint64 // /build fan-outs executed
+	buildsCoalesced atomic.Uint64 // /build requests that shared another's flight
+	hedges          atomic.Uint64 // hedge timers that fired a second replica
+	failovers       atomic.Uint64 // replica retries after a failed attempt
+	errs            atomic.Uint64 // requests answered with an error status
+	draining        atomic.Bool
+}
+
+// NewRouter returns a router over the given membership.
+func NewRouter(m *Membership, opts RouterOptions) *Router {
+	if opts.HedgeDelay == 0 {
+		opts.HedgeDelay = DefaultHedgeDelay
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if opts.BuildTimeout == 0 {
+		opts.BuildTimeout = DefaultBuildTimeout
+	}
+	rt := &Router{
+		m:           m,
+		mux:         http.NewServeMux(),
+		opts:        opts,
+		start:       time.Now(),
+		buildClient: &http.Client{Transport: opts.Client.Transport},
+	}
+	rt.mux.HandleFunc("/build", rt.handleBuild)
+	rt.mux.HandleFunc("/dist", rt.handlePoint)
+	rt.mux.HandleFunc("/dist-avoiding", rt.handlePoint)
+	rt.mux.HandleFunc("/batch-query", rt.handleBatchQuery)
+	rt.mux.HandleFunc("/stats", rt.handleStats)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/readyz", rt.handleReadyz)
+	return rt
+}
+
+// Membership exposes the router's shard set (join/leave, probing).
+func (rt *Router) Membership() *Membership { return rt.m }
+
+// SetDraining flips the router's /readyz gate; server.Serve calls it on
+// graceful shutdown.
+func (rt *Router) SetDraining(v bool) { rt.draining.Store(v) }
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	if r.Body != nil {
+		// Same bound as the shards: the two tiers must agree on what is an
+		// acceptable body.
+		r.Body = http.MaxBytesReader(w, r.Body, server.MaxBodyBytes)
+	}
+	rt.mux.ServeHTTP(w, r)
+}
+
+// retryableStatus reports whether a shard's HTTP status may legitimately
+// differ on another replica: 404 is absent shard state (the shard maps an
+// unknown graph to server.UnknownGraphError — a cold replica may simply not
+// have it yet) and 5xx is a node fault. Any other 4xx is a deterministic
+// client error every replica would repeat, so it is relayed without burning
+// the remaining replicas.
+func retryableStatus(code int) bool {
+	return code == http.StatusNotFound || code >= http.StatusInternalServerError
+}
+
+// retryableSlotError is retryableStatus for per-slot /batch-query errors,
+// which travel as strings inside a 200 response: it matches the slot errors
+// that reflect shard state rather than a verdict on the query — an unknown
+// graph (cold replica, server.UnknownGraphPrefix) and a persist-directory
+// fault (broken disk, store.PersistPrefix; the point path retries the same
+// condition via its 500 status).
+func retryableSlotError(msg string) bool {
+	return strings.HasPrefix(msg, server.UnknownGraphPrefix) || strings.HasPrefix(msg, store.PersistPrefix)
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (rt *Router) writeErr(w http.ResponseWriter, code int, err error) {
+	rt.errs.Add(1)
+	rt.writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// writeRaw relays a buffered upstream response verbatim.
+func (rt *Router) writeRaw(w http.ResponseWriter, code int, body []byte) {
+	if code >= http.StatusBadRequest {
+		rt.errs.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+// attemptResult is one shard request's outcome: a transport error, or a
+// buffered status + body.
+type attemptResult struct {
+	code int
+	body []byte
+	err  error
+}
+
+// forward sends one buffered request to a member with the query client and
+// reads the reply. Health is only updated on real outcomes — a hedging
+// loser cancelled via ctx must not count against the shard.
+func (rt *Router) forward(ctx context.Context, m *Member, method, path, rawQuery string, body []byte) attemptResult {
+	return rt.forwardClient(rt.opts.Client, ctx, m, method, path, rawQuery, body)
+}
+
+func (rt *Router) forwardClient(client *http.Client, ctx context.Context, m *Member, method, path, rawQuery string, body []byte) attemptResult {
+	url := m.Addr() + path
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return attemptResult{err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			m.markRequest(false, downAfter)
+		}
+		return attemptResult{err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctx.Err() == nil {
+			m.markRequest(false, downAfter)
+		}
+		return attemptResult{err: err}
+	}
+	// A 5xx is a request strike: a shard consistently failing requests
+	// (broken persist directory, wedged store) must drift to the back of
+	// the attempt order even though it still answers. A sub-5xx response
+	// clears only the request signal — probe-owned readiness stays put, so
+	// a draining shard serving its in-flight traffic is still drained out
+	// by its 503 /readyz probes.
+	m.markRequest(resp.StatusCode < http.StatusInternalServerError, downAfter)
+	return attemptResult{code: resp.StatusCode, body: b}
+}
+
+// orderedOwners returns the key's replica set, healthy members first but
+// otherwise in ring order, so the primary is sticky (its oracle pool stays
+// hot) while down replicas drop to last-resort attempts.
+func (rt *Router) orderedOwners(keyHash uint64) []*Member {
+	owners := rt.m.Owners(keyHash)
+	sort.SliceStable(owners, func(i, j int) bool {
+		return owners[i].Healthy() && !owners[j].Healthy()
+	})
+	return owners
+}
+
+// hedgedDo tries the owners in order until one returns 200: the primary
+// first, the next replica when the hedge timer fires before the primary
+// answers, and immediate failover on transport errors and retryable
+// statuses (404 unknown-graph shard state, 5xx). A deterministic client
+// error (any other 4xx) is relayed immediately — every replica would
+// repeat it; a retryable status is remembered and relayed only when every
+// replica says no.
+func (rt *Router) hedgedDo(ctx context.Context, owners []*Member, method, path, rawQuery string, body []byte) attemptResult {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan attemptResult, len(owners))
+	next, pending := 0, 0
+	launch := func() bool {
+		if next >= len(owners) {
+			return false
+		}
+		m := owners[next]
+		next++
+		pending++
+		go func() { results <- rt.forward(ctx, m, method, path, rawQuery, body) }()
+		return true
+	}
+	launch()
+	var hedgeC <-chan time.Time
+	if rt.opts.HedgeDelay > 0 && len(owners) > 1 {
+		tm := time.NewTimer(rt.opts.HedgeDelay)
+		defer tm.Stop()
+		hedgeC = tm.C
+	}
+	last := attemptResult{err: fmt.Errorf("cluster: no shard available")}
+	for pending > 0 {
+		select {
+		case res := <-results:
+			pending--
+			if res.err == nil && res.code == http.StatusOK {
+				return res
+			}
+			if res.err == nil && !retryableStatus(res.code) {
+				return res // deterministic client error: relay as-is
+			}
+			// Prefer a definitive shard reply over a transport error as the
+			// answer of last resort.
+			if res.err == nil || last.code == 0 {
+				last = res
+			}
+			if launch() {
+				rt.failovers.Add(1)
+			} else if pending == 0 {
+				return last
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launch() {
+				rt.hedges.Add(1)
+			}
+		}
+	}
+	return last
+}
+
+// handlePoint proxies /dist and /dist-avoiding: resolve the structure key
+// from the request, hedge across its replica set, relay the winner.
+func (rt *Router) handlePoint(w http.ResponseWriter, r *http.Request) {
+	var body []byte
+	var q server.QueryRequest
+	switch r.Method {
+	case http.MethodGet:
+		var err error
+		if q, err = server.ParseQuery(r); err != nil {
+			rt.writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	case http.MethodPost:
+		var err error
+		if body, err = io.ReadAll(r.Body); err != nil {
+			rt.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+			return
+		}
+		if err := json.Unmarshal(body, &q); err != nil {
+			rt.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+			return
+		}
+	default:
+		rt.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST required"))
+		return
+	}
+	k, err := q.Key()
+	if err != nil {
+		rt.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	owners := rt.orderedOwners(KeyHash(k))
+	if len(owners) == 0 {
+		rt.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no shards joined"))
+		return
+	}
+	rt.points.Add(1)
+	res := rt.hedgedDo(r.Context(), owners, r.Method, r.URL.Path, r.URL.RawQuery, body)
+	if res.err != nil {
+		rt.writeErr(w, http.StatusBadGateway, fmt.Errorf("cluster: all %d replicas failed: %w", len(owners), res.err))
+		return
+	}
+	rt.writeRaw(w, res.code, res.body)
+}
+
+// handleBatchQuery scatter-gathers a multi-structure batch: route every
+// query slot by its structure key, ship one sub-batch per shard, and merge
+// per-query results. A failed shard's slots fail over to the next replica;
+// only slots whose whole replica set failed come back with error slots.
+func (rt *Router) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req server.BatchQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rt.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	n := len(req.Queries)
+	if n == 0 {
+		rt.writeErr(w, http.StatusBadRequest, fmt.Errorf("empty query vector"))
+		return
+	}
+	rt.batches.Add(1)
+	rt.batchQueries.Add(uint64(n))
+
+	dists := make([]int, n)
+	errs := make([]string, n)
+	type route struct {
+		key    store.Key
+		owners []*Member
+		tried  int // owners[:tried] already attempted
+	}
+	routes := make([]*route, n)
+	var pending []int
+	// One ring walk per distinct key, not per slot — a 256-slot batch over
+	// 16 structures resolves 16 owner sets. Each slot still gets its own
+	// copy: the least-loaded selection below reorders it in place.
+	ownersByKey := make(map[store.Key][]*Member)
+	for i := 0; i < n; i++ {
+		dists[i] = -1
+		k, err := req.KeyFor(i)
+		if err != nil {
+			errs[i] = err.Error()
+			continue
+		}
+		base, cached := ownersByKey[k]
+		if !cached {
+			base = rt.orderedOwners(KeyHash(k))
+			ownersByKey[k] = base
+		}
+		if len(base) == 0 {
+			errs[i] = "cluster: no shards joined"
+			continue
+		}
+		owners := make([]*Member, len(base))
+		copy(owners, base)
+		routes[i] = &route{key: k, owners: owners}
+		pending = append(pending, i)
+	}
+
+	// Each round ships at most one sub-batch per shard; slots whose attempt
+	// failed (transport, shard error, or per-slot error) advance to their
+	// next replica. Rounds are bounded by the replication factor. Unlike
+	// point queries (which stick to the primary for oracle-pool locality),
+	// batch slots pick the least-loaded untried replica of their key, so a
+	// few hot structures cannot pile the whole vector onto one shard —
+	// every replica holds the structure, so any of them answers correctly.
+	load := make(map[*Member]int)
+	for round := 0; len(pending) > 0 && round < rt.m.Replicas(); round++ {
+		type subBatch struct {
+			member *Member
+			slots  []int
+		}
+		var subs []*subBatch
+		byMember := make(map[*Member]*subBatch)
+		var exhausted []int
+		for _, i := range pending {
+			rte := routes[i]
+			if rte.tried >= len(rte.owners) {
+				exhausted = append(exhausted, i)
+				continue
+			}
+			best := rte.tried
+			for j := rte.tried + 1; j < len(rte.owners); j++ {
+				cand, cur := rte.owners[j], rte.owners[best]
+				if cand.Healthy() != cur.Healthy() {
+					if cand.Healthy() {
+						best = j
+					}
+					continue
+				}
+				if load[cand] < load[cur] {
+					best = j
+				}
+			}
+			rte.owners[rte.tried], rte.owners[best] = rte.owners[best], rte.owners[rte.tried]
+			m := rte.owners[rte.tried]
+			rte.tried++
+			load[m]++
+			sb := byMember[m]
+			if sb == nil {
+				sb = &subBatch{member: m}
+				byMember[m] = sb
+				subs = append(subs, sb)
+			}
+			sb.slots = append(sb.slots, i)
+		}
+		for _, i := range exhausted {
+			if errs[i] == "" {
+				errs[i] = "cluster: all replicas failed"
+			}
+		}
+		if round > 0 {
+			rt.failovers.Add(uint64(len(subs)))
+		}
+
+		var mu sync.Mutex
+		var nextPending []int
+		var wg sync.WaitGroup
+		for _, sb := range subs {
+			sb := sb
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sub := server.BatchQueryRequest{Queries: make([]server.BatchQuery, len(sb.slots))}
+				for j, i := range sb.slots {
+					k := routes[i].key
+					src := k.Source
+					eps := k.Eps
+					sub.Queries[j] = server.BatchQuery{
+						Graph:  fmt.Sprintf("%016x", k.Graph),
+						Source: &src,
+						Eps:    &eps,
+						Alg:    k.Alg.String(),
+						V:      req.Queries[i].V,
+						Fail:   req.Queries[i].Fail,
+					}
+				}
+				payload, err := json.Marshal(&sub)
+				if err != nil {
+					mu.Lock()
+					for _, i := range sb.slots {
+						errs[i] = "cluster: " + err.Error()
+					}
+					mu.Unlock()
+					return
+				}
+				res := rt.forward(r.Context(), sb.member, http.MethodPost, "/batch-query", "", payload)
+				var resp server.BatchQueryResponse
+				ok := res.err == nil && res.code == http.StatusOK &&
+					json.Unmarshal(res.body, &resp) == nil && len(resp.Dists) == len(sb.slots) &&
+					(resp.Errors == nil || len(resp.Errors) == len(sb.slots))
+				mu.Lock()
+				defer mu.Unlock()
+				if !ok {
+					// Whole sub-batch failed. Only a deterministic 4xx (a
+					// malformed sub-request every replica would repeat)
+					// fails its slots in place; transport faults, retryable
+					// statuses, and un-decodable 200s (version skew, an
+					// intermediary's error page) are shard-specific, so
+					// those slots go to the next replica.
+					msg := fmt.Sprintf("cluster: shard %s failed", sb.member.ID)
+					if res.err != nil {
+						msg = fmt.Sprintf("cluster: shard %s: %v", sb.member.ID, res.err)
+					} else if res.code != http.StatusOK {
+						msg = fmt.Sprintf("cluster: shard %s: status %d: %s", sb.member.ID, res.code, bytes.TrimSpace(res.body))
+					} else {
+						msg = fmt.Sprintf("cluster: shard %s: malformed batch response", sb.member.ID)
+					}
+					definitive := res.err == nil && res.code != http.StatusOK && !retryableStatus(res.code)
+					retry := !definitive
+					for _, i := range sb.slots {
+						if errs[i] == "" {
+							errs[i] = msg
+						}
+						if retry {
+							nextPending = append(nextPending, i)
+						}
+					}
+					return
+				}
+				for j, i := range sb.slots {
+					if resp.Errors != nil && resp.Errors[j] != "" {
+						// Per-slot error: cold-replica shard state retries
+						// on the next replica (keeping the first message in
+						// case every replica is cold); a verdict on the
+						// query itself is final and overwrites whatever
+						// provisional failover message an earlier dead
+						// replica left behind.
+						if retryableSlotError(resp.Errors[j]) {
+							if errs[i] == "" {
+								errs[i] = resp.Errors[j]
+							}
+							nextPending = append(nextPending, i)
+						} else {
+							errs[i] = resp.Errors[j]
+						}
+						continue
+					}
+					dists[i] = resp.Dists[j]
+					errs[i] = ""
+				}
+			}()
+		}
+		wg.Wait()
+		pending = nextPending
+	}
+
+	resp := server.BatchQueryResponse{Dists: dists}
+	for _, e := range errs {
+		if e != "" {
+			resp.Errors = errs
+			break
+		}
+	}
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBuild fans a /build out to every shard owning any of its requested
+// structures, exactly once per logical build: concurrent identical requests
+// coalesce on a single-flight key of (fingerprint, algorithm, pairs).
+func (rt *Router) handleBuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req server.BuildRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rt.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	g, err := server.GraphFromBuildRequest(&req)
+	if err != nil {
+		rt.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	alg, err := core.ParseAlgorithm(req.Alg)
+	if err != nil {
+		rt.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	pairs := req.ResolvedPairs()
+	fp := g.Fingerprint()
+	flightKey := fmt.Sprintf("%016x|%d|%v", fp, alg, pairs)
+	res, shared := rt.buildFlight.Do(flightKey, func() flightResult {
+		rt.builds.Add(1)
+		// The fan-out is shared work: coalesced waiters must not lose their
+		// build because the first caller hung up, so it is detached from
+		// any one request's cancellation and bounded by BuildTimeout alone.
+		ctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), rt.opts.BuildTimeout)
+		defer cancel()
+		return rt.fanOutBuild(ctx, g, &req, alg, pairs)
+	})
+	if shared {
+		rt.buildsCoalesced.Add(1)
+	}
+	if res.code == 0 {
+		// The flight died without producing a response (a panic in the
+		// fan-out); waiters must not relay an invalid status 0.
+		rt.writeErr(w, http.StatusBadGateway, fmt.Errorf("cluster: build fan-out failed"))
+		return
+	}
+	rt.writeRaw(w, res.code, res.body)
+}
+
+// fanOutBuild ships one /build per involved shard, each carrying exactly
+// the (source, ε) pairs that shard owns, and merges the per-shard replies
+// into one BuildResponse in request-pair order. A pair succeeds when any of
+// its replicas built it; a pair whose whole replica set failed fails the
+// build.
+func (rt *Router) fanOutBuild(ctx context.Context, g buildGraph, req *server.BuildRequest, alg ftbfs.Algorithm, pairs []server.BuildPair) flightResult {
+	fail := func(code int, err error) flightResult {
+		body, _ := json.Marshal(map[string]string{"error": err.Error()})
+		return flightResult{code: code, body: body}
+	}
+	// Re-encode once: the canonical text preserves edge order, so every
+	// shard computes the same fingerprint the router routed on.
+	var text bytes.Buffer
+	if err := g.Write(&text); err != nil {
+		return fail(http.StatusInternalServerError, err)
+	}
+	fp := g.Fingerprint()
+
+	type shardBuild struct {
+		member *Member
+		pairs  []server.BuildPair
+		index  map[server.BuildPair]int // pair -> position in pairs
+		resp   server.BuildResponse
+		err    error
+		code   int // HTTP status behind err, 0 for transport faults
+	}
+	var shards []*shardBuild
+	byMember := make(map[*Member]*shardBuild)
+	pairOwners := make([][]*Member, len(pairs))
+	for i, p := range pairs {
+		// Builds route on the same registry key as queries; algorithm
+		// differences are part of the key, so a mixed-alg workload shards
+		// consistently. Replication ignores health: a down replica simply
+		// fails its sub-request and the pair survives on the others.
+		k := store.Key{Graph: fp, Source: p.Source, Eps: p.Eps, Alg: alg}
+		owners := rt.m.Owners(KeyHash(k))
+		if len(owners) == 0 {
+			return fail(http.StatusServiceUnavailable, fmt.Errorf("cluster: no shards joined"))
+		}
+		pairOwners[i] = owners
+		for _, m := range owners {
+			sb := byMember[m]
+			if sb == nil {
+				sb = &shardBuild{member: m, index: make(map[server.BuildPair]int)}
+				byMember[m] = sb
+				shards = append(shards, sb)
+			}
+			if _, dup := sb.index[p]; !dup {
+				sb.index[p] = len(sb.pairs)
+				sb.pairs = append(sb.pairs, p)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, sb := range shards {
+		sb := sb
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload, err := json.Marshal(&server.BuildRequest{
+				Graph: text.String(),
+				Pairs: sb.pairs,
+				Alg:   req.Alg,
+			})
+			if err != nil {
+				sb.err = err
+				return
+			}
+			res := rt.forwardClient(rt.buildClient, ctx, sb.member, http.MethodPost, "/build", "", payload)
+			switch {
+			case res.err != nil:
+				sb.err = res.err
+			case res.code != http.StatusOK:
+				sb.err = fmt.Errorf("status %d: %s", res.code, bytes.TrimSpace(res.body))
+				sb.code = res.code
+			default:
+				sb.err = json.Unmarshal(res.body, &sb.resp)
+				if sb.err == nil && len(sb.resp.Structures) != len(sb.pairs) {
+					sb.err = fmt.Errorf("shard built %d of %d structures", len(sb.resp.Structures), len(sb.pairs))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := server.BuildResponse{Fingerprint: fmt.Sprintf("%016x", fp), N: g.N(), M: g.M()}
+	for i, p := range pairs {
+		var info *server.StructureInfo
+		var firstErr error
+		firstCode := 0
+		for _, m := range pairOwners[i] {
+			sb := byMember[m]
+			if sb.err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard %s: %w", m.ID, sb.err)
+					firstCode = sb.code
+				}
+				continue
+			}
+			info = &sb.resp.Structures[sb.index[p]]
+			break
+		}
+		if info == nil {
+			// A deterministic 4xx (bad source, bad eps) is the client's
+			// error on every replica and is relayed as such — matching what
+			// a single node would answer; anything else is a gateway fault.
+			code := http.StatusBadGateway
+			if firstCode >= http.StatusBadRequest && firstCode < http.StatusInternalServerError && !retryableStatus(firstCode) {
+				code = firstCode
+			}
+			return fail(code,
+				fmt.Errorf("cluster: build (source=%d, eps=%g) failed on all %d replicas: %w",
+					p.Source, p.Eps, len(pairOwners[i]), firstErr))
+		}
+		out.Structures = append(out.Structures, *info)
+	}
+	body, err := json.Marshal(&out)
+	if err != nil {
+		return fail(http.StatusInternalServerError, err)
+	}
+	return flightResult{code: http.StatusOK, body: body}
+}
+
+// buildGraph is the slice of the root Graph API fanOutBuild needs; keeping
+// it an interface lets tests fan out without a full build pipeline.
+type buildGraph interface {
+	Write(io.Writer) error
+	Fingerprint() uint64
+	N() int
+	M() int
+}
+
+// ShardStat is one member's entry in a RouterStatsResponse.
+type ShardStat struct {
+	ID      string                `json:"id"`
+	Addr    string                `json:"addr"`
+	Healthy bool                  `json:"healthy"`
+	Probes  uint64                `json:"probes"`
+	Stats   *server.StatsResponse `json:"stats,omitempty"`
+	Error   string                `json:"error,omitempty"`
+}
+
+// RouterStatsResponse is the reply of the router's GET /stats: router-level
+// counters plus a gathered per-shard breakdown.
+type RouterStatsResponse struct {
+	Role            string      `json:"role"`
+	ID              string      `json:"id,omitempty"`
+	UptimeSeconds   float64     `json:"uptime_seconds"`
+	Requests        uint64      `json:"requests"`
+	PointQueries    uint64      `json:"point_queries"`
+	Batches         uint64      `json:"batches"`
+	BatchQueries    uint64      `json:"batch_queries"`
+	Builds          uint64      `json:"builds"`
+	BuildsCoalesced uint64      `json:"builds_coalesced"`
+	Hedges          uint64      `json:"hedges"`
+	Failovers       uint64      `json:"failovers"`
+	Errors          uint64      `json:"errors"`
+	Replicas        int         `json:"replicas"`
+	Shards          []ShardStat `json:"shards"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rt.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	members := rt.m.Members()
+	resp := RouterStatsResponse{
+		Role:            "router",
+		ID:              rt.opts.ID,
+		UptimeSeconds:   time.Since(rt.start).Seconds(),
+		Requests:        rt.requests.Load(),
+		PointQueries:    rt.points.Load(),
+		Batches:         rt.batches.Load(),
+		BatchQueries:    rt.batchQueries.Load(),
+		Builds:          rt.builds.Load(),
+		BuildsCoalesced: rt.buildsCoalesced.Load(),
+		Hedges:          rt.hedges.Load(),
+		Failovers:       rt.failovers.Load(),
+		Errors:          rt.errs.Load(),
+		Replicas:        rt.m.Replicas(),
+		Shards:          make([]ShardStat, len(members)),
+	}
+	// A wedged shard must not stall the operator's stats call for the full
+	// query timeout; it just shows up with an Error field.
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, m := range members {
+		i, m := i, m
+		resp.Shards[i] = ShardStat{ID: m.ID, Addr: m.Addr(), Healthy: m.Healthy(), Probes: m.probes.Load()}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := rt.forward(ctx, m, http.MethodGet, "/stats", "", nil)
+			if res.err != nil {
+				resp.Shards[i].Error = res.err.Error()
+				return
+			}
+			var st server.StatsResponse
+			if err := json.Unmarshal(res.body, &st); err != nil {
+				resp.Shards[i].Error = err.Error()
+				return
+			}
+			resp.Shards[i].Stats = &st
+		}()
+	}
+	wg.Wait()
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, http.StatusOK, server.HealthResponse{
+		OK:            true,
+		Role:          "router",
+		ID:            rt.opts.ID,
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+	})
+}
+
+// RouterReadyResponse is the reply of the router's GET /readyz: a router is
+// ready when it is not draining and at least one shard is healthy.
+type RouterReadyResponse struct {
+	Ready         bool `json:"ready"`
+	Draining      bool `json:"draining,omitempty"`
+	Shards        int  `json:"shards"`
+	HealthyShards int  `json:"healthy_shards"`
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := RouterReadyResponse{
+		Draining:      rt.draining.Load(),
+		Shards:        len(rt.m.Members()),
+		HealthyShards: rt.m.HealthyCount(),
+	}
+	resp.Ready = !resp.Draining && resp.HealthyShards > 0
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	rt.writeJSON(w, code, resp)
+}

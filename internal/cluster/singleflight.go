@@ -1,0 +1,55 @@
+package cluster
+
+import "sync"
+
+// flightResult is a buffered HTTP outcome shared by single-flight waiters.
+type flightResult struct {
+	code int
+	body []byte
+}
+
+// flightGroup deduplicates concurrent identical work: the first caller of a
+// key runs fn, everyone else arriving while it is in flight waits and
+// shares the result. Unlike a cache, results are not retained — the next
+// call after completion runs fn again (a rebuilt /build is legitimate; a
+// doubled fan-out of the same one is not).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  flightResult
+}
+
+// Do runs fn under key, coalescing concurrent duplicates. shared reports
+// whether this caller piggybacked on another's flight.
+func (g *flightGroup) Do(key string, fn func() flightResult) (res flightResult, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.res, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// The flight must be torn down even if fn panics (net/http recovers
+	// handler panics, so the process would live on with a dead flight that
+	// hangs every waiter and every future call of this key forever).
+	// Waiters then observe the zero flightResult; callers treat code 0 as
+	// a failed flight.
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.res = fn()
+	return c.res, false
+}

@@ -9,17 +9,25 @@
 // the store, shared by every oracle): a failed edge off H's BFS tree is an
 // O(1) lookup of the cached intact vector, a failed tree edge repairs only
 // the subtree hanging below it, and /batch-query vectors are answered in
-// failed-edge groups so one repair serves every target of the same failure
-// (Oracle.DistAvoidingMany). The repair scratches travel inside the pooled
-// oracles, so the steady-state hot path allocates nothing.
+// failed-edge groups so one repair serves every target of the same failure.
+// The repair scratches travel inside the pooled oracles, so the steady-state
+// hot path allocates nothing.
 //
 // Endpoints:
 //
 //	POST /build          register a graph and build structures for it
 //	GET|POST /dist           dist(s, v) in the intact structure H
 //	GET|POST /dist-avoiding  dist(s, v) in H minus one failed edge
-//	POST /batch-query    a vector of failure queries on one structure
+//	POST /batch-query    a vector of failure queries, per-query error slots
 //	GET  /stats          store and server counters
+//	GET  /healthz        liveness: identity + uptime, always 200 while up
+//	GET  /readyz         readiness: 503 while draining, else store summary
+//
+// A /batch-query vector may span several structures (each query can carry
+// its own graph/source/eps/alg, defaulting to the request-level address) and
+// never fails as a whole on one bad query: the response carries a parallel
+// error slot per query, which is what a scatter-gather router needs to merge
+// partial results.
 //
 // Distances use -1 for "unreachable". Errors are {"error": "..."} with a
 // 4xx/5xx status.
@@ -35,6 +43,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,9 +59,18 @@ const DefaultEps = 0.25
 // body must not be able to make the server allocate gigabytes of adjacency.
 const MaxBuildN = 1_000_000
 
-// maxBodyBytes bounds every JSON request body (graph text for 1M edges is
-// well under this).
-const maxBodyBytes = 64 << 20
+// MaxBodyBytes bounds every JSON request body (graph text for 1M edges is
+// well under this). The cluster router applies the same bound so the two
+// tiers never disagree about what is acceptable.
+const MaxBodyBytes = 64 << 20
+
+// identity names a node for /healthz and /stats; held behind an atomic
+// pointer because `serve` only learns its default ID (the bound address)
+// after the listener is up, when probes may already be hitting /healthz.
+type identity struct {
+	role string // "" for standalone, "shard" under a cluster router
+	id   string
+}
 
 // Server is the HTTP handler of the query service.
 type Server struct {
@@ -60,27 +78,63 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	ident atomic.Pointer[identity]
+
+	// groupSem bounds concurrent /batch-query group resolutions across ALL
+	// requests: each cold group is a synchronous build-through, and without
+	// a server-wide cap a burst of many-structure batches would amplify
+	// into unbounded concurrent builds.
+	groupSem chan struct{}
+
 	requests atomic.Uint64 // HTTP requests accepted
 	queries  atomic.Uint64 // individual distance queries answered
 	errs     atomic.Uint64 // requests answered with an error status
+	draining atomic.Bool   // graceful shutdown in progress (readyz gates on it)
 }
 
 // New returns a service over the given registry.
 func New(st *store.Store) *Server {
-	s := &Server{store: st, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{
+		store:    st,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		groupSem: make(chan struct{}, 8),
+	}
 	s.mux.HandleFunc("/build", s.handleBuild)
 	s.mux.HandleFunc("/dist", s.handleDist)
 	s.mux.HandleFunc("/dist-avoiding", s.handleDistAvoiding)
 	s.mux.HandleFunc("/batch-query", s.handleBatchQuery)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
 }
+
+// SetIdentity names the node for /healthz and /stats; a cluster shard sets
+// role "shard" plus its member ID so router probes and operators can tell
+// nodes apart. Safe to call while the server is already handling requests.
+func (s *Server) SetIdentity(role, id string) {
+	s.ident.Store(&identity{role: role, id: id})
+}
+
+// identitySnapshot returns the current (role, id), empty before SetIdentity.
+func (s *Server) identitySnapshot() identity {
+	if p := s.ident.Load(); p != nil {
+		return *p
+	}
+	return identity{}
+}
+
+// SetDraining flips the readiness gate: a draining server answers /readyz
+// with 503 so load balancers and the cluster router stop sending it new
+// work while in-flight requests finish. Serve calls it on shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Body != nil {
-		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 	}
 	s.mux.ServeHTTP(w, r)
 }
@@ -98,17 +152,51 @@ func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
 	s.writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// BuildPair names one (source, ε) structure of a /build request.
+type BuildPair struct {
+	Source int     `json:"source"`
+	Eps    float64 `json:"eps"`
+}
+
 // BuildRequest is the body of POST /build. The graph arrives either as the
 // library text format (Graph) or inline as a vertex count plus an edge list
-// (N, Edges). Structures are built for the cross product Sources × Eps;
-// empty defaults are source 0, ε = DefaultEps, algorithm auto.
+// (N, Edges). Structures are built for the explicit Pairs when given,
+// otherwise for the cross product Sources × Eps; empty defaults are source 0,
+// ε = DefaultEps, algorithm auto. The cluster router uses Pairs to hand each
+// shard exactly the subset of structures it owns, which is generally not a
+// cross product.
 type BuildRequest struct {
-	Graph   string    `json:"graph,omitempty"`
-	N       int       `json:"n,omitempty"`
-	Edges   [][2]int  `json:"edges,omitempty"`
-	Sources []int     `json:"sources,omitempty"`
-	Eps     []float64 `json:"eps,omitempty"`
-	Alg     string    `json:"alg,omitempty"`
+	Graph   string      `json:"graph,omitempty"`
+	N       int         `json:"n,omitempty"`
+	Edges   [][2]int    `json:"edges,omitempty"`
+	Sources []int       `json:"sources,omitempty"`
+	Eps     []float64   `json:"eps,omitempty"`
+	Pairs   []BuildPair `json:"pairs,omitempty"`
+	Alg     string      `json:"alg,omitempty"`
+}
+
+// ResolvedPairs expands the request into the explicit (source, ε) list it
+// asks for: Pairs verbatim when present, otherwise Sources × Eps with the
+// usual defaults.
+func (req *BuildRequest) ResolvedPairs() []BuildPair {
+	if len(req.Pairs) > 0 {
+		return req.Pairs
+	}
+	sources := req.Sources
+	if len(sources) == 0 {
+		sources = []int{0}
+	}
+	epsGrid := req.Eps
+	if len(epsGrid) == 0 {
+		epsGrid = []float64{DefaultEps}
+	}
+	pairs := make([]BuildPair, 0, len(sources)*len(epsGrid))
+	for _, src := range sources {
+		for _, eps := range epsGrid {
+			pairs = append(pairs, BuildPair{Source: src, Eps: eps})
+		}
+	}
+	return pairs
 }
 
 // checkTextGraphSize rejects a text-format graph whose "p <n> <m>" header
@@ -133,6 +221,36 @@ func checkTextGraphSize(text string) error {
 		return nil
 	}
 	return fmt.Errorf("empty graph text")
+}
+
+// GraphFromBuildRequest materialises and validates the graph a BuildRequest
+// carries (text form or inline n+edges). The cluster router shares this with
+// handleBuild so both reject oversized or malformed graphs identically.
+func GraphFromBuildRequest(req *BuildRequest) (*ftbfs.Graph, error) {
+	switch {
+	case req.Graph != "":
+		if err := checkTextGraphSize(req.Graph); err != nil {
+			return nil, err
+		}
+		g, err := ftbfs.ReadGraph(strings.NewReader(req.Graph))
+		if err != nil {
+			return nil, fmt.Errorf("bad graph text: %w", err)
+		}
+		return g, nil
+	case req.N > 0:
+		if req.N > MaxBuildN {
+			return nil, fmt.Errorf("n = %d exceeds the limit of %d vertices", req.N, MaxBuildN)
+		}
+		g := ftbfs.NewGraph(req.N)
+		for _, e := range req.Edges {
+			if err := g.AddEdge(e[0], e[1]); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf(`provide "graph" (text format) or "n"+"edges"`)
+	}
 }
 
 // StructureInfo summarises one built structure in a BuildResponse.
@@ -164,32 +282,9 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
 		return
 	}
-	var g *ftbfs.Graph
-	switch {
-	case req.Graph != "":
-		if err := checkTextGraphSize(req.Graph); err != nil {
-			s.writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		var err error
-		if g, err = ftbfs.ReadGraph(strings.NewReader(req.Graph)); err != nil {
-			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad graph text: %w", err))
-			return
-		}
-	case req.N > 0:
-		if req.N > MaxBuildN {
-			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("n = %d exceeds the limit of %d vertices", req.N, MaxBuildN))
-			return
-		}
-		g = ftbfs.NewGraph(req.N)
-		for _, e := range req.Edges {
-			if err := g.AddEdge(e[0], e[1]); err != nil {
-				s.writeErr(w, http.StatusBadRequest, err)
-				return
-			}
-		}
-	default:
-		s.writeErr(w, http.StatusBadRequest, fmt.Errorf(`provide "graph" (text format) or "n"+"edges"`))
+	g, err := GraphFromBuildRequest(&req)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	alg, err := core.ParseAlgorithm(req.Alg)
@@ -197,24 +292,15 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	sources := req.Sources
-	if len(sources) == 0 {
-		sources = []int{0}
-	}
-	epsGrid := req.Eps
-	if len(epsGrid) == 0 {
-		epsGrid = []float64{DefaultEps}
-	}
+	pairs := req.ResolvedPairs()
 	fp, err := s.store.AddGraph(g)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	var reqs []store.Req
-	for _, src := range sources {
-		for _, eps := range epsGrid {
-			reqs = append(reqs, store.Req{Source: src, Eps: eps, Alg: alg})
-		}
+	reqs := make([]store.Req, len(pairs))
+	for i, p := range pairs {
+		reqs[i] = store.Req{Source: p.Source, Eps: p.Eps, Alg: alg}
 	}
 	sts, err := s.store.GetOrBuildMany(fp, reqs)
 	if err != nil {
@@ -235,11 +321,11 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// queryRequest addresses one structure plus one (target, failure) query.
+// QueryRequest addresses one structure plus one (target, failure) query.
 // GET requests carry the same fields as URL parameters (graph, source, eps,
 // alg, v, fu, fv). V is a pointer so an omitted target is distinguishable
 // from vertex 0 — the distance endpoints reject it as malformed.
-type queryRequest struct {
+type QueryRequest struct {
 	Graph  string   `json:"graph"`
 	Source int      `json:"source"`
 	Eps    *float64 `json:"eps,omitempty"`
@@ -248,29 +334,40 @@ type queryRequest struct {
 	Fail   *[2]int  `json:"fail,omitempty"`
 }
 
-// key resolves the addressed structure key.
-func (q *queryRequest) key() (store.Key, error) {
-	fp, err := strconv.ParseUint(q.Graph, 16, 64)
+// resolveKey turns a structure address into the registry key the router and
+// the shard server agree on — routing hashes exactly what the store keys.
+func resolveKey(graphHex string, source int, eps *float64, algName string) (store.Key, error) {
+	fp, err := strconv.ParseUint(graphHex, 16, 64)
 	if err != nil {
-		return store.Key{}, fmt.Errorf("bad graph fingerprint %q", q.Graph)
+		return store.Key{}, fmt.Errorf("bad graph fingerprint %q", graphHex)
 	}
-	alg, err := core.ParseAlgorithm(q.Alg)
+	alg, err := core.ParseAlgorithm(algName)
 	if err != nil {
 		return store.Key{}, err
 	}
-	eps := DefaultEps
-	if q.Eps != nil {
-		eps = *q.Eps
+	e := DefaultEps
+	if eps != nil {
+		e = *eps
 	}
-	if math.IsNaN(eps) || math.IsInf(eps, 0) {
-		return store.Key{}, fmt.Errorf("eps must be finite, got %v", eps)
+	if math.IsNaN(e) || math.IsInf(e, 0) {
+		return store.Key{}, fmt.Errorf("eps must be finite, got %v", e)
 	}
-	return store.Key{Graph: fp, Source: q.Source, Eps: eps, Alg: alg}, nil
+	if e == 0 {
+		// JSON "-0" parses to negative zero; fold it into +0 so the key —
+		// and the cluster ring position derived from its bits — is unique.
+		e = 0
+	}
+	return store.Key{Graph: fp, Source: source, Eps: e, Alg: alg}, nil
 }
 
-// parseQuery decodes a queryRequest from a POST body or GET parameters.
-func parseQuery(r *http.Request) (queryRequest, error) {
-	var q queryRequest
+// Key resolves the addressed structure key.
+func (q *QueryRequest) Key() (store.Key, error) {
+	return resolveKey(q.Graph, q.Source, q.Eps, q.Alg)
+}
+
+// ParseQuery decodes a QueryRequest from a POST body or GET parameters.
+func ParseQuery(r *http.Request) (QueryRequest, error) {
+	var q QueryRequest
 	if r.Method == http.MethodPost {
 		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
 			return q, fmt.Errorf("bad body: %w", err)
@@ -330,38 +427,62 @@ func parseQuery(r *http.Request) (queryRequest, error) {
 	return q, nil
 }
 
+// UnknownGraphPrefix starts every UnknownGraphError message. It is a wire
+// contract, not just wording: per-slot /batch-query errors travel as
+// strings, and the cluster router matches this prefix to tell retryable
+// shard state ("this replica is cold") from a final verdict on the query.
+const UnknownGraphPrefix = "unknown graph "
+
+// UnknownGraphError reports a query addressing a graph this node has not
+// registered. It maps to 404 rather than 400: on a cluster shard the graph
+// may simply not have reached this replica yet, so the router treats 404 as
+// retryable shard state while every other 4xx is a definitive client error
+// relayed without burning the remaining replicas.
+type UnknownGraphError struct{ Fingerprint uint64 }
+
+func (e *UnknownGraphError) Error() string {
+	return fmt.Sprintf("%s%016x (POST /build first)", UnknownGraphPrefix, e.Fingerprint)
+}
+
 // statusFor classifies an error: persist-directory faults are the server's
-// (503-adjacent 500), everything else on these paths is caused by the
-// request (unknown graph, invalid parameters, non-edge failure).
+// (503-adjacent 500), an unknown graph is 404 (absent state), everything
+// else on these paths is caused by the request (invalid parameters,
+// non-edge failure).
 func statusFor(err error) int {
 	var pe *store.PersistError
 	if errors.As(err, &pe) {
 		return http.StatusInternalServerError
 	}
+	var ug *UnknownGraphError
+	if errors.As(err, &ug) {
+		return http.StatusNotFound
+	}
 	return http.StatusBadRequest
 }
 
-// structureFor resolves (load-through or build-through) the structure a query
-// addresses and validates the target vertex.
-func (s *Server) structureFor(q queryRequest) (*ftbfs.Structure, store.Key, error) {
-	k, err := q.key()
-	if err != nil {
-		return nil, k, err
-	}
+// structureForKey resolves (load-through or build-through) a structure by
+// registry key, validating the optional target vertex against its graph.
+func (s *Server) structureForKey(k store.Key, v *int) (*ftbfs.Structure, error) {
 	g, ok := s.store.Graph(k.Graph)
 	if !ok {
-		return nil, k, fmt.Errorf("unknown graph %s (POST /build first)", q.Graph)
+		return nil, &UnknownGraphError{Fingerprint: k.Graph}
 	}
-	if q.V != nil && (*q.V < 0 || *q.V >= g.N()) {
-		return nil, k, fmt.Errorf("vertex %d out of range [0,%d)", *q.V, g.N())
+	if v != nil && (*v < 0 || *v >= g.N()) {
+		return nil, fmt.Errorf("vertex %d out of range [0,%d)", *v, g.N())
 	}
 	// GetOrBuild serves a resident structure on its fast path; misses fall
 	// through to load- or build-through.
-	st, err := s.store.GetOrBuild(k)
+	return s.store.GetOrBuild(k)
+}
+
+// structureFor resolves the structure a query addresses.
+func (s *Server) structureFor(q QueryRequest) (*ftbfs.Structure, store.Key, error) {
+	k, err := q.Key()
 	if err != nil {
 		return nil, k, err
 	}
-	return st, k, nil
+	st, err := s.structureForKey(k, q.V)
+	return st, k, err
 }
 
 type distResponse struct {
@@ -369,7 +490,7 @@ type distResponse struct {
 }
 
 func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
-	q, err := parseQuery(r)
+	q, err := ParseQuery(r)
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
@@ -391,7 +512,7 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDistAvoiding(w http.ResponseWriter, r *http.Request) {
-	q, err := parseQuery(r)
+	q, err := ParseQuery(r)
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
@@ -425,24 +546,62 @@ func (s *Server) handleDistAvoiding(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, distResponse{Dist: d})
 }
 
-// BatchQueryRequest is the body of POST /batch-query: one structure address
-// plus a vector of failure queries, answered with one pooled oracle through
-// the query plan; the batch is validated up front and grouped by failed
-// edge, so each tree-edge failure is repaired once for all its targets
-// (Oracle.DistAvoidingMany).
-type BatchQueryRequest struct {
-	Graph   string   `json:"graph"`
-	Source  int      `json:"source"`
-	Eps     *float64 `json:"eps,omitempty"`
-	Alg     string   `json:"alg,omitempty"`
-	Queries []struct {
-		V    int    `json:"v"`
-		Fail [2]int `json:"fail"`
-	} `json:"queries"`
+// BatchQuery is one entry of a /batch-query vector: the target vertex, the
+// simulated failed edge, and an optional structure address overriding the
+// request-level default — one batch may span many structures (the cluster
+// router relies on this to ship one sub-batch per shard).
+type BatchQuery struct {
+	Graph  string   `json:"graph,omitempty"`
+	Source *int     `json:"source,omitempty"`
+	Eps    *float64 `json:"eps,omitempty"`
+	Alg    string   `json:"alg,omitempty"`
+	V      int      `json:"v"`
+	Fail   [2]int   `json:"fail"`
 }
 
-type batchQueryResponse struct {
-	Dists []int `json:"dists"` // -1 means unreachable
+// BatchQueryRequest is the body of POST /batch-query: a default structure
+// address plus a vector of failure queries. Queries addressing the same
+// structure are answered with one pooled oracle, grouped by failed edge so
+// each tree-edge failure is repaired once for all its targets.
+type BatchQueryRequest struct {
+	Graph   string       `json:"graph,omitempty"`
+	Source  int          `json:"source,omitempty"`
+	Eps     *float64     `json:"eps,omitempty"`
+	Alg     string       `json:"alg,omitempty"`
+	Queries []BatchQuery `json:"queries"`
+}
+
+// KeyFor resolves the structure key addressed by query i, applying the
+// request-level defaults. The cluster router routes on exactly this key.
+func (req *BatchQueryRequest) KeyFor(i int) (store.Key, error) {
+	q := &req.Queries[i]
+	graph := q.Graph
+	if graph == "" {
+		graph = req.Graph
+	}
+	source := req.Source
+	if q.Source != nil {
+		source = *q.Source
+	}
+	eps := req.Eps
+	if q.Eps != nil {
+		eps = q.Eps
+	}
+	alg := q.Alg
+	if alg == "" {
+		alg = req.Alg
+	}
+	return resolveKey(graph, source, eps, alg)
+}
+
+// BatchQueryResponse is the reply of POST /batch-query. Dists is parallel to
+// the request's query vector; a query that failed individually (bad vertex,
+// non-edge, unknown structure) has its message in the matching Errors slot
+// and Dists holding -1. Errors is omitted entirely when every query
+// succeeded, so fully-valid batches keep the compact wire shape.
+type BatchQueryResponse struct {
+	Dists  []int    `json:"dists"`            // -1 means unreachable (or errored slot)
+	Errors []string `json:"errors,omitempty"` // parallel to Dists; "" = ok
 }
 
 func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
@@ -459,34 +618,109 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("empty query vector"))
 		return
 	}
-	st, _, err := s.structureFor(queryRequest{Graph: req.Graph, Source: req.Source, Eps: req.Eps, Alg: req.Alg})
-	if err != nil {
-		s.writeErr(w, statusFor(err), err)
-		return
+	dists := make([]int, len(req.Queries))
+	errs := make([]string, len(req.Queries))
+	// Group the vector by addressed structure, preserving first-seen order;
+	// a query with an unresolvable address errors its own slot only.
+	type group struct {
+		key     store.Key
+		slots   []int
+		queries []ftbfs.FailureQuery
 	}
-	queries := make([]ftbfs.FailureQuery, len(req.Queries))
-	for i, q := range req.Queries {
-		queries[i] = ftbfs.FailureQuery{V: q.V, FailedU: q.Fail[0], FailedV: q.Fail[1]}
+	var groups []*group
+	byKey := make(map[store.Key]*group)
+	for i := range req.Queries {
+		k, err := req.KeyFor(i)
+		if err != nil {
+			dists[i] = ftbfs.Unreachable
+			errs[i] = err.Error()
+			continue
+		}
+		gr := byKey[k]
+		if gr == nil {
+			gr = &group{key: k}
+			byKey[k] = gr
+			groups = append(groups, gr)
+		}
+		q := req.Queries[i]
+		gr.slots = append(gr.slots, i)
+		gr.queries = append(gr.queries, ftbfs.FailureQuery{V: q.V, FailedU: q.Fail[0], FailedV: q.Fail[1]})
 	}
-	dists := make([]int, len(queries))
-	err = st.OraclePool().Do(func(o *ftbfs.Oracle) error {
-		_, qerr := o.DistAvoidingMany(queries, dists)
-		return qerr
-	})
-	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
-		return
+	// Groups are independent (disjoint slots, one pooled oracle each), so
+	// multi-structure batches answer them concurrently — one cold
+	// structure's build-through must not serialise every other group of
+	// the batch behind it. The dominant single-structure batch skips the
+	// goroutine machinery and runs inline on the request goroutine (this
+	// is the gated BenchmarkServeQueries/batch-query16 path); concurrency
+	// is bounded by the server-wide groupSem so batch bursts cannot
+	// amplify into unbounded concurrent builds.
+	var answered atomic.Uint64
+	answerGroup := func(gr *group) {
+		st, err := s.structureForKey(gr.key, nil)
+		if err != nil {
+			for _, i := range gr.slots {
+				dists[i] = ftbfs.Unreachable
+				errs[i] = err.Error()
+			}
+			return
+		}
+		subDists := make([]int, len(gr.queries))
+		subErrs := make([]error, len(gr.queries))
+		_ = st.OraclePool().Do(func(o *ftbfs.Oracle) error {
+			o.DistAvoidingEach(gr.queries, subDists, subErrs)
+			return nil
+		})
+		for j, i := range gr.slots {
+			dists[i] = subDists[j]
+			if subErrs[j] != nil {
+				errs[i] = subErrs[j].Error()
+			} else {
+				answered.Add(1)
+			}
+		}
 	}
-	s.queries.Add(uint64(len(queries)))
-	s.writeJSON(w, http.StatusOK, batchQueryResponse{Dists: dists})
+	if len(groups) == 1 {
+		// Inline on the request goroutine, but still under the server-wide
+		// cap: a burst of single-structure batches on distinct cold keys
+		// is bounded exactly like a multi-group fan-out.
+		s.groupSem <- struct{}{}
+		answerGroup(groups[0])
+		<-s.groupSem
+	} else {
+		var wg sync.WaitGroup
+		for _, gr := range groups {
+			gr := gr
+			wg.Add(1)
+			s.groupSem <- struct{}{}
+			go func() {
+				defer func() { <-s.groupSem; wg.Done() }()
+				answerGroup(gr)
+			}()
+		}
+		wg.Wait()
+	}
+	s.queries.Add(answered.Load())
+	resp := BatchQueryResponse{Dists: dists}
+	for _, e := range errs {
+		if e != "" {
+			resp.Errors = errs
+			break
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// StatsResponse is the reply of GET /stats.
+// StatsResponse is the reply of GET /stats. Store carries the registry
+// counters (hits, misses, loads, builds, evictions, saves) alongside the
+// request-level totals.
 type StatsResponse struct {
+	Role          string      `json:"role,omitempty"`
+	ID            string      `json:"id,omitempty"`
 	UptimeSeconds float64     `json:"uptime_seconds"`
 	Requests      uint64      `json:"requests"`
 	Queries       uint64      `json:"queries"`
 	Errors        uint64      `json:"errors"`
+	Draining      bool        `json:"draining,omitempty"`
 	Store         store.Stats `json:"store"`
 }
 
@@ -495,19 +729,82 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
+	ident := s.identitySnapshot()
 	s.writeJSON(w, http.StatusOK, StatsResponse{
+		Role:          ident.role,
+		ID:            ident.id,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
 		Queries:       s.queries.Load(),
 		Errors:        s.errs.Load(),
+		Draining:      s.draining.Load(),
 		Store:         s.store.Stats(),
 	})
 }
 
+// HealthResponse is the reply of GET /healthz: pure liveness plus identity.
+// It never consults the store — a wedged build must not make probes flap.
+type HealthResponse struct {
+	OK            bool    `json:"ok"`
+	Role          string  `json:"role,omitempty"`
+	ID            string  `json:"id,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ident := s.identitySnapshot()
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		OK:            true,
+		Role:          ident.role,
+		ID:            ident.id,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// ReadyResponse is the reply of GET /readyz.
+type ReadyResponse struct {
+	Ready      bool `json:"ready"`
+	Draining   bool `json:"draining,omitempty"`
+	Graphs     int  `json:"graphs"`
+	Structures int  `json:"structures"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
+	resp := ReadyResponse{
+		Ready:      !s.draining.Load(),
+		Draining:   s.draining.Load(),
+		Graphs:     st.Graphs,
+		Structures: st.Structures,
+	}
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, resp)
+}
+
+// drainable lets Serve flip a handler's readiness gate before draining;
+// *Server implements it, and so does the cluster router.
+type drainable interface{ SetDraining(bool) }
+
 // Serve runs handler on addr until ctx is cancelled, then drains in-flight
 // requests (graceful shutdown, 5 s deadline). ready, when non-nil, is called
-// once with the bound address — useful with addr ":0".
+// once with the bound address — useful with addr ":0". Handlers implementing
+// SetDraining(bool) are marked draining first, so their /readyz flips to 503
+// before the listener stops accepting; use ServeDraining to hold that 503
+// window open long enough for load-balancer probes to observe it.
 func Serve(ctx context.Context, addr string, handler http.Handler, ready func(addr string)) error {
+	return ServeDraining(ctx, addr, handler, 0, ready)
+}
+
+// ServeDraining is Serve with an explicit drain grace: after shutdown is
+// requested the handler is marked draining (its /readyz answers 503) and
+// the listener keeps accepting for drainGrace before closing, giving load
+// balancers and the cluster router's health probes a real window to stop
+// routing new work here instead of discovering a closed port. A zero grace
+// shuts down immediately (the right default for tests and one-node use).
+func ServeDraining(ctx context.Context, addr string, handler http.Handler, drainGrace time.Duration, ready func(addr string)) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -529,6 +826,16 @@ func Serve(ctx context.Context, addr string, handler http.Handler, ready func(ad
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		if d, ok := handler.(drainable); ok {
+			d.SetDraining(true)
+		}
+		if drainGrace > 0 {
+			select {
+			case err := <-errc: // listener died on its own mid-grace
+				return err
+			case <-time.After(drainGrace):
+			}
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {

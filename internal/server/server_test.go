@@ -200,16 +200,17 @@ func TestDistEndpoints(t *testing.T) {
 	// POST form of the same query.
 	eps := 0.3
 	v17 := 17
-	code, body = postJSON(t, ts.URL+"/dist-avoiding", queryRequest{
+	code, body = postJSON(t, ts.URL+"/dist-avoiding", QueryRequest{
 		Graph: fp, Eps: &eps, V: &v17, Fail: &fail,
 	}, &dr)
 	if code != http.StatusOK || dr.Dist != want {
 		t.Fatalf("/dist-avoiding POST: %d %s (want dist %d)", code, body, want)
 	}
 
-	// Error paths: unknown graph, missing failure, bad vertex.
-	if code, _ := getJSON(t, ts.URL+"/dist?graph=ffffffffffffffff&v=1", nil); code != http.StatusBadRequest {
-		t.Fatalf("unknown graph: %d", code)
+	// Error paths: unknown graph (404: absent state, retryable by the
+	// cluster router), missing failure, bad vertex.
+	if code, _ := getJSON(t, ts.URL+"/dist?graph=ffffffffffffffff&v=1", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph: %d, want 404", code)
 	}
 	if code, _ := getJSON(t, fmt.Sprintf("%s/dist-avoiding?graph=%s&eps=0.3&v=1", ts.URL, fp), nil); code != http.StatusBadRequest {
 		t.Fatalf("missing failed edge: %d", code)
@@ -258,23 +259,23 @@ func TestBatchQueryMatchesSerial(t *testing.T) {
 			continue
 		}
 		v := (i * 11) % 60
-		req.Queries = append(req.Queries, struct {
-			V    int    `json:"v"`
-			Fail [2]int `json:"fail"`
-		}{V: v, Fail: e})
+		req.Queries = append(req.Queries, BatchQuery{V: v, Fail: e})
 		d, err := o.DistAvoiding(v, e[0], e[1])
 		if err != nil {
 			t.Fatal(err)
 		}
 		want = append(want, d)
 	}
-	var resp batchQueryResponse
+	var resp BatchQueryResponse
 	code, body := postJSON(t, ts.URL+"/batch-query", req, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("/batch-query: %d %s", code, body)
 	}
 	if len(resp.Dists) != len(want) {
 		t.Fatalf("got %d dists, want %d", len(resp.Dists), len(want))
+	}
+	if resp.Errors != nil {
+		t.Fatalf("fully-valid batch carries error slots: %v", resp.Errors)
 	}
 	for i := range want {
 		if resp.Dists[i] != want[i] {
@@ -283,6 +284,153 @@ func TestBatchQueryMatchesSerial(t *testing.T) {
 	}
 	if code, _ := postJSON(t, ts.URL+"/batch-query", BatchQueryRequest{Graph: out.Fingerprint}, nil); code != http.StatusBadRequest {
 		t.Fatalf("empty batch accepted: %d", code)
+	}
+}
+
+// TestBatchQueryPartialErrors drives the per-query error-slot contract: one
+// bad query must not fail the batch, and a batch may span several structures
+// with per-query addressing.
+func TestBatchQueryPartialErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := testGraph(t, 50, 70, 6)
+	out := buildVia(t, ts, g, []int{0, 3}, 0.3)
+
+	g2 := testGraph(t, 50, 70, 6)
+	st0, err := ftbfs.Build(g2, 0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3 := testGraph(t, 50, 70, 6)
+	st3, err := ftbfs.Build(g3, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail [2]int
+	for _, e := range st0.Edges() {
+		if !st0.IsReinforced(e[0], e[1]) {
+			fail = e
+			break
+		}
+	}
+	want0, err := st0.Oracle().DistAvoiding(17, fail[0], fail[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail3 [2]int
+	for _, e := range st3.Edges() {
+		if !st3.IsReinforced(e[0], e[1]) {
+			fail3 = e
+			break
+		}
+	}
+	want3, err := st3.Oracle().DistAvoiding(9, fail3[0], fail3[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eps := 0.3
+	src3 := 3
+	req := BatchQueryRequest{Graph: out.Fingerprint, Eps: &eps, Queries: []BatchQuery{
+		{V: 17, Fail: fail},                           // valid, default structure (source 0)
+		{V: 999, Fail: fail},                          // out-of-range target
+		{V: 9, Source: &src3, Fail: fail3},            // valid, per-query source override
+		{V: 5, Fail: [2]int{0, 0}},                    // not an edge
+		{V: 1, Graph: "ffffffffffffffff", Fail: fail}, // unknown structure
+	}}
+	var resp BatchQueryResponse
+	code, body := postJSON(t, ts.URL+"/batch-query", req, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("/batch-query with partial errors: %d %s", code, body)
+	}
+	if len(resp.Dists) != 5 || len(resp.Errors) != 5 {
+		t.Fatalf("got %d dists / %d errors, want 5/5: %s", len(resp.Dists), len(resp.Errors), body)
+	}
+	if resp.Errors[0] != "" || resp.Dists[0] != want0 {
+		t.Fatalf("slot 0: dist %d err %q, want %d ok", resp.Dists[0], resp.Errors[0], want0)
+	}
+	if resp.Errors[2] != "" || resp.Dists[2] != want3 {
+		t.Fatalf("slot 2: dist %d err %q, want %d ok", resp.Dists[2], resp.Errors[2], want3)
+	}
+	for _, i := range []int{1, 3, 4} {
+		if resp.Errors[i] == "" {
+			t.Fatalf("slot %d: invalid query got no error (%s)", i, body)
+		}
+		if resp.Dists[i] != -1 {
+			t.Fatalf("slot %d: errored slot holds dist %d, want -1", i, resp.Dists[i])
+		}
+	}
+}
+
+// TestRetryableErrorPrefixes pins the wire contracts the cluster router
+// depends on: per-slot batch errors are strings, and the router recognises
+// retryable shard state by UnknownGraphPrefix and store.PersistPrefix.
+func TestRetryableErrorPrefixes(t *testing.T) {
+	err := &UnknownGraphError{Fingerprint: 0xabc}
+	if !strings.HasPrefix(err.Error(), UnknownGraphPrefix) {
+		t.Fatalf("UnknownGraphError %q does not start with UnknownGraphPrefix %q", err, UnknownGraphPrefix)
+	}
+	pe := &store.PersistError{Err: fmt.Errorf("disk gone")}
+	if !strings.HasPrefix(pe.Error(), store.PersistPrefix) {
+		t.Fatalf("PersistError %q does not start with PersistPrefix %q", pe, store.PersistPrefix)
+	}
+}
+
+func TestBuildPairs(t *testing.T) {
+	ts, st := newTestServer(t)
+	g := testGraph(t, 40, 50, 7)
+	var text bytes.Buffer
+	if err := g.Write(&text); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit pairs that are NOT a cross product.
+	var out BuildResponse
+	code, body := postJSON(t, ts.URL+"/build", BuildRequest{
+		Graph: text.String(),
+		Pairs: []BuildPair{{Source: 0, Eps: 0.25}, {Source: 5, Eps: 0.4}},
+	}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("/build pairs: %d %s", code, body)
+	}
+	if len(out.Structures) != 2 || out.Structures[0].Source != 0 || out.Structures[1].Eps != 0.4 {
+		t.Fatalf("unexpected pair build response %+v", out)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("store holds %d structures, want 2", st.Len())
+	}
+}
+
+func TestHealthAndReadyEndpoints(t *testing.T) {
+	st, err := store.New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st)
+	srv.SetIdentity("shard", "shard7")
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var hr HealthResponse
+	code, body := getJSON(t, ts.URL+"/healthz", &hr)
+	if code != http.StatusOK || !hr.OK || hr.Role != "shard" || hr.ID != "shard7" {
+		t.Fatalf("/healthz: %d %s", code, body)
+	}
+	var rr ReadyResponse
+	code, body = getJSON(t, ts.URL+"/readyz", &rr)
+	if code != http.StatusOK || !rr.Ready {
+		t.Fatalf("/readyz: %d %s", code, body)
+	}
+	// Draining flips readiness to 503 but keeps liveness green.
+	srv.SetDraining(true)
+	if code, _ := getJSON(t, ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: %d, want 503", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("/healthz while draining: %d, want 200", code)
+	}
+	// Identity also lands in /stats.
+	var sr StatsResponse
+	if code, body := getJSON(t, ts.URL+"/stats", &sr); code != http.StatusOK || sr.ID != "shard7" || !sr.Draining {
+		t.Fatalf("/stats identity: %d %s", code, body)
 	}
 }
 
@@ -365,6 +513,47 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if sr.Requests < 3 || sr.Queries != 1 || sr.Store.Graphs != 1 || sr.Store.Builds != 1 {
 		t.Fatalf("unexpected stats %+v", sr)
+	}
+}
+
+// TestServeDrainGrace: after shutdown is requested, the server keeps
+// answering (with /readyz 503) for the grace period so balancer probes can
+// observe the drain before the listener closes.
+func TestServeDrainGrace(t *testing.T) {
+	st, err := store.New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- ServeDraining(ctx, "127.0.0.1:0", New(st), 500*time.Millisecond, func(a string) { addrc <- a })
+	}()
+	addr := <-addrc
+	cancel()
+	time.Sleep(50 * time.Millisecond) // let the drain flip land
+	resp, err := http.Get("http://" + addr + "/readyz")
+	if err != nil {
+		t.Fatalf("server stopped accepting during the drain grace: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain grace: %d, want 503", resp.StatusCode)
+	}
+	// Liveness and queries keep working mid-drain.
+	resp, err = http.Get("http://" + addr + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during drain grace: %v (%v)", resp, err)
+	}
+	resp.Body.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeDraining returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeDraining did not shut down after the grace")
 	}
 }
 

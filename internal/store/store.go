@@ -61,12 +61,18 @@ type Stats struct {
 	WarmSkipped uint64 `json:"warm_skipped"` // unreadable files skipped at warm start
 }
 
+// PersistPrefix starts every PersistError message. Like the server's
+// UnknownGraphPrefix it is a wire contract: per-slot batch errors travel as
+// strings, and the cluster router matches this prefix to recognise a node
+// fault worth retrying on another replica.
+const PersistPrefix = "store: persist: "
+
 // PersistError marks a failure of the persist directory (unwritable file,
 // full disk) as a server-side fault, distinguishing it from client-caused
 // errors like an unknown graph or invalid build parameters.
 type PersistError struct{ Err error }
 
-func (e *PersistError) Error() string { return fmt.Sprintf("store: persist: %v", e.Err) }
+func (e *PersistError) Error() string { return PersistPrefix + e.Err.Error() }
 func (e *PersistError) Unwrap() error { return e.Err }
 
 type entry struct {

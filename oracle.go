@@ -176,6 +176,50 @@ func (o *Oracle) DistAvoidingMany(queries []FailureQuery, out []int) ([]int, err
 	return out, nil
 }
 
+// DistAvoidingEach answers a vector of (target, failed-edge) queries with
+// per-query error slots: an invalid query (out-of-range target, non-edge, or
+// reinforced edge) fills errs[i] and leaves out[i] at Unreachable instead of
+// failing the whole batch — the partial-result contract a scatter-gather
+// router needs. Valid queries are still answered in failed-edge groups, so
+// queries failing the same tree edge share one subtree repair exactly as in
+// DistAvoidingMany. out and errs are allocated when nil or mis-sized; both
+// are returned.
+func (o *Oracle) DistAvoidingEach(queries []FailureQuery, out []int, errs []error) ([]int, []error) {
+	if len(out) != len(queries) {
+		out = make([]int, len(queries))
+	}
+	if len(errs) != len(queries) {
+		errs = make([]error, len(queries))
+	}
+	n := o.st.st.G.N()
+	o.ids = o.ids[:0]
+	o.ord = o.ord[:0]
+	for i, q := range queries {
+		errs[i] = nil
+		out[i] = Unreachable
+		if q.V < 0 || q.V >= n {
+			errs[i] = fmt.Errorf("ftbfs: vertex %d out of range [0,%d)", q.V, n)
+			o.ids = append(o.ids, graph.NoEdge)
+			continue
+		}
+		id, err := o.failureEdge(q.FailedU, q.FailedV)
+		if err != nil {
+			errs[i] = err
+			o.ids = append(o.ids, graph.NoEdge)
+			continue
+		}
+		o.ids = append(o.ids, id)
+		o.ord = append(o.ord, int32(i))
+	}
+	// Same grouped answering as DistAvoidingMany: edge order means each
+	// tree-edge failure repairs once for all its targets.
+	slices.SortFunc(o.ord, func(a, b int32) int { return int(o.ids[a]) - int(o.ids[b]) })
+	for _, i := range o.ord {
+		out[i] = int(o.planDist(queries[i].V, o.ids[i]))
+	}
+	return out, errs
+}
+
 // BaselineDistAvoiding returns dist(source, v) in the full graph G minus
 // the failed edge — the yardstick the FT-BFS contract compares against.
 func (o *Oracle) BaselineDistAvoiding(v, failedU, failedV int) (int, error) {

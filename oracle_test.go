@@ -94,6 +94,59 @@ func TestDistAvoidingManyRejectsBadQueries(t *testing.T) {
 	}
 }
 
+func TestDistAvoidingEachPartialResults(t *testing.T) {
+	g := randomGraph(80, 120, 5)
+	st, err := ftbfs.Build(g, 0, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := st.Oracle()
+	edges := failableEdges(st)
+	// Interleave valid queries with every class of invalid one.
+	queries := []ftbfs.FailureQuery{
+		{V: 3, FailedU: edges[0][0], FailedV: edges[0][1]},
+		{V: -1, FailedU: edges[0][0], FailedV: edges[0][1]}, // bad target
+		{V: 7, FailedU: edges[1][0], FailedV: edges[1][1]},
+		{V: 9, FailedU: 0, FailedV: 0},                         // not an edge
+		{V: g.N(), FailedU: edges[2][0], FailedV: edges[2][1]}, // bad target (high)
+		{V: 11, FailedU: edges[2][0], FailedV: edges[2][1]},
+	}
+	dists, errs := o.DistAvoidingEach(queries, nil, nil)
+	if len(dists) != len(queries) || len(errs) != len(queries) {
+		t.Fatalf("got %d dists / %d errs for %d queries", len(dists), len(errs), len(queries))
+	}
+	for i, q := range queries {
+		bad := i == 1 || i == 3 || i == 4
+		if bad {
+			if errs[i] == nil {
+				t.Fatalf("query %d (%+v): invalid query got no error", i, q)
+			}
+			if dists[i] != ftbfs.Unreachable {
+				t.Fatalf("query %d: errored slot holds dist %d, want Unreachable", i, dists[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("query %d (%+v): unexpected error %v", i, q, errs[i])
+		}
+		want, err := o.DistAvoiding(q.V, q.FailedU, q.FailedV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dists[i] != want {
+			t.Fatalf("query %d: got %d, want %d", i, dists[i], want)
+		}
+	}
+	// A reinforced edge must be rejected per-slot too.
+	for _, e := range st.ReinforcedEdges() {
+		_, errs := o.DistAvoidingEach([]ftbfs.FailureQuery{{V: 1, FailedU: e[0], FailedV: e[1]}}, nil, nil)
+		if errs[0] == nil {
+			t.Fatal("reinforced-edge failure accepted")
+		}
+		break
+	}
+}
+
 func TestOraclePoolConcurrentMatchesSerial(t *testing.T) {
 	g := randomGraph(100, 160, 23)
 	st, err := ftbfs.Build(g, 0, 0.3)
