@@ -658,6 +658,137 @@ func BenchmarkE11VertexFT(b *testing.B) {
 	}
 }
 
+// BenchmarkVertexBuild measures the vertex construction with a fresh
+// workspace per call (vertexft.Build) against BuildWith recycling one
+// workspace across calls — what ftbfs.BuildVertex does via its workspace
+// pool, so the store's build-through and serve pre-builds take the recycled
+// path. The workspace removes the per-call BFS scratch, distance vector,
+// banned-vertex set and children-CSR allocations.
+func BenchmarkVertexBuild(b *testing.B) {
+	g := gen.RandomConnected(300, 900, 7)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := vertexft.Build(g, i%8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		b.ReportAllocs()
+		ws := vertexft.NewWorkspace()
+		for i := 0; i < b.N; i++ {
+			if _, err := vertexft.BuildWith(g, i%8, ws); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkVertexQuery measures the vertex-failure serving fast paths the
+// VertexQueryPlan provides, against the full-BFS reference:
+//
+//   - offpath: the failed vertex is off every target's tree path (a leaf of
+//     H's BFS tree), so the answer is an O(1) read of the cached intact
+//     vector — 0 allocs/op, no search (the gated acceptance path).
+//   - tree-vertex: the failed vertex is internal and the target hangs below
+//     it; only the strict-descendant subtree is repaired, with every arc of
+//     the failed vertex banned.
+//   - batch16-grouped: a 16-query vector over 4 distinct failed tree
+//     vertices, grouped by DistAvoidingVertexMany so each failure repairs
+//     once for all its targets.
+//   - reference-full-bfs: the pre-plan cost — a restricted BFS over all of
+//     G per query — kept as the yardstick the fast paths are gated against.
+func BenchmarkVertexQuery(b *testing.B) {
+	const n = 400
+	g := ftbfs.NewGraph(n)
+	for _, e := range gen.RandomConnected(n, 1200, 9).Edges() {
+		g.MustAddEdge(int(e.U), int(e.V))
+	}
+	st, err := ftbfs.BuildVertex(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := st.Plan()
+	var leaves, internal []int
+	descendant := make(map[int]int) // internal w -> one strict descendant
+	for w := 1; w < n; w++ {
+		if plan.SubtreeSize(w) == 0 {
+			leaves = append(leaves, w)
+			continue
+		}
+		internal = append(internal, w)
+		for v := 0; v < n; v++ {
+			if v != w && plan.OnTreePath(w, v) {
+				descendant[w] = v
+				break
+			}
+		}
+	}
+	if len(leaves) == 0 || len(internal) < 4 {
+		b.Fatalf("degenerate fixture: %d leaves, %d internal tree vertices", len(leaves), len(internal))
+	}
+	pool := st.OraclePool()
+	b.Run("offpath", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w := leaves[i%len(leaves)]
+			err := pool.Do(func(o *ftbfs.VertexOracle) error {
+				_, err := o.DistAvoidingVertex(i%n, w)
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tree-vertex", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w := internal[i%len(internal)] // rotate: no repair reuse between ops
+			err := pool.Do(func(o *ftbfs.VertexOracle) error {
+				_, err := o.DistAvoidingVertex(descendant[w], w)
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch16-grouped", func(b *testing.B) {
+		b.ReportAllocs()
+		queries := make([]ftbfs.VertexFailureQuery, 16)
+		out := make([]int, len(queries))
+		for j := range queries {
+			w := internal[(j%4)*len(internal)/4] // 4 distinct failures, 4 targets each
+			v := (j * 31) % n
+			if j%2 == 0 {
+				v = descendant[w] // half the targets force the repaired subtree
+			}
+			queries[j] = ftbfs.VertexFailureQuery{V: v, Failed: w}
+		}
+		for i := 0; i < b.N; i++ {
+			err := pool.Do(func(o *ftbfs.VertexOracle) error {
+				_, err := o.DistAvoidingVertexMany(queries, out)
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference-full-bfs", func(b *testing.B) {
+		b.ReportAllocs()
+		o := st.Oracle()
+		for i := 0; i < b.N; i++ {
+			w := internal[i%len(internal)]
+			if _, err := o.DistAvoidingVertexRef(descendant[w], w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkSensitivityOracleQuery(b *testing.B) {
 	g := gen.RandomConnected(800, 2400, 3)
 	o, err := sensitivity.New(g, 0, 32)

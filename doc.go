@@ -67,6 +67,27 @@
 // several structures and answer with per-query error slots
 // (Oracle.DistAvoidingEach).
 //
+// # Vertex failures
+//
+// The same serving machinery exists one model up, for single VERTEX
+// failures (the companion problem of Parter DISC'14 / Parter–Peleg
+// ESA'13): BuildVertex constructs a VertexStructure whose
+// VertexQueryPlan mirrors the edge plan — a failed vertex off the
+// target's tree path in H's BFS tree is an O(1) read of the cached intact
+// vector, a failed tree vertex repairs only its strict-descendant subtree
+// with every arc of the failed vertex banned
+// (bfs.Repair.RunAvoidingVertex). VertexOracle.DistAvoidingVertex is the
+// point query, DistAvoidingVertexRef the full-BFS reference it is
+// differential-tested against, DistAvoidingVertexMany /
+// DistAvoidingVertexEach the grouped batch forms, and
+// VertexStructure.OraclePool the concurrent checkout. VertexStructure.Save
+// and LoadVertexStructure persist the structure as a version-2 record of
+// the structure text format (edge files keep their version-1 record); the
+// store keys vertex structures under a failure-model Key dimension
+// (store.VertexKey) with the same single-flight build-through, LRU and
+// persist directory, and the server exposes them on /dist-avoiding-vertex
+// plus "failedVertex" slots in /batch-query vectors.
+//
 // # Sharded serving
 //
 // internal/cluster scales the serving plane past one machine: a

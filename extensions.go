@@ -1,47 +1,14 @@
 package ftbfs
 
 import (
-	"fmt"
-
 	"ftbfs/internal/sensitivity"
-	"ftbfs/internal/vertexft"
 )
 
-// VertexStructure is a vertex fault-tolerant BFS structure: after the
-// failure of any single vertex w ≠ source, the surviving structure
-// preserves all BFS distances of the surviving network. This extends the
-// paper's edge-failure model to the companion vertex-failure problem it
-// cites ([16]).
-type VertexStructure struct {
-	st *vertexft.Structure
-}
-
-// BuildVertexFT constructs a vertex fault-tolerant BFS structure.
-// The graph is frozen by this call.
+// BuildVertexFT is the original name of BuildVertex, kept for
+// compatibility; the vertex-failure serving surface (query plan, oracles,
+// persistence) lives on the VertexStructure it returns — see vertex.go.
 func BuildVertexFT(g *Graph, source int) (*VertexStructure, error) {
-	g.g.Freeze()
-	st, err := vertexft.Build(g.g, source)
-	if err != nil {
-		return nil, err
-	}
-	return &VertexStructure{st: st}, nil
-}
-
-// Size returns |E(H)|.
-func (v *VertexStructure) Size() int { return v.st.Size() }
-
-// Contains reports whether {a,b} belongs to the structure.
-func (v *VertexStructure) Contains(a, b int) bool {
-	id := v.st.G.EdgeIDOf(a, b)
-	return id >= 0 && v.st.Edges.Contains(id)
-}
-
-// Verify exhaustively checks the vertex FT-BFS contract.
-func (v *VertexStructure) Verify() error {
-	if viol := vertexft.Verify(v.st, 5); len(viol) > 0 {
-		return fmt.Errorf("ftbfs: vertex FT-BFS contract violated: %v", viol)
-	}
-	return nil
+	return BuildVertex(g, source)
 }
 
 // SensitivityOracle answers dist(source, v, G\{e}) queries on the full

@@ -6,12 +6,13 @@ import (
 	"ftbfs/internal/graph"
 )
 
-// Repair recomputes BFS distances after a tree-edge failure, touching only
-// the vertices that can actually change: the failed subtree. Deleting a
-// tree edge e = (p, c) of a BFS tree of H leaves every vertex outside the
-// subtree of c with its intact distance (its tree path avoids e), so the
-// new distances inside the subtree satisfy a unit-weight shortest-path
-// problem seeded from the arcs crossing into the subtree: for w inside,
+// Repair recomputes BFS distances after a tree-edge (Run) or tree-vertex
+// (RunAvoidingVertex) failure, touching only the vertices that can actually
+// change: the failed subtree. Deleting a tree edge e = (p, c) of a BFS tree
+// of H leaves every vertex outside the subtree of c with its intact
+// distance (its tree path avoids e), so the new distances inside the
+// subtree satisfy a unit-weight shortest-path problem seeded from the arcs
+// crossing into the subtree: for w inside,
 //
 //	dist'(w) = min( min_{u outside, {u,w} ∈ H\{e}} intact(u) + 1 + dist_sub(w', w) )
 //
@@ -48,18 +49,36 @@ func NewRepair(n int) *Repair {
 // may change), and intact[u] is the unchanged distance of every u ∉ sub.
 // Results stay readable through Dist until the next Run.
 func (r *Repair) Run(h *graph.CSR, intact []int32, sub []int32, failed graph.EdgeID) {
+	r.run(h, intact, sub, failed, -1)
+}
+
+// RunAvoidingVertex is Run for a failed VERTEX w of H's BFS tree: sub must
+// be the strict descendants of w (the exact set of vertices whose distance
+// may change — every vertex outside w's subtree keeps its tree path, and w
+// itself leaves the graph), and every arc incident to w is banned from the
+// search. intact[u] is the unchanged distance of every u ∉ sub ∪ {w}.
+func (r *Repair) RunAvoidingVertex(h *graph.CSR, intact []int32, sub []int32, failed int32) {
+	r.run(h, intact, sub, graph.NoEdge, failed)
+}
+
+// run is the shared repair search; bannedEdge is graph.NoEdge or the failed
+// tree edge, bannedVertex is -1 or the failed tree vertex. Exactly one of
+// the two names a real failure.
+func (r *Repair) run(h *graph.CSR, intact []int32, sub []int32, bannedEdge graph.EdgeID, bannedVertex int32) {
 	r.nextEpoch()
 	for _, v := range sub {
 		r.inSub[v] = r.epoch
 	}
 	// Seed each subtree vertex with its best entering arc from the settled
-	// outside world. The failed edge itself is the one tree arc entering the
-	// subtree root; skipping it (and every banned id) here and below is the
-	// only place the failure shows up.
+	// outside world. The failed edge is the one tree arc entering the
+	// subtree root, and a failed vertex is never in sub but holds an intact
+	// distance; skipping both here is the only place the failure shows up —
+	// the relaxation below stays inside sub, which the failed vertex cannot
+	// be part of.
 	for _, v := range sub {
 		best := int32(-1)
 		for _, a := range h.ArcsOf(v) {
-			if a.ID == failed || r.inSub[a.To] == r.epoch {
+			if a.ID == bannedEdge || a.To == bannedVertex || r.inSub[a.To] == r.epoch {
 				continue
 			}
 			if d := intact[a.To]; d >= 0 && (best < 0 || d+1 < best) {
@@ -86,7 +105,7 @@ func (r *Repair) Run(h *graph.CSR, intact []int32, sub []int32, failed graph.Edg
 			r.settled[v] = r.epoch
 			r.dist[v] = level
 			for _, a := range h.ArcsOf(v) {
-				if a.ID == failed || r.inSub[a.To] != r.epoch || r.settled[a.To] == r.epoch {
+				if a.ID == bannedEdge || r.inSub[a.To] != r.epoch || r.settled[a.To] == r.epoch {
 					continue
 				}
 				r.push(a.To, level+1)

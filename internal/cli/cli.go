@@ -75,11 +75,17 @@ func usage(w io.Writer) {
            [-workers W] [-save FILE] [-dot FILE] [-verify]
   sweep    -in FILE -source S [-grid "0,0.25,0.5,1"] [-B 1] [-R 10] [-csv]
   verify   -in FILE -source S (-eps E | -structure FILE)
-  vertexft -in FILE -source S [-verify]
+  vertexft -in FILE -source S [-verify] [-save FILE]
   serve    [-addr :8080] [-dir DIR] [-cap N] [-shard] [-id NAME]
-           [-drain-grace 0s] [-in FILE [-sources "0,5"] [-eps "0.25,0.5"] [-alg auto]]
+           [-drain-grace 0s] [-in FILE [-sources "0,5"] [-eps "0.25,0.5"] [-alg auto]
+           [-vertex-sources "0,5"]]
   route    -shards "s0=host:port,s1=host:port" [-addr :8081] [-replication 2]
            [-vnodes 64] [-hedge 3ms] [-probe 2s] [-drain-grace 0s]
+
+serve answers edge failures on /dist-avoiding and vertex failures on
+/dist-avoiding-vertex (vertex structures build through the store on first
+use; -vertex-sources pre-builds them for -in). route proxies both query
+surfaces over the same consistent-hash ring.
 
 FILE "-" means stdin/stdout.`)
 }
@@ -327,6 +333,7 @@ func cmdVertexFT(args []string, stdout io.Writer) error {
 	in := fs.String("in", "-", "input graph")
 	source := fs.Int("source", 0, "BFS source")
 	verify := fs.Bool("verify", false, "exhaustively verify the vertex contract")
+	save := fs.String("save", "", "write the vertex structure to file (version-2 record)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -340,6 +347,20 @@ func cmdVertexFT(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "vertex-ftbfs{n=%d m=%d |H|=%d pairs=%d}\n", g.N(), g.M(), st.Size(), st.Pairs)
+	if *save != "" {
+		w, closeFn, err := openOut(*save, stdout)
+		if err != nil {
+			return err
+		}
+		rec := &core.VertexRecord{S: st.S, Pairs: st.Pairs, Edges: st.Edges}
+		if err := core.EncodeVertexRecord(w, g, rec); err != nil {
+			closeFn()
+			return err
+		}
+		if err := closeFn(); err != nil {
+			return err
+		}
+	}
 	if *verify {
 		if viol := vertexft.Verify(st, 5); len(viol) > 0 {
 			return fmt.Errorf("vertex contract violated: %v", viol)

@@ -53,6 +53,7 @@ func cmdServe(args []string, stdout io.Writer) error {
 	sourcesSpec := fs.String("sources", "0", "comma-separated sources to pre-build for -in")
 	epsSpec := fs.String("eps", "", "comma-separated ε grid to pre-build for -in (empty = none)")
 	algName := fs.String("alg", "auto", "algorithm for pre-built structures")
+	vertexSpec := fs.String("vertex-sources", "", "comma-separated sources to pre-build VERTEX-failure structures for -in (empty = none)")
 	shard := fs.Bool("shard", false, "run as a cluster shard (identity in /healthz, /stats; route to it with `ftbfs route`)")
 	id := fs.String("id", "", "node identity reported by /healthz and /stats (default: the bound address)")
 	drainGrace := fs.Duration("drain-grace", 0, "on shutdown, keep serving with /readyz=503 this long so balancers stop routing here first")
@@ -100,6 +101,20 @@ func cmdServe(args []string, stdout io.Writer) error {
 			for i, s := range sts {
 				fmt.Fprintf(stdout, "pre-built s=%d eps=%g: |H|=%d backup=%d reinforced=%d\n",
 					reqs[i].Source, reqs[i].Eps, s.Size(), s.BackupCount(), s.ReinforcedCount())
+			}
+		}
+		if *vertexSpec != "" {
+			for _, spart := range strings.Split(*vertexSpec, ",") {
+				src, err := strconv.Atoi(strings.TrimSpace(spart))
+				if err != nil {
+					return fmt.Errorf("bad vertex source %q", spart)
+				}
+				vs, err := st.GetOrBuildVertex(fp, src)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "pre-built vertex s=%d: |H|=%d pairs=%d\n",
+					src, vs.Size(), vs.Pairs())
 			}
 		}
 	}

@@ -536,3 +536,277 @@ func TestRouterStatsHealthReady(t *testing.T) {
 		t.Fatalf("/readyz after rejoin: %d, want 200", code)
 	}
 }
+
+// TestRouterVertexDifferential drives the vertex failure model end to end
+// through a 4-shard / R=2 cluster: /build with vertexSources fans the graph
+// and the vertex structures onto the ring, then every failable vertex of
+// the graph is queried through the router — point reads on
+// /dist-avoiding-vertex and a mixed edge+vertex /batch-query — and checked
+// against a local reference oracle, including while a shard is down and
+// after it rejoins.
+func TestRouterVertexDifferential(t *testing.T) {
+	lc, err := StartLocal(4, LocalOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	g, _ := clusterGraph(40, 60, 21)
+	var text bytes.Buffer
+	if err := g.Write(&text); err != nil {
+		t.Fatal(err)
+	}
+	const source = 0
+	var br server.BuildResponse
+	code, body := postJSON(t, lc.URL()+"/build", server.BuildRequest{
+		Graph:         text.String(),
+		Sources:       []int{source},
+		Eps:           []float64{0.3},
+		VertexSources: []int{source},
+	}, &br)
+	if code != http.StatusOK {
+		t.Fatalf("/build: %d %s", code, body)
+	}
+	if len(br.VertexStructures) != 1 {
+		t.Fatalf("built %d vertex structures, want 1", len(br.VertexStructures))
+	}
+
+	// Replication factor 2 landed the vertex structure on two shard stores.
+	fpParsed := uint64(0)
+	if _, err := fmt.Sscanf(br.Fingerprint, "%016x", &fpParsed); err != nil {
+		t.Fatal(err)
+	}
+	holders := 0
+	for _, sh := range lc.Shards {
+		if _, ok := sh.Store.GetVertex(fpParsed, source); ok {
+			holders++
+		}
+	}
+	if holders != 2 {
+		t.Fatalf("%d shards hold the vertex structure, want 2 (R=2)", holders)
+	}
+
+	ref, err := ftbfs.BuildVertex(g, source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := ref.Oracle()
+	n := g.N()
+	checkAll := func(phase string) {
+		t.Helper()
+		for w := 0; w < n; w++ {
+			if w == source {
+				continue
+			}
+			for _, v := range []int{w, (w * 13) % n, (w + 1) % n} {
+				want, err := ro.DistAvoidingVertex(v, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var dr struct {
+					Dist int `json:"dist"`
+				}
+				code, body := getJSON(t, fmt.Sprintf("%s/dist-avoiding-vertex?graph=%s&source=%d&v=%d&fw=%d",
+					lc.URL(), br.Fingerprint, source, v, w), &dr)
+				if code != http.StatusOK {
+					t.Fatalf("%s: routed vertex query (v=%d, w=%d): %d %s", phase, v, w, code, body)
+				}
+				if dr.Dist != want {
+					t.Fatalf("%s: routed dist(v=%d | w=%d failed) = %d, want %d", phase, v, w, dr.Dist, want)
+				}
+			}
+		}
+	}
+	checkAll("all-up")
+
+	// Kill each shard in turn: every vertex key keeps a live replica.
+	for i := range lc.Shards {
+		lc.KillShard(i)
+		checkAll(fmt.Sprintf("shard%d-down", i))
+		lc.RestartShard(i)
+	}
+	checkAll("after-rejoin")
+
+	// Mixed-model batch through the scatter-gather path: edge and vertex
+	// slots interleaved, plus a bad vertex slot erroring individually.
+	est, err := ftbfs.Build(g, source, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo := est.Oracle()
+	var failable [][2]int
+	for _, e := range est.Edges() {
+		if !est.IsReinforced(e[0], e[1]) {
+			failable = append(failable, e)
+		}
+	}
+	eps := 0.3
+	req := server.BatchQueryRequest{Graph: br.Fingerprint, Eps: &eps}
+	type expect struct {
+		dist int
+		bad  bool
+	}
+	var expects []expect
+	for j := 0; j < 32; j++ {
+		if j%2 == 0 {
+			w := 1 + j%(n-1)
+			v := (j * 7) % n
+			fw := w
+			req.Queries = append(req.Queries, server.BatchQuery{V: v, FailedVertex: &fw})
+			want, err := ro.DistAvoidingVertex(v, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expects = append(expects, expect{dist: want})
+		} else {
+			e := failable[j%len(failable)]
+			v := (j * 11) % n
+			req.Queries = append(req.Queries, server.BatchQuery{V: v, Fail: e})
+			want, err := eo.DistAvoiding(v, e[0], e[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			expects = append(expects, expect{dist: want})
+		}
+	}
+	srcFail := source
+	req.Queries = append(req.Queries, server.BatchQuery{V: 1, FailedVertex: &srcFail})
+	expects = append(expects, expect{bad: true})
+
+	var resp server.BatchQueryResponse
+	code, body = postJSON(t, lc.URL()+"/batch-query", req, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, body)
+	}
+	if len(resp.Dists) != len(expects) {
+		t.Fatalf("batch: %d dists for %d slots", len(resp.Dists), len(expects))
+	}
+	for i, ex := range expects {
+		if ex.bad {
+			if resp.Errors == nil || resp.Errors[i] == "" {
+				t.Fatalf("batch slot %d: bad slot did not error", i)
+			}
+			continue
+		}
+		if resp.Errors != nil && resp.Errors[i] != "" {
+			t.Fatalf("batch slot %d errored: %s", i, resp.Errors[i])
+		}
+		if resp.Dists[i] != ex.dist {
+			t.Fatalf("batch slot %d: dist %d, want %d", i, resp.Dists[i], ex.dist)
+		}
+	}
+}
+
+// TestRouterVertexConcurrentChurn mixes concurrent routed vertex queries
+// with shard kill/restart churn; run under -race in CI. Answers must either
+// match the reference or fail with a transport-visible error status — never
+// silently differ.
+func TestRouterVertexConcurrentChurn(t *testing.T) {
+	lc, err := StartLocal(3, LocalOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	g, _ := clusterGraph(30, 45, 22)
+	var text bytes.Buffer
+	if err := g.Write(&text); err != nil {
+		t.Fatal(err)
+	}
+	var br server.BuildResponse
+	code, body := postJSON(t, lc.URL()+"/build", server.BuildRequest{
+		Graph:         text.String(),
+		VertexSources: []int{0},
+	}, &br)
+	if code != http.StatusOK {
+		t.Fatalf("/build: %d %s", code, body)
+	}
+	ref, err := ftbfs.BuildVertex(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	ro := ref.Oracle()
+	want := make([][]int, n)
+	for w := 1; w < n; w++ {
+		want[w] = make([]int, n)
+		for v := 0; v < n; v++ {
+			d, err := ro.DistAvoidingVertex(v, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[w][v] = d
+		}
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lc.KillShard(i % len(lc.Shards))
+			time.Sleep(5 * time.Millisecond)
+			lc.RestartShard(i % len(lc.Shards))
+			i++
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for gid := 0; gid < 4; gid++ {
+		wg.Add(1)
+		go func(gid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + gid)))
+			client := &http.Client{Timeout: 5 * time.Second}
+			for iter := 0; iter < 150; iter++ {
+				w := 1 + rng.Intn(n-1)
+				v := rng.Intn(n)
+				resp, err := client.Get(fmt.Sprintf("%s/dist-avoiding-vertex?graph=%s&v=%d&fw=%d",
+					lc.URL(), br.Fingerprint, v, w))
+				if err != nil {
+					continue // router itself unreachable mid-churn: not a correctness bug
+				}
+				var dr struct {
+					Dist int `json:"dist"`
+				}
+				deco := json.NewDecoder(resp.Body)
+				code := resp.StatusCode
+				decErr := deco.Decode(&dr)
+				resp.Body.Close()
+				if code != http.StatusOK {
+					continue // visible failure is acceptable under churn
+				}
+				if decErr != nil {
+					select {
+					case errc <- fmt.Errorf("undecodable 200: %v", decErr):
+					default:
+					}
+					return
+				}
+				if dr.Dist != want[w][v] {
+					select {
+					case errc <- fmt.Errorf("silent wrong answer (v=%d, w=%d): %d != %d", v, w, dr.Dist, want[w][v]):
+					default:
+					}
+					return
+				}
+			}
+		}(gid)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

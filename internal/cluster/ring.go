@@ -8,7 +8,10 @@
 // /build lands on every replica exactly once.
 //
 // Routing hashes exactly what the store keys: (graph fingerprint, source,
-// ε, algorithm). The ring depends only on the sorted member IDs, never on
+// ε, algorithm, failure model) — vertex-failure queries land on the same
+// ring as edge queries, just under their own keys, so hedged point reads
+// and scatter-gather sub-batching apply to both failure models unchanged.
+// The ring depends only on the sorted member IDs, never on
 // addresses or health, so every router with the same member set computes
 // the same owners (deterministic rebalance on join/leave); health state
 // only reorders which replica is tried first.
@@ -57,6 +60,12 @@ func fnvMixString(h uint64, s string) uint64 {
 // the store's map keys compare ±0 equal (Go float equality), and routing
 // must hash exactly what the store keys — two bit patterns for one key
 // would send queries for an ε=0 structure to shards that never built it.
+// The failure model enters only for non-edge keys: an edge and a vertex
+// structure of the same (graph, source) are distinct registry entries and
+// hash to distinct, generally different, ring positions, while every
+// pre-existing edge key keeps exactly the position it had before the Model
+// dimension existed — an upgraded cluster does not remap (and thereby
+// orphan) the structures its shards already hold.
 func KeyHash(k store.Key) uint64 {
 	eps := k.Eps
 	if eps == 0 {
@@ -67,6 +76,9 @@ func KeyHash(k store.Key) uint64 {
 	h = fnvMix(h, uint64(int64(k.Source)))
 	h = fnvMix(h, math.Float64bits(eps))
 	h = fnvMix(h, uint64(int64(k.Alg)))
+	if k.Model != store.ModelEdge {
+		h = fnvMix(h, uint64(int64(k.Model)))
+	}
 	return h
 }
 

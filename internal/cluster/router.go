@@ -97,6 +97,11 @@ func NewRouter(m *Membership, opts RouterOptions) *Router {
 	rt.mux.HandleFunc("/build", rt.handleBuild)
 	rt.mux.HandleFunc("/dist", rt.handlePoint)
 	rt.mux.HandleFunc("/dist-avoiding", rt.handlePoint)
+	// The vertex failure model rides the same point machinery: the request
+	// resolves to its vertex-model registry key (KeyForEndpoint — the
+	// endpoint, not a request field, picks the failure model), lands on that
+	// key's replica set, and gets the same hedged reads + failover.
+	rt.mux.HandleFunc("/dist-avoiding-vertex", rt.handlePoint)
 	rt.mux.HandleFunc("/batch-query", rt.handleBatchQuery)
 	rt.mux.HandleFunc("/stats", rt.handleStats)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
@@ -318,7 +323,7 @@ func (rt *Router) handlePoint(w http.ResponseWriter, r *http.Request) {
 		rt.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST required"))
 		return
 	}
-	k, err := q.Key()
+	k, err := q.KeyForEndpoint(r.URL.Path)
 	if err != nil {
 		rt.writeErr(w, http.StatusBadRequest, err)
 		return
@@ -462,14 +467,21 @@ func (rt *Router) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 				for j, i := range sb.slots {
 					k := routes[i].key
 					src := k.Source
-					eps := k.Eps
 					sub.Queries[j] = server.BatchQuery{
 						Graph:  fmt.Sprintf("%016x", k.Graph),
 						Source: &src,
-						Eps:    &eps,
-						Alg:    k.Alg.String(),
 						V:      req.Queries[i].V,
-						Fail:   req.Queries[i].Fail,
+					}
+					if k.Model == store.ModelVertex {
+						// A vertex slot re-addresses by (graph, source) only —
+						// the shard's KeyFor derives the same vertex-model key
+						// the router routed on.
+						sub.Queries[j].FailedVertex = req.Queries[i].FailedVertex
+					} else {
+						eps := k.Eps
+						sub.Queries[j].Eps = &eps
+						sub.Queries[j].Alg = k.Alg.String()
+						sub.Queries[j].Fail = req.Queries[i].Fail
 					}
 				}
 				payload, err := json.Marshal(&sub)
@@ -577,7 +589,7 @@ func (rt *Router) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	pairs := req.ResolvedPairs()
 	fp := g.Fingerprint()
-	flightKey := fmt.Sprintf("%016x|%d|%v", fp, alg, pairs)
+	flightKey := fmt.Sprintf("%016x|%d|%v|v%v", fp, alg, pairs, req.VertexSources)
 	res, shared := rt.buildFlight.Do(flightKey, func() flightResult {
 		rt.builds.Add(1)
 		// The fan-out is shared work: coalesced waiters must not lose their
@@ -618,15 +630,26 @@ func (rt *Router) fanOutBuild(ctx context.Context, g buildGraph, req *server.Bui
 	fp := g.Fingerprint()
 
 	type shardBuild struct {
-		member *Member
-		pairs  []server.BuildPair
-		index  map[server.BuildPair]int // pair -> position in pairs
-		resp   server.BuildResponse
-		err    error
-		code   int // HTTP status behind err, 0 for transport faults
+		member   *Member
+		pairs    []server.BuildPair
+		index    map[server.BuildPair]int // pair -> position in pairs
+		vsources []int
+		vindex   map[int]int // vertex source -> position in vsources
+		resp     server.BuildResponse
+		err      error
+		code     int // HTTP status behind err, 0 for transport faults
 	}
 	var shards []*shardBuild
 	byMember := make(map[*Member]*shardBuild)
+	shardFor := func(m *Member) *shardBuild {
+		sb := byMember[m]
+		if sb == nil {
+			sb = &shardBuild{member: m, index: make(map[server.BuildPair]int), vindex: make(map[int]int)}
+			byMember[m] = sb
+			shards = append(shards, sb)
+		}
+		return sb
+	}
 	pairOwners := make([][]*Member, len(pairs))
 	for i, p := range pairs {
 		// Builds route on the same registry key as queries; algorithm
@@ -640,15 +663,29 @@ func (rt *Router) fanOutBuild(ctx context.Context, g buildGraph, req *server.Bui
 		}
 		pairOwners[i] = owners
 		for _, m := range owners {
-			sb := byMember[m]
-			if sb == nil {
-				sb = &shardBuild{member: m, index: make(map[server.BuildPair]int)}
-				byMember[m] = sb
-				shards = append(shards, sb)
-			}
+			sb := shardFor(m)
 			if _, dup := sb.index[p]; !dup {
 				sb.index[p] = len(sb.pairs)
 				sb.pairs = append(sb.pairs, p)
+			}
+		}
+	}
+	// Vertex structures route on their own vertex-model keys, so their
+	// owners are generally different shards than any edge pair's — which is
+	// exactly what makes the graph reach every shard a later
+	// /dist-avoiding-vertex can land on.
+	vsrcOwners := make([][]*Member, len(req.VertexSources))
+	for i, src := range req.VertexSources {
+		owners := rt.m.Owners(KeyHash(store.VertexKey(fp, src)))
+		if len(owners) == 0 {
+			return fail(http.StatusServiceUnavailable, fmt.Errorf("cluster: no shards joined"))
+		}
+		vsrcOwners[i] = owners
+		for _, m := range owners {
+			sb := shardFor(m)
+			if _, dup := sb.vindex[src]; !dup {
+				sb.vindex[src] = len(sb.vsources)
+				sb.vsources = append(sb.vsources, src)
 			}
 		}
 	}
@@ -660,9 +697,10 @@ func (rt *Router) fanOutBuild(ctx context.Context, g buildGraph, req *server.Bui
 		go func() {
 			defer wg.Done()
 			payload, err := json.Marshal(&server.BuildRequest{
-				Graph: text.String(),
-				Pairs: sb.pairs,
-				Alg:   req.Alg,
+				Graph:         text.String(),
+				Pairs:         sb.pairs,
+				Alg:           req.Alg,
+				VertexSources: sb.vsources,
 			})
 			if err != nil {
 				sb.err = err
@@ -679,6 +717,9 @@ func (rt *Router) fanOutBuild(ctx context.Context, g buildGraph, req *server.Bui
 				sb.err = json.Unmarshal(res.body, &sb.resp)
 				if sb.err == nil && len(sb.resp.Structures) != len(sb.pairs) {
 					sb.err = fmt.Errorf("shard built %d of %d structures", len(sb.resp.Structures), len(sb.pairs))
+				}
+				if sb.err == nil && len(sb.resp.VertexStructures) != len(sb.vsources) {
+					sb.err = fmt.Errorf("shard built %d of %d vertex structures", len(sb.resp.VertexStructures), len(sb.vsources))
 				}
 			}
 		}()
@@ -715,6 +756,33 @@ func (rt *Router) fanOutBuild(ctx context.Context, g buildGraph, req *server.Bui
 					p.Source, p.Eps, len(pairOwners[i]), firstErr))
 		}
 		out.Structures = append(out.Structures, *info)
+	}
+	for i, src := range req.VertexSources {
+		var info *server.VertexStructureInfo
+		var firstErr error
+		firstCode := 0
+		for _, m := range vsrcOwners[i] {
+			sb := byMember[m]
+			if sb.err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard %s: %w", m.ID, sb.err)
+					firstCode = sb.code
+				}
+				continue
+			}
+			info = &sb.resp.VertexStructures[sb.vindex[src]]
+			break
+		}
+		if info == nil {
+			code := http.StatusBadGateway
+			if firstCode >= http.StatusBadRequest && firstCode < http.StatusInternalServerError && !retryableStatus(firstCode) {
+				code = firstCode
+			}
+			return fail(code,
+				fmt.Errorf("cluster: vertex build (source=%d) failed on all %d replicas: %w",
+					src, len(vsrcOwners[i]), firstErr))
+		}
+		out.VertexStructures = append(out.VertexStructures, *info)
 	}
 	body, err := json.Marshal(&out)
 	if err != nil {

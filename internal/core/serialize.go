@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -12,15 +13,30 @@ import (
 )
 
 // The structure text format (companion of the graph format in
-// internal/graph):
+// internal/graph) is a versioned record: the header line names the record
+// version, and each version fixes its metadata line and edge tags.
+//
+// Version 1 — an edge-failure (b, r) FT-BFS structure:
 //
 //	ftbfs-structure 1
 //	source <s> eps <ε> alg <name>
 //	b <u> <v>        (one line per backup edge)
 //	r <u> <v>        (one line per reinforced edge)
 //
-// The base graph travels separately; DecodeStructure re-binds the edge
-// endpoints against it and recomputes the BFS tree.
+// Version 2 — a vertex-failure FT-BFS structure (no ε/algorithm dimension,
+// no reinforced edges; every edge is fault-prone):
+//
+//	ftbfs-structure 2 vertex
+//	source <s> pairs <p>
+//	e <u> <v>        (one line per structure edge)
+//
+// The base graph travels separately; decoding re-binds the edge endpoints
+// against it and recomputes the BFS tree. DecodeStructure reads exactly the
+// version-1 record it always has — pre-existing edge-structure files keep
+// loading unchanged — and DecodeVertexRecord reads version 2.
+
+// vertexHeader is the version-2 record header.
+const vertexHeader = "ftbfs-structure 2 vertex"
 
 // EncodeStructure writes st in the structure text format.
 func EncodeStructure(w io.Writer, st *Structure) error {
@@ -45,25 +61,62 @@ func EncodeStructure(w io.Writer, st *Structure) error {
 	return bw.Flush()
 }
 
-// DecodeStructure parses the structure format against its base graph g.
-// The BFS tree is recomputed from the recorded source; the decoded
-// structure is validated with CheckInvariants.
-func DecodeStructure(r io.Reader, g *graph.Graph) (*Structure, error) {
+// recordScanner walks the non-blank, non-comment lines of a structure file,
+// tracking line numbers for error messages; shared by every record version.
+type recordScanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newRecordScanner(r io.Reader) *recordScanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	line := 0
-	next := func() (string, bool) {
-		for sc.Scan() {
-			line++
-			text := strings.TrimSpace(sc.Text())
-			if text != "" && !strings.HasPrefix(text, "#") {
-				return text, true
-			}
+	return &recordScanner{sc: sc}
+}
+
+func (s *recordScanner) next() (string, bool) {
+	for s.sc.Scan() {
+		s.line++
+		text := strings.TrimSpace(s.sc.Text())
+		if text != "" && !strings.HasPrefix(text, "#") {
+			return text, true
 		}
-		return "", false
 	}
+	return "", false
+}
+
+// parseEdgeRecord parses one "<tag> <u> <v>" line, checks the tag against
+// the version's allowed set, and re-binds the endpoints against g. Shared
+// by both record decoders so edge-line validation and error wording cannot
+// drift between format versions.
+func (s *recordScanner) parseEdgeRecord(g *graph.Graph, text string, tags ...string) (string, graph.EdgeID, error) {
+	f := strings.Fields(text)
+	if len(f) != 3 || !slices.Contains(tags, f[0]) {
+		return "", graph.NoEdge, fmt.Errorf("core: line %d: bad record %q", s.line, text)
+	}
+	u, err1 := strconv.Atoi(f[1])
+	v, err2 := strconv.Atoi(f[2])
+	if err1 != nil || err2 != nil {
+		return "", graph.NoEdge, fmt.Errorf("core: line %d: bad endpoints %q", s.line, text)
+	}
+	id := g.EdgeIDOf(u, v)
+	if id == graph.NoEdge {
+		return "", graph.NoEdge, fmt.Errorf("core: line %d: edge {%d,%d} not in the base graph", s.line, u, v)
+	}
+	return f[0], id, nil
+}
+
+// DecodeStructure parses the version-1 (edge-failure) structure format
+// against its base graph g. The BFS tree is recomputed from the recorded
+// source; the decoded structure is validated with CheckInvariants.
+func DecodeStructure(r io.Reader, g *graph.Graph) (*Structure, error) {
+	rs := newRecordScanner(r)
+	next := rs.next
 	header, ok := next()
 	if !ok || header != "ftbfs-structure 1" {
+		if header == vertexHeader {
+			return nil, fmt.Errorf("core: %q is a vertex structure record (decode it with DecodeVertexRecord)", header)
+		}
 		return nil, fmt.Errorf("core: bad structure header %q", header)
 	}
 	meta, ok := next()
@@ -96,29 +149,94 @@ func DecodeStructure(r io.Reader, g *graph.Graph) (*Structure, error) {
 		if !ok {
 			break
 		}
-		f := strings.Fields(text)
-		if len(f) != 3 || (f[0] != "b" && f[0] != "r") {
-			return nil, fmt.Errorf("core: line %d: bad record %q", line, text)
-		}
-		u, err1 := strconv.Atoi(f[1])
-		v, err2 := strconv.Atoi(f[2])
-		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("core: line %d: bad endpoints %q", line, text)
-		}
-		id := g.EdgeIDOf(u, v)
-		if id == graph.NoEdge {
-			return nil, fmt.Errorf("core: line %d: edge {%d,%d} not in the base graph", line, u, v)
+		tag, id, err := rs.parseEdgeRecord(g, text, "b", "r")
+		if err != nil {
+			return nil, err
 		}
 		st.Edges.Add(id)
-		if f[0] == "r" {
+		if tag == "r" {
 			st.Reinforced.Add(id)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	if err := rs.sc.Err(); err != nil {
 		return nil, err
 	}
 	if err := CheckInvariants(st); err != nil {
 		return nil, fmt.Errorf("core: decoded structure invalid: %w", err)
 	}
 	return st, nil
+}
+
+// VertexRecord is the decoded form of a version-2 (vertex-failure)
+// structure record: the source, the Pairs diagnostic of the build, and the
+// structure's edge set re-bound against the base graph. It deliberately
+// carries no ε or algorithm — the vertex construction has neither dimension.
+type VertexRecord struct {
+	S     int
+	Pairs int
+	Edges *graph.EdgeSet
+}
+
+// EncodeVertexRecord writes a vertex structure in the version-2 record
+// format; g is the base graph the edge ids resolve against.
+func EncodeVertexRecord(w io.Writer, g *graph.Graph, rec *VertexRecord) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, vertexHeader)
+	fmt.Fprintf(bw, "source %d pairs %d\n", rec.S, rec.Pairs)
+	var err error
+	rec.Edges.ForEach(func(id graph.EdgeID) {
+		if err != nil {
+			return
+		}
+		e := g.EdgeByID(id).Canonical()
+		_, err = fmt.Fprintf(bw, "e %d %d\n", e.U, e.V)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeVertexRecord parses a version-2 record against its base graph g.
+// Endpoints are re-bound to edge ids; semantic validation (does H preserve
+// the intact BFS distances?) is the caller's, since only the caller knows
+// how expensive a check the context can afford.
+func DecodeVertexRecord(r io.Reader, g *graph.Graph) (*VertexRecord, error) {
+	rs := newRecordScanner(r)
+	header, ok := rs.next()
+	if !ok || header != vertexHeader {
+		return nil, fmt.Errorf("core: bad vertex structure header %q", header)
+	}
+	meta, ok := rs.next()
+	if !ok {
+		return nil, fmt.Errorf("core: missing metadata line")
+	}
+	fields := strings.Fields(meta)
+	if len(fields) != 4 || fields[0] != "source" || fields[2] != "pairs" {
+		return nil, fmt.Errorf("core: bad vertex metadata line %q", meta)
+	}
+	s, err := strconv.Atoi(fields[1])
+	if err != nil || s < 0 || s >= g.N() {
+		return nil, fmt.Errorf("core: bad source %q", fields[1])
+	}
+	pairs, err := strconv.Atoi(fields[3])
+	if err != nil || pairs < 0 {
+		return nil, fmt.Errorf("core: bad pairs %q", fields[3])
+	}
+	rec := &VertexRecord{S: s, Pairs: pairs, Edges: graph.NewEdgeSet(g.M())}
+	for {
+		text, ok := rs.next()
+		if !ok {
+			break
+		}
+		_, id, err := rs.parseEdgeRecord(g, text, "e")
+		if err != nil {
+			return nil, err
+		}
+		rec.Edges.Add(id)
+	}
+	if err := rs.sc.Err(); err != nil {
+		return nil, err
+	}
+	return rec, nil
 }

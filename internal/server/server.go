@@ -18,16 +18,25 @@
 //	POST /build          register a graph and build structures for it
 //	GET|POST /dist           dist(s, v) in the intact structure H
 //	GET|POST /dist-avoiding  dist(s, v) in H minus one failed edge
+//	GET|POST /dist-avoiding-vertex  dist(s, v) in H minus one failed VERTEX
 //	POST /batch-query    a vector of failure queries, per-query error slots
 //	GET  /stats          store and server counters
 //	GET  /healthz        liveness: identity + uptime, always 200 while up
 //	GET  /readyz         readiness: 503 while draining, else store summary
 //
+// /dist-avoiding-vertex serves the vertex failure model: it addresses a
+// vertex-failure structure (keyed by graph + source only — the vertex
+// construction has no ε or algorithm dimension), built through the store on
+// first use, and answers through pooled VertexOracles exactly like the edge
+// path: an off-tree-path failed vertex is an O(1) read of the intact
+// vector, a failed tree vertex repairs only its subtree.
+//
 // A /batch-query vector may span several structures (each query can carry
 // its own graph/source/eps/alg, defaulting to the request-level address) and
 // never fails as a whole on one bad query: the response carries a parallel
 // error slot per query, which is what a scatter-gather router needs to merge
-// partial results.
+// partial results. A slot carrying "failedVertex" instead of "fail" is a
+// vertex-failure query; both models may mix freely in one vector.
 //
 // Distances use -1 for "unreachable". Errors are {"error": "..."} with a
 // 4xx/5xx status.
@@ -103,6 +112,7 @@ func New(st *store.Store) *Server {
 	s.mux.HandleFunc("/build", s.handleBuild)
 	s.mux.HandleFunc("/dist", s.handleDist)
 	s.mux.HandleFunc("/dist-avoiding", s.handleDistAvoiding)
+	s.mux.HandleFunc("/dist-avoiding-vertex", s.handleDistAvoidingVertex)
 	s.mux.HandleFunc("/batch-query", s.handleBatchQuery)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -160,27 +170,36 @@ type BuildPair struct {
 
 // BuildRequest is the body of POST /build. The graph arrives either as the
 // library text format (Graph) or inline as a vertex count plus an edge list
-// (N, Edges). Structures are built for the explicit Pairs when given,
+// (N, Edges). Edge structures are built for the explicit Pairs when given,
 // otherwise for the cross product Sources × Eps; empty defaults are source 0,
 // ε = DefaultEps, algorithm auto. The cluster router uses Pairs to hand each
 // shard exactly the subset of structures it owns, which is generally not a
-// cross product.
+// cross product. VertexSources additionally builds one VERTEX-failure
+// structure per listed source (the vertex model has no ε/algorithm
+// dimension); a request carrying only VertexSources builds no edge
+// structures at all.
 type BuildRequest struct {
-	Graph   string      `json:"graph,omitempty"`
-	N       int         `json:"n,omitempty"`
-	Edges   [][2]int    `json:"edges,omitempty"`
-	Sources []int       `json:"sources,omitempty"`
-	Eps     []float64   `json:"eps,omitempty"`
-	Pairs   []BuildPair `json:"pairs,omitempty"`
-	Alg     string      `json:"alg,omitempty"`
+	Graph         string      `json:"graph,omitempty"`
+	N             int         `json:"n,omitempty"`
+	Edges         [][2]int    `json:"edges,omitempty"`
+	Sources       []int       `json:"sources,omitempty"`
+	Eps           []float64   `json:"eps,omitempty"`
+	Pairs         []BuildPair `json:"pairs,omitempty"`
+	Alg           string      `json:"alg,omitempty"`
+	VertexSources []int       `json:"vertexSources,omitempty"`
 }
 
-// ResolvedPairs expands the request into the explicit (source, ε) list it
-// asks for: Pairs verbatim when present, otherwise Sources × Eps with the
-// usual defaults.
+// ResolvedPairs expands the request into the explicit (source, ε) list of
+// edge structures it asks for: Pairs verbatim when present, otherwise
+// Sources × Eps with the usual defaults. A vertex-only request (nothing but
+// VertexSources) resolves to no edge pairs — the implicit default pair is a
+// convenience for edge clients, not an obligation.
 func (req *BuildRequest) ResolvedPairs() []BuildPair {
 	if len(req.Pairs) > 0 {
 		return req.Pairs
+	}
+	if len(req.Sources) == 0 && len(req.Eps) == 0 && len(req.VertexSources) > 0 {
+		return nil
 	}
 	sources := req.Sources
 	if len(sources) == 0 {
@@ -263,13 +282,23 @@ type StructureInfo struct {
 	Reinforced int     `json:"reinforced"`
 }
 
+// VertexStructureInfo summarises one built vertex-failure structure in a
+// BuildResponse.
+type VertexStructureInfo struct {
+	Source int `json:"source"`
+	Size   int `json:"size"`
+	Pairs  int `json:"pairs"`
+}
+
 // BuildResponse is the reply of POST /build. Fingerprint keys every
-// subsequent query for this graph.
+// subsequent query for this graph. VertexStructures is parallel to the
+// request's VertexSources.
 type BuildResponse struct {
-	Fingerprint string          `json:"fingerprint"`
-	N           int             `json:"n"`
-	M           int             `json:"m"`
-	Structures  []StructureInfo `json:"structures"`
+	Fingerprint      string                `json:"fingerprint"`
+	N                int                   `json:"n"`
+	M                int                   `json:"m"`
+	Structures       []StructureInfo       `json:"structures"`
+	VertexStructures []VertexStructureInfo `json:"vertexStructures,omitempty"`
 }
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
@@ -318,20 +347,36 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 			Reinforced: st.ReinforcedCount(),
 		})
 	}
+	for _, src := range req.VertexSources {
+		vst, err := s.store.GetOrBuildVertex(fp, src)
+		if err != nil {
+			s.writeErr(w, statusFor(err), err)
+			return
+		}
+		resp.VertexStructures = append(resp.VertexStructures, VertexStructureInfo{
+			Source: src,
+			Size:   vst.Size(),
+			Pairs:  vst.Pairs(),
+		})
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // QueryRequest addresses one structure plus one (target, failure) query.
 // GET requests carry the same fields as URL parameters (graph, source, eps,
-// alg, v, fu, fv). V is a pointer so an omitted target is distinguishable
-// from vertex 0 — the distance endpoints reject it as malformed.
+// alg, v, fu, fv, fw). V is a pointer so an omitted target is
+// distinguishable from vertex 0 — the distance endpoints reject it as
+// malformed; FailedVertex (fw) likewise, and its presence switches the
+// request to the vertex failure model (eps/alg are then ignored: the
+// vertex structure has neither dimension).
 type QueryRequest struct {
-	Graph  string   `json:"graph"`
-	Source int      `json:"source"`
-	Eps    *float64 `json:"eps,omitempty"`
-	Alg    string   `json:"alg,omitempty"`
-	V      *int     `json:"v,omitempty"`
-	Fail   *[2]int  `json:"fail,omitempty"`
+	Graph        string   `json:"graph"`
+	Source       int      `json:"source"`
+	Eps          *float64 `json:"eps,omitempty"`
+	Alg          string   `json:"alg,omitempty"`
+	V            *int     `json:"v,omitempty"`
+	Fail         *[2]int  `json:"fail,omitempty"`
+	FailedVertex *int     `json:"failedVertex,omitempty"`
 }
 
 // resolveKey turns a structure address into the registry key the router and
@@ -360,9 +405,42 @@ func resolveKey(graphHex string, source int, eps *float64, algName string) (stor
 	return store.Key{Graph: fp, Source: source, Eps: e, Alg: alg}, nil
 }
 
-// Key resolves the addressed structure key.
-func (q *QueryRequest) Key() (store.Key, error) {
+// resolveVertexModelKey turns a vertex-failure address into its canonical
+// registry key: graph + source only, ε and algorithm pinned at their zero
+// values by store.VertexKey so every addressing of one vertex structure
+// maps to one key — and one cluster ring position.
+func resolveVertexModelKey(graphHex string, source int) (store.Key, error) {
+	fp, err := strconv.ParseUint(graphHex, 16, 64)
+	if err != nil {
+		return store.Key{}, fmt.Errorf("bad graph fingerprint %q", graphHex)
+	}
+	return store.VertexKey(fp, source), nil
+}
+
+// EdgeKey resolves the edge-model structure key the request addresses —
+// what /dist and /dist-avoiding serve. A stray failedVertex/fw field does
+// not change the model: the endpoint, not the parameter, picks the failure
+// model (KeyForEndpoint). The cluster router routes on exactly this key.
+func (q *QueryRequest) EdgeKey() (store.Key, error) {
 	return resolveKey(q.Graph, q.Source, q.Eps, q.Alg)
+}
+
+// VertexKey resolves the vertex-model structure key the request addresses —
+// what /dist-avoiding-vertex serves (graph + source only; ε and algorithm
+// do not exist in the vertex model and are ignored).
+func (q *QueryRequest) VertexKey() (store.Key, error) {
+	return resolveVertexModelKey(q.Graph, q.Source)
+}
+
+// KeyForEndpoint resolves the structure key a request to the given URL path
+// addresses: the vertex-model key for /dist-avoiding-vertex, the edge key
+// for every other point endpoint. The router shares this with the shard
+// handlers so both tiers route and serve on the same key.
+func (q *QueryRequest) KeyForEndpoint(path string) (store.Key, error) {
+	if path == "/dist-avoiding-vertex" {
+		return q.VertexKey()
+	}
+	return q.EdgeKey()
 }
 
 // ParseQuery decodes a QueryRequest from a POST body or GET parameters.
@@ -424,6 +502,13 @@ func ParseQuery(r *http.Request) (QueryRequest, error) {
 		}
 		q.Fail = &fail
 	}
+	if vals.Get("fw") != "" {
+		var fw int
+		if err := intParam("fw", &fw); err != nil {
+			return q, err
+		}
+		q.FailedVertex = &fw
+	}
 	return q, nil
 }
 
@@ -475,9 +560,11 @@ func (s *Server) structureForKey(k store.Key, v *int) (*ftbfs.Structure, error) 
 	return s.store.GetOrBuild(k)
 }
 
-// structureFor resolves the structure a query addresses.
+// structureFor resolves the edge structure a query addresses (/dist and
+// /dist-avoiding always serve the edge model, whatever stray fields the
+// request carries).
 func (s *Server) structureFor(q QueryRequest) (*ftbfs.Structure, store.Key, error) {
-	k, err := q.Key()
+	k, err := q.EdgeKey()
 	if err != nil {
 		return nil, k, err
 	}
@@ -546,17 +633,75 @@ func (s *Server) handleDistAvoiding(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, distResponse{Dist: d})
 }
 
+// vertexStructureForKey resolves (load-through or build-through) a
+// vertex-failure structure by registry key, validating the optional target
+// vertex against its graph.
+func (s *Server) vertexStructureForKey(k store.Key, v *int) (*ftbfs.VertexStructure, error) {
+	g, ok := s.store.Graph(k.Graph)
+	if !ok {
+		return nil, &UnknownGraphError{Fingerprint: k.Graph}
+	}
+	if v != nil && (*v < 0 || *v >= g.N()) {
+		return nil, fmt.Errorf("vertex %d out of range [0,%d)", *v, g.N())
+	}
+	return s.store.GetOrBuildVertex(k.Graph, k.Source)
+}
+
+func (s *Server) handleDistAvoidingVertex(w http.ResponseWriter, r *http.Request) {
+	q, err := ParseQuery(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.V == nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("missing target vertex v"))
+		return
+	}
+	if q.FailedVertex == nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("missing failed vertex (failedVertex or fw=)"))
+		return
+	}
+	k, err := q.VertexKey()
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.vertexStructureForKey(k, q.V)
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	// DistAvoidingVertex runs against the structure's VertexQueryPlan: O(1)
+	// for off-tree-path failures, subtree-local repair otherwise.
+	var d int
+	err = st.OraclePool().Do(func(o *ftbfs.VertexOracle) error {
+		var qerr error
+		d, qerr = o.DistAvoidingVertex(*q.V, *q.FailedVertex)
+		return qerr
+	})
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.queries.Add(1)
+	s.writeJSON(w, http.StatusOK, distResponse{Dist: d})
+}
+
 // BatchQuery is one entry of a /batch-query vector: the target vertex, the
-// simulated failed edge, and an optional structure address overriding the
+// simulated failure, and an optional structure address overriding the
 // request-level default — one batch may span many structures (the cluster
-// router relies on this to ship one sub-batch per shard).
+// router relies on this to ship one sub-batch per shard). The failure is
+// either a failed edge (Fail) or, when FailedVertex is set, a failed
+// vertex: the slot then addresses the (graph, source) vertex-failure
+// structure and Eps/Alg are ignored.
 type BatchQuery struct {
-	Graph  string   `json:"graph,omitempty"`
-	Source *int     `json:"source,omitempty"`
-	Eps    *float64 `json:"eps,omitempty"`
-	Alg    string   `json:"alg,omitempty"`
-	V      int      `json:"v"`
-	Fail   [2]int   `json:"fail"`
+	Graph        string   `json:"graph,omitempty"`
+	Source       *int     `json:"source,omitempty"`
+	Eps          *float64 `json:"eps,omitempty"`
+	Alg          string   `json:"alg,omitempty"`
+	V            int      `json:"v"`
+	Fail         [2]int   `json:"fail"`
+	FailedVertex *int     `json:"failedVertex,omitempty"`
 }
 
 // BatchQueryRequest is the body of POST /batch-query: a default structure
@@ -572,7 +717,8 @@ type BatchQueryRequest struct {
 }
 
 // KeyFor resolves the structure key addressed by query i, applying the
-// request-level defaults. The cluster router routes on exactly this key.
+// request-level defaults; a slot carrying a failed vertex resolves to the
+// vertex-model key. The cluster router routes on exactly this key.
 func (req *BatchQueryRequest) KeyFor(i int) (store.Key, error) {
 	q := &req.Queries[i]
 	graph := q.Graph
@@ -582,6 +728,9 @@ func (req *BatchQueryRequest) KeyFor(i int) (store.Key, error) {
 	source := req.Source
 	if q.Source != nil {
 		source = *q.Source
+	}
+	if q.FailedVertex != nil {
+		return resolveVertexModelKey(graph, source)
 	}
 	eps := req.Eps
 	if q.Eps != nil {
@@ -621,11 +770,15 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	dists := make([]int, len(req.Queries))
 	errs := make([]string, len(req.Queries))
 	// Group the vector by addressed structure, preserving first-seen order;
-	// a query with an unresolvable address errors its own slot only.
+	// a query with an unresolvable address errors its own slot only. The
+	// key's Model decides which query slice a group fills — slots of one
+	// group are homogeneous by construction (vertex slots resolve to vertex
+	// keys), so exactly one of queries/vqueries is populated.
 	type group struct {
-		key     store.Key
-		slots   []int
-		queries []ftbfs.FailureQuery
+		key      store.Key
+		slots    []int
+		queries  []ftbfs.FailureQuery
+		vqueries []ftbfs.VertexFailureQuery
 	}
 	var groups []*group
 	byKey := make(map[store.Key]*group)
@@ -644,7 +797,11 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		q := req.Queries[i]
 		gr.slots = append(gr.slots, i)
-		gr.queries = append(gr.queries, ftbfs.FailureQuery{V: q.V, FailedU: q.Fail[0], FailedV: q.Fail[1]})
+		if k.Model == store.ModelVertex {
+			gr.vqueries = append(gr.vqueries, ftbfs.VertexFailureQuery{V: q.V, Failed: *q.FailedVertex})
+		} else {
+			gr.queries = append(gr.queries, ftbfs.FailureQuery{V: q.V, FailedU: q.Fail[0], FailedV: q.Fail[1]})
+		}
 	}
 	// Groups are independent (disjoint slots, one pooled oracle each), so
 	// multi-structure batches answer them concurrently — one cold
@@ -656,20 +813,35 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	// amplify into unbounded concurrent builds.
 	var answered atomic.Uint64
 	answerGroup := func(gr *group) {
-		st, err := s.structureForKey(gr.key, nil)
-		if err != nil {
+		failSlots := func(err error) {
 			for _, i := range gr.slots {
 				dists[i] = ftbfs.Unreachable
 				errs[i] = err.Error()
 			}
-			return
 		}
-		subDists := make([]int, len(gr.queries))
-		subErrs := make([]error, len(gr.queries))
-		_ = st.OraclePool().Do(func(o *ftbfs.Oracle) error {
-			o.DistAvoidingEach(gr.queries, subDists, subErrs)
-			return nil
-		})
+		subDists := make([]int, len(gr.slots))
+		subErrs := make([]error, len(gr.slots))
+		if gr.key.Model == store.ModelVertex {
+			st, err := s.vertexStructureForKey(gr.key, nil)
+			if err != nil {
+				failSlots(err)
+				return
+			}
+			_ = st.OraclePool().Do(func(o *ftbfs.VertexOracle) error {
+				o.DistAvoidingVertexEach(gr.vqueries, subDists, subErrs)
+				return nil
+			})
+		} else {
+			st, err := s.structureForKey(gr.key, nil)
+			if err != nil {
+				failSlots(err)
+				return
+			}
+			_ = st.OraclePool().Do(func(o *ftbfs.Oracle) error {
+				o.DistAvoidingEach(gr.queries, subDists, subErrs)
+				return nil
+			})
+		}
 		for j, i := range gr.slots {
 			dists[i] = subDists[j]
 			if subErrs[j] != nil {

@@ -588,3 +588,231 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatalf("server still accepting after shutdown: %v", err)
 	}
 }
+
+// TestDistAvoidingVertexEndpoint exercises the vertex failure model end to
+// end over HTTP: build-through on first use, GET and POST forms, agreement
+// with a local reference oracle for every failable vertex, and the error
+// paths (missing fw, source failure, unknown graph).
+func TestDistAvoidingVertexEndpoint(t *testing.T) {
+	ts, st := newTestServer(t)
+	g := testGraph(t, 40, 60, 6)
+	fp, err := st.AddGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpHex := fmt.Sprintf("%016x", fp)
+	ref, err := ftbfs.BuildVertex(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := ref.Oracle()
+	for w := 1; w < g.N(); w++ { // skip the source: it cannot fail
+		for _, v := range []int{0, w, (w + 7) % g.N()} {
+			want, err := ro.DistAvoidingVertex(v, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dr distResponse
+			code, body := getJSON(t,
+				fmt.Sprintf("%s/dist-avoiding-vertex?graph=%s&v=%d&fw=%d", ts.URL, fpHex, v, w), &dr)
+			if code != http.StatusOK {
+				t.Fatalf("GET (v=%d, w=%d): status %d: %s", v, w, code, body)
+			}
+			if dr.Dist != want {
+				t.Fatalf("GET (v=%d, w=%d): dist %d, want %d", v, w, dr.Dist, want)
+			}
+		}
+	}
+	// POST form.
+	v, w := 3, 5
+	want, err := ro.DistAvoidingVertex(v, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr distResponse
+	code, body := postJSON(t, ts.URL+"/dist-avoiding-vertex",
+		QueryRequest{Graph: fpHex, V: &v, FailedVertex: &w}, &dr)
+	if code != http.StatusOK || dr.Dist != want {
+		t.Fatalf("POST: status %d, dist %d (want %d): %s", code, dr.Dist, want, body)
+	}
+	// Error paths.
+	if code, _ := getJSON(t, fmt.Sprintf("%s/dist-avoiding-vertex?graph=%s&v=1", ts.URL, fpHex), nil); code != http.StatusBadRequest {
+		t.Fatalf("missing fw: status %d, want 400", code)
+	}
+	if code, _ := getJSON(t, fmt.Sprintf("%s/dist-avoiding-vertex?graph=%s&v=1&fw=0", ts.URL, fpHex), nil); code != http.StatusBadRequest {
+		t.Fatalf("source failure: status %d, want 400", code)
+	}
+	if code, _ := getJSON(t, fmt.Sprintf("%s/dist-avoiding-vertex?graph=%016x&v=1&fw=2", ts.URL, fp+1), nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph: status %d, want 404", code)
+	}
+}
+
+// TestBatchQueryMixedModels sends one /batch-query vector mixing edge and
+// vertex failure slots (plus deliberately bad slots of both kinds) and
+// checks each answered slot against its own reference oracle.
+func TestBatchQueryMixedModels(t *testing.T) {
+	ts, st := newTestServer(t)
+	g := testGraph(t, 40, 60, 7)
+	fp, err := st.AddGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpHex := fmt.Sprintf("%016x", fp)
+	est, err := ftbfs.Build(g, 0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vst, err := ftbfs.BuildVertex(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo, vo := est.Oracle(), vst.Oracle()
+
+	var failableEdge [2]int
+	for _, e := range est.Edges() {
+		if !est.IsReinforced(e[0], e[1]) {
+			failableEdge = e
+			break
+		}
+	}
+	eps := 0.3
+	fw1, fw2, fwSrc := 5, 9, 0
+	req := BatchQueryRequest{Graph: fpHex, Eps: &eps, Queries: []BatchQuery{
+		{V: 7, Fail: failableEdge},              // edge slot
+		{V: 11, FailedVertex: &fw1},             // vertex slot
+		{V: fw1, FailedVertex: &fw1},            // vertex slot, target == failed: Unreachable
+		{V: 13, FailedVertex: &fw2},             // second vertex group
+		{V: 2, FailedVertex: &fwSrc},            // bad: the source cannot fail
+		{V: 1, Fail: [2]int{0, 0}},              // bad: not an edge
+		{Graph: "zz", V: 1, FailedVertex: &fw1}, // bad: unresolvable address
+	}}
+	var resp BatchQueryResponse
+	code, body := postJSON(t, ts.URL+"/batch-query", req, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if len(resp.Dists) != len(req.Queries) || len(resp.Errors) != len(req.Queries) {
+		t.Fatalf("slot counts: %d dists, %d errors", len(resp.Dists), len(resp.Errors))
+	}
+	wantEdge, err := eo.DistAvoiding(7, failableEdge[0], failableEdge[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV1, err := vo.DistAvoidingVertex(11, fw1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV2, err := vo.DistAvoidingVertex(13, fw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range map[int]int{0: wantEdge, 1: wantV1, 2: ftbfs.Unreachable, 3: wantV2} {
+		if resp.Errors[i] != "" {
+			t.Fatalf("slot %d errored: %s", i, resp.Errors[i])
+		}
+		if resp.Dists[i] != want {
+			t.Fatalf("slot %d: dist %d, want %d", i, resp.Dists[i], want)
+		}
+	}
+	for _, i := range []int{4, 5, 6} {
+		if resp.Errors[i] == "" {
+			t.Fatalf("bad slot %d did not error", i)
+		}
+		if resp.Dists[i] != ftbfs.Unreachable {
+			t.Fatalf("bad slot %d carries dist %d", i, resp.Dists[i])
+		}
+	}
+	if !strings.Contains(resp.Errors[4], "cannot fail") {
+		t.Fatalf("slot 4: unexpected error %q", resp.Errors[4])
+	}
+}
+
+// TestBuildVertexSources checks that /build pre-builds vertex structures
+// for vertexSources — including the vertex-only form that builds no edge
+// structure at all.
+func TestBuildVertexSources(t *testing.T) {
+	ts, reg := newTestServer(t)
+	g := testGraph(t, 30, 45, 8)
+	var text bytes.Buffer
+	if err := g.Write(&text); err != nil {
+		t.Fatal(err)
+	}
+	var resp BuildResponse
+	code, body := postJSON(t, ts.URL+"/build",
+		BuildRequest{Graph: text.String(), VertexSources: []int{0, 4}}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if len(resp.Structures) != 0 {
+		t.Fatalf("vertex-only build produced %d edge structures", len(resp.Structures))
+	}
+	if len(resp.VertexStructures) != 2 {
+		t.Fatalf("built %d vertex structures, want 2", len(resp.VertexStructures))
+	}
+	want, err := ftbfs.BuildVertex(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.VertexStructures[0].Size != want.Size() || resp.VertexStructures[0].Pairs != want.Pairs() {
+		t.Fatalf("vertex structure shape %+v, want size=%d pairs=%d",
+			resp.VertexStructures[0], want.Size(), want.Pairs())
+	}
+	fp, err := reg.AddGraph(g) // idempotent: returns the registered fingerprint
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.GetVertex(fp, 4); !ok {
+		t.Fatal("vertex structure for source 4 not resident after /build")
+	}
+	// A build asking for the source out of range is the client's 400.
+	code, _ = postJSON(t, ts.URL+"/build",
+		BuildRequest{Graph: text.String(), VertexSources: []int{99}}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad vertex source: status %d, want 400", code)
+	}
+}
+
+// TestEdgeEndpointsIgnoreStrayFailedVertex pins the model-selection rule:
+// the endpoint, not a stray failedVertex/fw field, picks the failure model.
+// /dist and /dist-avoiding must keep answering the edge model when a
+// request carries fw, not flip to a vertex-model key and fail.
+func TestEdgeEndpointsIgnoreStrayFailedVertex(t *testing.T) {
+	ts, st := newTestServer(t)
+	g := testGraph(t, 30, 45, 9)
+	fp, err := st.AddGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpHex := fmt.Sprintf("%016x", fp)
+	est, err := ftbfs.Build(g, 0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr distResponse
+	code, body := getJSON(t, fmt.Sprintf("%s/dist?graph=%s&eps=0.3&v=4&fw=7", ts.URL, fpHex), &dr)
+	if code != http.StatusOK {
+		t.Fatalf("/dist with stray fw: status %d: %s", code, body)
+	}
+	if want := est.Oracle().Dist(4); dr.Dist != want {
+		t.Fatalf("/dist with stray fw: %d, want %d", dr.Dist, want)
+	}
+	var edge [2]int
+	for _, e := range est.Edges() {
+		if !est.IsReinforced(e[0], e[1]) {
+			edge = e
+			break
+		}
+	}
+	want, err := est.Oracle().DistAvoiding(4, edge[0], edge[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body = getJSON(t, fmt.Sprintf("%s/dist-avoiding?graph=%s&eps=0.3&v=4&fu=%d&fv=%d&fw=7",
+		ts.URL, fpHex, edge[0], edge[1]), &dr)
+	if code != http.StatusOK {
+		t.Fatalf("/dist-avoiding with stray fw: status %d: %s", code, body)
+	}
+	if dr.Dist != want {
+		t.Fatalf("/dist-avoiding with stray fw: %d, want %d", dr.Dist, want)
+	}
+}

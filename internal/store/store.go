@@ -1,6 +1,10 @@
 // Package store is a thread-safe registry of built FT-BFS structures: the
 // state behind the query service in internal/server. Structures are keyed by
-// (graph fingerprint, source, ε, algorithm); the registry holds at most a
+// (graph fingerprint, source, ε, algorithm, failure model) — the Model
+// dimension separates edge-failure structures from the vertex-failure
+// structures served by /dist-avoiding-vertex, which share the registry, the
+// LRU, the single-flight map and the persist directory (under their own
+// "stv-" file prefix); the registry holds at most a
 // configured number of structures in memory (LRU eviction), builds missing
 // entries on demand through ftbfs.BuildBatch (one batched build per request
 // burst, deduplicated per key via single-flight), and — when given a
@@ -25,17 +29,53 @@ import (
 	"ftbfs"
 )
 
+// Model selects the failure model of a structure key: which kind of single
+// failure the structure tolerates. The zero value is the edge model, so
+// every pre-existing Key literal keeps meaning what it always did.
+type Model int
+
+const (
+	// ModelEdge keys an edge-failure (b, r) FT-BFS structure — the paper's
+	// construction, parameterised by (ε, algorithm).
+	ModelEdge Model = iota
+	// ModelVertex keys a vertex-failure FT-BFS structure. The vertex
+	// construction has no ε or algorithm dimension; vertex keys carry both
+	// at their zero values (see VertexKey) so each structure has exactly
+	// one key — and exactly one position on the cluster ring.
+	ModelVertex
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	if m == ModelVertex {
+		return "vertex"
+	}
+	return "edge"
+}
+
 // Key identifies one built structure in the registry.
 type Key struct {
 	Graph  uint64 // fingerprint of the base graph
 	Source int
 	Eps    float64
 	Alg    ftbfs.Algorithm
+	Model  Model // failure model; zero value = ModelEdge
 }
 
 // String implements fmt.Stringer.
 func (k Key) String() string {
+	if k.Model == ModelVertex {
+		return fmt.Sprintf("%016x/s%d/vertex", k.Graph, k.Source)
+	}
 	return fmt.Sprintf("%016x/s%d/eps%g/%s", k.Graph, k.Source, k.Eps, k.Alg)
+}
+
+// VertexKey returns the canonical registry key of a vertex-failure
+// structure: the model dimension set, ε and algorithm zeroed. Always build
+// vertex keys through this helper — a vertex key with a stray ε would name
+// (and route to) a structure nobody ever builds.
+func VertexKey(fp uint64, source int) Key {
+	return Key{Graph: fp, Source: source, Model: ModelVertex}
 }
 
 // Req names one structure for GetOrBuildMany (the Key minus the fingerprint,
@@ -77,14 +117,17 @@ func (e *PersistError) Unwrap() error { return e.Err }
 
 type entry struct {
 	key Key
-	st  *ftbfs.Structure
-	el  *list.Element // position in Store.lru; value is *entry
+	st  *ftbfs.Structure       // resident edge structure (ModelEdge keys)
+	vst *ftbfs.VertexStructure // resident vertex structure (ModelVertex keys)
+	el  *list.Element          // position in Store.lru; value is *entry
 }
 
 // flight is an in-progress load-or-build shared by concurrent requesters.
+// Exactly one of st/vst is set on success, matching the key's model.
 type flight struct {
 	done chan struct{}
 	st   *ftbfs.Structure
+	vst  *ftbfs.VertexStructure
 	err  error
 }
 
@@ -160,7 +203,13 @@ func (s *Store) graphPath(fp uint64) string {
 
 // structPath returns the persist path of a structure file. ε is encoded as
 // its IEEE-754 bit pattern so every distinct key maps to a distinct file.
+// Vertex structures live under their own "stv-" prefix — the failure model
+// is a filename dimension exactly like it is a Key dimension, so an edge
+// and a vertex structure of the same (graph, source) never collide.
 func (s *Store) structPath(k Key) string {
+	if k.Model == ModelVertex {
+		return filepath.Join(s.dir, fmt.Sprintf("stv-%016x-s%d.fts", k.Graph, k.Source))
+	}
 	return filepath.Join(s.dir, fmt.Sprintf("st-%016x-s%d-e%016x-a%d.fts",
 		k.Graph, k.Source, math.Float64bits(k.Eps), int(k.Alg)))
 }
@@ -171,6 +220,14 @@ func (s *Store) structPath(k Key) string {
 func keyFromStructFile(name string) (Key, bool) {
 	name = strings.TrimSuffix(filepath.Base(name), ".fts")
 	parts := strings.Split(name, "-")
+	if len(parts) == 3 && parts[0] == "stv" && strings.HasPrefix(parts[2], "s") {
+		fp, err1 := strconv.ParseUint(parts[1], 16, 64)
+		src, err2 := strconv.Atoi(parts[2][1:])
+		if err1 != nil || err2 != nil {
+			return Key{}, false
+		}
+		return VertexKey(fp, src), true
+	}
 	if len(parts) != 5 || parts[0] != "st" ||
 		!strings.HasPrefix(parts[2], "s") || !strings.HasPrefix(parts[3], "e") || !strings.HasPrefix(parts[4], "a") {
 		return Key{}, false
@@ -226,19 +283,36 @@ func (s *Store) Graphs() []uint64 {
 	return out
 }
 
-// Get returns the structure for k if it is resident in memory, touching its
-// LRU position. It never loads or builds; use GetOrBuild for read-through.
+// Get returns the edge structure for k if it is resident in memory,
+// touching its LRU position. It never loads or builds; use GetOrBuild for
+// read-through. Vertex keys miss here by definition — use GetVertex.
 func (s *Store) Get(k Key) (*ftbfs.Structure, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[k]
-	if !ok {
+	if !ok || e.st == nil {
 		s.stats.Misses++
 		return nil, false
 	}
 	s.stats.Hits++
 	s.lru.MoveToFront(e.el)
 	return e.st, true
+}
+
+// GetVertex returns the vertex structure of (fp, source) if it is resident
+// in memory, touching its LRU position. It never loads or builds; use
+// GetOrBuildVertex for read-through.
+func (s *Store) GetVertex(fp uint64, source int) (*ftbfs.VertexStructure, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[VertexKey(fp, source)]
+	if !ok || e.vst == nil {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	s.lru.MoveToFront(e.el)
+	return e.vst, true
 }
 
 // Len returns the number of structures resident in memory.
@@ -264,6 +338,9 @@ func (s *Store) Stats() Stats {
 // for the same key share one load/build. A resident structure is returned
 // on an allocation-free fast path — the steady state of a serving hot loop.
 func (s *Store) GetOrBuild(k Key) (*ftbfs.Structure, error) {
+	if k.Model != ModelEdge {
+		return nil, fmt.Errorf("store: %v is not an edge-structure key (use GetOrBuildVertex)", k)
+	}
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
 		s.stats.Hits++
@@ -349,7 +426,7 @@ func (s *Store) GetOrBuildMany(fp uint64, reqs []Req) ([]*ftbfs.Structure, error
 			// and the loaded/built structure must not be thrown away.
 			if st := resolved[k]; st != nil {
 				fl.st = st
-				s.insertLocked(k, st)
+				s.insertLocked(k, st, nil)
 				for _, i := range mineIdx[k] {
 					out[i] = st
 				}
@@ -378,6 +455,99 @@ func (s *Store) GetOrBuildMany(fp uint64, reqs []Req) ([]*ftbfs.Structure, error
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// GetOrBuildVertex returns the vertex-failure structure of (fp, source),
+// loading it from the persist directory or building it through
+// ftbfs.BuildVertex on a miss. Concurrent calls for the same key share one
+// load/build via the same single-flight map the edge path uses (the Key's
+// Model dimension keeps the two namespaces apart), a built structure is
+// persisted next to the edge files under its own "stv-" prefix, and — like
+// every structure entering the registry — it is handed out with its query
+// plan pre-built. A resident structure is returned on an allocation-free
+// fast path.
+func (s *Store) GetOrBuildVertex(fp uint64, source int) (*ftbfs.VertexStructure, error) {
+	k := VertexKey(fp, source)
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		s.stats.Hits++
+		s.lru.MoveToFront(e.el)
+		s.mu.Unlock()
+		return e.vst, nil
+	}
+	s.stats.Misses++
+	g, ok := s.graphs[fp]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: unknown graph %016x (register it with AddGraph or /build first)", fp)
+	}
+	if fl, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		return fl.vst, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.inflight[k] = fl
+	s.mu.Unlock()
+
+	vst, err := s.resolveVertex(g, k, source)
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if vst != nil {
+		fl.vst = vst
+		s.insertLocked(k, nil, vst)
+	} else {
+		fl.err = err
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	if vst != nil {
+		// A persist fault (err != nil with a built structure) is surfaced to
+		// this caller only; waiters got the structure they asked for.
+		return vst, err
+	}
+	return nil, err
+}
+
+// resolveVertex loads or builds one vertex structure, pre-building its
+// query plan; a build is persisted when the store has a directory, with
+// disk faults reported as PersistError alongside the usable structure.
+func (s *Store) resolveVertex(g *ftbfs.Graph, k Key, source int) (*ftbfs.VertexStructure, error) {
+	s.mu.Lock()
+	dir := s.dir
+	s.mu.Unlock()
+	if dir != "" {
+		if f, err := os.Open(s.structPath(k)); err == nil {
+			vst, lerr := ftbfs.LoadVertexStructure(g, f)
+			f.Close()
+			if lerr == nil && vst.Source() == source {
+				s.mu.Lock()
+				s.stats.Loads++
+				s.mu.Unlock()
+				vst.Plan()
+				return vst, nil
+			}
+			// Unreadable or mismatched file: fall through to a rebuild that
+			// overwrites it.
+		}
+	}
+	vst, err := ftbfs.BuildVertex(g, source)
+	if err != nil {
+		return nil, fmt.Errorf("store: vertex build: %w", err)
+	}
+	s.mu.Lock()
+	s.stats.Builds++
+	s.mu.Unlock()
+	vst.Plan()
+	if dir != "" {
+		if err := writeAtomic(s.structPath(k), vst.Save); err != nil {
+			return vst, &PersistError{Err: fmt.Errorf("%v: %w", k, err)}
+		}
+		s.mu.Lock()
+		s.stats.Saves++
+		s.mu.Unlock()
+	}
+	return vst, nil
 }
 
 // resolve loads or builds the structures for keys (all on graph g), returning
@@ -466,14 +636,14 @@ func (s *Store) loadFromDir(k Key, g *ftbfs.Graph) *ftbfs.Structure {
 	return st
 }
 
-// insertLocked adds a resolved structure and evicts down to capacity.
-// s.mu must be held.
-func (s *Store) insertLocked(k Key, st *ftbfs.Structure) {
+// insertLocked adds a resolved structure (edge or vertex, matching the
+// key's model) and evicts down to capacity. s.mu must be held.
+func (s *Store) insertLocked(k Key, st *ftbfs.Structure, vst *ftbfs.VertexStructure) {
 	if e, ok := s.entries[k]; ok { // lost a race; keep the resident one
 		s.lru.MoveToFront(e.el)
 		return
 	}
-	e := &entry{key: k, st: st}
+	e := &entry{key: k, st: st, vst: vst}
 	e.el = s.lru.PushFront(e)
 	s.entries[k] = e
 	for s.capacity > 0 && len(s.entries) > s.capacity {

@@ -372,3 +372,139 @@ func TestConcurrentGetOrBuildSingleFlight(t *testing.T) {
 		t.Fatalf("single-flight failed: %d builds for %d keys", builds, len(keys))
 	}
 }
+
+func TestVertexKeyRoundTripsThroughFilename(t *testing.T) {
+	k := VertexKey(0xdeadbeef01234567, 9)
+	s := &Store{dir: "d"}
+	got, ok := keyFromStructFile(s.structPath(k))
+	if !ok || got != k {
+		t.Fatalf("keyFromStructFile(%s) = %v, %v; want %v", s.structPath(k), got, ok, k)
+	}
+	if got.Model != ModelVertex {
+		t.Fatalf("round-tripped key lost its model: %v", got)
+	}
+}
+
+func TestGetOrBuildVertexCachesAndSeparatesModels(t *testing.T) {
+	s, err := New(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.AddGraph(testGraph(t, 40, 60, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := s.GetOrBuildVertex(fp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.GetOrBuildVertex(fp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatal("second GetOrBuildVertex did not hit the cache")
+	}
+	if got, ok := s.GetVertex(fp, 0); !ok || got != v1 {
+		t.Fatal("GetVertex missed a resident vertex structure")
+	}
+	// The edge structure of the same (graph, source) is a different entry.
+	est, err := s.GetOrBuild(Key{Graph: fp, Source: 0, Eps: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("edge and vertex entries collapsed: Len = %d, want 2", s.Len())
+	}
+	if got, ok := s.Get(Key{Graph: fp, Source: 0, Eps: 0.25}); !ok || got != est {
+		t.Fatal("edge entry disturbed by the vertex entry")
+	}
+	// Get must not hand a vertex entry to an edge caller.
+	if _, ok := s.Get(VertexKey(fp, 0)); ok {
+		t.Fatal("Get answered a vertex key")
+	}
+	if _, err := s.GetOrBuild(VertexKey(fp, 0)); err == nil {
+		t.Fatal("GetOrBuild accepted a vertex key")
+	}
+}
+
+func TestVertexPersistRoundTripThroughEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(1, dir) // capacity 1: the second entry evicts the first
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.AddGraph(testGraph(t, 40, 60, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := s.GetOrBuildVertex(fp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstSave bytes.Buffer
+	if err := v1.Save(&firstSave); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "stv-*.fts"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("vertex structure not persisted: %v, %v", files, err)
+	}
+	// Evict the vertex structure by inserting an edge structure.
+	if _, err := s.GetOrBuild(Key{Graph: fp, Source: 0, Eps: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetVertex(fp, 0); ok {
+		t.Fatal("vertex structure survived eviction at capacity 1")
+	}
+	before := s.Stats().Loads
+	v2, err := s.GetOrBuildVertex(fp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Loads != before+1 {
+		t.Fatalf("evicted vertex structure rebuilt instead of loaded (loads %d -> %d)", before, s.Stats().Loads)
+	}
+	var secondSave bytes.Buffer
+	if err := v2.Save(&secondSave); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstSave.Bytes(), secondSave.Bytes()) {
+		t.Fatal("load-through vertex structure differs from the built one")
+	}
+}
+
+func TestConcurrentGetOrBuildVertexSingleFlight(t *testing.T) {
+	s, err := New(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.AddGraph(testGraph(t, 60, 90, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([]*ftbfs.VertexStructure, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := s.GetOrBuildVertex(fp, 5)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent GetOrBuildVertex returned distinct structures")
+		}
+	}
+	if b := s.Stats().Builds; b != 1 {
+		t.Fatalf("single-flight failed: %d builds for one key", b)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"math"
 	"testing"
 
+	"ftbfs/internal/bfs"
 	"ftbfs/internal/gen"
 	"ftbfs/internal/graph"
+	"ftbfs/internal/tree"
 )
 
 func families() map[string]*graph.Graph {
@@ -135,5 +137,143 @@ func TestViolationString(t *testing.T) {
 	v := Violation{Failed: 3, Vertex: 7, InH: -1, InG: 4}
 	if v.String() == "" {
 		t.Fatal("empty violation string")
+	}
+}
+
+// Pairs must count exactly the ⟨v,w⟩ pairs that purchased a new replacement
+// last edge — not every reachable descendant pair — so it equals the number
+// of non-tree edges of H.
+func TestPairsCountsAddedEdges(t *testing.T) {
+	for name, g := range families() {
+		st, err := Build(g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		treeEdges := bfs.From(g, 0).EdgeSet(g.M()).Len()
+		if got, want := st.Pairs, st.Size()-treeEdges; got != want {
+			t.Fatalf("%s: Pairs = %d, want |H|-|T0| = %d-%d = %d", name, got, st.Size(), treeEdges, want)
+		}
+	}
+}
+
+// naiveBuild replicates the pre-fix construction: the protection check
+// consults the tree edges only, so a replacement last edge added for an
+// earlier failed vertex is invisible and a second (min-index) edge is
+// bought for later pairs it would have protected. It is the sparsity
+// yardstick the fixed Build must never exceed.
+func naiveBuild(t *testing.T, g *graph.Graph, s int) *graph.EdgeSet {
+	t.Helper()
+	bt := bfs.From(g, s)
+	tr := tree.BuildAncestry(g.N(), bt)
+	h := bt.EdgeSet(g.M())
+	treeEdges := bt.EdgeSet(g.M())
+	sc := bfs.NewScratch(g.N())
+	dist := make([]int32, g.N())
+	banned := graph.NewVertexSet(g.N())
+	var stack []int32
+	for w := 0; w < g.N(); w++ {
+		if w == s || tr.Depth[w] < 0 || len(tr.Children(int32(w))) == 0 {
+			continue
+		}
+		banned.Clear()
+		banned.Add(int32(w))
+		sc.DistancesAvoiding(g, s, bfs.Restriction{BannedEdge: graph.NoEdge, BannedVertices: banned}, dist)
+		stack = stack[:0]
+		stack = append(stack, tr.Children(int32(w))...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack = append(stack, tr.Children(v)...)
+			target := dist[v]
+			if target == bfs.Unreachable {
+				continue
+			}
+			cand := int32(-1)
+			protected := false
+			for _, a := range g.Neighbors(int(v)) {
+				if a.To == int32(w) || dist[a.To] == bfs.Unreachable || dist[a.To]+1 != target {
+					continue
+				}
+				if treeEdges.Contains(a.ID) {
+					protected = true
+					break
+				}
+				if cand == -1 {
+					cand = a.To
+				}
+			}
+			if protected {
+				continue
+			}
+			if cand == -1 {
+				t.Fatalf("naive: no replacement for ⟨v=%d, w=%d⟩", v, w)
+			}
+			h.Add(g.EdgeIDOf(int(cand), int(v)))
+		}
+	}
+	return h
+}
+
+// Sparsity regression over a seeded random-graph corpus: checking candidate
+// membership in H (not just the tree) must never grow the structure, and on
+// graphs with shareable replacement edges it must strictly shrink at least
+// once across the corpus.
+func TestNoRedundantReplacementEdges(t *testing.T) {
+	shrank := false
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, mk := range []func() *graph.Graph{
+			func() *graph.Graph { return gen.RandomConnected(60, 120, seed) },
+			func() *graph.Graph { return gen.GNPConnected(50, 0.1, seed) },
+		} {
+			g := mk()
+			st, err := Build(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive := naiveBuild(t, g, 0)
+			if st.Size() > naive.Len() {
+				t.Fatalf("seed %d: fixed |H| = %d exceeds naive |H| = %d", seed, st.Size(), naive.Len())
+			}
+			if st.Size() < naive.Len() {
+				shrank = true
+			}
+			if viol := Verify(st, 1); len(viol) != 0 {
+				t.Fatalf("seed %d: contract violated after sparsity fix: %v", seed, viol)
+			}
+		}
+	}
+	if !shrank {
+		t.Fatal("corpus never exercised the redundant-replacement path; grow the corpus")
+	}
+}
+
+// BuildWith must recycle the workspace without changing the result: a
+// shared workspace across sources yields byte-for-byte the edge sets a
+// fresh Build produces.
+func TestBuildWithSharedWorkspace(t *testing.T) {
+	g := gen.RandomConnected(50, 100, 4)
+	ws := NewWorkspace()
+	for s := 0; s < 6; s++ {
+		shared, err := BuildWith(g, s, ws)
+		if err != nil {
+			t.Fatalf("source %d: %v", s, err)
+		}
+		fresh, err := Build(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shared.Pairs != fresh.Pairs {
+			t.Fatalf("source %d: pairs %d != %d", s, shared.Pairs, fresh.Pairs)
+		}
+		want := fresh.Edges.IDs()
+		got := shared.Edges.IDs()
+		if len(got) != len(want) {
+			t.Fatalf("source %d: |H| %d != %d", s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("source %d: edge sets differ at %d: %d != %d", s, i, got[i], want[i])
+			}
+		}
 	}
 }

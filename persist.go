@@ -1,9 +1,13 @@
 package ftbfs
 
 import (
+	"fmt"
 	"io"
 
+	"ftbfs/internal/bfs"
 	"ftbfs/internal/core"
+	"ftbfs/internal/graph"
+	"ftbfs/internal/vertexft"
 )
 
 // Save serialises the structure (without its base graph) in a text format;
@@ -22,4 +26,44 @@ func LoadStructure(g *Graph, r io.Reader) (*Structure, error) {
 		return nil, err
 	}
 	return &Structure{st: st}, nil
+}
+
+// Save serialises the vertex structure (without its base graph) as a
+// version-2 record of the structure text format. Edge-structure files keep
+// their version-1 record; the two load through their own decoders.
+func (s *VertexStructure) Save(w io.Writer) error {
+	return core.EncodeVertexRecord(w, s.st.G, &core.VertexRecord{
+		S:     s.st.S,
+		Pairs: s.st.Pairs,
+		Edges: s.st.Edges,
+	})
+}
+
+// LoadVertexStructure parses a vertex structure previously written with
+// VertexStructure.Save, re-binding it against its base graph. The graph is
+// frozen by this call. The decoded structure is validated structurally: H
+// must contain every edge of the canonical BFS tree and preserve the intact
+// BFS distances (two BFS passes); use Verify for the full per-failure
+// contract.
+func LoadVertexStructure(g *Graph, r io.Reader) (*VertexStructure, error) {
+	g.g.Freeze()
+	rec, err := core.DecodeVertexRecord(r, g.g)
+	if err != nil {
+		return nil, err
+	}
+	bt := bfs.From(g.g, rec.S)
+	for v, id := range bt.ParentEdge {
+		if id != graph.NoEdge && !rec.Edges.Contains(id) {
+			return nil, fmt.Errorf("ftbfs: decoded vertex structure invalid: tree edge of vertex %d missing from H", v)
+		}
+	}
+	s := &VertexStructure{st: &vertexft.Structure{G: g.g, S: rec.S, Edges: rec.Edges, Pairs: rec.Pairs}}
+	intact := s.intactDistances()
+	for v := range intact {
+		if intact[v] != bt.Dist[v] {
+			return nil, fmt.Errorf("ftbfs: decoded vertex structure invalid: intact dist(%d) = %d, want %d",
+				v, intact[v], bt.Dist[v])
+		}
+	}
+	return s, nil
 }
