@@ -7,9 +7,12 @@ package ftbfs_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -31,6 +34,7 @@ import (
 	"ftbfs/internal/store"
 	"ftbfs/internal/tree"
 	"ftbfs/internal/vertexft"
+	"ftbfs/internal/wire"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -386,6 +390,15 @@ func BenchmarkQueryPlan(b *testing.B) {
 // BenchmarkServeQueries measures the HTTP serving hot path end to end:
 // concurrent GET /dist-avoiding requests and POST /batch-query vectors
 // against one structure resident in the store.
+// serveClients sets the offered concurrency for the serving benchmarks
+// (BenchmarkServeQueries and BenchmarkWireServe): SetParallelism multiplies
+// GOMAXPROCS, so both transports face the same number of in-flight clients
+// regardless of core count. Under concurrent load HTTP/1.1 opens one
+// connection per in-flight request while the wire protocol pipelines frames
+// over its small pool — the very difference the pair of benchmarks exists to
+// price.
+const serveClients = 8
+
 func BenchmarkServeQueries(b *testing.B) {
 	reg, err := store.New(0, "")
 	if err != nil {
@@ -415,6 +428,7 @@ func BenchmarkServeQueries(b *testing.B) {
 
 	b.Run("dist-avoiding", func(b *testing.B) {
 		b.ReportAllocs()
+		b.SetParallelism(serveClients)
 		var i atomic.Int64
 		b.RunParallel(func(pb *testing.PB) {
 			client := &http.Client{}
@@ -450,6 +464,7 @@ func BenchmarkServeQueries(b *testing.B) {
 			b.Fatal(err)
 		}
 		var i atomic.Int64
+		b.SetParallelism(serveClients)
 		b.RunParallel(func(pb *testing.PB) {
 			client := &http.Client{}
 			for pb.Next() {
@@ -833,4 +848,133 @@ func BenchmarkParallelReinforcementSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkWireServe measures the binary-protocol serving hot path end to
+// end on the same fixture as BenchmarkServeQueries: concurrent point queries
+// and 16-slot batches over persistent pipelined connections. The ns/op gap
+// to BenchmarkServeQueries is the HTTP tax (TCP setup amortized identically;
+// what differs is framing, parsing, and allocation).
+func BenchmarkWireServe(b *testing.B) {
+	reg, err := store.New(0, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ftbfs.NewGraph(400)
+	for _, e := range gen.RandomConnected(400, 1200, 9).Edges() {
+		g.MustAddEdge(int(e.U), int(e.V))
+	}
+	fp, err := reg.AddGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := reg.GetOrBuild(store.Key{Graph: fp, Source: 0, Eps: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var edges [][2]int
+	for _, e := range st.Edges() {
+		if !st.IsReinforced(e[0], e[1]) {
+			edges = append(edges, e)
+		}
+	}
+	srv := server.New(reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = wire.Serve(ctx, ln, srv) }()
+	// One connection: pipelining supplies the concurrency, and a single
+	// stream lets the client's group flush and the server's drain-triggered
+	// flush coalesce whole bursts of frames into shared syscalls — on a
+	// shared-CPU box extra connections only add syscall overhead.
+	wc := wire.NewClient(ln.Addr().String(), 1)
+	defer wc.Close()
+	epsBits := math.Float64bits(0.3)
+
+	b.Run("dist-avoiding", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetParallelism(serveClients)
+		var i atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				k := int(i.Add(1))
+				e := edges[k%len(edges)]
+				q := wire.PointQuery{FP: fp, EpsBits: epsBits, Source: 0,
+					V: int32(k % 400), A: int32(e[0]), B: int32(e[1])}
+				d, werr, err := wc.Point(context.Background(), wire.TDistAvoiding, &q)
+				if err != nil || werr != nil {
+					b.Errorf("wire point: %v %v", err, werr)
+					return
+				}
+				_ = d
+			}
+		})
+	})
+	b.Run("batch16", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetParallelism(serveClients)
+		var slots []wire.BatchSlot
+		for j := 0; j < 16; j++ {
+			e := edges[j%len(edges)]
+			slots = append(slots, wire.BatchSlot{PointQuery: wire.PointQuery{
+				FP: fp, EpsBits: epsBits, Source: 0,
+				V: int32((j * 31) % 400), A: int32(e[0]), B: int32(e[1])}})
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				dists, _, werr, err := wc.Batch(context.Background(), slots)
+				if err != nil || werr != nil {
+					b.Errorf("wire batch: %v %v", err, werr)
+					return
+				}
+				if len(dists) != 16 {
+					b.Errorf("%d answers", len(dists))
+					return
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkSlabLoad measures load-to-serving-ready — decode a persisted
+// structure record and build its query plan — for the text format versus the
+// binary slab format, through the same sniffing LoadStructure entry point
+// the store uses. The slab path validates and reinterprets; the text path
+// re-parses and re-derives.
+func BenchmarkSlabLoad(b *testing.B) {
+	g := ftbfs.NewGraph(2000)
+	for _, e := range gen.RandomConnected(2000, 6000, 9).Edges() {
+		g.MustAddEdge(int(e.U), int(e.V))
+	}
+	st, err := ftbfs.Build(g, 0, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var text, slab bytes.Buffer
+	if err := st.Save(&text); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.SaveSlab(&slab); err != nil {
+		b.Fatal(err)
+	}
+	run := func(raw []byte) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(raw)))
+			for i := 0; i < b.N; i++ {
+				s, err := ftbfs.LoadStructure(g, bytes.NewReader(raw))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Plan() == nil {
+					b.Fatal("no plan")
+				}
+			}
+		}
+	}
+	b.Run("text", run(text.Bytes()))
+	b.Run("slab", run(slab.Bytes()))
 }

@@ -101,4 +101,31 @@
 // the same member set routes identically and a shard rejoin moves no keys.
 // cluster.StartLocal boots an N-shard cluster plus router in-process for
 // tests and benchmarks.
+//
+// # Binary wire protocol and slab persistence
+//
+// HTTP/JSON stays the compatibility surface, but the hot paths have binary
+// equivalents. Structure.SaveSlab and VertexStructure.SaveSlab write a
+// version-3 binary record ("slab"): a fixed little-endian header plus
+// 8-aligned array sections holding exactly the serving arrays the query
+// plan needs, guarded by a CRC-32C checksum. LoadStructure and
+// LoadVertexStructure sniff the format from the first bytes — text records
+// (versions 1 and 2) keep loading unchanged — and on little-endian hosts a
+// slab's arrays are reinterpreted in place rather than parsed, so loading
+// is I/O-bound and the store's warm start and load-through revalidate
+// cheaply instead of re-deriving. The store persists slabs atomically
+// (temp file, fsync, rename, directory sync) so a crash never leaves a
+// torn record.
+//
+// internal/wire speaks a length-prefixed binary frame protocol over
+// persistent TCP connections ("ftbfs serve -wire"): requests carry a fixed
+// binary point-query or batch payload and a request id, responses may
+// arrive out of order, and both sides coalesce bursts of frames into
+// shared syscalls, which is what removes the per-request HTTP tax. The
+// server side funnels wire requests through the same handlers as HTTP, so
+// the two transports are answer-identical by construction (and
+// differential-tested, transport against transport against oracle).
+// Shards advertise their wire address on /readyz; the router dials it
+// automatically and falls back to HTTP per request on any transport
+// failure, so a mixed-version cluster keeps answering.
 package ftbfs

@@ -56,6 +56,7 @@ func cmdRoute(args []string, stdout io.Writer) error {
 	hedge := fs.Duration("hedge", cluster.DefaultHedgeDelay, "delay before hedging a point query to the next replica (0 or negative = off)")
 	probe := fs.Duration("probe", 2*time.Second, "shard health-probe interval (0 = no probing)")
 	id := fs.String("id", "", "router identity reported by /healthz and /stats")
+	useWire := fs.Bool("wire", true, "use the binary protocol to shards that advertise it via /readyz (falls back to HTTP per request)")
 	drainGrace := fs.Duration("drain-grace", 0, "on shutdown, keep serving with /readyz=503 this long so balancers stop routing here first")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,7 +76,7 @@ func cmdRoute(args []string, stdout io.Writer) error {
 		// -hedge 0 means off.
 		hedgeDelay = -1
 	}
-	rt := cluster.NewRouter(ms, cluster.RouterOptions{HedgeDelay: hedgeDelay, ID: *id})
+	rt := cluster.NewRouter(ms, cluster.RouterOptions{HedgeDelay: hedgeDelay, ID: *id, DisableWire: !*useWire})
 
 	ctx, cancel := serveSignalContext()
 	defer cancel()

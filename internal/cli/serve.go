@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"ftbfs/internal/core"
 	"ftbfs/internal/server"
 	"ftbfs/internal/store"
+	"ftbfs/internal/wire"
 )
 
 // serveSignalContext returns the context the serve command runs under; it is
@@ -55,6 +57,7 @@ func cmdServe(args []string, stdout io.Writer) error {
 	algName := fs.String("alg", "auto", "algorithm for pre-built structures")
 	vertexSpec := fs.String("vertex-sources", "", "comma-separated sources to pre-build VERTEX-failure structures for -in (empty = none)")
 	shard := fs.Bool("shard", false, "run as a cluster shard (identity in /healthz, /stats; route to it with `ftbfs route`)")
+	wireAddr := fs.String("wire", "", "binary-protocol listen address, e.g. \":8090\" (empty = HTTP only); advertised via /readyz so routers discover it")
 	id := fs.String("id", "", "node identity reported by /healthz and /stats (default: the bound address)")
 	drainGrace := fs.Duration("drain-grace", 0, "on shutdown, keep serving with /readyz=503 this long so balancers stop routing here first")
 	if err := fs.Parse(args); err != nil {
@@ -122,6 +125,16 @@ func cmdServe(args []string, stdout io.Writer) error {
 	ctx, cancel := serveSignalContext()
 	defer cancel()
 	srv := server.New(st)
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		go func() { _ = wire.Serve(ctx, ln, srv) }()
+		srv.SetWireAddr(ln.Addr().String())
+		fmt.Fprintf(stdout, "ftbfs: wire protocol on %s\n", ln.Addr().String())
+	}
 	role := ""
 	if *shard {
 		role = "shard"

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -808,5 +809,109 @@ func TestRouterVertexConcurrentChurn(t *testing.T) {
 	close(errc)
 	if err := <-errc; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRouterWireFastPathCountersAndFallback pins down how queries actually
+// travel: with every shard speaking the binary protocol the router's
+// wire_points/wire_batches counters move (the fast path is really taken, not
+// silently HTTP), and when the wire listeners die while HTTP stays up the
+// router falls back per request — counted, and still answer-correct.
+func TestRouterWireFastPathCountersAndFallback(t *testing.T) {
+	lc, err := StartLocal(4, LocalOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	fixtures := buildFixtures(t, lc.URL(), []int64{41}, []int{0, 5}, 0.3)
+
+	stats := func() RouterStatsResponse {
+		var rs RouterStatsResponse
+		if code, body := getJSON(t, lc.URL()+"/stats", &rs); code != http.StatusOK {
+			t.Fatalf("/stats: %d %s", code, body)
+		}
+		return rs
+	}
+	sample := func(label string) {
+		for _, fx := range fixtures {
+			for i := 0; i < len(fx.edges); i += 4 {
+				checkPoint(t, lc.URL(), fx, (i*19)%fx.n, fx.edges[i])
+			}
+		}
+		eps := 0.3
+		fx := fixtures[0]
+		src := fx.source
+		e := fx.edges[0]
+		want, err := fx.oracle.DistAvoiding(e[1], e[0], e[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp server.BatchQueryResponse
+		req := server.BatchQueryRequest{Eps: &eps, Queries: []server.BatchQuery{
+			{Graph: fx.fp, Source: &src, V: e[1], Fail: e},
+		}}
+		code, body := postJSON(t, lc.URL()+"/batch-query", req, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("[%s] routed batch: %d %s", label, code, body)
+		}
+		if resp.Errors != nil || len(resp.Dists) != 1 || resp.Dists[0] != want {
+			t.Fatalf("[%s] batch answer %v / %v, want [%d]", label, resp.Dists, resp.Errors, want)
+		}
+	}
+
+	// All shards speak wire: the fast path carries both points and batches.
+	before := stats()
+	sample("all-wire")
+	after := stats()
+	if after.WirePoints <= before.WirePoints {
+		t.Fatalf("wire_points did not move: %d -> %d (points answered over HTTP?)", before.WirePoints, after.WirePoints)
+	}
+	if after.WireBatches <= before.WireBatches {
+		t.Fatalf("wire_batches did not move: %d -> %d", before.WireBatches, after.WireBatches)
+	}
+	if after.WireFallbacks != before.WireFallbacks {
+		t.Fatalf("healthy cluster fell back to HTTP %d times", after.WireFallbacks-before.WireFallbacks)
+	}
+
+	// Kill only the binary listeners; the members still hold the stale wire
+	// addresses, so each request tries the fast path, fails, and falls back
+	// to HTTP — correctness must not depend on the wire at all.
+	for _, sh := range lc.Shards {
+		sh.stopWire()
+	}
+	before = stats()
+	sample("wire-down")
+	after = stats()
+	if after.WireFallbacks <= before.WireFallbacks {
+		t.Fatalf("wire_fallbacks did not move with dead wire listeners: %d -> %d",
+			before.WireFallbacks, after.WireFallbacks)
+	}
+
+	// A probe sweep un-learns the dead wire addresses from /readyz, after
+	// which the router routes HTTP-first without burning a dial per request.
+	ms := lc.Router.Membership()
+	ms.ProbeAll(context.Background(), &http.Client{Timeout: 2 * time.Second})
+	before = stats()
+	sample("wire-unlearned")
+	after = stats()
+	if after.WireFallbacks != before.WireFallbacks {
+		t.Fatalf("router still dialing un-advertised wire: fallbacks %d -> %d",
+			before.WireFallbacks, after.WireFallbacks)
+	}
+
+	// Restarted listeners are re-discovered by the next sweep and the fast
+	// path resumes.
+	for _, sh := range lc.Shards {
+		if err := sh.startWire(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms.ProbeAll(context.Background(), &http.Client{Timeout: 2 * time.Second})
+	before = stats()
+	sample("wire-back")
+	after = stats()
+	if after.WirePoints <= before.WirePoints {
+		t.Fatalf("fast path did not resume after restart: wire_points %d -> %d",
+			before.WirePoints, after.WirePoints)
 	}
 }

@@ -3,24 +3,52 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"time"
 
 	"ftbfs/internal/server"
 	"ftbfs/internal/store"
+	"ftbfs/internal/wire"
 )
 
 // LocalShard is one in-process shard of a LocalCluster: its own store, its
-// own server, its own loopback listener. Kill/Restart flip the listener
-// while the store survives — exactly what a crashed-and-restarted shard
-// process with a persist directory looks like to the router.
+// own server, its own loopback HTTP listener plus a binary-protocol listener
+// next to it. Kill/Restart flip both listeners while the store survives —
+// exactly what a crashed-and-restarted shard process with a persist
+// directory looks like to the router.
 type LocalShard struct {
 	ID     string
 	Store  *store.Store
 	Server *server.Server
 
-	ts *httptest.Server
+	ts         *httptest.Server
+	wireLn     net.Listener
+	wireCancel context.CancelFunc
+}
+
+// startWire opens a loopback binary-protocol listener for the shard and
+// advertises it on the server (so /healthz, /readyz carry it).
+func (s *LocalShard) startWire() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { _ = wire.Serve(ctx, ln, s.Server) }()
+	s.wireLn, s.wireCancel = ln, cancel
+	s.Server.SetWireAddr(ln.Addr().String())
+	return nil
+}
+
+// stopWire tears the binary listener down (and un-advertises it).
+func (s *LocalShard) stopWire() {
+	if s.wireCancel != nil {
+		s.wireCancel()
+		s.wireCancel, s.wireLn = nil, nil
+	}
+	s.Server.SetWireAddr("")
 }
 
 // Addr returns the shard's current base URL ("" while killed).
@@ -78,7 +106,17 @@ func StartLocal(n int, opts LocalOptions) (*LocalCluster, error) {
 		srv.SetIdentity("shard", id)
 		sh := &LocalShard{ID: id, Store: st, Server: srv}
 		sh.ts = httptest.NewServer(srv)
+		if err := sh.startWire(); err != nil {
+			lc.Close()
+			return nil, err
+		}
 		ms.Join(id, sh.ts.URL)
+		// Seed the wire address directly — probes would learn it from
+		// /readyz too, but tests without a prober must route the fast path
+		// from the first request.
+		if m, ok := ms.Member(id); ok {
+			m.SetWireAddr(normalizeWireAddr(sh.Server.WireAddr(), sh.ts.URL))
+		}
 		lc.Shards = append(lc.Shards, sh)
 	}
 	lc.Router = NewRouter(ms, opts.Router)
@@ -107,6 +145,7 @@ func (lc *LocalCluster) KillShard(i int) {
 		sh.ts.Close()
 		sh.ts = nil
 	}
+	sh.stopWire()
 }
 
 // RestartShard brings a killed shard back on a fresh port with its store
@@ -119,7 +158,15 @@ func (lc *LocalCluster) RestartShard(i int) {
 		return
 	}
 	sh.ts = httptest.NewServer(sh.Server)
-	lc.Router.Membership().Join(sh.ID, sh.ts.URL)
+	_ = sh.startWire()
+	ms := lc.Router.Membership()
+	ms.Join(sh.ID, sh.ts.URL)
+	// A restarted shard's wire listener is on a fresh port; update the
+	// member so the fast path re-dials there instead of timing out on the
+	// old one (probes would eventually learn it from /readyz anyway).
+	if m, ok := ms.Member(sh.ID); ok {
+		m.SetWireAddr(normalizeWireAddr(sh.Server.WireAddr(), sh.ts.URL))
+	}
 }
 
 // Close tears down the router and every shard.
@@ -134,5 +181,6 @@ func (lc *LocalCluster) Close() {
 		if sh.ts != nil {
 			sh.ts.Close()
 		}
+		sh.stopWire()
 	}
 }

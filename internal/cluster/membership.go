@@ -2,11 +2,18 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
+	"net/url"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ftbfs/internal/server"
+	"ftbfs/internal/wire"
 )
 
 // Member is one shard node known to the router. Health is maintained by
@@ -30,12 +37,84 @@ type Member struct {
 	reqDown       atomic.Bool
 	reqFailures   atomic.Int64
 	probes        atomic.Uint64
+
+	// wireAddr is the shard's binary-protocol address, learned from its
+	// /readyz responses (or set directly by an in-process cluster); empty
+	// means the shard speaks HTTP only and the router routes around the
+	// fast path. wireC is the lazily-dialed pooled client for that address.
+	wireAddr atomic.Pointer[string]
+	wireMu   sync.Mutex
+	wireC    *wire.Client
 }
 
 // Addr returns the member's current base URL, e.g. "http://127.0.0.1:7001".
 func (m *Member) Addr() string { return *m.addr.Load() }
 
 func (m *Member) setAddr(a string) { m.addr.Store(&a) }
+
+// WireAddr returns the member's known binary-protocol address, "" when the
+// shard has not advertised one.
+func (m *Member) WireAddr() string {
+	if p := m.wireAddr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// SetWireAddr records the shard's binary-protocol address ("" to clear it —
+// a restarted shard may come back without a wire listener). Changing the
+// address closes the old pooled client; the next request dials fresh.
+func (m *Member) SetWireAddr(addr string) {
+	if m.WireAddr() == addr {
+		return
+	}
+	m.wireAddr.Store(&addr)
+	m.wireMu.Lock()
+	if m.wireC != nil && m.wireC.Addr() != addr {
+		m.wireC.Close()
+		m.wireC = nil
+	}
+	m.wireMu.Unlock()
+}
+
+// wireClient returns the pooled binary-protocol client for the member, nil
+// when no wire address is known. The client survives shard restarts on the
+// same address (dead connections re-dial lazily).
+func (m *Member) wireClient() *wire.Client {
+	addr := m.WireAddr()
+	if addr == "" {
+		return nil
+	}
+	m.wireMu.Lock()
+	defer m.wireMu.Unlock()
+	if m.wireC == nil || m.wireC.Addr() != addr {
+		if m.wireC != nil {
+			m.wireC.Close()
+		}
+		m.wireC = wire.NewClient(addr, 0)
+	}
+	return m.wireC
+}
+
+// normalizeWireAddr resolves an advertised wire address against the member's
+// HTTP URL: a listener bound to the unspecified address advertises
+// "[::]:port" or "0.0.0.0:port", which only the shard itself can dial — the
+// router must reach it on the host it already reaches over HTTP.
+func normalizeWireAddr(wireAddr, httpURL string) string {
+	if wireAddr == "" {
+		return ""
+	}
+	host, port, err := net.SplitHostPort(wireAddr)
+	if err != nil {
+		return wireAddr
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		if u, err := url.Parse(httpURL); err == nil && u.Hostname() != "" {
+			return net.JoinHostPort(u.Hostname(), port)
+		}
+	}
+	return wireAddr
+}
 
 // Healthy reports whether the member is routable: neither demoted by
 // probes (not ready / unreachable) nor by request outcomes. New members
@@ -217,8 +296,18 @@ func (ms *Membership) ProbeAll(ctx context.Context, client *http.Client) int {
 				m.markProbe(false, downAfter)
 				return
 			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 			resp.Body.Close()
 			m.markProbe(resp.StatusCode == http.StatusOK, downAfter)
+			// Probes double as wire-address discovery: /readyz advertises the
+			// shard's binary-protocol listener (even while draining), so the
+			// router learns — or un-learns — the fast path with no extra
+			// configuration. Decode failures (an intermediary's error page)
+			// leave the known address untouched.
+			var rr server.ReadyResponse
+			if json.Unmarshal(body, &rr) == nil {
+				m.SetWireAddr(normalizeWireAddr(rr.Wire, m.Addr()))
+			}
 		}()
 	}
 	wg.Wait()

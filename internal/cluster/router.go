@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"ftbfs/internal/core"
 	"ftbfs/internal/server"
 	"ftbfs/internal/store"
+	"ftbfs/internal/wire"
 )
 
 // DefaultHedgeDelay is how long a point query waits on the primary replica
@@ -45,6 +47,11 @@ type RouterOptions struct {
 	BuildTimeout time.Duration
 	// ID reported by /healthz and /stats.
 	ID string
+	// DisableWire turns off the binary-protocol fast path: every shard
+	// request goes over HTTP/JSON even when a shard advertises a wire
+	// address. The zero value leaves the fast path enabled — a shard that
+	// does not advertise one is routed over HTTP either way.
+	DisableWire bool
 }
 
 // Router fronts a shard cluster with the same HTTP surface a single shard
@@ -72,6 +79,9 @@ type Router struct {
 	buildsCoalesced atomic.Uint64 // /build requests that shared another's flight
 	hedges          atomic.Uint64 // hedge timers that fired a second replica
 	failovers       atomic.Uint64 // replica retries after a failed attempt
+	wirePoints      atomic.Uint64 // point attempts answered over the binary protocol
+	wireBatches     atomic.Uint64 // sub-batches answered over the binary protocol
+	wireFallbacks   atomic.Uint64 // wire transport faults that fell back to HTTP
 	errs            atomic.Uint64 // requests answered with an error status
 	draining        atomic.Bool
 }
@@ -178,6 +188,55 @@ type attemptResult struct {
 	err  error
 }
 
+// wireQuery is a point request in binary-protocol form, carried alongside
+// the HTTP request through hedgedDo so each attempt can try the shard's wire
+// connection first and fall back to HTTP on a transport fault.
+type wireQuery struct {
+	typ byte
+	q   wire.PointQuery
+}
+
+// wireFor returns the member's binary-protocol client, nil when the fast
+// path is disabled or the shard has not advertised a wire address.
+func (rt *Router) wireFor(m *Member) *wire.Client {
+	if rt.opts.DisableWire {
+		return nil
+	}
+	return m.wireClient()
+}
+
+// forwardPoint sends one point attempt to a member: over the binary protocol
+// when the shard speaks it, over HTTP otherwise. A wire answer — success or
+// an in-protocol error — is synthesised into the HTTP-shaped attemptResult
+// the hedging/failover logic already understands, so the two transports are
+// indistinguishable downstream; only a wire transport fault (dead listener,
+// mid-restart shard) falls back to the HTTP request.
+func (rt *Router) forwardPoint(ctx context.Context, m *Member, method, path, rawQuery string, body []byte, wq *wireQuery) attemptResult {
+	if wq != nil {
+		if wc := rt.wireFor(m); wc != nil {
+			d, werr, err := wc.Point(ctx, wq.typ, &wq.q)
+			switch {
+			case err == nil && werr == nil:
+				rt.wirePoints.Add(1)
+				m.markRequest(true, downAfter)
+				return attemptResult{code: http.StatusOK, body: []byte(fmt.Sprintf(`{"dist":%d}`, d))}
+			case err == nil:
+				rt.wirePoints.Add(1)
+				m.markRequest(werr.Code < http.StatusInternalServerError, downAfter)
+				eb, _ := json.Marshal(map[string]string{"error": werr.Msg})
+				return attemptResult{code: werr.Code, body: eb}
+			case ctx.Err() != nil:
+				// Hedging loser cancelled mid-flight: not a strike, no fallback.
+				return attemptResult{err: err}
+			}
+			// Wire transport fault: the HTTP fallback below observes (and
+			// scores) its own outcome against the same shard.
+			rt.wireFallbacks.Add(1)
+		}
+	}
+	return rt.forward(ctx, m, method, path, rawQuery, body)
+}
+
 // forward sends one buffered request to a member with the query client and
 // reads the reply. Health is only updated on real outcomes — a hedging
 // loser cancelled via ctx must not count against the shard.
@@ -244,7 +303,7 @@ func (rt *Router) orderedOwners(keyHash uint64) []*Member {
 // error (any other 4xx) is relayed immediately — every replica would
 // repeat it; a retryable status is remembered and relayed only when every
 // replica says no.
-func (rt *Router) hedgedDo(ctx context.Context, owners []*Member, method, path, rawQuery string, body []byte) attemptResult {
+func (rt *Router) hedgedDo(ctx context.Context, owners []*Member, method, path, rawQuery string, body []byte, wq *wireQuery) attemptResult {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan attemptResult, len(owners))
@@ -256,7 +315,7 @@ func (rt *Router) hedgedDo(ctx context.Context, owners []*Member, method, path, 
 		m := owners[next]
 		next++
 		pending++
-		go func() { results <- rt.forward(ctx, m, method, path, rawQuery, body) }()
+		go func() { results <- rt.forwardPoint(ctx, m, method, path, rawQuery, body, wq) }()
 		return true
 	}
 	launch()
@@ -334,7 +393,36 @@ func (rt *Router) handlePoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.points.Add(1)
-	res := rt.hedgedDo(r.Context(), owners, r.Method, r.URL.Path, r.URL.RawQuery, body)
+	// Frame the request for the binary fast path when it is complete enough
+	// to frame; a request missing its target or failure still goes out over
+	// HTTP so the shard can answer the same 400 a single node would.
+	var wq *wireQuery
+	if q.V != nil {
+		pq := wire.PointQuery{
+			FP:      k.Graph,
+			EpsBits: math.Float64bits(k.Eps),
+			Source:  int32(k.Source),
+			Alg:     int32(k.Alg),
+			V:       int32(*q.V),
+			A:       -1,
+			B:       -1,
+		}
+		switch r.URL.Path {
+		case "/dist":
+			wq = &wireQuery{typ: wire.TDist, q: pq}
+		case "/dist-avoiding":
+			if q.Fail != nil {
+				pq.A, pq.B = int32(q.Fail[0]), int32(q.Fail[1])
+				wq = &wireQuery{typ: wire.TDistAvoiding, q: pq}
+			}
+		case "/dist-avoiding-vertex":
+			if q.FailedVertex != nil {
+				pq.A = int32(*q.FailedVertex)
+				wq = &wireQuery{typ: wire.TDistAvoidingVertex, q: pq}
+			}
+		}
+	}
+	res := rt.hedgedDo(r.Context(), owners, r.Method, r.URL.Path, r.URL.RawQuery, body, wq)
 	if res.err != nil {
 		rt.writeErr(w, http.StatusBadGateway, fmt.Errorf("cluster: all %d replicas failed: %w", len(owners), res.err))
 		return
@@ -484,19 +572,80 @@ func (rt *Router) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 						sub.Queries[j].Fail = req.Queries[i].Fail
 					}
 				}
-				payload, err := json.Marshal(&sub)
-				if err != nil {
-					mu.Lock()
-					for _, i := range sb.slots {
-						errs[i] = "cluster: " + err.Error()
-					}
-					mu.Unlock()
-					return
-				}
-				res := rt.forward(r.Context(), sb.member, http.MethodPost, "/batch-query", "", payload)
+				// The binary fast path ships the sub-batch as fixed-layout
+				// slots and lands the reply directly in resp — no JSON in
+				// either direction. An in-protocol rejection becomes the
+				// HTTP-shaped attemptResult the failover classification
+				// below already understands; only a wire transport fault
+				// (dead listener, mid-restart shard) re-sends over HTTP.
+				var res attemptResult
 				var resp server.BatchQueryResponse
-				ok := res.err == nil && res.code == http.StatusOK &&
-					json.Unmarshal(res.body, &resp) == nil && len(resp.Dists) == len(sb.slots) &&
+				answered, decoded := false, false
+				if wc := rt.wireFor(sb.member); wc != nil {
+					slots := make([]wire.BatchSlot, len(sb.slots))
+					for j, i := range sb.slots {
+						k := routes[i].key
+						slots[j].PointQuery = wire.PointQuery{
+							FP:      k.Graph,
+							EpsBits: math.Float64bits(k.Eps),
+							Source:  int32(k.Source),
+							Alg:     int32(k.Alg),
+							V:       int32(req.Queries[i].V),
+							A:       -1,
+							B:       -1,
+						}
+						if k.Model == store.ModelVertex {
+							// KeyFor only derives a vertex-model key from a
+							// slot carrying failedVertex, so the deref is safe.
+							slots[j].Vertex = true
+							slots[j].A = int32(*req.Queries[i].FailedVertex)
+						} else {
+							slots[j].A = int32(req.Queries[i].Fail[0])
+							slots[j].B = int32(req.Queries[i].Fail[1])
+						}
+					}
+					wdists, werrs, werr, err := wc.Batch(r.Context(), slots)
+					switch {
+					case err == nil && werr == nil:
+						rt.wireBatches.Add(1)
+						sb.member.markRequest(true, downAfter)
+						resp.Dists = make([]int, len(wdists))
+						for j, d := range wdists {
+							resp.Dists[j] = int(d)
+						}
+						for _, e := range werrs {
+							if e != "" {
+								resp.Errors = werrs
+								break
+							}
+						}
+						res = attemptResult{code: http.StatusOK}
+						answered, decoded = true, true
+					case err == nil:
+						rt.wireBatches.Add(1)
+						sb.member.markRequest(werr.Code < http.StatusInternalServerError, downAfter)
+						eb, _ := json.Marshal(map[string]string{"error": werr.Msg})
+						res = attemptResult{code: werr.Code, body: eb}
+						answered = true
+					case r.Context().Err() == nil:
+						rt.wireFallbacks.Add(1)
+					}
+				}
+				if !answered {
+					payload, err := json.Marshal(&sub)
+					if err != nil {
+						mu.Lock()
+						for _, i := range sb.slots {
+							errs[i] = "cluster: " + err.Error()
+						}
+						mu.Unlock()
+						return
+					}
+					res = rt.forward(r.Context(), sb.member, http.MethodPost, "/batch-query", "", payload)
+					decoded = res.err == nil && res.code == http.StatusOK &&
+						json.Unmarshal(res.body, &resp) == nil
+				}
+				ok := decoded && len(resp.Dists) == len(sb.slots) &&
 					(resp.Errors == nil || len(resp.Errors) == len(sb.slots))
 				mu.Lock()
 				defer mu.Unlock()
@@ -824,6 +973,9 @@ type RouterStatsResponse struct {
 	BuildsCoalesced uint64      `json:"builds_coalesced"`
 	Hedges          uint64      `json:"hedges"`
 	Failovers       uint64      `json:"failovers"`
+	WirePoints      uint64      `json:"wire_points"`
+	WireBatches     uint64      `json:"wire_batches"`
+	WireFallbacks   uint64      `json:"wire_fallbacks"`
 	Errors          uint64      `json:"errors"`
 	Replicas        int         `json:"replicas"`
 	Shards          []ShardStat `json:"shards"`
@@ -847,6 +999,9 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		BuildsCoalesced: rt.buildsCoalesced.Load(),
 		Hedges:          rt.hedges.Load(),
 		Failovers:       rt.failovers.Load(),
+		WirePoints:      rt.wirePoints.Load(),
+		WireBatches:     rt.wireBatches.Load(),
+		WireFallbacks:   rt.wireFallbacks.Load(),
 		Errors:          rt.errs.Load(),
 		Replicas:        rt.m.Replicas(),
 		Shards:          make([]ShardStat, len(members)),

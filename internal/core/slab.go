@@ -1,0 +1,548 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"unsafe"
+
+	"ftbfs/internal/graph"
+)
+
+// The version-3 binary record ("slab" format) stores a structure as flat
+// little-endian arrays in exactly the layout the serving plane consumes, so
+// loading is a one-shot read plus bounds validation instead of line parsing,
+// endpoint re-binding and BFS recomputation. One record holds everything a
+// query plan needs, ready to use:
+//
+//	header   64 bytes, fixed (see slabHeader)
+//	edges      bitset of E(H) edge ids               ⌈m/64⌉ × u64
+//	reinforced bitset of E' ⊆ E(H)    (edge model)   ⌈m/64⌉ × u64
+//	treeEdges  bitset of T0's edges   (edge model)   ⌈m/64⌉ × u64
+//	intact     dist(s,·) in intact H                 n × i32
+//	rowStart   H's own CSR row offsets               (n+1) × i32
+//	arcs       H's packed CSR arcs (to, edge id)     arcCount × 2 × i32
+//	parent     canonical BFS-tree parent in H        n × i32
+//	parentEdge edge id of {parent[v], v}             n × i32
+//	order      reachable vertices in BFS order       reachable × i32
+//
+// Every section starts 8-byte aligned (odd-count i32 sections are padded
+// with zero bytes), so on little-endian hosts the integer sections are
+// reinterpreted in place — the decoded record's arrays alias the input
+// buffer, no per-element parsing at all; other hosts fall back to explicit
+// little-endian reads. The payload is integrity-checked by length and a
+// CRC-32C digest in the header, and every array is bounds-validated
+// against the base graph before anything downstream touches it — a corrupt
+// or adversarial record fails decoding, it cannot panic a query. Text v1/v2
+// records are unaffected: the magic ("FTB3") is disjoint from the text
+// header prefix, and loaders sniff the first bytes to pick the decoder.
+
+// slabMagic is the first four bytes of every version-3 binary record.
+var slabMagic = [4]byte{'F', 'T', 'B', '3'}
+
+// SlabModel says which failure model a slab record stores.
+type SlabModel uint32
+
+const (
+	// SlabEdge is an edge-failure (b, r) structure (text version 1).
+	SlabEdge SlabModel = 0
+	// SlabVertex is a vertex-failure structure (text version 2).
+	SlabVertex SlabModel = 1
+)
+
+// slabHeaderSize is the fixed header length in bytes.
+const slabHeaderSize = 64
+
+// slab header field offsets.
+const (
+	slabOffMagic      = 0  // [4]byte
+	slabOffModel      = 4  // u32
+	slabOffN          = 8  // u32
+	slabOffM          = 12 // u32
+	slabOffSource     = 16 // u32
+	slabOffAlg        = 20 // u32
+	slabOffEps        = 24 // u64 (float64 bits)
+	slabOffPairs      = 32 // u32
+	slabOffReachable  = 36 // u32
+	slabOffArcs       = 40 // u32 (directed arc count)
+	slabOffReserved   = 44 // u32, zero
+	slabOffPayloadLen = 48 // u64
+	slabOffChecksum   = 56 // u64 (CRC-32C of header[0:56] + payload)
+)
+
+// IsSlabRecord reports whether the byte prefix starts a version-3 binary
+// record; loaders use it to sniff binary vs text before dispatching.
+func IsSlabRecord(prefix []byte) bool {
+	return len(prefix) >= len(slabMagic) && [4]byte(prefix[:4]) == slabMagic
+}
+
+// SlabRecord is the in-memory form of a version-3 record: the structure's
+// metadata and edge sets plus the precomputed serving arrays (H's CSR, the
+// intact distance vector, H's canonical BFS tree). Encoding captures them
+// from a built plan; decoding hands them back validated, so the caller can
+// assemble a query plan without running a single search.
+type SlabRecord struct {
+	Model SlabModel
+	S     int
+	Eps   float64   // edge model only
+	Alg   Algorithm // edge model only
+	Pairs int       // vertex model only
+
+	Edges      *graph.EdgeSet
+	Reinforced *graph.EdgeSet // edge model only
+	TreeEdges  *graph.EdgeSet // edge model only; T0 over the base graph
+
+	Intact     []int32
+	RowStart   []int32
+	Arcs       []graph.Arc
+	Parent     []int32
+	ParentEdge []graph.EdgeID
+	Order      []int32
+}
+
+// slabI32Bytes returns the padded byte length of an i32 section.
+func slabI32Bytes(count int) int { return (count*4 + 7) &^ 7 }
+
+// slabPayloadLen computes the exact payload length for the given shape.
+func slabPayloadLen(model SlabModel, n, m, arcCount, reachable int) int {
+	words := (m + 63) / 64
+	bitsets := 1
+	if model == SlabEdge {
+		bitsets = 3
+	}
+	return bitsets*words*8 +
+		slabI32Bytes(n) + // intact
+		slabI32Bytes(n+1) + // rowStart
+		arcCount*8 + // arcs: two i32 each, always 8-aligned
+		slabI32Bytes(n) + // parent
+		slabI32Bytes(n) + // parentEdge
+		slabI32Bytes(reachable) // order
+}
+
+// slabWriter appends aligned little-endian sections to a preallocated buffer.
+type slabWriter struct{ buf []byte }
+
+func (w *slabWriter) words(ws []uint64) {
+	for _, x := range ws {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, x)
+	}
+}
+
+func (w *slabWriter) i32s(xs []int32) {
+	for _, x := range xs {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(x))
+	}
+	if len(xs)&1 == 1 {
+		w.buf = append(w.buf, 0, 0, 0, 0)
+	}
+}
+
+// EncodeSlabBytes serialises rec (validated against its base graph g) as a
+// version-3 binary record and returns the full record bytes.
+func EncodeSlabBytes(g *graph.Graph, rec *SlabRecord) ([]byte, error) {
+	n, m := g.N(), g.M()
+	if rec.S < 0 || rec.S >= n {
+		return nil, fmt.Errorf("core: slab encode: source %d out of range [0,%d)", rec.S, n)
+	}
+	if rec.Model != SlabEdge && rec.Model != SlabVertex {
+		return nil, fmt.Errorf("core: slab encode: unknown model %d", rec.Model)
+	}
+	if rec.Model == SlabEdge && (rec.Alg < Auto || rec.Alg > Greedy) {
+		return nil, fmt.Errorf("core: slab encode: unknown algorithm %d", rec.Alg)
+	}
+	if len(rec.Intact) != n || len(rec.Parent) != n || len(rec.ParentEdge) != n || len(rec.RowStart) != n+1 {
+		return nil, fmt.Errorf("core: slab encode: array lengths do not match n=%d", n)
+	}
+	arcCount, reachable := len(rec.Arcs), len(rec.Order)
+	payloadLen := slabPayloadLen(rec.Model, n, m, arcCount, reachable)
+
+	out := make([]byte, slabHeaderSize, slabHeaderSize+payloadLen)
+	copy(out[slabOffMagic:], slabMagic[:])
+	le := binary.LittleEndian
+	le.PutUint32(out[slabOffModel:], uint32(rec.Model))
+	le.PutUint32(out[slabOffN:], uint32(n))
+	le.PutUint32(out[slabOffM:], uint32(m))
+	le.PutUint32(out[slabOffSource:], uint32(rec.S))
+	le.PutUint32(out[slabOffAlg:], uint32(rec.Alg))
+	le.PutUint64(out[slabOffEps:], math.Float64bits(rec.Eps))
+	le.PutUint32(out[slabOffPairs:], uint32(rec.Pairs))
+	le.PutUint32(out[slabOffReachable:], uint32(reachable))
+	le.PutUint32(out[slabOffArcs:], uint32(arcCount))
+	le.PutUint64(out[slabOffPayloadLen:], uint64(payloadLen))
+
+	w := &slabWriter{buf: out}
+	w.words(rec.Edges.Words())
+	if rec.Model == SlabEdge {
+		w.words(rec.Reinforced.Words())
+		w.words(rec.TreeEdges.Words())
+	}
+	w.i32s(rec.Intact)
+	w.i32s(rec.RowStart)
+	for _, a := range rec.Arcs {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(a.To))
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(a.ID))
+	}
+	w.i32s(rec.Parent)
+	i32sFromEdgeIDs := make([]int32, len(rec.ParentEdge))
+	for i, id := range rec.ParentEdge {
+		i32sFromEdgeIDs[i] = int32(id)
+	}
+	w.i32s(i32sFromEdgeIDs)
+	w.i32s(rec.Order)
+	out = w.buf
+	if got := len(out) - slabHeaderSize; got != payloadLen {
+		return nil, fmt.Errorf("core: slab encode: payload %d bytes, want %d", got, payloadLen)
+	}
+
+	le.PutUint64(out[slabOffChecksum:], slabChecksum(out))
+	return out, nil
+}
+
+// slabCRC is the CRC-32C (Castagnoli) table; hardware-accelerated on the
+// platforms the serving plane runs on, so integrity checking stays far off
+// the load-path critical time.
+var slabCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// slabChecksum digests a whole record — header (minus the checksum field
+// itself) plus payload — into the header's u64 checksum slot.
+func slabChecksum(rec []byte) uint64 {
+	c := crc32.Update(0, slabCRC, rec[:slabOffChecksum])
+	return uint64(crc32.Update(c, slabCRC, rec[slabHeaderSize:]))
+}
+
+// EncodeSlab writes rec as a version-3 binary record.
+func EncodeSlab(w io.Writer, g *graph.Graph, rec *SlabRecord) error {
+	buf, err := EncodeSlabBytes(g, rec)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// CheckSlab verifies a binary record's self-contained integrity — magic,
+// model, exact payload length and checksum — without a base graph. Warm-start
+// scans use it to detect truncated or corrupt record files cheaply; a record
+// passing CheckSlab can still fail DecodeSlab's graph-dependent validation.
+func CheckSlab(data []byte) error {
+	if !IsSlabRecord(data) {
+		return fmt.Errorf("core: not a binary structure record")
+	}
+	if len(data) < slabHeaderSize {
+		return fmt.Errorf("core: binary record shorter than its header")
+	}
+	le := binary.LittleEndian
+	model := SlabModel(le.Uint32(data[slabOffModel:]))
+	n := int(le.Uint32(data[slabOffN:]))
+	m := int(le.Uint32(data[slabOffM:]))
+	reachable := int(le.Uint32(data[slabOffReachable:]))
+	arcCount := int(le.Uint32(data[slabOffArcs:]))
+	payloadLen := le.Uint64(data[slabOffPayloadLen:])
+	if model != SlabEdge && model != SlabVertex {
+		return fmt.Errorf("core: binary record has unknown model %d", model)
+	}
+	if reachable > n || arcCount > 2*m {
+		return fmt.Errorf("core: binary record header is inconsistent")
+	}
+	if want := slabPayloadLen(model, n, m, arcCount, reachable); payloadLen != uint64(want) {
+		return fmt.Errorf("core: binary record payload %d bytes, want %d", payloadLen, want)
+	}
+	if uint64(len(data)-slabHeaderSize) != payloadLen {
+		return fmt.Errorf("core: binary record truncated: %d payload bytes of %d", len(data)-slabHeaderSize, payloadLen)
+	}
+	if slabChecksum(data) != le.Uint64(data[slabOffChecksum:]) {
+		return fmt.Errorf("core: binary record checksum mismatch")
+	}
+	return nil
+}
+
+// nativeLE reports whether this host is little-endian — the on-disk layout
+// matches memory layout, so integer sections can be served straight from the
+// record buffer instead of element-by-element decoding.
+var nativeLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// slabReader walks the payload's aligned sections with bounds checks.
+type slabReader struct {
+	buf []byte
+	off int
+}
+
+// section bounds-checks and consumes `need` bytes, returning the section's
+// start and whether an in-place view with the given alignment is allowed
+// (little-endian host, aligned base — true in practice, since every section
+// starts 8-aligned in a heap-allocated buffer).
+func (r *slabReader) section(need, align int) ([]byte, bool, error) {
+	if need < 0 || r.off+need > len(r.buf) {
+		return nil, false, fmt.Errorf("core: slab record truncated at offset %d", r.off)
+	}
+	sec := r.buf[r.off:]
+	r.off += need
+	if need == 0 {
+		return nil, false, nil
+	}
+	return sec, nativeLE && uintptr(unsafe.Pointer(&sec[0]))%uintptr(align) == 0, nil
+}
+
+func (r *slabReader) words(count int) ([]uint64, error) {
+	sec, inPlace, err := r.section(count*8, 8)
+	if err != nil || count == 0 {
+		return nil, err
+	}
+	if inPlace {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&sec[0])), count), nil
+	}
+	out := make([]uint64, count)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(sec[i*8:])
+	}
+	return out, nil
+}
+
+func (r *slabReader) i32s(count int) ([]int32, error) {
+	sec, inPlace, err := r.section(slabI32Bytes(count), 4)
+	if err != nil || count == 0 {
+		return nil, err
+	}
+	if inPlace {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&sec[0])), count), nil
+	}
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(sec[i*4:]))
+	}
+	return out, nil
+}
+
+// edgeIDs reads an i32 section as edge ids (EdgeID is an int32).
+func (r *slabReader) edgeIDs(count int) ([]graph.EdgeID, error) {
+	sec, inPlace, err := r.section(slabI32Bytes(count), 4)
+	if err != nil || count == 0 {
+		return nil, err
+	}
+	if inPlace {
+		return unsafe.Slice((*graph.EdgeID)(unsafe.Pointer(&sec[0])), count), nil
+	}
+	out := make([]graph.EdgeID, count)
+	for i := range out {
+		out[i] = graph.EdgeID(int32(binary.LittleEndian.Uint32(sec[i*4:])))
+	}
+	return out, nil
+}
+
+// The in-place Arc view relies on Arc being exactly its two packed int32s.
+var _ = [1]byte{}[unsafe.Sizeof(graph.Arc{})-8]
+
+// arcs reads a packed (to, edge id) pair section as CSR arcs; the Arc struct
+// is exactly two int32s, so the pairs are an Arc array already.
+func (r *slabReader) arcs(count int) ([]graph.Arc, error) {
+	sec, inPlace, err := r.section(count*8, 8)
+	if err != nil || count == 0 {
+		return nil, err
+	}
+	if inPlace {
+		return unsafe.Slice((*graph.Arc)(unsafe.Pointer(&sec[0])), count), nil
+	}
+	out := make([]graph.Arc, count)
+	for i := range out {
+		out[i] = graph.Arc{
+			To: int32(binary.LittleEndian.Uint32(sec[i*8:])),
+			ID: graph.EdgeID(int32(binary.LittleEndian.Uint32(sec[i*8+4:]))),
+		}
+	}
+	return out, nil
+}
+
+// DecodeSlab parses a version-3 binary record against its base graph g,
+// validating shape, integrity and every cross-reference (arc ids against
+// E(H), parent edges against the base graph's endpoints, BFS-order
+// consistency of the tree arrays) so the returned record is safe to serve
+// from directly. On little-endian hosts the record's integer sections are
+// in-place views of data — the caller must not modify the buffer after a
+// successful decode (loaders read a record file once and hand the bytes
+// over, which is the point: load cost is validation, not parsing).
+func DecodeSlab(data []byte, g *graph.Graph) (*SlabRecord, error) {
+	if !IsSlabRecord(data) {
+		return nil, fmt.Errorf("core: not a binary structure record")
+	}
+	if len(data) < slabHeaderSize {
+		return nil, fmt.Errorf("core: binary record shorter than its header")
+	}
+	le := binary.LittleEndian
+	model := SlabModel(le.Uint32(data[slabOffModel:]))
+	n := int(le.Uint32(data[slabOffN:]))
+	m := int(le.Uint32(data[slabOffM:]))
+	source := int(le.Uint32(data[slabOffSource:]))
+	alg := Algorithm(le.Uint32(data[slabOffAlg:]))
+	eps := math.Float64frombits(le.Uint64(data[slabOffEps:]))
+	pairs := int(le.Uint32(data[slabOffPairs:]))
+	reachable := int(le.Uint32(data[slabOffReachable:]))
+	arcCount := int(le.Uint32(data[slabOffArcs:]))
+	payloadLen := le.Uint64(data[slabOffPayloadLen:])
+	checksum := le.Uint64(data[slabOffChecksum:])
+
+	if model != SlabEdge && model != SlabVertex {
+		return nil, fmt.Errorf("core: binary record has unknown model %d", model)
+	}
+	if n != g.N() || m != g.M() {
+		return nil, fmt.Errorf("core: binary record is for a %d-vertex %d-edge graph, base graph has n=%d m=%d",
+			n, m, g.N(), g.M())
+	}
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("core: binary record source %d out of range [0,%d)", source, n)
+	}
+	if model == SlabEdge {
+		if alg < Auto || alg > Greedy {
+			return nil, fmt.Errorf("core: binary record has unknown algorithm %d", alg)
+		}
+		if math.IsNaN(eps) || math.IsInf(eps, 0) || eps < 0 {
+			return nil, fmt.Errorf("core: binary record has bad eps %v", eps)
+		}
+	}
+	if pairs < 0 {
+		return nil, fmt.Errorf("core: binary record has negative pairs")
+	}
+	if reachable < 0 || reachable > n {
+		return nil, fmt.Errorf("core: binary record claims %d reachable of %d vertices", reachable, n)
+	}
+	if arcCount < 0 || arcCount > 2*m {
+		return nil, fmt.Errorf("core: binary record claims %d arcs for %d edges", arcCount, m)
+	}
+	if want := slabPayloadLen(model, n, m, arcCount, reachable); payloadLen != uint64(want) {
+		return nil, fmt.Errorf("core: binary record payload %d bytes, want %d", payloadLen, want)
+	}
+	if uint64(len(data)-slabHeaderSize) != payloadLen {
+		return nil, fmt.Errorf("core: binary record truncated: %d payload bytes of %d", len(data)-slabHeaderSize, payloadLen)
+	}
+	if slabChecksum(data) != checksum {
+		return nil, fmt.Errorf("core: binary record checksum mismatch")
+	}
+
+	r := &slabReader{buf: data[slabHeaderSize:]}
+	words := (m + 63) / 64
+	rec := &SlabRecord{Model: model, S: source, Eps: eps, Alg: alg, Pairs: pairs}
+	var err error
+	readSet := func() (*graph.EdgeSet, error) {
+		ws, err := r.words(words)
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewEdgeSetFromWords(m, ws)
+	}
+	if rec.Edges, err = readSet(); err != nil {
+		return nil, err
+	}
+	if model == SlabEdge {
+		if rec.Reinforced, err = readSet(); err != nil {
+			return nil, err
+		}
+		if rec.TreeEdges, err = readSet(); err != nil {
+			return nil, err
+		}
+	}
+	if rec.Intact, err = r.i32s(n); err != nil {
+		return nil, err
+	}
+	if rec.RowStart, err = r.i32s(n + 1); err != nil {
+		return nil, err
+	}
+	if rec.Arcs, err = r.arcs(arcCount); err != nil {
+		return nil, err
+	}
+	if rec.Parent, err = r.i32s(n); err != nil {
+		return nil, err
+	}
+	if rec.ParentEdge, err = r.edgeIDs(n); err != nil {
+		return nil, err
+	}
+	if rec.Order, err = r.i32s(reachable); err != nil {
+		return nil, err
+	}
+	if err := validateSlab(rec, g); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// validateSlab cross-checks the decoded arrays against each other and the
+// base graph: it guarantees the CSR, tree arrays and BFS order are mutually
+// consistent, which is what lets plan assembly and tree.BuildAncestry run on
+// them without re-deriving anything.
+func validateSlab(rec *SlabRecord, g *graph.Graph) error {
+	n, m := g.N(), g.M()
+	if rec.Model == SlabEdge {
+		sub := rec.Reinforced.Minus(rec.Edges)
+		if sub.Len() != 0 {
+			return fmt.Errorf("core: binary record: %d reinforced edges outside E(H)", sub.Len())
+		}
+	}
+	// H's CSR: shape-validated by NewCSR below; here bind each arc to E(H).
+	for i, a := range rec.Arcs {
+		if a.To < 0 || int(a.To) >= n || a.ID < 0 || int(a.ID) >= m {
+			return fmt.Errorf("core: binary record: arc %d out of range", i)
+		}
+		if !rec.Edges.Contains(a.ID) {
+			return fmt.Errorf("core: binary record: arc %d uses edge %d outside E(H)", i, a.ID)
+		}
+	}
+	// Tree arrays: parents and parent edges must name real H edges with
+	// consistent BFS depths.
+	for v := 0; v < n; v++ {
+		p, id, d := rec.Parent[v], rec.ParentEdge[v], rec.Intact[v]
+		if d < -1 || d > int32(n) {
+			return fmt.Errorf("core: binary record: intact dist of %d is %d", v, d)
+		}
+		if p < 0 {
+			if p != -1 || id != graph.NoEdge {
+				return fmt.Errorf("core: binary record: vertex %d has no parent but parent edge %d", v, id)
+			}
+			continue
+		}
+		if int(p) >= n || id < 0 || int(id) >= m {
+			return fmt.Errorf("core: binary record: parent link of %d out of range", v)
+		}
+		e := g.EdgeByID(id)
+		if !(e.U == int32(v) && e.V == p || e.U == p && e.V == int32(v)) {
+			return fmt.Errorf("core: binary record: parent edge %d does not join %d and %d", id, v, p)
+		}
+		if !rec.Edges.Contains(id) {
+			return fmt.Errorf("core: binary record: parent edge %d of %d outside E(H)", id, v)
+		}
+		if rec.Intact[p] < 0 || d != rec.Intact[p]+1 {
+			return fmt.Errorf("core: binary record: vertex %d at depth %d under parent at depth %d", v, d, rec.Intact[p])
+		}
+	}
+	// BFS order: the source first, each vertex exactly once, reachable set
+	// matched exactly, depths nondecreasing (so parents precede children and
+	// a bottom-up pass over the order is safe).
+	seen := make([]bool, n)
+	reach := 0
+	for _, d := range rec.Intact {
+		if d >= 0 {
+			reach++
+		}
+	}
+	if reach != len(rec.Order) {
+		return fmt.Errorf("core: binary record: %d vertices in BFS order, %d have finite distance", len(rec.Order), reach)
+	}
+	prev := int32(0)
+	for i, v := range rec.Order {
+		if v < 0 || int(v) >= n || seen[v] {
+			return fmt.Errorf("core: binary record: BFS order entry %d invalid", i)
+		}
+		seen[v] = true
+		d := rec.Intact[v]
+		if d < 0 || d < prev {
+			return fmt.Errorf("core: binary record: BFS order not sorted by distance at entry %d", i)
+		}
+		prev = d
+		if i == 0 && (int(v) != rec.S || d != 0) {
+			return fmt.Errorf("core: binary record: BFS order does not start at the source")
+		}
+	}
+	return nil
+}

@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // CSR is a flat compressed-sparse-row adjacency view: the arcs leaving
 // vertex u occupy Arcs[RowStart[u]:RowStart[u+1]], each carrying the
 // neighbour and the undirected EdgeID. The two packed slices make a BFS over
@@ -32,6 +34,32 @@ func (c *CSR) ArcsOf(u int32) []Arc {
 // Degree returns the number of arcs leaving u.
 func (c *CSR) Degree(u int32) int {
 	return int(c.RowStart[u+1] - c.RowStart[u])
+}
+
+// NewCSR assembles a CSR from deserialized rows, validating the shape a
+// search relies on: RowStart must be a monotone prefix-sum array covering
+// exactly the arcs, and every arc must name an in-range neighbour. Arc
+// EdgeIDs are only range-checked here; binding them to a particular edge set
+// is the caller's (the slab decoder cross-checks them against H). The slices
+// are adopted, not copied.
+func NewCSR(n int, rowStart []int32, arcs []Arc) (*CSR, error) {
+	if n < 0 || len(rowStart) != n+1 {
+		return nil, fmt.Errorf("graph: CSR row array has %d entries for %d vertices", len(rowStart), n)
+	}
+	if rowStart[0] != 0 || int(rowStart[n]) != len(arcs) {
+		return nil, fmt.Errorf("graph: CSR rows cover [%d,%d) of %d arcs", rowStart[0], rowStart[n], len(arcs))
+	}
+	for u := 0; u < n; u++ {
+		if rowStart[u] > rowStart[u+1] {
+			return nil, fmt.Errorf("graph: CSR row %d is not monotone", u)
+		}
+	}
+	for i, a := range arcs {
+		if a.To < 0 || int(a.To) >= n || a.ID < 0 {
+			return nil, fmt.Errorf("graph: CSR arc %d → %d (edge %d) out of range", i, a.To, a.ID)
+		}
+	}
+	return &CSR{n: int32(n), RowStart: rowStart, Arcs: arcs}, nil
 }
 
 // CSRView returns the flat CSR adjacency of the whole graph. It is built on

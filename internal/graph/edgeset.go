@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"math/bits"
 	"slices"
 )
@@ -118,6 +119,32 @@ func (s *EdgeSet) IDs() []EdgeID {
 	}
 	slices.Sort(out)
 	return out
+}
+
+// Words exposes the set's backing bit words (little-endian edge ids: bit b
+// of word w is edge 64w+b) for zero-copy serialization. The slice is owned
+// by the set and must be treated as read-only.
+func (s *EdgeSet) Words() []uint64 { return s.bits }
+
+// NewEdgeSetFromWords reconstructs a set over m edge ids from serialized bit
+// words, validating that the word count matches m and that no bit beyond the
+// last edge id is set — so a deserialized set can never report phantom
+// members. The words are copied; the cardinality is recomputed.
+func NewEdgeSetFromWords(m int, words []uint64) (*EdgeSet, error) {
+	if len(words) != (m+63)/64 {
+		return nil, fmt.Errorf("graph: edge set has %d words for %d edges (want %d)", len(words), m, (m+63)/64)
+	}
+	s := &EdgeSet{bits: make([]uint64, len(words))}
+	copy(s.bits, words)
+	if tail := m & 63; tail != 0 && len(s.bits) > 0 {
+		if s.bits[len(s.bits)-1]&^(1<<uint(tail)-1) != 0 {
+			return nil, fmt.Errorf("graph: edge set has bits beyond edge id %d", m-1)
+		}
+	}
+	for _, w := range s.bits {
+		s.count += popcount(w)
+	}
+	return s, nil
 }
 
 // ForEach calls fn on every member in increasing id order.

@@ -95,10 +95,16 @@ type Server struct {
 	// into unbounded concurrent builds.
 	groupSem chan struct{}
 
-	requests atomic.Uint64 // HTTP requests accepted
-	queries  atomic.Uint64 // individual distance queries answered
-	errs     atomic.Uint64 // requests answered with an error status
-	draining atomic.Bool   // graceful shutdown in progress (readyz gates on it)
+	// wireAddr is the advertised binary-protocol listen address, empty when
+	// the wire listener is off. /healthz and /readyz carry it so the cluster
+	// router's probes discover the fast path without extra configuration.
+	wireAddr atomic.Pointer[string]
+
+	requests     atomic.Uint64 // HTTP requests accepted
+	wireRequests atomic.Uint64 // binary-protocol requests accepted
+	queries      atomic.Uint64 // individual distance queries answered
+	errs         atomic.Uint64 // requests answered with an error status
+	draining     atomic.Bool   // graceful shutdown in progress (readyz gates on it)
 }
 
 // New returns a service over the given registry.
@@ -139,6 +145,20 @@ func (s *Server) identitySnapshot() identity {
 // with 503 so load balancers and the cluster router stop sending it new
 // work while in-flight requests finish. Serve calls it on shutdown.
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// SetWireAddr advertises the binary-protocol listen address on /healthz and
+// /readyz (empty = wire serving off). Safe to call while serving — a
+// restarted wire listener on a new port re-advertises itself and probing
+// routers pick the change up.
+func (s *Server) SetWireAddr(addr string) { s.wireAddr.Store(&addr) }
+
+// WireAddr returns the advertised binary-protocol address, "" when unset.
+func (s *Server) WireAddr() string {
+	if p := s.wireAddr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -753,66 +773,31 @@ type BatchQueryResponse struct {
 	Errors []string `json:"errors,omitempty"` // parallel to Dists; "" = ok
 }
 
-func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
-	var req BatchQueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
-		return
-	}
-	if len(req.Queries) == 0 {
-		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("empty query vector"))
-		return
-	}
-	dists := make([]int, len(req.Queries))
-	errs := make([]string, len(req.Queries))
-	// Group the vector by addressed structure, preserving first-seen order;
-	// a query with an unresolvable address errors its own slot only. The
-	// key's Model decides which query slice a group fills — slots of one
-	// group are homogeneous by construction (vertex slots resolve to vertex
-	// keys), so exactly one of queries/vqueries is populated.
-	type group struct {
-		key      store.Key
-		slots    []int
-		queries  []ftbfs.FailureQuery
-		vqueries []ftbfs.VertexFailureQuery
-	}
-	var groups []*group
-	byKey := make(map[store.Key]*group)
-	for i := range req.Queries {
-		k, err := req.KeyFor(i)
-		if err != nil {
-			dists[i] = ftbfs.Unreachable
-			errs[i] = err.Error()
-			continue
-		}
-		gr := byKey[k]
-		if gr == nil {
-			gr = &group{key: k}
-			byKey[k] = gr
-			groups = append(groups, gr)
-		}
-		q := req.Queries[i]
-		gr.slots = append(gr.slots, i)
-		if k.Model == store.ModelVertex {
-			gr.vqueries = append(gr.vqueries, ftbfs.VertexFailureQuery{V: q.V, Failed: *q.FailedVertex})
-		} else {
-			gr.queries = append(gr.queries, ftbfs.FailureQuery{V: q.V, FailedU: q.Fail[0], FailedV: q.Fail[1]})
-		}
-	}
-	// Groups are independent (disjoint slots, one pooled oracle each), so
-	// multi-structure batches answer them concurrently — one cold
-	// structure's build-through must not serialise every other group of
-	// the batch behind it. The dominant single-structure batch skips the
-	// goroutine machinery and runs inline on the request goroutine (this
-	// is the gated BenchmarkServeQueries/batch-query16 path); concurrency
-	// is bounded by the server-wide groupSem so batch bursts cannot
-	// amplify into unbounded concurrent builds.
+// queryGroup is one structure's worth of a batch: the resolved key plus the
+// request slots (indexes into the batch vector) it answers. Exactly one of
+// queries/vqueries is populated, decided by the key's model.
+type queryGroup struct {
+	key      store.Key
+	slots    []int
+	queries  []ftbfs.FailureQuery
+	vqueries []ftbfs.VertexFailureQuery
+}
+
+// answerGroups resolves each group's structure and answers its slots with one
+// pooled oracle, writing into dists/errs (indexed by the groups' slots) and
+// returning the number of individually-successful queries. Groups are
+// independent (disjoint slots, one pooled oracle each), so multi-structure
+// batches answer them concurrently — one cold structure's build-through must
+// not serialise every other group of the batch behind it. The dominant
+// single-structure batch skips the goroutine machinery and runs inline on the
+// calling goroutine (this is the gated BenchmarkServeQueries/batch-query16
+// path); concurrency is bounded by the server-wide groupSem so batch bursts
+// cannot amplify into unbounded concurrent builds. Both the HTTP /batch-query
+// handler and the wire-protocol batch handler funnel here, which is what
+// makes the two transports answer-identical by construction.
+func (s *Server) answerGroups(groups []*queryGroup, dists []int, errs []string) uint64 {
 	var answered atomic.Uint64
-	answerGroup := func(gr *group) {
+	answerGroup := func(gr *queryGroup) {
 		failSlots := func(err error) {
 			for _, i := range gr.slots {
 				dists[i] = ftbfs.Unreachable
@@ -851,14 +836,16 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	if len(groups) == 1 {
-		// Inline on the request goroutine, but still under the server-wide
+	switch len(groups) {
+	case 0:
+	case 1:
+		// Inline on the calling goroutine, but still under the server-wide
 		// cap: a burst of single-structure batches on distinct cold keys
 		// is bounded exactly like a multi-group fan-out.
 		s.groupSem <- struct{}{}
 		answerGroup(groups[0])
 		<-s.groupSem
-	} else {
+	default:
 		var wg sync.WaitGroup
 		for _, gr := range groups {
 			gr := gr
@@ -871,7 +858,54 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		wg.Wait()
 	}
-	s.queries.Add(answered.Load())
+	return answered.Load()
+}
+
+func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req BatchQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("empty query vector"))
+		return
+	}
+	dists := make([]int, len(req.Queries))
+	errs := make([]string, len(req.Queries))
+	// Group the vector by addressed structure, preserving first-seen order;
+	// a query with an unresolvable address errors its own slot only. The
+	// key's Model decides which query slice a group fills — slots of one
+	// group are homogeneous by construction (vertex slots resolve to vertex
+	// keys), so exactly one of queries/vqueries is populated.
+	var groups []*queryGroup
+	byKey := make(map[store.Key]*queryGroup)
+	for i := range req.Queries {
+		k, err := req.KeyFor(i)
+		if err != nil {
+			dists[i] = ftbfs.Unreachable
+			errs[i] = err.Error()
+			continue
+		}
+		gr := byKey[k]
+		if gr == nil {
+			gr = &queryGroup{key: k}
+			byKey[k] = gr
+			groups = append(groups, gr)
+		}
+		q := req.Queries[i]
+		gr.slots = append(gr.slots, i)
+		if k.Model == store.ModelVertex {
+			gr.vqueries = append(gr.vqueries, ftbfs.VertexFailureQuery{V: q.V, Failed: *q.FailedVertex})
+		} else {
+			gr.queries = append(gr.queries, ftbfs.FailureQuery{V: q.V, FailedU: q.Fail[0], FailedV: q.Fail[1]})
+		}
+	}
+	s.queries.Add(s.answerGroups(groups, dists, errs))
 	resp := BatchQueryResponse{Dists: dists}
 	for _, e := range errs {
 		if e != "" {
@@ -890,6 +924,7 @@ type StatsResponse struct {
 	ID            string      `json:"id,omitempty"`
 	UptimeSeconds float64     `json:"uptime_seconds"`
 	Requests      uint64      `json:"requests"`
+	WireRequests  uint64      `json:"wire_requests"`
 	Queries       uint64      `json:"queries"`
 	Errors        uint64      `json:"errors"`
 	Draining      bool        `json:"draining,omitempty"`
@@ -907,6 +942,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ID:            ident.id,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
+		WireRequests:  s.wireRequests.Load(),
 		Queries:       s.queries.Load(),
 		Errors:        s.errs.Load(),
 		Draining:      s.draining.Load(),
@@ -921,6 +957,9 @@ type HealthResponse struct {
 	Role          string  `json:"role,omitempty"`
 	ID            string  `json:"id,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Wire is the advertised binary-protocol address, when serving one;
+	// the cluster router's probes learn the fast path from this field.
+	Wire string `json:"wire,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -930,6 +969,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Role:          ident.role,
 		ID:            ident.id,
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Wire:          s.WireAddr(),
 	})
 }
 
@@ -939,6 +979,8 @@ type ReadyResponse struct {
 	Draining   bool `json:"draining,omitempty"`
 	Graphs     int  `json:"graphs"`
 	Structures int  `json:"structures"`
+	// Wire mirrors HealthResponse.Wire: the binary-protocol address, if any.
+	Wire string `json:"wire,omitempty"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -948,6 +990,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		Draining:   s.draining.Load(),
 		Graphs:     st.Graphs,
 		Structures: st.Structures,
+		Wire:       s.WireAddr(),
 	}
 	code := http.StatusOK
 	if !resp.Ready {

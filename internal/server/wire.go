@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+
+	"ftbfs"
+	"ftbfs/internal/core"
+	"ftbfs/internal/store"
+	"ftbfs/internal/wire"
+)
+
+// This file implements wire.Backend on *Server: the binary protocol answers
+// through exactly the same key resolution, store lookups, and pooled oracles
+// as the HTTP handlers, so the two transports are answer-identical by
+// construction — only the encoding differs.
+
+// keyForPoint resolves the registry key a wire point query addresses,
+// mirroring resolveKey/resolveVertexModelKey (which parse the same fields
+// out of JSON): -0 ε folds to +0, non-finite ε and out-of-range algorithms
+// are rejected before they can poison a store key.
+func keyForPoint(typ byte, q *wire.PointQuery) (store.Key, error) {
+	if typ == wire.TDistAvoidingVertex {
+		return store.VertexKey(q.FP, int(q.Source)), nil
+	}
+	e := q.Eps()
+	if math.IsNaN(e) || math.IsInf(e, 0) {
+		return store.Key{}, fmt.Errorf("eps must be finite, got %v", e)
+	}
+	if e == 0 {
+		e = 0 // fold IEEE -0 into +0, matching resolveKey
+	}
+	if q.Alg < 0 || q.Alg > int32(core.Greedy) {
+		return store.Key{}, fmt.Errorf("unknown algorithm code %d", q.Alg)
+	}
+	return store.Key{Graph: q.FP, Source: int(q.Source), Eps: e, Alg: ftbfs.Algorithm(q.Alg)}, nil
+}
+
+// WirePoint answers one binary point query (wire.Backend).
+func (s *Server) WirePoint(typ byte, q *wire.PointQuery) (int32, *wire.Error) {
+	s.wireRequests.Add(1)
+	k, err := keyForPoint(typ, q)
+	if err != nil {
+		s.errs.Add(1)
+		return 0, &wire.Error{Code: http.StatusBadRequest, Msg: err.Error()}
+	}
+	v := int(q.V)
+	var d int
+	switch typ {
+	case wire.TDist:
+		st, err := s.structureForKey(k, &v)
+		if err != nil {
+			s.errs.Add(1)
+			return 0, &wire.Error{Code: statusFor(err), Msg: err.Error()}
+		}
+		d = st.Dist(v)
+	case wire.TDistAvoiding:
+		st, err := s.structureForKey(k, &v)
+		if err != nil {
+			s.errs.Add(1)
+			return 0, &wire.Error{Code: statusFor(err), Msg: err.Error()}
+		}
+		err = st.OraclePool().Do(func(o *ftbfs.Oracle) error {
+			var qerr error
+			d, qerr = o.DistAvoiding(v, int(q.A), int(q.B))
+			return qerr
+		})
+		if err != nil {
+			s.errs.Add(1)
+			return 0, &wire.Error{Code: http.StatusBadRequest, Msg: err.Error()}
+		}
+	case wire.TDistAvoidingVertex:
+		st, err := s.vertexStructureForKey(k, &v)
+		if err != nil {
+			s.errs.Add(1)
+			return 0, &wire.Error{Code: statusFor(err), Msg: err.Error()}
+		}
+		err = st.OraclePool().Do(func(o *ftbfs.VertexOracle) error {
+			var qerr error
+			d, qerr = o.DistAvoidingVertex(v, int(q.A))
+			return qerr
+		})
+		if err != nil {
+			s.errs.Add(1)
+			return 0, &wire.Error{Code: http.StatusBadRequest, Msg: err.Error()}
+		}
+	default:
+		s.errs.Add(1)
+		return 0, &wire.Error{Code: http.StatusBadRequest, Msg: fmt.Sprintf("unknown point type %#x", typ)}
+	}
+	s.queries.Add(1)
+	return int32(d), nil
+}
+
+// WireBatch answers one binary batch (wire.Backend): slots group by resolved
+// key and funnel into the same answerGroups machinery as POST /batch-query.
+func (s *Server) WireBatch(slots []wire.BatchSlot) ([]int32, []string) {
+	s.wireRequests.Add(1)
+	dists := make([]int, len(slots))
+	errs := make([]string, len(slots))
+	var groups []*queryGroup
+	byKey := make(map[store.Key]*queryGroup)
+	for i := range slots {
+		sl := &slots[i]
+		typ := byte(wire.TDistAvoiding)
+		if sl.Vertex {
+			typ = wire.TDistAvoidingVertex
+		}
+		k, err := keyForPoint(typ, &sl.PointQuery)
+		if err != nil {
+			dists[i] = ftbfs.Unreachable
+			errs[i] = err.Error()
+			continue
+		}
+		gr := byKey[k]
+		if gr == nil {
+			gr = &queryGroup{key: k}
+			byKey[k] = gr
+			groups = append(groups, gr)
+		}
+		gr.slots = append(gr.slots, i)
+		if sl.Vertex {
+			gr.vqueries = append(gr.vqueries, ftbfs.VertexFailureQuery{V: int(sl.V), Failed: int(sl.A)})
+		} else {
+			gr.queries = append(gr.queries, ftbfs.FailureQuery{V: int(sl.V), FailedU: int(sl.A), FailedV: int(sl.B)})
+		}
+	}
+	s.queries.Add(s.answerGroups(groups, dists, errs))
+	out := make([]int32, len(dists))
+	for i, d := range dists {
+		out[i] = int32(d)
+		if errs[i] != "" {
+			s.errs.Add(1)
+		}
+	}
+	return out, errs
+}

@@ -8,9 +8,11 @@
 // configured number of structures in memory (LRU eviction), builds missing
 // entries on demand through ftbfs.BuildBatch (one batched build per request
 // burst, deduplicated per key via single-flight), and — when given a
-// directory — persists every graph and structure with the library's text
-// formats so a restarted server warm-starts from disk and evicted structures
-// load back through instead of rebuilding. Structures leave the resolver
+// directory — persists every structure as a version-3 binary slab record
+// (graphs keep the text format) so a restarted server warm-starts from disk
+// and evicted structures load back through — a zero-parse read — instead of
+// rebuilding. Loading sniffs the record header, so directories holding text
+// v1/v2 records from older stores keep working. Structures leave the resolver
 // with their serving QueryPlan pre-built, so the query hot path never pays
 // the CSR extraction or tree preprocessing inline.
 package store
@@ -19,6 +21,7 @@ import (
 	"container/list"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"os"
 	"path/filepath"
@@ -27,6 +30,7 @@ import (
 	"sync"
 
 	"ftbfs"
+	"ftbfs/internal/core"
 )
 
 // Model selects the failure model of a structure key: which kind of single
@@ -92,13 +96,14 @@ type Stats struct {
 	Structures int `json:"structures"`
 	Capacity   int `json:"capacity"`
 
-	Hits        uint64 `json:"hits"`         // served from memory
-	Misses      uint64 `json:"misses"`       // not in memory (led to a load or build)
-	Loads       uint64 `json:"loads"`        // satisfied from the persist directory
-	Builds      uint64 `json:"builds"`       // satisfied by BuildBatch
-	Evictions   uint64 `json:"evictions"`    // structures dropped by the LRU
-	Saves       uint64 `json:"saves"`        // structures written to the directory
-	WarmSkipped uint64 `json:"warm_skipped"` // unreadable files skipped at warm start
+	Hits        uint64 `json:"hits"`               // served from memory
+	Misses      uint64 `json:"misses"`             // not in memory (led to a load or build)
+	Loads       uint64 `json:"loads"`              // satisfied from the persist directory
+	Builds      uint64 `json:"builds"`             // satisfied by BuildBatch
+	Evictions   uint64 `json:"evictions"`          // structures dropped by the LRU
+	Saves       uint64 `json:"saves"`              // structures written to the directory
+	WarmLoaded  uint64 `json:"warm_start_loaded"`  // files accepted at warm start
+	WarmSkipped uint64 `json:"warm_start_skipped"` // corrupt/truncated files skipped at warm start
 }
 
 // PersistPrefix starts every PersistError message. Like the server's
@@ -168,11 +173,14 @@ func New(capacity int, dir string) (*Store, error) {
 	return s, nil
 }
 
-// warmStart loads every graph file in the persist directory. Unreadable or
-// corrupt files are skipped (counted in Stats.WarmSkipped) so one bad file
-// cannot make the whole store unbootable. Structure files are only
-// enumerated lazily: their keys become loadable through GetOrBuild, and the
-// structures themselves stay on disk until requested.
+// warmStart loads every graph file in the persist directory and
+// integrity-checks every structure record file. Unreadable, truncated or
+// corrupt files are skipped — counted in Stats.WarmSkipped and logged — so
+// one bad file (a crash mid-write on a pre-atomic-rename store, say) cannot
+// make the whole store unbootable. Structure contents still load lazily:
+// the warm scan verifies record integrity (binary checksum, text header)
+// without retaining anything, keys become loadable through GetOrBuild, and
+// the structures themselves stay on disk until requested.
 func (s *Store) warmStart() error {
 	paths, err := filepath.Glob(filepath.Join(s.dir, "graph-*.ftg"))
 	if err != nil {
@@ -181,17 +189,62 @@ func (s *Store) warmStart() error {
 	for _, p := range paths {
 		f, err := os.Open(p)
 		if err != nil {
-			s.stats.WarmSkipped++
+			s.warmSkip(p, err)
 			continue
 		}
 		g, err := ftbfs.ReadGraph(f)
 		f.Close()
 		if err != nil {
-			s.stats.WarmSkipped++
+			s.warmSkip(p, err)
 			continue
 		}
 		g.Freeze()
 		s.graphs[g.Fingerprint()] = g
+		s.stats.WarmLoaded++
+	}
+	for _, pat := range []string{"st-*.fts", "stv-*.fts"} {
+		paths, err := filepath.Glob(filepath.Join(s.dir, pat))
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		for _, p := range paths {
+			if _, ok := keyFromStructFile(p); !ok {
+				s.warmSkip(p, fmt.Errorf("unrecognised structure file name"))
+				continue
+			}
+			if err := checkStructFile(p); err != nil {
+				s.warmSkip(p, err)
+				continue
+			}
+			s.stats.WarmLoaded++
+		}
+	}
+	return nil
+}
+
+// warmSkip counts and logs one file the warm scan could not accept.
+func (s *Store) warmSkip(path string, err error) {
+	s.stats.WarmSkipped++
+	log.Printf("store: warm start: skipping %s: %v", filepath.Base(path), err)
+}
+
+// textRecordPrefix starts every text structure record (versions 1 and 2).
+const textRecordPrefix = "ftbfs-structure "
+
+// checkStructFile verifies a structure record file is intact without
+// decoding it against a graph: binary records are checksum-verified, text
+// records are sniffed by header. Deep (graph-dependent) validation still
+// happens at load-through; a file failing there falls back to a rebuild.
+func checkStructFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if core.IsSlabRecord(data) {
+		return core.CheckSlab(data)
+	}
+	if !strings.HasPrefix(string(data[:min(len(data), len(textRecordPrefix))]), textRecordPrefix) {
+		return fmt.Errorf("unrecognised record header")
 	}
 	return nil
 }
@@ -540,7 +593,7 @@ func (s *Store) resolveVertex(g *ftbfs.Graph, k Key, source int) (*ftbfs.VertexS
 	s.mu.Unlock()
 	vst.Plan()
 	if dir != "" {
-		if err := writeAtomic(s.structPath(k), vst.Save); err != nil {
+		if err := writeAtomic(s.structPath(k), vst.SaveSlab); err != nil {
 			return vst, &PersistError{Err: fmt.Errorf("%v: %w", k, err)}
 		}
 		s.mu.Lock()
@@ -594,7 +647,7 @@ func (s *Store) resolve(g *ftbfs.Graph, keys []Key) (resolved map[Key]*ftbfs.Str
 	for i, k := range toBuild {
 		resolved[k] = sts[i]
 		if dir != "" {
-			if err := writeAtomic(s.structPath(k), sts[i].Save); err != nil {
+			if err := writeAtomic(s.structPath(k), sts[i].SaveSlab); err != nil {
 				// The builds succeeded — keep serving every one of them from
 				// memory, keep persisting the rest, and surface the first
 				// disk fault to the caller.
@@ -658,8 +711,11 @@ func (s *Store) insertLocked(k Key, st *ftbfs.Structure, vst *ftbfs.VertexStruct
 	}
 }
 
-// writeAtomic writes via a temp file + rename so readers never observe a
-// partial structure or graph file.
+// writeAtomic writes via a temp file + fsync + rename + directory fsync, so
+// readers never observe a partial structure or graph file — and a crash right
+// after the call cannot leave a renamed-but-unsynced (empty or truncated)
+// record behind. The warm scan would survive such a file anyway, but a synced
+// rename means a completed save is durable, not merely atomic.
 func writeAtomic(path string, write func(io.Writer) error) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
@@ -670,8 +726,20 @@ func writeAtomic(path string, write func(io.Writer) error) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }

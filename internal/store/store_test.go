@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"ftbfs"
+	"ftbfs/internal/core"
 )
 
 func testGraph(t testing.TB, n, extra int, seed int64) *ftbfs.Graph {
@@ -264,7 +265,12 @@ func TestCorruptFileFallsBackToRebuild(t *testing.T) {
 	if got := savedBytes(t, st2); !bytes.Equal(got, want) {
 		t.Fatal("rebuild after corrupt file differs")
 	}
-	if got, err := os.ReadFile(path); err != nil || !bytes.Equal(got, want) {
+	// The rebuild overwrites the corrupt file with the binary slab record.
+	var slab bytes.Buffer
+	if err := st2.SaveSlab(&slab); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := os.ReadFile(path); err != nil || !bytes.Equal(got, slab.Bytes()) {
 		t.Fatal("corrupt file was not overwritten by the rebuild")
 	}
 }
@@ -506,5 +512,96 @@ func TestConcurrentGetOrBuildVertexSingleFlight(t *testing.T) {
 	}
 	if b := s.Stats().Builds; b != 1 {
 		t.Fatalf("single-flight failed: %d builds for one key", b)
+	}
+}
+
+// TestStructuresPersistAsSlabRecords pins the on-disk contract: the store
+// writes version-3 binary slab records for both failure models, and an
+// evicted structure loads back through the slab decoder (not the text one)
+// into an answer-identical structure.
+func TestStructuresPersistAsSlabRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.AddGraph(testGraph(t, 40, 60, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetOrBuild(Key{Graph: fp, Source: 0, Eps: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetOrBuildVertex(fp, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range []string{"st-*.fts", "stv-*.fts"} {
+		files, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil || len(files) != 1 {
+			t.Fatalf("glob %s: %v, %v", pat, files, err)
+		}
+		data, err := os.ReadFile(files[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !core.IsSlabRecord(data) {
+			t.Fatalf("%s does not start with the slab magic", filepath.Base(files[0]))
+		}
+		if err := core.CheckSlab(data); err != nil {
+			t.Fatalf("%s fails integrity check: %v", filepath.Base(files[0]), err)
+		}
+	}
+}
+
+// TestWarmStartCountsAndSkipsStructureFiles: the warm scan accepts intact
+// record files (counted in WarmLoaded), skips corrupt or truncated ones
+// (counted in WarmSkipped) without making the store unbootable, and a skipped
+// file's key still resolves later by rebuild-and-overwrite.
+func TestWarmStartCountsAndSkipsStructureFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s1.AddGraph(testGraph(t, 40, 60, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Key{Graph: fp, Source: 0, Eps: 0.25}
+	bad := Key{Graph: fp, Source: 1, Eps: 0.25}
+	for _, k := range []Key{good, bad} {
+		if _, err := s1.GetOrBuild(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s1.GetOrBuildVertex(fp, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate one record mid-payload: the checksum/length check must catch it.
+	data, err := os.ReadFile(s1.structPath(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s1.structPath(bad), data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(0, dir)
+	if err != nil {
+		t.Fatalf("one truncated structure file made the store unbootable: %v", err)
+	}
+	st := s2.Stats()
+	if st.WarmLoaded != 3 { // graph + intact edge record + vertex record
+		t.Fatalf("WarmLoaded = %d, want 3", st.WarmLoaded)
+	}
+	if st.WarmSkipped != 1 {
+		t.Fatalf("WarmSkipped = %d, want 1", st.WarmSkipped)
+	}
+	// The skipped key rebuilds (and overwrites the truncated file).
+	if _, err := s2.GetOrBuild(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkStructFile(s2.structPath(bad)); err != nil {
+		t.Fatalf("rebuilt record still corrupt: %v", err)
 	}
 }

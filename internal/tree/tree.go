@@ -19,9 +19,9 @@ type Tree struct {
 	Depth      []int32
 	Size       []int32 // subtree sizes (0 for unreachable)
 
-	tin, tout []int32 // Euler intervals for O(1) ancestor tests
+	tin, tout []int32 // preorder intervals for O(1) ancestor tests
 
-	// Dense preorder from the same Euler tour: the subtree of v is the
+	// Dense preorder from the same tour: the subtree of v is the
 	// contiguous slice PreOrder[PreIndex[v] : PreIndex[v]+Size[v]], which is
 	// what lets a failure repair enumerate exactly the affected vertices.
 	PreOrder []int32 // reachable vertices in DFS preorder
@@ -48,86 +48,99 @@ type Tree struct {
 // including the Fact 3.3 decomposition.
 func Build(g *graph.Graph, bt *bfs.Tree) *Tree {
 	t := BuildAncestry(g.N(), bt)
+	t.buildChildren(g.N())
 	t.decompose(g)
 	return t
 }
 
-// BuildAncestry constructs only the ancestry machinery — subtree sizes,
-// Euler intervals, preorder subtree enumeration — without the Fact 3.3
-// decomposition. Query plans use it: they classify failures and enumerate
-// subtrees but never walk decomposition paths, and skipping decompose saves
-// an O(n) pass plus its allocations on every structure build and store
-// load-through. Paths/PathOf/PosOf/PathLevel/GlueEdges stay empty; LCA,
-// SegmentsTo and GlueEdgesOn must not be called on an ancestry-only tree.
-func BuildAncestry(n int, bt *bfs.Tree) *Tree {
-	t := &Tree{
-		Root:       bt.Source,
-		Parent:     bt.Parent,
-		ParentEdge: bt.ParentEdge,
-		Depth:      bt.Dist,
-		Size:       make([]int32, n),
-		tin:        make([]int32, n),
-		tout:       make([]int32, n),
-		PreOrder:   make([]int32, 0, len(bt.Order)),
-		PreIndex:   make([]int32, n),
-		PathOf:     make([]int32, n),
-		PosOf:      make([]int32, n),
-		children:   make([][]int32, n),
-		order:      bt.Order,
+// buildChildren materializes per-vertex child lists (needed only by the
+// decomposition and Children); the lists share one flat slab, appended into
+// pre-capped slices, so the whole thing costs three allocations.
+func (t *Tree) buildChildren(n int) {
+	cnt := make([]int32, n)
+	total := 0
+	for _, v := range t.order {
+		if p := t.Parent[v]; p >= 0 {
+			cnt[p]++
+			total++
+		}
 	}
-	for i := 0; i < n; i++ {
-		t.tin[i] = -1
-		t.PreIndex[i] = -1
-		t.PathOf[i] = -1
+	flat := make([]int32, total)
+	t.children = make([][]int32, n)
+	off := 0
+	for v := 0; v < n; v++ {
+		t.children[v] = flat[off : off : off+int(cnt[v])]
+		off += int(cnt[v])
 	}
 	for _, v := range t.order {
 		if p := t.Parent[v]; p >= 0 {
 			t.children[p] = append(t.children[p], v)
 		}
 	}
-	// Subtree sizes bottom-up over the BFS order.
+}
+
+// BuildAncestry constructs only the ancestry machinery — subtree sizes,
+// preorder intervals, preorder subtree enumeration — without the Fact 3.3
+// decomposition. Query plans use it: they classify failures and enumerate
+// subtrees but never walk decomposition paths, and skipping decompose saves
+// an O(n) pass plus its allocations on every structure build and store
+// load-through. Paths/PathOf/PosOf/PathLevel/GlueEdges/children stay empty;
+// LCA, SegmentsTo, GlueEdgesOn and Children must not be called on an
+// ancestry-only tree.
+func BuildAncestry(n int, bt *bfs.Tree) *Tree {
+	t := &Tree{
+		Root:       bt.Source,
+		Parent:     bt.Parent,
+		ParentEdge: bt.ParentEdge,
+		Depth:      bt.Dist,
+		order:      bt.Order,
+	}
+	// The four n-sized ancestry arrays share one allocation (and one zeroing
+	// pass); this constructor runs on every store load-through, so constant
+	// factors here are serving-path latency.
+	slab := make([]int32, 4*n)
+	t.Size = slab[0*n : 1*n : 1*n]
+	t.tin = slab[1*n : 2*n : 2*n]
+	t.tout = slab[2*n : 3*n : 3*n]
+	t.PreIndex = slab[3*n : 4*n : 4*n]
+	for i := 0; i < n; i++ {
+		t.tin[i] = -1
+		t.PreIndex[i] = -1
+	}
+	// Subtree sizes bottom-up over the BFS order (children follow parents).
 	for i := len(t.order) - 1; i >= 0; i-- {
 		v := t.order[i]
-		t.Size[v] = 1
-		for _, c := range t.children[v] {
-			t.Size[v] += t.Size[c]
+		t.Size[v]++
+		if p := t.Parent[v]; p >= 0 {
+			t.Size[p] += t.Size[v]
 		}
 	}
-	t.eulerTour()
+	t.preorderTour()
 	return t
 }
 
-// eulerTour assigns tin/tout via an iterative DFS so IsAncestor is O(1).
-func (t *Tree) eulerTour() {
+// preorderTour assigns each reachable vertex its dense preorder position —
+// parent first, siblings in BFS order — and the half-open interval
+// [tin, tout) = [PreIndex[v], PreIndex[v]+Size[v]) that makes IsAncestor and
+// InSubtree O(1). One top-down pass over the BFS order replaces an explicit
+// DFS: tout[v] doubles as v's child cursor (the next free slot inside v's
+// interval), starting just past v itself and ending — after the last child
+// claims its block — at exactly tin[v]+Size[v], the interval end.
+func (t *Tree) preorderTour() {
 	if len(t.order) == 0 {
 		return
 	}
-	type frame struct {
-		v    int32
-		next int
-	}
-	stack := make([]frame, 0, 64)
-	timer := int32(0)
-	visit := func(v int32) {
-		t.tin[v] = timer
-		timer++
-		t.PreIndex[v] = int32(len(t.PreOrder))
-		t.PreOrder = append(t.PreOrder, v)
-	}
-	visit(t.Root)
-	stack = append(stack, frame{v: t.Root})
-	for len(stack) > 0 {
-		f := &stack[len(stack)-1]
-		if f.next < len(t.children[f.v]) {
-			c := t.children[f.v][f.next]
-			f.next++
-			visit(c)
-			stack = append(stack, frame{v: c})
-		} else {
-			t.tout[f.v] = timer
-			timer++
-			stack = stack[:len(stack)-1]
+	t.PreOrder = make([]int32, len(t.order))
+	t.tin[t.Root] = 0
+	t.tout[t.Root] = 1
+	for _, v := range t.order {
+		if p := t.Parent[v]; p >= 0 {
+			t.tin[v] = t.tout[p]
+			t.tout[p] += t.Size[v]
+			t.tout[v] = t.tin[v] + 1
 		}
+		t.PreIndex[v] = t.tin[v]
+		t.PreOrder[t.tin[v]] = v
 	}
 }
 
@@ -136,6 +149,12 @@ func (t *Tree) eulerTour() {
 // has at most half the vertices and is decomposed recursively (implemented
 // as a worklist). Glue edges connect each hanging head to its parent path.
 func (t *Tree) decompose(g *graph.Graph) {
+	n := g.N()
+	t.PathOf = make([]int32, n)
+	t.PosOf = make([]int32, n)
+	for i := 0; i < n; i++ {
+		t.PathOf[i] = -1
+	}
 	if len(t.order) == 0 {
 		return
 	}

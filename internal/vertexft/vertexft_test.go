@@ -164,7 +164,9 @@ func TestPairsCountsAddedEdges(t *testing.T) {
 func naiveBuild(t *testing.T, g *graph.Graph, s int) *graph.EdgeSet {
 	t.Helper()
 	bt := bfs.From(g, s)
-	tr := tree.BuildAncestry(g.N(), bt)
+	// tree.Build, not BuildAncestry: this walker needs the children lists,
+	// which the ancestry-only constructor deliberately skips.
+	tr := tree.Build(g, bt)
 	h := bt.EdgeSet(g.M())
 	treeEdges := bt.EdgeSet(g.M())
 	sc := bfs.NewScratch(g.N())

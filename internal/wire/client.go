@@ -1,0 +1,333 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a pooled, pipelining wire client for one server address. It
+// keeps a small fixed set of persistent connections; concurrent requests are
+// spread round-robin and multiplexed by request id, so one connection can
+// carry many in-flight requests (hedged reads and scatter-gather sub-batches
+// share connections instead of dialing). A Client is safe for concurrent use
+// and survives server restarts: a dead connection fails its in-flight
+// requests with a transport error and is re-dialed on the next request.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+	reqTimeout  time.Duration
+
+	ids   atomic.Uint64
+	next  atomic.Uint64
+	mu    sync.Mutex // guards conns slots during (re)dial
+	conns []*clientConn
+}
+
+// response is what the reader goroutine hands back to a waiter.
+type response struct {
+	typ     byte
+	payload []byte // owned by the waiter
+	err     error
+}
+
+// chanPool recycles waiter channels: a channel that delivered its response
+// is drained and safe to reuse, and point queries are frequent enough that
+// the per-request make(chan) shows up. Channels on the forget path (timeout
+// or cancel) are simply dropped — the dying connection may still send to
+// them, so they must not be reused.
+var chanPool = sync.Pool{New: func() any { return make(chan response, 1) }}
+
+// timerPool recycles request timers; Reset after a receive or Stop is safe
+// with Go 1.23+ timer semantics.
+var timerPool = sync.Pool{}
+
+// clientConn is one multiplexed connection.
+type clientConn struct {
+	c  net.Conn
+	bw *bufio.Writer
+
+	wmu   sync.Mutex   // serialises frame writes
+	wpend atomic.Int64 // senders holding or waiting on wmu
+
+	pmu     sync.Mutex
+	pending map[uint64]chan response
+	dead    bool
+}
+
+// NewClient returns a client for addr; connections are dialed lazily. conns
+// bounds the connection pool (values < 1 mean 4 — enough to spread syscall
+// load without hoarding server sockets; pipelining provides the parallelism).
+func NewClient(addr string, conns int) *Client {
+	if conns < 1 {
+		conns = 4
+	}
+	return &Client{
+		addr:        addr,
+		dialTimeout: 2 * time.Second,
+		reqTimeout:  30 * time.Second,
+		conns:       make([]*clientConn, conns),
+	}
+}
+
+// Addr returns the server address the client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Close tears down every pooled connection; in-flight requests fail with a
+// transport error. The client remains usable (connections re-dial).
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, cc := range c.conns {
+		if cc != nil {
+			cc.fail(fmt.Errorf("wire: client closed"))
+			c.conns[i] = nil
+		}
+	}
+}
+
+// conn returns a live connection from the pool slot the round-robin counter
+// picks, dialing if the slot is empty or its connection died. Dialing runs
+// outside the pool lock so a slow dial to one address never stalls requests
+// that can ride an existing connection.
+func (c *Client) conn() (*clientConn, error) {
+	slot := int(c.next.Add(1) % uint64(len(c.conns)))
+	c.mu.Lock()
+	cc := c.conns[slot]
+	c.mu.Unlock()
+	if cc != nil && !cc.isDead() {
+		return cc, nil
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	if _, err := nc.Write(preamble[:]); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	ncc := &clientConn{
+		c:       nc,
+		bw:      bufio.NewWriterSize(nc, 32<<10),
+		pending: make(map[uint64]chan response),
+	}
+	c.mu.Lock()
+	if cur := c.conns[slot]; cur != nil && cur != cc && !cur.isDead() {
+		// Lost a dial race; use the winner and drop ours (no reader yet).
+		c.mu.Unlock()
+		nc.Close()
+		return cur, nil
+	}
+	c.conns[slot] = ncc
+	c.mu.Unlock()
+	go ncc.readLoop()
+	return ncc, nil
+}
+
+// isDead reports whether the connection has failed.
+func (cc *clientConn) isDead() bool {
+	cc.pmu.Lock()
+	defer cc.pmu.Unlock()
+	return cc.dead
+}
+
+// readLoop dispatches response frames to their waiters until the connection
+// dies, then fails everything still pending.
+func (cc *clientConn) readLoop() {
+	br := bufio.NewReaderSize(cc.c, 32<<10)
+	var buf []byte
+	for {
+		typ, id, payload, newBuf, err := readFrame(br, buf)
+		buf = newBuf
+		if err != nil {
+			cc.fail(fmt.Errorf("wire: connection lost: %w", err))
+			return
+		}
+		cc.pmu.Lock()
+		ch, ok := cc.pending[id]
+		delete(cc.pending, id)
+		cc.pmu.Unlock()
+		if ok {
+			// Copy out of the read buffer: the waiter owns its payload.
+			p := make([]byte, len(payload))
+			copy(p, payload)
+			ch <- response{typ: typ, payload: p}
+		}
+	}
+}
+
+// fail marks the connection dead, closes it, and fails all waiters.
+func (cc *clientConn) fail(err error) {
+	cc.pmu.Lock()
+	if cc.dead {
+		cc.pmu.Unlock()
+		return
+	}
+	cc.dead = true
+	pending := cc.pending
+	cc.pending = nil
+	cc.pmu.Unlock()
+	cc.c.Close()
+	for _, ch := range pending {
+		ch <- response{err: err}
+	}
+}
+
+// send registers a waiter and writes one request frame.
+func (cc *clientConn) send(typ byte, id uint64, payload []byte) (chan response, error) {
+	ch := chanPool.Get().(chan response)
+	cc.pmu.Lock()
+	if cc.dead {
+		cc.pmu.Unlock()
+		return nil, fmt.Errorf("wire: connection lost")
+	}
+	cc.pending[id] = ch
+	cc.pmu.Unlock()
+
+	cc.wpend.Add(1)
+	cc.wmu.Lock()
+	buf := getBuf()
+	*buf = appendFrame((*buf)[:0], typ, id, payload)
+	_, err := cc.bw.Write(*buf)
+	// Group flush: if another sender is already waiting on wmu, leave our
+	// frame buffered — the last writer in the burst sees the count hit zero
+	// and pays one syscall for everyone. Under light load the count is zero
+	// immediately and this degenerates to flush-per-request.
+	if err == nil && cc.wpend.Add(-1) == 0 {
+		err = cc.bw.Flush()
+	} else if err != nil {
+		cc.wpend.Add(-1)
+	}
+	putBuf(buf)
+	cc.wmu.Unlock()
+	if err != nil {
+		cc.fail(fmt.Errorf("wire: write failed: %w", err))
+		return nil, err
+	}
+	return ch, nil
+}
+
+// forget abandons a waiter (timeout/cancel); the connection is killed, since
+// an abandoned in-flight response would otherwise desynchronise nothing —
+// ids keep frames matched — but a hung server must not pin a conn forever.
+func (cc *clientConn) forget(id uint64, err error) {
+	cc.pmu.Lock()
+	_, mine := cc.pending[id]
+	delete(cc.pending, id)
+	cc.pmu.Unlock()
+	if mine {
+		cc.fail(err)
+	}
+}
+
+// do sends one request and waits for its response.
+func (c *Client) do(ctx context.Context, typ byte, payload []byte) (response, error) {
+	cc, err := c.conn()
+	if err != nil {
+		return response{}, err
+	}
+	id := c.ids.Add(1)
+	ch, err := cc.send(typ, id, payload)
+	if err != nil {
+		return response{}, err
+	}
+	timeout := c.reqTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if d := time.Until(dl); d < timeout {
+			timeout = d
+		}
+	}
+	var timer *time.Timer
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(timeout)
+		timer = t
+	} else {
+		timer = time.NewTimer(timeout)
+	}
+	select {
+	case r := <-ch:
+		timer.Stop()
+		timerPool.Put(timer)
+		// The channel delivered its single response; it is empty and safe
+		// to reuse.
+		chanPool.Put(ch)
+		return r, r.err
+	case <-ctx.Done():
+		cc.forget(id, ctx.Err())
+		timer.Stop()
+		timerPool.Put(timer)
+		return response{}, ctx.Err()
+	case <-timer.C:
+		err := fmt.Errorf("wire: request timed out after %v", timeout)
+		cc.forget(id, err)
+		timerPool.Put(timer)
+		return response{}, err
+	}
+}
+
+// Point answers one point query. A non-nil *Error is a definitive in-protocol
+// answer from the server (mirroring an HTTP status); a non-nil error is a
+// transport failure the caller may retry or fall back from.
+func (c *Client) Point(ctx context.Context, typ byte, q *PointQuery) (int32, *Error, error) {
+	buf := getBuf()
+	payload := appendPoint((*buf)[:0], q)
+	r, err := c.do(ctx, typ, payload)
+	putBuf(buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	switch r.typ {
+	case RDist:
+		if len(r.payload) != 4 {
+			return 0, nil, fmt.Errorf("wire: bad point response length %d", len(r.payload))
+		}
+		return int32(uint32(r.payload[0]) | uint32(r.payload[1])<<8 | uint32(r.payload[2])<<16 | uint32(r.payload[3])<<24), nil, nil
+	case RError:
+		werr, perr := parseError(r.payload)
+		if perr != nil {
+			return 0, nil, perr
+		}
+		return 0, werr, nil
+	default:
+		return 0, nil, fmt.Errorf("wire: unexpected response type %#x", r.typ)
+	}
+}
+
+// Batch answers a batch of slots; dists and errs are parallel to slots with
+// "" marking success. A non-nil *Error means the server rejected the whole
+// batch; a non-nil error is a transport failure.
+func (c *Client) Batch(ctx context.Context, slots []BatchSlot) ([]int32, []string, *Error, error) {
+	buf := getBuf()
+	payload := appendBatch((*buf)[:0], slots)
+	r, err := c.do(ctx, TBatch, payload)
+	putBuf(buf)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	switch r.typ {
+	case RBatch:
+		dists, errs, perr := parseBatchResponse(r.payload)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		if len(dists) != len(slots) {
+			return nil, nil, nil, fmt.Errorf("wire: batch response has %d slots, want %d", len(dists), len(slots))
+		}
+		return dists, errs, nil, nil
+	case RError:
+		werr, perr := parseError(r.payload)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		return nil, nil, werr, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("wire: unexpected response type %#x", r.typ)
+	}
+}

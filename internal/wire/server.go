@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// Backend answers decoded wire queries; internal/server implements it on top
+// of the same store/oracle machinery the HTTP handlers use, which is what
+// makes the two transports answer-identical by construction.
+type Backend interface {
+	// WirePoint answers one point query of the given request type
+	// (TDist / TDistAvoiding / TDistAvoidingVertex).
+	WirePoint(typ byte, q *PointQuery) (int32, *Error)
+	// WireBatch answers a batch; dists and errs are parallel to slots, with
+	// "" marking a slot that succeeded.
+	WireBatch(slots []BatchSlot) (dists []int32, errs []string)
+}
+
+// Serve accepts wire connections on ln until ctx is cancelled or the
+// listener fails, answering frames through backend. Each connection is
+// handled by its own goroutine; frames on one connection are answered in
+// order (responses carry the request id, so pipelined clients don't care).
+// Serve closes every live connection on shutdown and only then returns.
+func Serve(ctx context.Context, ln net.Listener, backend Backend) error {
+	var (
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+		wg    sync.WaitGroup
+	)
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	var err error
+	for {
+		var c net.Conn
+		c, err = ln.Accept()
+		if err != nil {
+			break
+		}
+		mu.Lock()
+		conns[c] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				mu.Lock()
+				delete(conns, c)
+				mu.Unlock()
+				c.Close()
+			}()
+			serveConn(c, backend)
+		}()
+	}
+	mu.Lock()
+	for c := range conns {
+		c.Close()
+	}
+	mu.Unlock()
+	wg.Wait()
+	if ctx.Err() != nil {
+		return nil // orderly shutdown
+	}
+	return err
+}
+
+// serveConn validates the preamble then answers frames until the peer
+// disconnects or breaks the protocol.
+func serveConn(c net.Conn, backend Backend) {
+	br := bufio.NewReaderSize(c, 32<<10)
+	bw := bufio.NewWriterSize(c, 32<<10)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil || got != preamble {
+		return
+	}
+	buf := *getBuf()
+	defer func() { putBuf(&buf) }()
+	for {
+		typ, id, payload, newBuf, err := readFrame(br, buf[:cap(buf)])
+		buf = newBuf
+		if err != nil {
+			return
+		}
+		if err := answer(bw, backend, typ, id, payload); err != nil {
+			return
+		}
+		// Flush only when the pipeline drains: back-to-back pipelined
+		// requests share one syscall on the way out.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// errProtocol tells serveConn to drop the connection: the peer sent a frame
+// that cannot be answered in-protocol.
+var errProtocol = errors.New("wire: protocol error")
+
+// answer decodes and answers one request frame.
+func answer(w io.Writer, backend Backend, typ byte, id uint64, payload []byte) error {
+	switch typ {
+	case TDist, TDistAvoiding, TDistAvoidingVertex:
+		q, err := parsePoint(payload)
+		if err != nil {
+			return errProtocol
+		}
+		d, werr := backend.WirePoint(typ, &q)
+		if werr != nil {
+			buf := getBuf()
+			defer putBuf(buf)
+			return writeFrame(w, RError, id, appendError((*buf)[:0], werr.Code, werr.Msg))
+		}
+		var db [4]byte
+		db[0], db[1], db[2], db[3] = byte(d), byte(d>>8), byte(d>>16), byte(d>>24)
+		return writeFrame(w, RDist, id, db[:])
+	case TBatch:
+		slots, err := parseBatch(payload)
+		if err != nil {
+			return errProtocol
+		}
+		dists, errs := backend.WireBatch(slots)
+		buf := getBuf()
+		defer putBuf(buf)
+		return writeFrame(w, RBatch, id, appendBatchResponse((*buf)[:0], dists, errs))
+	default:
+		return errProtocol
+	}
+}

@@ -1,0 +1,311 @@
+// Package wire implements the binary query protocol that replaces HTTP/JSON
+// on the serving hot path. A connection is persistent and carries
+// length-prefixed frames both ways; requests carry client-chosen ids that
+// responses echo, so many requests can be in flight on one connection
+// (pipelining) and responses may arrive out of order.
+//
+// Connection preamble (client → server, once): "FTBW" + version u32.
+//
+// Frame layout, everything little-endian:
+//
+//	length  u32  bytes after this field: 1 (type) + 8 (id) + payload
+//	type    u8   request or response type
+//	id      u64  request id, echoed verbatim by the response
+//	payload      fixed-layout body, see below
+//
+// Point request payload (TDist / TDistAvoiding / TDistAvoidingVertex),
+// 36 bytes: graph fingerprint u64, ε bits u64, source i32, algorithm i32,
+// target v i32, a i32, b i32 — (a,b) are the failed edge's endpoints for
+// TDistAvoiding, a is the failed vertex for TDistAvoidingVertex, both -1
+// for TDist. Batch request payload: count u32, then count 40-byte slots
+// (point payload + flags u32, bit 0 = vertex model). Responses: RDist
+// carries dist i32; RBatch carries count u32 + dists + errCount u32 +
+// errCount × (slot u32, len u32, message); RError carries an HTTP-equivalent
+// status code u32 + len u32 + message, so the router's retry classification
+// works identically over either transport.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Protocol constants.
+const (
+	// Version is the protocol version sent in the connection preamble.
+	Version uint32 = 1
+
+	// MaxPayload bounds a frame's payload; a peer announcing more is
+	// protocol-corrupt and the connection is dropped. Generous for batches:
+	// 200k slots fit with room to spare.
+	MaxPayload = 8 << 20
+
+	frameOverhead = 1 + 8 // type + id, covered by the length prefix
+)
+
+// preamble is the 8-byte connection header: magic + version.
+var preamble = [8]byte{'F', 'T', 'B', 'W', byte(Version), 0, 0, 0}
+
+// Request and response frame types.
+const (
+	TDist               byte = 0x01 // intact distance
+	TDistAvoiding       byte = 0x02 // distance under an edge failure
+	TDistAvoidingVertex byte = 0x03 // distance under a vertex failure
+	TBatch              byte = 0x04 // mixed batch of the above
+	RDist               byte = 0x81 // point answer
+	RBatch              byte = 0x84 // batch answer
+	RError              byte = 0xff // status code + message
+)
+
+// pointPayloadLen is the fixed point-request payload length.
+const pointPayloadLen = 36
+
+// slotLen is the fixed batch-slot length (point payload + flags).
+const slotLen = pointPayloadLen + 4
+
+// slotFlagVertex marks a batch slot as a vertex-model query.
+const slotFlagVertex uint32 = 1
+
+// PointQuery is one fully-resolved point query: the key (graph fingerprint,
+// source, ε, algorithm) plus the target and failure. All fields travel
+// verbatim — the router resolves defaults before framing, the shard
+// validates against its store exactly as the HTTP handlers do.
+type PointQuery struct {
+	FP      uint64
+	EpsBits uint64
+	Source  int32
+	Alg     int32
+	V       int32
+	A, B    int32 // failed edge endpoints, or failed vertex in A; -1 unused
+}
+
+// Eps returns the ε the bits encode.
+func (q *PointQuery) Eps() float64 { return math.Float64frombits(q.EpsBits) }
+
+// BatchSlot is one entry of a batch request.
+type BatchSlot struct {
+	PointQuery
+	Vertex bool // vertex-failure model (A is the failed vertex)
+}
+
+// Error is a non-transport failure answered by the server: an
+// HTTP-equivalent status code plus message, so callers relaying to HTTP
+// clients (and the router's retryable-status logic) need no translation.
+type Error struct {
+	Code int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("wire: status %d: %s", e.Code, e.Msg) }
+
+// frameBufs recycles frame encode/decode buffers across connections and
+// requests; point frames are tiny but batches are worth pooling.
+var frameBufs = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+func getBuf() *[]byte  { return frameBufs.Get().(*[]byte) }
+func putBuf(b *[]byte) { *b = (*b)[:0]; frameBufs.Put(b) }
+
+// appendFrame appends a complete frame to buf.
+func appendFrame(buf []byte, typ byte, id uint64, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(frameOverhead+len(payload)))
+	buf = append(buf, typ)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	return append(buf, payload...)
+}
+
+// writeFrame writes one frame to w.
+func writeFrame(w io.Writer, typ byte, id uint64, payload []byte) error {
+	buf := getBuf()
+	defer putBuf(buf)
+	*buf = appendFrame((*buf)[:0], typ, id, payload)
+	_, err := w.Write(*buf)
+	return err
+}
+
+// readFrame reads one frame from r into buf (grown as needed), returning the
+// payload as a sub-slice of the returned buffer — valid until the next call.
+func readFrame(r io.Reader, buf []byte) (typ byte, id uint64, payload, newBuf []byte, err error) {
+	var hdr [4 + frameOverhead]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, buf, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	if length < frameOverhead || length > frameOverhead+MaxPayload {
+		return 0, 0, nil, buf, fmt.Errorf("wire: bad frame length %d", length)
+	}
+	typ = hdr[4]
+	id = binary.LittleEndian.Uint64(hdr[5:])
+	n := int(length) - frameOverhead
+	if cap(buf) < n {
+		buf = make([]byte, n, n+n/2)
+	}
+	buf = buf[:n]
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return 0, 0, nil, buf, err
+	}
+	return typ, id, buf, buf, nil
+}
+
+// appendPoint appends the fixed point payload.
+func appendPoint(buf []byte, q *PointQuery) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, q.FP)
+	buf = binary.LittleEndian.AppendUint64(buf, q.EpsBits)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Source))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Alg))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.V))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.A))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.B))
+	return buf
+}
+
+// parsePoint decodes a fixed point payload.
+func parsePoint(payload []byte) (PointQuery, error) {
+	if len(payload) != pointPayloadLen {
+		return PointQuery{}, fmt.Errorf("wire: point payload is %d bytes, want %d", len(payload), pointPayloadLen)
+	}
+	le := binary.LittleEndian
+	return PointQuery{
+		FP:      le.Uint64(payload[0:]),
+		EpsBits: le.Uint64(payload[8:]),
+		Source:  int32(le.Uint32(payload[16:])),
+		Alg:     int32(le.Uint32(payload[20:])),
+		V:       int32(le.Uint32(payload[24:])),
+		A:       int32(le.Uint32(payload[28:])),
+		B:       int32(le.Uint32(payload[32:])),
+	}, nil
+}
+
+// appendBatch appends a batch request payload.
+func appendBatch(buf []byte, slots []BatchSlot) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(slots)))
+	for i := range slots {
+		buf = appendPoint(buf, &slots[i].PointQuery)
+		var flags uint32
+		if slots[i].Vertex {
+			flags |= slotFlagVertex
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, flags)
+	}
+	return buf
+}
+
+// parseBatch decodes a batch request payload.
+func parseBatch(payload []byte) ([]BatchSlot, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("wire: batch payload truncated")
+	}
+	count := int(binary.LittleEndian.Uint32(payload))
+	if count < 0 || len(payload) != 4+count*slotLen {
+		return nil, fmt.Errorf("wire: batch payload is %d bytes for %d slots", len(payload), count)
+	}
+	slots := make([]BatchSlot, count)
+	off := 4
+	for i := range slots {
+		q, err := parsePoint(payload[off : off+pointPayloadLen])
+		if err != nil {
+			return nil, err
+		}
+		flags := binary.LittleEndian.Uint32(payload[off+pointPayloadLen:])
+		if flags&^slotFlagVertex != 0 {
+			return nil, fmt.Errorf("wire: batch slot %d has unknown flags %#x", i, flags)
+		}
+		slots[i] = BatchSlot{PointQuery: q, Vertex: flags&slotFlagVertex != 0}
+		off += slotLen
+	}
+	return slots, nil
+}
+
+// appendError appends an RError payload.
+func appendError(buf []byte, code int, msg string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(code))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(msg)))
+	return append(buf, msg...)
+}
+
+// parseError decodes an RError payload.
+func parseError(payload []byte) (*Error, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("wire: error payload truncated")
+	}
+	le := binary.LittleEndian
+	code := int(le.Uint32(payload))
+	n := int(le.Uint32(payload[4:]))
+	if n < 0 || len(payload) != 8+n {
+		return nil, fmt.Errorf("wire: error payload is %d bytes for a %d-byte message", len(payload), n)
+	}
+	if code < 100 || code > 599 {
+		return nil, fmt.Errorf("wire: error status %d out of range", code)
+	}
+	return &Error{Code: code, Msg: string(payload[8:])}, nil
+}
+
+// appendBatchResponse appends an RBatch payload: all dists, then the sparse
+// error entries (slots whose errs entry is non-empty).
+func appendBatchResponse(buf []byte, dists []int32, errs []string) []byte {
+	le := binary.LittleEndian
+	buf = le.AppendUint32(buf, uint32(len(dists)))
+	for _, d := range dists {
+		buf = le.AppendUint32(buf, uint32(d))
+	}
+	errCount := 0
+	for _, e := range errs {
+		if e != "" {
+			errCount++
+		}
+	}
+	buf = le.AppendUint32(buf, uint32(errCount))
+	for i, e := range errs {
+		if e == "" {
+			continue
+		}
+		buf = le.AppendUint32(buf, uint32(i))
+		buf = le.AppendUint32(buf, uint32(len(e)))
+		buf = append(buf, e...)
+	}
+	return buf
+}
+
+// parseBatchResponse decodes an RBatch payload into dense dists and a
+// same-length errs slice ("" = ok).
+func parseBatchResponse(payload []byte) (dists []int32, errs []string, err error) {
+	le := binary.LittleEndian
+	if len(payload) < 4 {
+		return nil, nil, fmt.Errorf("wire: batch response truncated")
+	}
+	count := int(le.Uint32(payload))
+	off := 4
+	if count < 0 || len(payload) < off+count*4+4 {
+		return nil, nil, fmt.Errorf("wire: batch response is %d bytes for %d dists", len(payload), count)
+	}
+	dists = make([]int32, count)
+	for i := range dists {
+		dists[i] = int32(le.Uint32(payload[off:]))
+		off += 4
+	}
+	errCount := int(le.Uint32(payload[off:]))
+	off += 4
+	if errCount < 0 || errCount > count {
+		return nil, nil, fmt.Errorf("wire: batch response claims %d errors for %d slots", errCount, count)
+	}
+	errs = make([]string, count)
+	for j := 0; j < errCount; j++ {
+		if len(payload) < off+8 {
+			return nil, nil, fmt.Errorf("wire: batch response truncated in error entry %d", j)
+		}
+		slot := int(le.Uint32(payload[off:]))
+		n := int(le.Uint32(payload[off+4:]))
+		off += 8
+		if slot < 0 || slot >= count || n < 0 || len(payload) < off+n {
+			return nil, nil, fmt.Errorf("wire: batch response error entry %d malformed", j)
+		}
+		errs[slot] = string(payload[off : off+n])
+		off += n
+	}
+	if off != len(payload) {
+		return nil, nil, fmt.Errorf("wire: batch response has %d trailing bytes", len(payload)-off)
+	}
+	return dists, errs, nil
+}

@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testBackend answers arithmetically so tests can verify routing without a
+// real store: point answers V + A + B + int32(typ), batches echo per-slot,
+// and A == -7 triggers an in-protocol error.
+type testBackend struct{}
+
+func (testBackend) WirePoint(typ byte, q *PointQuery) (int32, *Error) {
+	if q.A == -7 {
+		return 0, &Error{Code: 404, Msg: "unknown graph 00000000000000ff"}
+	}
+	return q.V + q.A + q.B + int32(typ), nil
+}
+
+func (testBackend) WireBatch(slots []BatchSlot) ([]int32, []string) {
+	dists := make([]int32, len(slots))
+	errs := make([]string, len(slots))
+	for i, s := range slots {
+		if s.A == -7 {
+			dists[i] = -1
+			errs[i] = fmt.Sprintf("slot %d failed", i)
+			continue
+		}
+		dists[i] = s.V * 2
+		if s.Vertex {
+			dists[i]++
+		}
+	}
+	return dists, errs
+}
+
+// startWire serves testBackend on a loopback listener.
+func startWire(t *testing.T) (addr string, shutdown func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Serve(ctx, ln, testBackend{})
+	}()
+	return ln.Addr().String(), func() {
+		cancel()
+		<-done
+	}
+}
+
+func TestPointRoundTrip(t *testing.T) {
+	addr, shutdown := startWire(t)
+	defer shutdown()
+	c := NewClient(addr, 2)
+	defer c.Close()
+
+	d, werr, err := c.Point(context.Background(), TDistAvoiding, &PointQuery{V: 10, A: 2, B: 3})
+	if err != nil || werr != nil {
+		t.Fatalf("Point: %v / %v", werr, err)
+	}
+	if want := int32(10 + 2 + 3 + int32(TDistAvoiding)); d != want {
+		t.Fatalf("Point = %d, want %d", d, want)
+	}
+
+	// In-protocol errors carry their HTTP-equivalent status through.
+	_, werr, err = c.Point(context.Background(), TDist, &PointQuery{V: 1, A: -7})
+	if err != nil {
+		t.Fatalf("Point transport error: %v", err)
+	}
+	if werr == nil || werr.Code != 404 {
+		t.Fatalf("Point error = %v, want status 404", werr)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	addr, shutdown := startWire(t)
+	defer shutdown()
+	c := NewClient(addr, 1)
+	defer c.Close()
+
+	slots := []BatchSlot{
+		{PointQuery: PointQuery{V: 5}},
+		{PointQuery: PointQuery{V: 6, A: -7}},
+		{PointQuery: PointQuery{V: 7}, Vertex: true},
+	}
+	dists, errs, werr, err := c.Batch(context.Background(), slots)
+	if err != nil || werr != nil {
+		t.Fatalf("Batch: %v / %v", werr, err)
+	}
+	if dists[0] != 10 || dists[2] != 15 {
+		t.Fatalf("Batch dists = %v", dists)
+	}
+	if errs[0] != "" || errs[1] != "slot 1 failed" || errs[2] != "" {
+		t.Fatalf("Batch errs = %q", errs)
+	}
+}
+
+// TestPipelinedConcurrency hammers one client (few conns, many goroutines)
+// to exercise id multiplexing; run with -race.
+func TestPipelinedConcurrency(t *testing.T) {
+	addr, shutdown := startWire(t)
+	defer shutdown()
+	c := NewClient(addr, 2)
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := int32(w*1000 + i)
+				d, werr, err := c.Point(context.Background(), TDist, &PointQuery{V: v, A: 1, B: 1})
+				if err != nil || werr != nil {
+					t.Errorf("Point: %v / %v", werr, err)
+					return
+				}
+				if want := v + 2 + int32(TDist); d != want {
+					t.Errorf("Point = %d, want %d", d, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestClientSurvivesServerRestart kills the server mid-stream and expects
+// transport errors (not hangs), then a full recovery once a new server
+// listens on the same address.
+func TestClientSurvivesServerRestart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done1 := make(chan struct{})
+	go func() { defer close(done1); Serve(ctx1, ln, testBackend{}) }()
+
+	c := NewClient(addr, 1)
+	defer c.Close()
+	if _, _, err := c.Point(context.Background(), TDist, &PointQuery{V: 1}); err != nil {
+		t.Fatalf("warm-up point: %v", err)
+	}
+
+	cancel1()
+	<-done1
+	// The dead connection surfaces as a transport error (possibly after one
+	// failed redial); it must not hang.
+	cctx, ccancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer ccancel()
+	if _, _, err := c.Point(cctx, TDist, &PointQuery{V: 1}); err == nil {
+		t.Fatalf("point against dead server succeeded")
+	}
+
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done2 := make(chan struct{})
+	go func() { defer close(done2); Serve(ctx2, ln2, testBackend{}) }()
+	defer func() { cancel2(); <-done2 }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := c.Point(context.Background(), TDist, &PointQuery{V: 2}); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never recovered after server restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerRejectsGarbage sends a non-preamble byte stream (an HTTP request,
+// say) and expects the server to just hang up.
+func TestServerRejectsGarbage(t *testing.T) {
+	addr, shutdown := startWire(t)
+	defer shutdown()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	fmt.Fprintf(nc, "GET /dist HTTP/1.1\r\nHost: x\r\n\r\n")
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var b [1]byte
+	if _, err := nc.Read(b[:]); err == nil {
+		t.Fatalf("server answered a non-wire client")
+	}
+}
+
+// FuzzWireFrame feeds arbitrary bytes to the frame reader and every payload
+// parser; nothing may panic or over-allocate, and whatever parses must
+// re-encode cleanly.
+func FuzzWireFrame(f *testing.F) {
+	var seed []byte
+	seed = appendFrame(seed, TDistAvoiding, 7, appendPoint(nil, &PointQuery{FP: 1, V: 2, A: 3, B: 4}))
+	f.Add(seed)
+	f.Add(appendFrame(nil, TBatch, 9, appendBatch(nil, []BatchSlot{{PointQuery: PointQuery{V: 1}, Vertex: true}})))
+	f.Add(appendFrame(nil, RError, 1, appendError(nil, 404, "nope")))
+	f.Add(appendFrame(nil, RBatch, 2, appendBatchResponse(nil, []int32{1, -1}, []string{"", "bad"})))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, _, payload, _, err := readFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case TDist, TDistAvoiding, TDistAvoidingVertex:
+			if q, err := parsePoint(payload); err == nil {
+				if got := appendPoint(nil, &q); !bytes.Equal(got, payload) {
+					t.Fatalf("point payload not canonical")
+				}
+			}
+		case TBatch:
+			if slots, err := parseBatch(payload); err == nil {
+				if got := appendBatch(nil, slots); !bytes.Equal(got, payload) {
+					t.Fatalf("batch payload not canonical")
+				}
+			}
+		case RError:
+			if e, err := parseError(payload); err == nil {
+				if got := appendError(nil, e.Code, e.Msg); !bytes.Equal(got, payload) {
+					t.Fatalf("error payload not canonical")
+				}
+			}
+		case RBatch:
+			// Batch responses have a sparse error section; parse only.
+			parseBatchResponse(payload)
+		}
+	})
+}

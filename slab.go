@@ -1,0 +1,130 @@
+package ftbfs
+
+import (
+	"fmt"
+	"io"
+
+	"ftbfs/internal/bfs"
+	"ftbfs/internal/core"
+	"ftbfs/internal/graph"
+	"ftbfs/internal/tree"
+	"ftbfs/internal/vertexft"
+)
+
+// SaveSlab serialises the structure as a version-3 binary record: the edge
+// sets plus the fully materialized query plan (H's CSR, the intact distance
+// vector, H's canonical BFS tree in BFS order), stored as flat little-endian
+// slabs. Loading such a record skips text parsing, endpoint re-binding and
+// every BFS pass — see LoadStructure, which sniffs the format. The plan is
+// built first if the structure has never served a query.
+func (s *Structure) SaveSlab(w io.Writer) error {
+	alg, err := core.ParseAlgorithm(s.st.Stats.Algorithm)
+	if err != nil {
+		return fmt.Errorf("ftbfs: slab save: %w", err)
+	}
+	p := s.Plan()
+	return core.EncodeSlab(w, s.st.G, &core.SlabRecord{
+		Model:      core.SlabEdge,
+		S:          s.st.S,
+		Eps:        s.st.Eps,
+		Alg:        alg,
+		Edges:      s.st.Edges,
+		Reinforced: s.st.Reinforced,
+		TreeEdges:  s.st.TreeEdges,
+		Intact:     p.intact,
+		RowStart:   p.h.RowStart,
+		Arcs:       p.h.Arcs,
+		Parent:     p.t.Parent,
+		ParentEdge: p.t.ParentEdge,
+		Order:      p.t.Order(),
+	})
+}
+
+// SaveSlab serialises the vertex structure as a version-3 binary record; the
+// vertex model stores no ε/algorithm/reinforcement dimension, mirroring the
+// version-2 text record. See Structure.SaveSlab.
+func (s *VertexStructure) SaveSlab(w io.Writer) error {
+	p := s.Plan()
+	return core.EncodeSlab(w, s.st.G, &core.SlabRecord{
+		Model:      core.SlabVertex,
+		S:          s.st.S,
+		Pairs:      s.st.Pairs,
+		Edges:      s.st.Edges,
+		Intact:     p.intact,
+		RowStart:   p.h.RowStart,
+		Arcs:       p.h.Arcs,
+		Parent:     p.t.Parent,
+		ParentEdge: p.t.ParentEdge,
+		Order:      p.t.Order(),
+	})
+}
+
+// slabTree reassembles the canonical BFS tree of H from a decoded record.
+// BuildAncestry is a linear pass over arrays the decoder already validated —
+// no search runs anywhere on the slab load path.
+func slabTree(g *graph.Graph, rec *core.SlabRecord) *tree.Tree {
+	return tree.BuildAncestry(g.N(), &bfs.Tree{
+		Source:     int32(rec.S),
+		Dist:       rec.Intact,
+		Parent:     rec.Parent,
+		ParentEdge: rec.ParentEdge,
+		Order:      rec.Order,
+	})
+}
+
+// slabStructure assembles a serving-ready edge structure from a decoded
+// binary record: the query plan and intact vector are installed directly, so
+// the first query after a load-through pays nothing.
+func slabStructure(g *graph.Graph, rec *core.SlabRecord) (*Structure, error) {
+	if rec.Model != core.SlabEdge {
+		return nil, fmt.Errorf("ftbfs: record is a vertex structure (load it with LoadVertexStructure)")
+	}
+	h, err := graph.NewCSR(g.N(), rec.RowStart, rec.Arcs)
+	if err != nil {
+		return nil, err
+	}
+	cs := &core.Structure{
+		G:          g,
+		S:          rec.S,
+		Eps:        rec.Eps,
+		Edges:      rec.Edges,
+		Reinforced: rec.Reinforced,
+		TreeEdges:  rec.TreeEdges,
+	}
+	cs.Stats.Algorithm = rec.Alg.String()
+	p := &QueryPlan{
+		h:         h,
+		intact:    rec.Intact,
+		t:         slabTree(g, rec),
+		edgeChild: make([]int32, g.M()),
+	}
+	for id := range p.edgeChild {
+		p.edgeChild[id] = -1
+	}
+	for _, v := range rec.Order {
+		if id := rec.ParentEdge[v]; id != graph.NoEdge {
+			p.edgeChild[id] = v
+		}
+	}
+	s := &Structure{st: cs}
+	s.intactOnce.Do(func() { s.intactDist = rec.Intact })
+	s.planOnce.Do(func() { s.qplan = p })
+	return s, nil
+}
+
+// slabVertexStructure is slabStructure for the vertex model.
+func slabVertexStructure(g *graph.Graph, rec *core.SlabRecord) (*VertexStructure, error) {
+	if rec.Model != core.SlabVertex {
+		return nil, fmt.Errorf("ftbfs: record is an edge structure (load it with LoadStructure)")
+	}
+	h, err := graph.NewCSR(g.N(), rec.RowStart, rec.Arcs)
+	if err != nil {
+		return nil, err
+	}
+	s := &VertexStructure{st: &vertexft.Structure{G: g, S: rec.S, Edges: rec.Edges, Pairs: rec.Pairs}}
+	s.intactOnce.Do(func() { s.intactDist = rec.Intact })
+	s.planOnce.Do(func() {
+		s.qplan = &VertexQueryPlan{h: h, intact: rec.Intact, t: slabTree(g, rec)}
+	})
+	return s, nil
+}
