@@ -15,6 +15,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -646,6 +647,145 @@ func BenchmarkClusterRoute(b *testing.B) {
 		})
 		lc.Close()
 	}
+}
+
+// BenchmarkRebalance measures the elastic-cluster machinery on an in-process
+// 3-shard / R=2 cluster. "handoff" is raw record-transfer throughput over the
+// shards' persistent binary protocol (the same FetchRecord path a rebalance
+// pull takes; bytes/op makes it an MB/s figure). "point-during-transfer"
+// measures routed point-read latency while shards continuously join and drain
+// in the background — every read races a live rebalance — and reports the
+// p99 alongside the mean, the serving-plane cost of moving structures while
+// serving them.
+func BenchmarkRebalance(b *testing.B) {
+	const n = 400
+	sources := make([]int, 16)
+	for i := range sources {
+		sources[i] = i * 25
+	}
+	g := ftbfs.NewGraph(n)
+	for _, e := range gen.RandomConnected(n, 1200, 9).Edges() {
+		g.MustAddEdge(int(e.U), int(e.V))
+	}
+	var text bytes.Buffer
+	if err := g.Write(&text); err != nil {
+		b.Fatal(err)
+	}
+	st0, err := ftbfs.Build(g, 0, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var failable [][2]int
+	for _, e := range st0.Edges() {
+		if !st0.IsReinforced(e[0], e[1]) {
+			failable = append(failable, e)
+		}
+	}
+
+	lc, err := cluster.StartLocal(3, cluster.LocalOptions{
+		Replicas: 2,
+		Router:   cluster.RouterOptions{HedgeDelay: 50 * time.Millisecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+	var br server.BuildResponse
+	body, _ := json.Marshal(server.BuildRequest{Graph: text.String(), Sources: sources, Eps: []float64{0.3}})
+	resp, err := http.Post(lc.URL()+"/build", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&br)
+	resp.Body.Close()
+	if err != nil || len(br.Structures) != len(sources) {
+		b.Fatalf("cluster build failed: %v (%d structures)", err, len(br.Structures))
+	}
+	var fpU uint64
+	if _, err := fmt.Sscanf(br.Fingerprint, "%016x", &fpU); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("handoff", func(b *testing.B) {
+		// Fetch a record the way a pulling shard does: over the holder's
+		// persistent wire connections.
+		key := store.Key{Graph: fpU, Source: 0, Eps: 0.3}
+		var holder string
+		for _, sh := range lc.Shards {
+			if sh.Store.Has(key) {
+				holder = sh.Server.WireAddr()
+				break
+			}
+		}
+		if holder == "" {
+			b.Fatal("no shard holds the benchmark key")
+		}
+		wc := wire.NewClient(holder, 2)
+		defer wc.Close()
+		wk := &wire.HandoffKey{FP: fpU, EpsBits: math.Float64bits(0.3), Source: 0}
+		ctx := context.Background()
+		rec, werr, err := wc.FetchRecord(ctx, wk)
+		if err != nil || werr != nil {
+			b.Fatalf("FetchRecord: %v / %v", err, werr)
+		}
+		b.SetBytes(int64(len(rec)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, werr, err := wc.FetchRecord(ctx, wk); err != nil || werr != nil {
+				b.Fatalf("FetchRecord: %v / %v", err, werr)
+			}
+		}
+	})
+
+	b.Run("point-during-transfer", func(b *testing.B) {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			ctx := context.Background()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := lc.AddShard(ctx); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := lc.RemoveShard(ctx, len(lc.Shards)-1); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		client := &http.Client{}
+		lat := make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := failable[i%len(failable)]
+			url := fmt.Sprintf("%s/dist-avoiding?graph=%s&eps=0.3&v=%d&fu=%d&fv=%d",
+				lc.URL(), br.Fingerprint, i%n, e[0], e[1])
+			t0 := time.Now()
+			r, err := client.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+			lat = append(lat, time.Since(t0))
+			if r.StatusCode != http.StatusOK {
+				b.Fatalf("status %d mid-transfer", r.StatusCode)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		<-done
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds()), "p99-ns")
+	})
 }
 
 func BenchmarkVerifyStructure(b *testing.B) {

@@ -81,11 +81,13 @@ func usage(w io.Writer) {
            [-vertex-sources "0,5"]]
   route    -shards "s0=host:port,s1=host:port" [-addr :8081] [-replication 2]
            [-vnodes 64] [-hedge 3ms] [-probe 2s] [-drain-grace 0s]
+           [-hot-extra K] [-hot-min-hits N] [-hot-interval 30s]
 
 serve answers edge failures on /dist-avoiding and vertex failures on
 /dist-avoiding-vertex (vertex structures build through the store on first
 use; -vertex-sources pre-builds them for -in). route proxies both query
-surfaces over the same consistent-hash ring.
+surfaces over the same consistent-hash ring; -hot-extra promotes the
+hottest keys to replication+K replicas via shard-to-shard handoff.
 
 FILE "-" means stdin/stdout.`)
 }

@@ -58,6 +58,9 @@ func cmdRoute(args []string, stdout io.Writer) error {
 	id := fs.String("id", "", "router identity reported by /healthz and /stats")
 	useWire := fs.Bool("wire", true, "use the binary protocol to shards that advertise it via /readyz (falls back to HTTP per request)")
 	drainGrace := fs.Duration("drain-grace", 0, "on shutdown, keep serving with /readyz=503 this long so balancers stop routing here first")
+	hotExtra := fs.Int("hot-extra", 0, "promote hot keys to replication+N replicas (0 = off)")
+	hotMinHits := fs.Uint64("hot-min-hits", 1000, "point-query hits before a key counts as hot")
+	hotInterval := fs.Duration("hot-interval", 30*time.Second, "how often to scan for hot keys to promote")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +86,22 @@ func cmdRoute(args []string, stdout io.Writer) error {
 	if *probe > 0 {
 		ms.StartProber(ctx, *probe, &http.Client{Timeout: *probe})
 		ms.ProbeAll(ctx, &http.Client{Timeout: *probe}) // seed health before the first request
+	}
+	if *hotExtra > 0 && *hotInterval > 0 {
+		go func() {
+			t := time.NewTicker(*hotInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n, err := rt.PromoteHot(ctx, *hotExtra, *hotMinHits); n > 0 || err != nil {
+						fmt.Fprintf(stdout, "ftbfs: hot-key promotion: %d promoted (err=%v)\n", n, err)
+					}
+				}
+			}
+		}()
 	}
 	err = server.ServeDraining(ctx, *addr, rt, *drainGrace, func(bound string) {
 		fmt.Fprintf(stdout, "ftbfs: routing on %s -> %d shards (replication=%d, healthy=%d)\n",

@@ -1,0 +1,70 @@
+// Package cluster shards the FT-BFS serving plane across many shard nodes:
+// a consistent-hash ring over the structure keyspace, replicated shard
+// ownership, membership with health probes, and a router that proxies the
+// full query surface (/build, /dist, /dist-avoiding, /batch-query, /stats)
+// to the owning shards — hedged reads across replicas for point queries,
+// scatter-gather with per-shard sub-batching for multi-structure
+// /batch-query vectors, and single-flight build fan-out so one logical
+// /build lands on every replica exactly once.
+//
+// Routing hashes exactly what the store keys: (graph fingerprint, source,
+// ε, algorithm, failure model) — vertex-failure queries land on the same
+// ring as edge queries, just under their own keys, so hedged point reads
+// and scatter-gather sub-batching apply to both failure models unchanged.
+// The ring depends only on the sorted member IDs, never on
+// addresses or health, so every router with the same member set computes
+// the same owners (deterministic rebalance on join/leave); health state
+// only reorders which replica is tried first.
+//
+// # Elastic membership: structures move when the ring does
+//
+// Membership changes move bytes, not just ranges. The router drives the
+// rebalance through the shards' /handoff surface (internal/server), which
+// streams version-3 slab records (internal/core) shard-to-shard — over the
+// source's persistent binary-protocol connections when it advertises them,
+// HTTP otherwise — and installs them on the receiver through the store's
+// zero-parse LoadStructure/LoadVertexStructure path. A moved structure is
+// never rebuilt.
+//
+// The handoff protocol is receiver-driven: GET /handoff/keys inventories a
+// shard, GET /handoff/record and /handoff/graph export raw bytes (wire
+// frames THandoff/TGraph carry the same payloads), and POST /handoff/pull
+// tells a shard to fetch a key list from a named source and install it.
+// Pulls are idempotent — a receiver skips keys it already holds — so a
+// re-driven rebalance converges instead of re-copying.
+//
+// The rebalance lifecycle around a join (Router.AddShard) is
+// transfer-before-flip:
+//
+//  1. Compute the ring delta: build the prospective ring (current IDs plus
+//     the joiner) and, for every key any current shard holds, diff the
+//     before/after replica sets (DeltaOwners). On a join, only the joiner
+//     gains keys — consistent hashing's minimal-disruption property,
+//     verified exhaustively in ring_test.go.
+//  2. Drive pull-based transfer: the new shard pulls exactly its gained
+//     keys from a current healthy holder, grouped by source shard.
+//  3. Only then flip routing by joining the member to the membership: the
+//     first routed query lands on a shard that already holds the
+//     structure. Load-through remains the fallback for anything a transfer
+//     missed — never the plan — and the router's /stats expose
+//     structures_transferred / bytes_moved / ranges_pending so a soak can
+//     assert the transfer actually ran rather than load-through masking a
+//     broken handoff.
+//
+// A leave (Router.DrainShard) runs the mirror image: inventory the leaver,
+// compute which members gain each of its keys once it departs, drive pulls
+// on those successors (sourced from the leaver — it is still serving), and
+// remove it from the membership last. A rejoin (same ID, new address)
+// moves nothing, by construction of the ring.
+//
+// # R+k hot-key promotion
+//
+// The router tracks per-key hit counts on the point-query path. PromoteHot
+// promotes keys whose count passes a threshold to R+k replication: the k
+// extra owners — the next distinct members on the key's ring walk past the
+// base replica set — pull the structure ahead of time, and from then on
+// ownersFor returns the widened set, so hedged reads and batch slots for a
+// hot key spread over R+k replicas instead of R. Promotion survives
+// membership changes (the widened walk is re-evaluated against the current
+// ring on every lookup) and demotion is simply dropping the entry.
+package cluster

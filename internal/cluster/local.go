@@ -69,6 +69,8 @@ type LocalCluster struct {
 
 	routerTS *httptest.Server
 	cancel   context.CancelFunc
+	opts     LocalOptions
+	nextID   int
 }
 
 // LocalOptions tunes StartLocal.
@@ -94,27 +96,18 @@ func StartLocal(n int, opts LocalOptions) (*LocalCluster, error) {
 		opts.Replicas = 2
 	}
 	ms := NewMembership(opts.Replicas, opts.Vnodes)
-	lc := &LocalCluster{}
+	lc := &LocalCluster{opts: opts}
 	for i := 0; i < n; i++ {
-		st, err := store.New(opts.StoreCapacity, "")
+		sh, err := lc.bootShard()
 		if err != nil {
 			lc.Close()
 			return nil, err
 		}
-		id := fmt.Sprintf("shard%d", i)
-		srv := server.New(st)
-		srv.SetIdentity("shard", id)
-		sh := &LocalShard{ID: id, Store: st, Server: srv}
-		sh.ts = httptest.NewServer(srv)
-		if err := sh.startWire(); err != nil {
-			lc.Close()
-			return nil, err
-		}
-		ms.Join(id, sh.ts.URL)
+		ms.Join(sh.ID, sh.ts.URL)
 		// Seed the wire address directly — probes would learn it from
 		// /readyz too, but tests without a prober must route the fast path
 		// from the first request.
-		if m, ok := ms.Member(id); ok {
+		if m, ok := ms.Member(sh.ID); ok {
 			m.SetWireAddr(normalizeWireAddr(sh.Server.WireAddr(), sh.ts.URL))
 		}
 		lc.Shards = append(lc.Shards, sh)
@@ -122,6 +115,62 @@ func StartLocal(n int, opts LocalOptions) (*LocalCluster, error) {
 	lc.Router = NewRouter(ms, opts.Router)
 	lc.routerTS = httptest.NewServer(lc.Router)
 	return lc, nil
+}
+
+// bootShard starts a fresh shard (store, server, HTTP + wire listeners) with
+// the next unused ID, without touching the membership.
+func (lc *LocalCluster) bootShard() (*LocalShard, error) {
+	st, err := store.New(lc.opts.StoreCapacity, "")
+	if err != nil {
+		return nil, err
+	}
+	id := fmt.Sprintf("shard%d", lc.nextID)
+	lc.nextID++
+	srv := server.New(st)
+	srv.SetIdentity("shard", id)
+	sh := &LocalShard{ID: id, Store: st, Server: srv}
+	sh.ts = httptest.NewServer(srv)
+	if err := sh.startWire(); err != nil {
+		sh.ts.Close()
+		return nil, err
+	}
+	return sh, nil
+}
+
+// AddShard boots a brand-new shard and joins it through the router's
+// rebalance lifecycle: structures the new shard will own transfer onto it
+// before it starts taking routed traffic.
+func (lc *LocalCluster) AddShard(ctx context.Context) (*LocalShard, *RebalanceReport, error) {
+	sh, err := lc.bootShard()
+	if err != nil {
+		return nil, nil, err
+	}
+	report, err := lc.Router.AddShard(ctx, sh.ID, sh.ts.URL, sh.Server.WireAddr())
+	if err != nil {
+		sh.ts.Close()
+		sh.stopWire()
+		return nil, nil, err
+	}
+	lc.Shards = append(lc.Shards, sh)
+	return sh, report, nil
+}
+
+// RemoveShard drains shard i through the router (its resident structures
+// push to the members gaining them) and then tears it down for good —
+// unlike KillShard, the ID leaves the ring and its ranges remap.
+func (lc *LocalCluster) RemoveShard(ctx context.Context, i int) (*RebalanceReport, error) {
+	sh := lc.Shards[i]
+	report, err := lc.Router.DrainShard(ctx, sh.ID)
+	if err != nil {
+		return nil, err
+	}
+	if sh.ts != nil {
+		sh.ts.Close()
+		sh.ts = nil
+	}
+	sh.stopWire()
+	lc.Shards = append(lc.Shards[:i], lc.Shards[i+1:]...)
+	return report, nil
 }
 
 // URL returns the router's base URL — the single address clients talk to.

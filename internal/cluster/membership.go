@@ -243,9 +243,14 @@ func (ms *Membership) Member(id string) (*Member, bool) {
 // first), regardless of health — callers reorder by health themselves so
 // routing stays deterministic when everything is up.
 func (ms *Membership) Owners(keyHash uint64) []*Member {
+	return ms.OwnersN(keyHash, ms.replicas)
+}
+
+// OwnersN is Owners with an explicit replica count — how the router widens
+// a hot key's replica set to R+k without touching the base factor.
+func (ms *Membership) OwnersN(keyHash uint64, n int) []*Member {
 	ms.mu.RLock()
-	ring := ms.ring
-	ids := ring.Owners(keyHash, ms.replicas)
+	ids := ms.ring.Owners(keyHash, n)
 	out := make([]*Member, 0, len(ids))
 	for _, id := range ids {
 		if m, ok := ms.members[id]; ok {
@@ -255,6 +260,25 @@ func (ms *Membership) Owners(keyHash uint64) []*Member {
 	ms.mu.RUnlock()
 	return out
 }
+
+// Ring returns the current (immutable) ring — rebalancers snapshot it to
+// diff against a prospective ring.
+func (ms *Membership) Ring() *Ring {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	return ms.ring
+}
+
+// IDs returns the sorted member IDs (a copy of the ring's node set).
+func (ms *Membership) IDs() []string {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	return append([]string(nil), ms.ring.Nodes()...)
+}
+
+// Vnodes returns the vnodes-per-member parameter, so a prospective ring can
+// be built with the same geometry as the live one.
+func (ms *Membership) Vnodes() int { return ms.vnodes }
 
 // HealthyCount returns how many members are currently marked healthy.
 func (ms *Membership) HealthyCount() int {

@@ -1,20 +1,3 @@
-// Package cluster shards the FT-BFS serving plane across many shard nodes:
-// a consistent-hash ring over the structure keyspace, replicated shard
-// ownership, membership with health probes, and a router that proxies the
-// full query surface (/build, /dist, /dist-avoiding, /batch-query, /stats)
-// to the owning shards — hedged reads across replicas for point queries,
-// scatter-gather with per-shard sub-batching for multi-structure
-// /batch-query vectors, and single-flight build fan-out so one logical
-// /build lands on every replica exactly once.
-//
-// Routing hashes exactly what the store keys: (graph fingerprint, source,
-// ε, algorithm, failure model) — vertex-failure queries land on the same
-// ring as edge queries, just under their own keys, so hedged point reads
-// and scatter-gather sub-batching apply to both failure models unchanged.
-// The ring depends only on the sorted member IDs, never on
-// addresses or health, so every router with the same member set computes
-// the same owners (deterministic rebalance on join/leave); health state
-// only reorders which replica is tried first.
 package cluster
 
 import (
@@ -123,6 +106,36 @@ func NewRing(ids []string, vnodes int) *Ring {
 
 // Nodes returns the sorted member IDs of the ring.
 func (r *Ring) Nodes() []string { return r.nodes }
+
+// DeltaOwners diffs one key's replica set across a membership change:
+// gained lists members owning the key only after, lost only before. It is
+// the rebalancer's unit of work — on a join, gained is at most the joining
+// member (so a transfer touches exactly the remapped ranges and nothing
+// else); on a leave, gained is the members replacing the leaver in the
+// key's replica set. Both rings must share the same vnodes parameter.
+func DeltaOwners(before, after *Ring, replicas int, keyHash uint64) (gained, lost []string) {
+	b := before.Owners(keyHash, replicas)
+	a := after.Owners(keyHash, replicas)
+	inB := make(map[string]bool, len(b))
+	for _, id := range b {
+		inB[id] = true
+	}
+	inA := make(map[string]bool, len(a))
+	for _, id := range a {
+		inA[id] = true
+	}
+	for _, id := range a {
+		if !inB[id] {
+			gained = append(gained, id)
+		}
+	}
+	for _, id := range b {
+		if !inA[id] {
+			lost = append(lost, id)
+		}
+	}
+	return gained, lost
+}
 
 // Owners returns the first `replicas` distinct member IDs found walking the
 // ring clockwise from the key's hash — the replica set of the key, primary

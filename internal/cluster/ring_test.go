@@ -139,6 +139,111 @@ func TestMembershipJoinLeaveRejoin(t *testing.T) {
 	}
 }
 
+// TestDeltaOwnersExhaustive is the rebalancer's correctness table: over
+// every member-set size and replication factor in range, a join must gain
+// keys only on the joiner (and lose at most displaced replicas), a leave
+// must lose keys only on the departed member, and a rejoin — the same ID
+// set — must move nothing at all. This is the "exactly the departed ranges
+// and nothing else" property AddShard/DrainShard rely on.
+func TestDeltaOwnersExhaustive(t *testing.T) {
+	keys := testKeys(400, 7)
+	memberIDs := []string{"s0", "s1", "s2", "s3", "s4"}
+	for size := 1; size <= len(memberIDs); size++ {
+		base := memberIDs[:size]
+		for replicas := 1; replicas <= 3; replicas++ {
+			name := fmt.Sprintf("members=%d/replicas=%d", size, replicas)
+			t.Run(name, func(t *testing.T) {
+				before := NewRing(base, 32)
+
+				// Join: a new member enters the ring.
+				joiner := "z-joiner"
+				afterJoin := NewRing(append(append([]string(nil), base...), joiner), 32)
+				joinerGained := 0
+				for _, k := range keys {
+					h := KeyHash(k)
+					gained, lost := DeltaOwners(before, afterJoin, replicas, h)
+					for _, id := range gained {
+						if id != joiner {
+							t.Fatalf("join of %s made %s gain key %x", joiner, id, h)
+						}
+						joinerGained++
+					}
+					// The joiner displaces at most one replica per key, and
+					// gains/losses pair up: a key loses an owner only because
+					// the joiner pushed it out of the replica set.
+					if len(gained) > 1 || len(lost) > len(gained) {
+						t.Fatalf("join delta not minimal: gained=%v lost=%v", gained, lost)
+					}
+					// The replica set never shrinks below min(replicas, size)
+					// across the join.
+					want := replicas
+					if size < want {
+						want = size
+					}
+					if got := len(afterJoin.Owners(h, replicas)); got < want {
+						t.Fatalf("replica set shrank across join: %d < %d", got, want)
+					}
+				}
+				if joinerGained == 0 {
+					t.Fatal("joiner gained no keys at all — vacuous")
+				}
+
+				// Leave: each member departs in turn.
+				for _, dep := range base {
+					var rest []string
+					for _, id := range base {
+						if id != dep {
+							rest = append(rest, id)
+						}
+					}
+					afterLeave := NewRing(rest, 32)
+					departedLost := 0
+					for _, k := range keys {
+						h := KeyHash(k)
+						gained, lost := DeltaOwners(before, afterLeave, replicas, h)
+						for _, id := range lost {
+							if id != dep {
+								t.Fatalf("leave of %s made %s lose key %x", dep, id, h)
+							}
+							departedLost++
+						}
+						// Each departure admits at most one successor per key.
+						if len(lost) > 1 || len(gained) > len(lost) {
+							t.Fatalf("leave delta not minimal: gained=%v lost=%v", gained, lost)
+						}
+						// Keys the departed member did not own keep their
+						// exact owner list (order included).
+						if len(lost) == 0 {
+							b := before.Owners(h, replicas)
+							a := afterLeave.Owners(h, replicas)
+							if fmt.Sprint(b) != fmt.Sprint(a) {
+								t.Fatalf("unowned key remapped on leave of %s: %v -> %v", dep, b, a)
+							}
+						}
+					}
+					if size > 1 && departedLost == 0 {
+						t.Fatalf("departed member %s lost no keys — vacuous", dep)
+					}
+				}
+
+				// Rejoin: the same ID set (any order) is the identity delta.
+				shuffled := append([]string(nil), base...)
+				for i := range shuffled {
+					j := (i * 3) % len(shuffled)
+					shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+				}
+				rejoined := NewRing(shuffled, 32)
+				for _, k := range keys {
+					gained, lost := DeltaOwners(before, rejoined, replicas, KeyHash(k))
+					if len(gained) != 0 || len(lost) != 0 {
+						t.Fatalf("rejoin moved keys: gained=%v lost=%v", gained, lost)
+					}
+				}
+			})
+		}
+	}
+}
+
 func TestMemberHealthThreshold(t *testing.T) {
 	m := &Member{ID: "x"}
 	m.markRequest(false, 2)

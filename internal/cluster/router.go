@@ -84,6 +84,20 @@ type Router struct {
 	wireFallbacks   atomic.Uint64 // wire transport faults that fell back to HTTP
 	errs            atomic.Uint64 // requests answered with an error status
 	draining        atomic.Bool
+
+	rebalances      atomic.Uint64 // AddShard/DrainShard lifecycles run
+	rangesPending   atomic.Int64  // keys computed to move, pull not yet finished
+	rangesMoved     atomic.Uint64 // keys whose pull finished
+	structuresMoved atomic.Uint64 // structures installed by driven handoff pulls
+	bytesMoved      atomic.Uint64 // record bytes moved by driven pulls
+	hotPromotions   atomic.Uint64 // keys promoted to R+k replication
+
+	// hotMu guards the point-path hit counts and the promoted set behind
+	// R+k replication (rebalance.go). The map is size-capped: tracking is a
+	// sampling heuristic, not an exact census.
+	hotMu    sync.Mutex
+	hotHits  map[store.Key]uint64
+	promoted map[store.Key]int
 }
 
 // NewRouter returns a router over the given membership.
@@ -103,6 +117,8 @@ func NewRouter(m *Membership, opts RouterOptions) *Router {
 		opts:        opts,
 		start:       time.Now(),
 		buildClient: &http.Client{Transport: opts.Client.Transport},
+		hotHits:     make(map[store.Key]uint64),
+		promoted:    make(map[store.Key]int),
 	}
 	rt.mux.HandleFunc("/build", rt.handleBuild)
 	rt.mux.HandleFunc("/dist", rt.handlePoint)
@@ -296,6 +312,37 @@ func (rt *Router) orderedOwners(keyHash uint64) []*Member {
 	return owners
 }
 
+// ownersFor is orderedOwners for a resolved structure key, widened to R+k
+// when the key has been promoted hot (rebalance.go): the extra owners were
+// pre-loaded by PromoteHot, so routing to them serves from a handed-off
+// structure, not a cold build.
+func (rt *Router) ownersFor(k store.Key) []*Member {
+	n := rt.m.Replicas()
+	rt.hotMu.Lock()
+	n += rt.promoted[k]
+	rt.hotMu.Unlock()
+	owners := rt.m.OwnersN(KeyHash(k), n)
+	sort.SliceStable(owners, func(i, j int) bool {
+		return owners[i].Healthy() && !owners[j].Healthy()
+	})
+	return owners
+}
+
+// maxTrackedKeys caps the hot-key hit map; when full it resets rather than
+// evicting — hotness re-accumulates in a few seconds of traffic, and a
+// reset is cheaper than bookkeeping an LRU on the point path.
+const maxTrackedKeys = 8192
+
+// noteKey records one routed query against the key's hit count.
+func (rt *Router) noteKey(k store.Key) {
+	rt.hotMu.Lock()
+	if len(rt.hotHits) >= maxTrackedKeys {
+		rt.hotHits = make(map[store.Key]uint64)
+	}
+	rt.hotHits[k]++
+	rt.hotMu.Unlock()
+}
+
 // hedgedDo tries the owners in order until one returns 200: the primary
 // first, the next replica when the hedge timer fires before the primary
 // answers, and immediate failover on transport errors and retryable
@@ -387,12 +434,13 @@ func (rt *Router) handlePoint(w http.ResponseWriter, r *http.Request) {
 		rt.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	owners := rt.orderedOwners(KeyHash(k))
+	owners := rt.ownersFor(k)
 	if len(owners) == 0 {
 		rt.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no shards joined"))
 		return
 	}
 	rt.points.Add(1)
+	rt.noteKey(k)
 	// Frame the request for the binary fast path when it is complete enough
 	// to frame; a request missing its target or failure still goes out over
 	// HTTP so the shard can answer the same 400 a single node would.
@@ -474,9 +522,10 @@ func (rt *Router) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		base, cached := ownersByKey[k]
 		if !cached {
-			base = rt.orderedOwners(KeyHash(k))
+			base = rt.ownersFor(k)
 			ownersByKey[k] = base
 		}
+		rt.noteKey(k)
 		if len(base) == 0 {
 			errs[i] = "cluster: no shards joined"
 			continue
@@ -962,23 +1011,35 @@ type ShardStat struct {
 // RouterStatsResponse is the reply of the router's GET /stats: router-level
 // counters plus a gathered per-shard breakdown.
 type RouterStatsResponse struct {
-	Role            string      `json:"role"`
-	ID              string      `json:"id,omitempty"`
-	UptimeSeconds   float64     `json:"uptime_seconds"`
-	Requests        uint64      `json:"requests"`
-	PointQueries    uint64      `json:"point_queries"`
-	Batches         uint64      `json:"batches"`
-	BatchQueries    uint64      `json:"batch_queries"`
-	Builds          uint64      `json:"builds"`
-	BuildsCoalesced uint64      `json:"builds_coalesced"`
-	Hedges          uint64      `json:"hedges"`
-	Failovers       uint64      `json:"failovers"`
-	WirePoints      uint64      `json:"wire_points"`
-	WireBatches     uint64      `json:"wire_batches"`
-	WireFallbacks   uint64      `json:"wire_fallbacks"`
-	Errors          uint64      `json:"errors"`
-	Replicas        int         `json:"replicas"`
-	Shards          []ShardStat `json:"shards"`
+	Role            string  `json:"role"`
+	ID              string  `json:"id,omitempty"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Requests        uint64  `json:"requests"`
+	PointQueries    uint64  `json:"point_queries"`
+	Batches         uint64  `json:"batches"`
+	BatchQueries    uint64  `json:"batch_queries"`
+	Builds          uint64  `json:"builds"`
+	BuildsCoalesced uint64  `json:"builds_coalesced"`
+	Hedges          uint64  `json:"hedges"`
+	Failovers       uint64  `json:"failovers"`
+	WirePoints      uint64  `json:"wire_points"`
+	WireBatches     uint64  `json:"wire_batches"`
+	WireFallbacks   uint64  `json:"wire_fallbacks"`
+	Errors          uint64  `json:"errors"`
+	Replicas        int     `json:"replicas"`
+
+	// Rebalance state: a churn soak asserts StructuresTransferred > 0 (the
+	// transfer actually ran — load-through would mask a broken handoff) and
+	// RangesPending == 0 (it finished).
+	Rebalances            uint64 `json:"rebalances"`
+	RangesPending         int64  `json:"ranges_pending"`
+	RangesMoved           uint64 `json:"ranges_moved"`
+	StructuresTransferred uint64 `json:"structures_transferred"`
+	BytesMoved            uint64 `json:"bytes_moved"`
+	HotPromotions         uint64 `json:"hot_promotions"`
+	PromotedKeys          int    `json:"promoted_keys"`
+
+	Shards []ShardStat `json:"shards"`
 }
 
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1004,8 +1065,19 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		WireFallbacks:   rt.wireFallbacks.Load(),
 		Errors:          rt.errs.Load(),
 		Replicas:        rt.m.Replicas(),
-		Shards:          make([]ShardStat, len(members)),
+
+		Rebalances:            rt.rebalances.Load(),
+		RangesPending:         rt.rangesPending.Load(),
+		RangesMoved:           rt.rangesMoved.Load(),
+		StructuresTransferred: rt.structuresMoved.Load(),
+		BytesMoved:            rt.bytesMoved.Load(),
+		HotPromotions:         rt.hotPromotions.Load(),
+
+		Shards: make([]ShardStat, len(members)),
 	}
+	rt.hotMu.Lock()
+	resp.PromotedKeys = len(rt.promoted)
+	rt.hotMu.Unlock()
 	// A wedged shard must not stall the operator's stats call for the full
 	// query timeout; it just shows up with an Error field.
 	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)

@@ -78,6 +78,23 @@ func IsSlabRecord(prefix []byte) bool {
 	return len(prefix) >= len(slabMagic) && [4]byte(prefix[:4]) == slabMagic
 }
 
+// SlabModelOf peeks the failure model of a version-3 record from its header
+// without decoding or checksumming the payload; ok is false when the bytes
+// are not a plausible slab record. Handoff installers use it to cross-check
+// a shipped record against the registry key it is meant for before paying
+// the full decode — a mis-addressed record fails with a model mismatch
+// instead of a confusing deep validation error.
+func SlabModelOf(data []byte) (SlabModel, bool) {
+	if len(data) < slabHeaderSize || !IsSlabRecord(data) {
+		return 0, false
+	}
+	m := SlabModel(binary.LittleEndian.Uint32(data[slabOffModel:]))
+	if m != SlabEdge && m != SlabVertex {
+		return 0, false
+	}
+	return m, true
+}
+
 // SlabRecord is the in-memory form of a version-3 record: the structure's
 // metadata and edge sets plus the precomputed serving arrays (H's CSR, the
 // intact distance vector, H's canonical BFS tree). Encoding captures them

@@ -20,6 +20,10 @@
 //	GET|POST /dist-avoiding  dist(s, v) in H minus one failed edge
 //	GET|POST /dist-avoiding-vertex  dist(s, v) in H minus one failed VERTEX
 //	POST /batch-query    a vector of failure queries, per-query error slots
+//	GET  /handoff/keys   inventory of exportable structure keys
+//	GET  /handoff/record raw record bytes of one structure
+//	GET  /handoff/graph  canonical text of one registered graph
+//	POST /handoff/pull   pull structures from a peer shard (rebalance; handoff.go)
 //	GET  /stats          store and server counters
 //	GET  /healthz        liveness: identity + uptime, always 200 while up
 //	GET  /readyz         readiness: 503 while draining, else store summary
@@ -120,6 +124,10 @@ func New(st *store.Store) *Server {
 	s.mux.HandleFunc("/dist-avoiding", s.handleDistAvoiding)
 	s.mux.HandleFunc("/dist-avoiding-vertex", s.handleDistAvoidingVertex)
 	s.mux.HandleFunc("/batch-query", s.handleBatchQuery)
+	s.mux.HandleFunc("/handoff/keys", s.handleHandoffKeys)
+	s.mux.HandleFunc("/handoff/record", s.handleHandoffRecord)
+	s.mux.HandleFunc("/handoff/graph", s.handleHandoffGraph)
+	s.mux.HandleFunc("/handoff/pull", s.handleHandoffPull)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)

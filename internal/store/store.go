@@ -104,6 +104,8 @@ type Stats struct {
 	Saves       uint64 `json:"saves"`              // structures written to the directory
 	WarmLoaded  uint64 `json:"warm_start_loaded"`  // files accepted at warm start
 	WarmSkipped uint64 `json:"warm_start_skipped"` // corrupt/truncated files skipped at warm start
+	HandoffsIn  uint64 `json:"handoffs_in"`        // structures installed from another shard's records
+	HandoffsOut uint64 `json:"handoffs_out"`       // structure records exported to other shards
 }
 
 // PersistPrefix starts every PersistError message. Like the server's

@@ -300,6 +300,58 @@ func (c *Client) Point(ctx context.Context, typ byte, q *PointQuery) (int32, *Er
 	}
 }
 
+// FetchRecord fetches the record bytes of one structure from a peer shard
+// over the persistent connection pool — the handoff fast path. A non-nil
+// *Error is the peer's definitive in-protocol answer (404 not held, 413
+// record exceeds the frame bound — the caller then falls back to HTTP, which
+// has no such bound); a non-nil error is a transport failure.
+func (c *Client) FetchRecord(ctx context.Context, k *HandoffKey) ([]byte, *Error, error) {
+	buf := getBuf()
+	payload := appendHandoffKey((*buf)[:0], k)
+	r, err := c.do(ctx, THandoff, payload)
+	putBuf(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch r.typ {
+	case RHandoff:
+		return r.payload, nil, nil
+	case RError:
+		werr, perr := parseError(r.payload)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		return nil, werr, nil
+	default:
+		return nil, nil, fmt.Errorf("wire: unexpected response type %#x", r.typ)
+	}
+}
+
+// FetchGraph fetches the canonical text of one graph from a peer shard —
+// what a handoff receiver registers before importing the graph's structures.
+// Error semantics match FetchRecord.
+func (c *Client) FetchGraph(ctx context.Context, fp uint64) ([]byte, *Error, error) {
+	var payload [8]byte
+	payload[0], payload[1], payload[2], payload[3] = byte(fp), byte(fp>>8), byte(fp>>16), byte(fp>>24)
+	payload[4], payload[5], payload[6], payload[7] = byte(fp>>32), byte(fp>>40), byte(fp>>48), byte(fp>>56)
+	r, err := c.do(ctx, TGraph, payload[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	switch r.typ {
+	case RGraph:
+		return r.payload, nil, nil
+	case RError:
+		werr, perr := parseError(r.payload)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		return nil, werr, nil
+	default:
+		return nil, nil, fmt.Errorf("wire: unexpected response type %#x", r.typ)
+	}
+}
+
 // Batch answers a batch of slots; dists and errs are parallel to slots with
 // "" marking success. A non-nil *Error means the server rejected the whole
 // batch; a non-nil error is a transport failure.

@@ -21,6 +21,19 @@ type Backend interface {
 	WireBatch(slots []BatchSlot) (dists []int32, errs []string)
 }
 
+// HandoffBackend is the optional shard-to-shard extension of Backend:
+// backends implementing it additionally serve THandoff/TGraph frames, which
+// is how structures stream between shards during a rebalance. A backend
+// without it answers those frames with an in-protocol 501 — the puller then
+// falls back to the HTTP handoff surface.
+type HandoffBackend interface {
+	// HandoffRecord returns the record bytes of one held structure (or an
+	// in-protocol error: 404 not held, 413 record exceeds MaxPayload).
+	HandoffRecord(k *HandoffKey) ([]byte, *Error)
+	// HandoffGraph returns the canonical text of one registered graph.
+	HandoffGraph(fp uint64) ([]byte, *Error)
+}
+
 // Serve accepts wire connections on ln until ctx is cancelled or the
 // listener fails, answering frames through backend. Each connection is
 // handled by its own goroutine; frames on one connection are answered in
@@ -128,7 +141,43 @@ func answer(w io.Writer, backend Backend, typ byte, id uint64, payload []byte) e
 		buf := getBuf()
 		defer putBuf(buf)
 		return writeFrame(w, RBatch, id, appendBatchResponse((*buf)[:0], dists, errs))
+	case THandoff:
+		k, err := parseHandoffKey(payload)
+		if err != nil {
+			return errProtocol
+		}
+		hb, ok := backend.(HandoffBackend)
+		if !ok {
+			return writeError(w, id, 501, "handoff not supported")
+		}
+		data, werr := hb.HandoffRecord(&k)
+		if werr != nil {
+			return writeError(w, id, werr.Code, werr.Msg)
+		}
+		return writeFrame(w, RHandoff, id, data)
+	case TGraph:
+		if len(payload) != 8 {
+			return errProtocol
+		}
+		fp := uint64(payload[0]) | uint64(payload[1])<<8 | uint64(payload[2])<<16 | uint64(payload[3])<<24 |
+			uint64(payload[4])<<32 | uint64(payload[5])<<40 | uint64(payload[6])<<48 | uint64(payload[7])<<56
+		hb, ok := backend.(HandoffBackend)
+		if !ok {
+			return writeError(w, id, 501, "handoff not supported")
+		}
+		data, werr := hb.HandoffGraph(fp)
+		if werr != nil {
+			return writeError(w, id, werr.Code, werr.Msg)
+		}
+		return writeFrame(w, RGraph, id, data)
 	default:
 		return errProtocol
 	}
+}
+
+// writeError writes one RError frame.
+func writeError(w io.Writer, id uint64, code int, msg string) error {
+	buf := getBuf()
+	defer putBuf(buf)
+	return writeFrame(w, RError, id, appendError((*buf)[:0], code, msg))
 }

@@ -55,8 +55,12 @@ const (
 	TDistAvoiding       byte = 0x02 // distance under an edge failure
 	TDistAvoidingVertex byte = 0x03 // distance under a vertex failure
 	TBatch              byte = 0x04 // mixed batch of the above
+	THandoff            byte = 0x05 // fetch one structure record (shard-to-shard)
+	TGraph              byte = 0x06 // fetch one graph's canonical text
 	RDist               byte = 0x81 // point answer
 	RBatch              byte = 0x84 // batch answer
+	RHandoff            byte = 0x85 // raw structure record bytes
+	RGraph              byte = 0x86 // raw graph text bytes
 	RError              byte = 0xff // status code + message
 )
 
@@ -89,6 +93,56 @@ func (q *PointQuery) Eps() float64 { return math.Float64frombits(q.EpsBits) }
 type BatchSlot struct {
 	PointQuery
 	Vertex bool // vertex-failure model (A is the failed vertex)
+}
+
+// handoffPayloadLen is the fixed THandoff request payload length.
+const handoffPayloadLen = 28
+
+// handoffFlagVertex marks a handoff key as a vertex-model structure.
+const handoffFlagVertex uint32 = 1
+
+// HandoffKey addresses one structure record in a shard-to-shard handoff:
+// the full registry key, ε as its IEEE-754 bit pattern so the key on the
+// receiving side is bit-identical to the one the router computed ranges for.
+type HandoffKey struct {
+	FP      uint64
+	EpsBits uint64
+	Source  int32
+	Alg     int32
+	Vertex  bool // vertex-failure model (EpsBits/Alg travel as zero)
+}
+
+// appendHandoffKey appends the fixed THandoff payload.
+func appendHandoffKey(buf []byte, k *HandoffKey) []byte {
+	le := binary.LittleEndian
+	buf = le.AppendUint64(buf, k.FP)
+	buf = le.AppendUint64(buf, k.EpsBits)
+	buf = le.AppendUint32(buf, uint32(k.Source))
+	buf = le.AppendUint32(buf, uint32(k.Alg))
+	var flags uint32
+	if k.Vertex {
+		flags |= handoffFlagVertex
+	}
+	return le.AppendUint32(buf, flags)
+}
+
+// parseHandoffKey decodes a fixed THandoff payload.
+func parseHandoffKey(payload []byte) (HandoffKey, error) {
+	if len(payload) != handoffPayloadLen {
+		return HandoffKey{}, fmt.Errorf("wire: handoff payload is %d bytes, want %d", len(payload), handoffPayloadLen)
+	}
+	le := binary.LittleEndian
+	flags := le.Uint32(payload[24:])
+	if flags&^handoffFlagVertex != 0 {
+		return HandoffKey{}, fmt.Errorf("wire: handoff key has unknown flags %#x", flags)
+	}
+	return HandoffKey{
+		FP:      le.Uint64(payload[0:]),
+		EpsBits: le.Uint64(payload[8:]),
+		Source:  int32(le.Uint32(payload[16:])),
+		Alg:     int32(le.Uint32(payload[20:])),
+		Vertex:  flags&handoffFlagVertex != 0,
+	}, nil
 }
 
 // Error is a non-transport failure answered by the server: an
