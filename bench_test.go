@@ -413,7 +413,7 @@ func BenchmarkServeQueries(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	st, err := reg.GetOrBuild(store.Key{Graph: fp, Source: 0, Eps: 0.3})
+	st, err := reg.GetOrBuild(context.Background(), store.Key{Graph: fp, Source: 0, Eps: 0.3})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -1008,7 +1008,7 @@ func BenchmarkWireServe(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	st, err := reg.GetOrBuild(store.Key{Graph: fp, Source: 0, Eps: 0.3})
+	st, err := reg.GetOrBuild(context.Background(), store.Key{Graph: fp, Source: 0, Eps: 0.3})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,382 @@
+// Package chaos is a deterministic, seedable fault-injection layer for the
+// serving plane. An Injector wraps net.Listener/net.Conn (for both the HTTP
+// and binary-wire surfaces) and the store's disk I/O (store.IOHooks),
+// injecting the failure modes a real deployment sees: latency spikes,
+// dropped writes, connection resets, stalls, truncated or corrupted bytes,
+// and write/fsync/read errors on the persist directory.
+//
+// Two properties make the injector usable as a differential-test harness
+// rather than a fuzzer:
+//
+//   - Determinism: all randomness flows from one seeded generator, so a
+//     failing run replays byte-for-byte from its (plan, seed) pair.
+//   - Detectability: corruption is only injected where the stack carries
+//     end-to-end integrity checks — wire frames (CRC-32C trailer) and store
+//     records (slab checksum) — so a corrupted byte can surface as an error
+//     or a retry, never as a silently wrong answer. The HTTP/JSON surface is
+//     the unchecksummed compatibility path and therefore receives every
+//     fault except corruption.
+//
+// cluster.StartLocal accepts an Injector via LocalOptions.Chaos, which makes
+// any existing differential test runnable under a named fault plan (see
+// Named for the catalog).
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftbfs/internal/store"
+)
+
+// Layer tells the injector which serving surface a listener carries, so it
+// can keep corruption off the unchecksummed HTTP surface.
+type Layer int
+
+const (
+	// LayerHTTP carries HTTP/JSON: every fault except corruption.
+	LayerHTTP Layer = iota
+	// LayerWire carries the binary protocol, whose per-frame CRC makes
+	// corrupted bytes detectable; all faults apply.
+	LayerWire
+)
+
+// Plan is one named mix of fault probabilities. All probabilities are per
+// I/O operation (per Read/Write call for connections, per record read/write
+// for the disk hooks) and independent; the first fault whose roll hits wins
+// the operation.
+type Plan struct {
+	Name string
+
+	// Connection faults.
+	LatencyP   float64       // delay the op by [LatencyMin, LatencyMax]
+	LatencyMin time.Duration //
+	LatencyMax time.Duration //
+	DropP      float64       // swallow a write: report success, deliver nothing, poison the conn
+	ResetP     float64       // close the conn abruptly mid-op
+	StallP     float64       // hold the op for StallFor, then kill the conn
+	StallFor   time.Duration //
+	TruncateP  float64       // deliver only a prefix of the op's bytes, then kill the conn
+	CorruptP   float64       // flip one bit in the op's bytes (wire layer only)
+
+	// Disk faults, applied through store.IOHooks.
+	DiskWriteErrP float64 // fail a record write before it starts
+	DiskSyncErrP  float64 // fail the pre-rename fsync
+	DiskReadErrP  float64 // fail a whole-file read
+	DiskCorruptP  float64 // flip one bit in the bytes a read returns
+	DiskTruncP    float64 // return only a prefix of the bytes a read returns
+}
+
+// ErrInjected is the sentinel wrapped by every error the injector
+// fabricates, so tests can tell injected faults from real ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Injector applies one Plan with one deterministic random stream. Safe for
+// concurrent use; the shared generator is mutex-guarded, and the interleaving
+// of concurrent requests is the only nondeterminism a test run keeps.
+type Injector struct {
+	plan Plan
+
+	disabled atomic.Bool
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts map[string]uint64
+}
+
+// New returns an injector for plan whose random stream starts at seed.
+func New(plan Plan, seed int64) *Injector {
+	return &Injector{
+		plan:   plan,
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[string]uint64),
+	}
+}
+
+// Plan returns the plan the injector runs.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// SetEnabled turns injection on or off (on from New). Chaos tests boot the
+// cluster and build their fixtures with injection off, then arm the plan
+// for the query phase — a fault during setup would abort the test before it
+// tested anything. Disabled rolls consume nothing from the random stream.
+func (in *Injector) SetEnabled(v bool) { in.disabled.Store(!v) }
+
+// Counts snapshots how many faults of each kind have been injected —
+// chaos tests assert on these to prove the plan actually fired.
+func (in *Injector) Counts() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total number of injected faults across all kinds.
+func (in *Injector) Total() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n uint64
+	for _, v := range in.counts {
+		n += v
+	}
+	return n
+}
+
+// roll draws one uniform sample and reports whether it lands under p,
+// counting a hit under kind.
+func (in *Injector) roll(p float64, kind string) bool {
+	if p <= 0 || in.disabled.Load() {
+		return false
+	}
+	in.mu.Lock()
+	hit := in.rng.Float64() < p
+	if hit {
+		in.counts[kind]++
+	}
+	in.mu.Unlock()
+	return hit
+}
+
+// dur draws a uniform duration in [lo, hi].
+func (in *Injector) dur(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	in.mu.Lock()
+	d := lo + time.Duration(in.rng.Int63n(int64(hi-lo)))
+	in.mu.Unlock()
+	return d
+}
+
+// intn draws a uniform int in [0, n).
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	v := in.rng.Intn(n)
+	in.mu.Unlock()
+	return v
+}
+
+// Listener wraps ln so every accepted connection injects the plan's
+// connection faults. layer selects the fault set (corruption stays off
+// LayerHTTP). A nil receiver returns ln unwrapped, so call sites can wire
+// the injector through unconditionally.
+func (in *Injector) Listener(ln net.Listener, layer Layer) net.Listener {
+	if in == nil {
+		return ln
+	}
+	return &chaosListener{Listener: ln, in: in, layer: layer}
+}
+
+type chaosListener struct {
+	net.Listener
+	in    *Injector
+	layer Layer
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &chaosConn{Conn: c, in: l.in, layer: l.layer}, nil
+}
+
+// chaosConn injects per-operation faults on one accepted connection.
+type chaosConn struct {
+	net.Conn
+	in    *Injector
+	layer Layer
+
+	mu       sync.Mutex
+	poisoned bool // a dropped write desynced the stream; fail everything after
+}
+
+func (c *chaosConn) isPoisoned() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.poisoned
+}
+
+func (c *chaosConn) poison() {
+	c.mu.Lock()
+	c.poisoned = true
+	c.mu.Unlock()
+}
+
+// injected fabricates one transport error.
+func injected(kind string) error {
+	return fmt.Errorf("chaos: injected %s: %w", kind, ErrInjected)
+}
+
+// before runs the fault schedule shared by reads and writes: latency, then
+// reset, then stall. It returns a non-nil error when the op must fail.
+func (c *chaosConn) before(op string) error {
+	if c.isPoisoned() {
+		return injected("poisoned conn (" + op + " after drop)")
+	}
+	p := &c.in.plan
+	if c.in.roll(p.LatencyP, "latency") {
+		time.Sleep(c.in.dur(p.LatencyMin, p.LatencyMax))
+	}
+	if c.in.roll(p.ResetP, "reset") {
+		c.Conn.Close()
+		return injected("reset")
+	}
+	if c.in.roll(p.StallP, "stall") {
+		time.Sleep(p.StallFor)
+		c.Conn.Close()
+		return injected("stall")
+	}
+	return nil
+}
+
+func (c *chaosConn) Read(b []byte) (int, error) {
+	if err := c.before("read"); err != nil {
+		return 0, err
+	}
+	p := &c.in.plan
+	n, err := c.Conn.Read(b)
+	if n > 0 && err == nil {
+		if c.in.roll(p.TruncateP, "read-truncate") {
+			keep := 1 + c.in.intn(n)
+			c.Conn.Close()
+			return keep, nil // the close surfaces on the next read
+		}
+		if c.layer == LayerWire && c.in.roll(p.CorruptP, "read-corrupt") {
+			i := c.in.intn(n)
+			b[i] ^= 1 << uint(c.in.intn(8))
+		}
+	}
+	return n, err
+}
+
+func (c *chaosConn) Write(b []byte) (int, error) {
+	if err := c.before("write"); err != nil {
+		return 0, err
+	}
+	p := &c.in.plan
+	if c.in.roll(p.DropP, "drop") {
+		// Report success, deliver nothing: the peer sees silence and must
+		// save itself with its own deadline. Poisoning guarantees the stream
+		// never resynchronises into a half-delivered state.
+		c.poison()
+		return len(b), nil
+	}
+	if c.in.roll(p.TruncateP, "write-truncate") {
+		keep := 1 + c.in.intn(len(b))
+		c.Conn.Write(b[:keep])
+		c.Conn.Close()
+		return keep, injected("write truncated")
+	}
+	if c.layer == LayerWire && c.in.roll(p.CorruptP, "write-corrupt") {
+		mangled := make([]byte, len(b))
+		copy(mangled, b)
+		i := c.in.intn(len(mangled))
+		mangled[i] ^= 1 << uint(c.in.intn(8))
+		return c.Conn.Write(mangled)
+	}
+	return c.Conn.Write(b)
+}
+
+// StoreHooks returns disk-fault hooks implementing the plan, for
+// store.SetIOHooks. A nil receiver (or a plan without disk faults) returns
+// nil, which the store treats as "no hooks".
+func (in *Injector) StoreHooks() *store.IOHooks {
+	if in == nil {
+		return nil
+	}
+	p := &in.plan
+	if p.DiskWriteErrP <= 0 && p.DiskSyncErrP <= 0 && p.DiskReadErrP <= 0 && p.DiskCorruptP <= 0 && p.DiskTruncP <= 0 {
+		return nil
+	}
+	return &store.IOHooks{
+		BeforeWrite: func(path string) error {
+			if in.roll(p.DiskWriteErrP, "disk-write-err") {
+				return injected("disk write error")
+			}
+			return nil
+		},
+		BeforeSync: func(path string) error {
+			if in.roll(p.DiskSyncErrP, "disk-sync-err") {
+				return injected("fsync error")
+			}
+			return nil
+		},
+		AfterRead: func(path string, data []byte, err error) ([]byte, error) {
+			if err != nil {
+				return data, err
+			}
+			if in.roll(p.DiskReadErrP, "disk-read-err") {
+				return nil, injected("disk read error")
+			}
+			if len(data) > 0 && in.roll(p.DiskTruncP, "disk-read-trunc") {
+				return data[:in.intn(len(data))], nil
+			}
+			if len(data) > 0 && in.roll(p.DiskCorruptP, "disk-read-corrupt") {
+				mangled := make([]byte, len(data))
+				copy(mangled, data)
+				i := in.intn(len(mangled))
+				mangled[i] ^= 1 << uint(in.intn(8))
+				return mangled, nil
+			}
+			return data, nil
+		},
+	}
+}
+
+// plans is the named fault-plan catalog. Probabilities are tuned so mixed
+// traffic mostly succeeds — the point is exercising the recovery paths
+// (retries, breakers, budgets, rebuild fallbacks) under steady fire, not
+// drowning the cluster.
+var plans = map[string]Plan{
+	"latency": {
+		Name: "latency", LatencyP: 0.25, LatencyMin: 2 * time.Millisecond, LatencyMax: 30 * time.Millisecond,
+	},
+	"drops": {
+		Name: "drops", DropP: 0.04,
+	},
+	"resets": {
+		Name: "resets", ResetP: 0.05,
+	},
+	"stalls": {
+		Name: "stalls", StallP: 0.02, StallFor: 250 * time.Millisecond,
+	},
+	"corrupt": {
+		Name: "corrupt", CorruptP: 0.05, TruncateP: 0.01,
+	},
+	"disk": {
+		Name: "disk", DiskWriteErrP: 0.15, DiskSyncErrP: 0.1, DiskReadErrP: 0.1, DiskCorruptP: 0.1, DiskTruncP: 0.05,
+	},
+	"mixed": {
+		Name:     "mixed",
+		LatencyP: 0.1, LatencyMin: time.Millisecond, LatencyMax: 10 * time.Millisecond,
+		DropP: 0.01, ResetP: 0.02, StallP: 0.005, StallFor: 150 * time.Millisecond,
+		TruncateP: 0.01, CorruptP: 0.02,
+		DiskWriteErrP: 0.05, DiskSyncErrP: 0.05, DiskReadErrP: 0.03, DiskCorruptP: 0.03, DiskTruncP: 0.02,
+	},
+}
+
+// Named returns the named plan from the catalog.
+func Named(name string) (Plan, bool) {
+	p, ok := plans[name]
+	return p, ok
+}
+
+// PlanNames lists the catalog, sorted.
+func PlanNames() []string {
+	out := make([]string, 0, len(plans))
+	for name := range plans {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

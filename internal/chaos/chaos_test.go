@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDeterministicStream proves the injector's whole point: two injectors
+// with the same (plan, seed) produce the same fault sequence.
+func TestDeterministicStream(t *testing.T) {
+	plan, ok := Named("disk")
+	if !ok {
+		t.Fatal("disk plan missing from catalog")
+	}
+	h1 := New(plan, 42).StoreHooks()
+	h2 := New(plan, 42).StoreHooks()
+	if h1 == nil || h2 == nil {
+		t.Fatal("disk plan produced no store hooks")
+	}
+	data := []byte("0123456789abcdef0123456789abcdef")
+	for i := 0; i < 2000; i++ {
+		e1, e2 := h1.BeforeWrite("p"), h2.BeforeWrite("p")
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("op %d: BeforeWrite diverged: %v vs %v", i, e1, e2)
+		}
+		s1, s2 := h1.BeforeSync("p"), h2.BeforeSync("p")
+		if (s1 == nil) != (s2 == nil) {
+			t.Fatalf("op %d: BeforeSync diverged: %v vs %v", i, s1, s2)
+		}
+		d1, r1 := h1.AfterRead("p", data, nil)
+		d2, r2 := h2.AfterRead("p", data, nil)
+		if (r1 == nil) != (r2 == nil) || !bytes.Equal(d1, d2) {
+			t.Fatalf("op %d: AfterRead diverged", i)
+		}
+	}
+}
+
+// TestInjectedErrorsWrapSentinel checks every fabricated error is
+// recognisable as injected.
+func TestInjectedErrorsWrapSentinel(t *testing.T) {
+	in := New(Plan{DiskWriteErrP: 1}, 1)
+	h := in.StoreHooks()
+	err := h.BeforeWrite("p")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("BeforeWrite error %v does not wrap ErrInjected", err)
+	}
+	if in.Total() == 0 {
+		t.Fatal("no faults counted")
+	}
+}
+
+// TestNilInjectorPassthrough: a nil *Injector must wire through as a no-op.
+func TestNilInjectorPassthrough(t *testing.T) {
+	var in *Injector
+	if in.StoreHooks() != nil {
+		t.Fatal("nil injector produced store hooks")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	if got := in.Listener(ln, LayerWire); got != ln {
+		t.Fatal("nil injector wrapped the listener")
+	}
+}
+
+// TestCorruptionStaysOffHTTP: an HTTP-layer conn under the corrupt plan must
+// deliver bytes verbatim (corruption is wire-only; truncation may kill the
+// conn, so the echo tolerates transport errors — just never mangled bytes).
+func TestCorruptionStaysOffHTTP(t *testing.T) {
+	in := New(Plan{CorruptP: 1}, 7) // corrupt every op — if it applied
+	addr, done := echoServer(t, in, LayerHTTP)
+	defer done()
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	msg := []byte("the bytes must survive verbatim")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("HTTP-layer bytes mangled: %q", got)
+	}
+}
+
+// TestWireCorruptionFires: the same plan on the wire layer must corrupt.
+func TestWireCorruptionFires(t *testing.T) {
+	in := New(Plan{CorruptP: 1}, 7)
+	addr, done := echoServer(t, in, LayerWire)
+	defer done()
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	msg := []byte("these bytes will not survive")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("wire-layer bytes survived a CorruptP=1 plan")
+	}
+	if in.Counts()["read-corrupt"]+in.Counts()["write-corrupt"] == 0 {
+		t.Fatal("no corruption counted")
+	}
+}
+
+// echoServer accepts one connection through the injector and echoes it.
+func echoServer(t *testing.T, in *Injector, layer Layer) (addr string, done func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	wrapped := in.Listener(ln, layer)
+	go func() {
+		for {
+			c, err := wrapped.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+// TestCatalogComplete pins the plan names the CI matrix iterates.
+func TestCatalogComplete(t *testing.T) {
+	want := []string{"corrupt", "disk", "drops", "latency", "mixed", "resets", "stalls"}
+	got := PlanNames()
+	if len(got) != len(want) {
+		t.Fatalf("PlanNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PlanNames() = %v, want %v", got, want)
+		}
+	}
+}

@@ -61,6 +61,11 @@ func cmdRoute(args []string, stdout io.Writer) error {
 	hotExtra := fs.Int("hot-extra", 0, "promote hot keys to replication+N replicas (0 = off)")
 	hotMinHits := fs.Uint64("hot-min-hits", 1000, "point-query hits before a key counts as hot")
 	hotInterval := fs.Duration("hot-interval", 30*time.Second, "how often to scan for hot keys to promote")
+	budget := fs.Duration("budget", 0, "default per-request deadline budget for query requests without an "+server.BudgetHeader+" header (0 = none)")
+	retryBackoff := fs.Duration("retry-backoff", cluster.DefaultRetryBackoff, "base delay before a failover retry, doubling with jitter per attempt (negative = off)")
+	retryBackoffMax := fs.Duration("retry-backoff-max", cluster.DefaultMaxRetryBackoff, "cap on the exponential retry backoff")
+	breakerThreshold := fs.Int("breaker-threshold", cluster.DefaultBreakerThreshold, "consecutive request failures before a shard's circuit breaker opens")
+	breakerCooldown := fs.Duration("breaker-cooldown", cluster.DefaultBreakerCooldown, "how long an open breaker waits before letting a probe request through")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,7 +84,16 @@ func cmdRoute(args []string, stdout io.Writer) error {
 		// -hedge 0 means off.
 		hedgeDelay = -1
 	}
-	rt := cluster.NewRouter(ms, cluster.RouterOptions{HedgeDelay: hedgeDelay, ID: *id, DisableWire: !*useWire})
+	rt := cluster.NewRouter(ms, cluster.RouterOptions{
+		HedgeDelay:       hedgeDelay,
+		ID:               *id,
+		DisableWire:      !*useWire,
+		DefaultBudget:    *budget,
+		RetryBackoff:     *retryBackoff,
+		MaxRetryBackoff:  *retryBackoffMax,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	})
 
 	ctx, cancel := serveSignalContext()
 	defer cancel()

@@ -60,6 +60,8 @@ func cmdServe(args []string, stdout io.Writer) error {
 	wireAddr := fs.String("wire", "", "binary-protocol listen address, e.g. \":8090\" (empty = HTTP only); advertised via /readyz so routers discover it")
 	id := fs.String("id", "", "node identity reported by /healthz and /stats (default: the bound address)")
 	drainGrace := fs.Duration("drain-grace", 0, "on shutdown, keep serving with /readyz=503 this long so balancers stop routing here first")
+	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "concurrent query/build requests served before queueing")
+	maxQueued := fs.Int("max-queued", server.DefaultMaxQueued, "requests allowed to wait for a work slot before load shedding answers 503")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,7 +99,7 @@ func cmdServe(args []string, stdout io.Writer) error {
 					reqs = append(reqs, store.Req{Source: src, Eps: eps, Alg: alg})
 				}
 			}
-			sts, err := st.GetOrBuildMany(fp, reqs)
+			sts, err := st.GetOrBuildMany(context.Background(), fp, reqs)
 			if err != nil {
 				return err
 			}
@@ -112,7 +114,7 @@ func cmdServe(args []string, stdout io.Writer) error {
 				if err != nil {
 					return fmt.Errorf("bad vertex source %q", spart)
 				}
-				vs, err := st.GetOrBuildVertex(fp, src)
+				vs, err := st.GetOrBuildVertex(context.Background(), fp, src)
 				if err != nil {
 					return err
 				}
@@ -125,6 +127,7 @@ func cmdServe(args []string, stdout io.Writer) error {
 	ctx, cancel := serveSignalContext()
 	defer cancel()
 	srv := server.New(st)
+	srv.SetWorkLimits(*maxInflight, *maxQueued)
 	if *wireAddr != "" {
 		ln, err := net.Listen("tcp", *wireAddr)
 		if err != nil {

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-replica circuit breaker. Health marks (membership.go) reorder the
+// attempt list; the breaker goes further and stops spending attempts on a
+// replica that keeps failing, so a dead shard costs the request path one
+// strike burst and then nothing until it proves itself again.
+//
+// States:
+//
+//	closed    — requests flow; `threshold` consecutive failures trip it open.
+//	open      — requests are skipped. After `cooldown` (or a successful
+//	            /readyz probe, whichever first) the breaker arms a single
+//	            probe token and moves to half-open.
+//	half-open — exactly one request is let through. Success closes the
+//	            breaker; failure re-opens it and restarts the cooldown.
+//
+// Allow consumes the half-open probe token, so callers must only call it
+// when they will actually send the request.
+
+// DefaultBreakerThreshold is how many consecutive request failures trip a
+// replica's breaker open. It is above downAfter: health demotion reorders
+// first, the breaker stops attempts only on sustained failure.
+const DefaultBreakerThreshold = 5
+
+// DefaultBreakerCooldown is how long an open breaker waits before arming a
+// half-open probe on its own (a successful readiness probe arms it sooner).
+const DefaultBreakerCooldown = 2 * time.Second
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int
+	threshold int
+	cooldown  time.Duration
+	openedAt  time.Time
+	probing   bool   // half-open token already handed out
+	opens     uint64 // lifetime transitions into open (stats)
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may be sent to this replica right now.
+// In half-open it hands out the single probe token; callers that get true
+// must follow up with onResult so the token is resolved.
+func (b *breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onResult folds one real request outcome (sent to this replica) into the
+// state machine.
+func (b *breaker) onResult(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = breakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	b.failures++
+	switch b.state {
+	case breakerClosed:
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case breakerHalfOpen:
+		// The probe failed: straight back to open, cooldown restarts.
+		b.trip()
+	case breakerOpen:
+		// A forced or straggler attempt failed while open; refresh the
+		// cooldown so sustained failure keeps the breaker firmly open.
+		b.openedAt = time.Now()
+	}
+}
+
+// trip moves to open; callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = time.Now()
+	b.probing = false
+	b.opens++
+}
+
+// onProbe folds a readiness-probe outcome in: a successful probe on an open
+// breaker arms the half-open token immediately instead of waiting out the
+// cooldown — the prober already proved the node answers.
+func (b *breaker) onProbe(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok && b.state == breakerOpen {
+		b.state = breakerHalfOpen
+		b.probing = false
+	}
+}
+
+// snapshot returns the state name and lifetime open count for stats.
+func (b *breaker) snapshot() (state string, opens uint64) {
+	if b == nil {
+		return breakerClosed.String(), 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.opens
+}
+
+// isOpen reports whether the breaker would currently refuse a request
+// without consuming anything — selection uses it to detect the all-open
+// case before deciding to force an attempt.
+func (b *breaker) isOpen() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return time.Since(b.openedAt) < b.cooldown
+	case breakerHalfOpen:
+		return b.probing
+	default:
+		return false
+	}
+}

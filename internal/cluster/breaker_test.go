@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks the closed → open → half-open → closed
+// lifecycle through both recovery paths: probe-driven (onProbe arms the
+// half-open token early) and cooldown-driven (Allow arms it once the
+// cooldown elapses).
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(3, 50*time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("fresh breaker must allow")
+	}
+	b.onResult(false)
+	b.onResult(false)
+	if s, _ := b.snapshot(); s != "closed" {
+		t.Fatalf("two failures (< threshold 3) tripped the breaker: %s", s)
+	}
+	b.onResult(false)
+	if s, opens := b.snapshot(); s != "open" || opens != 1 {
+		t.Fatalf("after 3 failures breaker = %s (opens=%d), want open/1", s, opens)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+	if !b.isOpen() {
+		t.Fatal("isOpen = false on a freshly-tripped breaker")
+	}
+
+	// Probe-driven recovery: a successful readiness probe arms the half-open
+	// token without waiting out the cooldown.
+	b.onProbe(true)
+	if s, _ := b.snapshot(); s != "half-open" {
+		t.Fatalf("after a good probe breaker = %s, want half-open", s)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused its single probe request")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker handed out a second probe token")
+	}
+	b.onResult(false) // the probe failed: straight back to open
+	if s, opens := b.snapshot(); s != "open" || opens != 2 {
+		t.Fatalf("failed probe left breaker = %s (opens=%d), want open/2", s, opens)
+	}
+
+	// Cooldown-driven recovery: once the cooldown elapses, Allow itself
+	// transitions to half-open and hands out the token.
+	time.Sleep(60 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("elapsed cooldown did not arm a probe request")
+	}
+	if s, _ := b.snapshot(); s != "half-open" {
+		t.Fatalf("post-cooldown Allow left breaker = %s, want half-open", s)
+	}
+	b.onResult(true)
+	if s, _ := b.snapshot(); s != "closed" {
+		t.Fatalf("successful probe left breaker = %s, want closed", s)
+	}
+	if !b.Allow() {
+		t.Fatal("recovered breaker must allow")
+	}
+
+	// The failure counter is consecutive: a success in between resets it.
+	b.onResult(false)
+	b.onResult(false)
+	b.onResult(true)
+	b.onResult(false)
+	b.onResult(false)
+	if s, _ := b.snapshot(); s != "closed" {
+		t.Fatalf("non-consecutive failures tripped the breaker: %s", s)
+	}
+}
+
+// TestBreakerNilSafe: Members constructed outside Join (tests, zero values)
+// have no breaker; every method must behave as a permanently-closed one.
+func TestBreakerNilSafe(t *testing.T) {
+	var b *breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker refused a request")
+	}
+	b.onResult(false)
+	b.onProbe(true)
+	if b.isOpen() {
+		t.Fatal("nil breaker reports open")
+	}
+	if s, opens := b.snapshot(); s != "closed" || opens != 0 {
+		t.Fatalf("nil breaker snapshot = %s/%d, want closed/0", s, opens)
+	}
+}
+
+// TestBreakerOpensAndRecovers drives the full lifecycle through a real
+// cluster: a killed shard's breaker trips open after the configured strike
+// count (visible in /stats, with skip/forced counters moving), a successful
+// readiness probe against the recovered shard arms half-open, and the next
+// routed query closes it — answering correctly.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	lc, err := StartLocal(1, LocalOptions{Replicas: 1, Router: RouterOptions{
+		HedgeDelay:       -1,
+		RetryBackoff:     -1, // no backoff: each query is exactly one strike
+		BreakerThreshold: 3,
+		// Long cooldown so recovery below is provably probe-driven, not the
+		// cooldown timer firing mid-test.
+		BreakerCooldown: time.Minute,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	fx := buildFixtures(t, lc.URL(), []int64{91}, []int{0}, 0.3)[0]
+	checkPoint(t, lc.URL(), fx, 5%fx.n, fx.edges[0])
+
+	m, ok := lc.Router.Membership().Member("shard0")
+	if !ok {
+		t.Fatal("shard0 not in membership")
+	}
+
+	lc.KillShard(0)
+	q := fmt.Sprintf("%s/dist-avoiding?graph=%s&source=%d&eps=%g&v=%d&fu=%d&fv=%d",
+		lc.URL(), fx.fp, fx.source, fx.eps, 1, fx.edges[0][0], fx.edges[0][1])
+	// 3 failures trip the breaker; two more queries while open exercise the
+	// skip-then-forced path (a single-owner key always forces one attempt —
+	// an answer beats a guaranteed refusal).
+	for i := 0; i < 5; i++ {
+		if code, body := getJSON(t, q, nil); code == http.StatusOK {
+			t.Fatalf("query %d against the killed single-shard cluster succeeded: %s", i, body)
+		}
+	}
+	if state, opens := m.breakerSnapshot(); state != "open" || opens < 1 {
+		t.Fatalf("after 5 failed queries breaker = %s (opens=%d), want open", state, opens)
+	}
+	var stats RouterStatsResponse
+	if code, body := getJSON(t, lc.URL()+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats: %d %s", code, body)
+	}
+	if len(stats.Shards) != 1 || stats.Shards[0].Breaker != "open" || stats.Shards[0].BreakerOpens < 1 {
+		t.Fatalf("/stats shard breaker = %+v, want open with opens >= 1", stats.Shards)
+	}
+	if stats.BreakerSkips < 1 || stats.BreakerForced < 1 {
+		t.Fatalf("/stats breaker_skips=%d breaker_forced=%d, want both >= 1",
+			stats.BreakerSkips, stats.BreakerForced)
+	}
+
+	// The shard process comes back on the same identity. Deliberately NOT a
+	// membership rejoin (which resets the breaker as a fresh start) — the
+	// router must discover recovery through its own probes and traffic.
+	sh := lc.Shards[0]
+	sh.startHTTP()
+	if err := sh.startWire(); err != nil {
+		t.Fatal(err)
+	}
+	m.setAddr(sh.ts.URL)
+	m.SetWireAddr(normalizeWireAddr(sh.Server.WireAddr(), sh.ts.URL))
+	if state, _ := m.breakerSnapshot(); state != "open" {
+		t.Fatalf("breaker = %s after restart without rejoin, want still open", state)
+	}
+
+	// Probe-driven recovery: one good /readyz probe arms the half-open token.
+	lc.Router.Membership().ProbeAll(context.Background(), &http.Client{Timeout: 2 * time.Second})
+	if state, _ := m.breakerSnapshot(); state != "half-open" {
+		t.Fatalf("breaker = %s after a successful probe, want half-open", state)
+	}
+
+	// The single half-open probe request flows, answers correctly, and
+	// closes the breaker.
+	checkPoint(t, lc.URL(), fx, 2%fx.n, fx.edges[1%len(fx.edges)])
+	if state, _ := m.breakerSnapshot(); state != "closed" {
+		t.Fatalf("breaker = %s after a successful probe request, want closed", state)
+	}
+}

@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"ftbfs/internal/chaos"
+	"ftbfs/internal/server"
+)
+
+// The chaos differential suite: a cluster under a named fault plan must keep
+// the same contract as a healthy one — every 200 matches the single-node
+// oracle exactly (a fault may cost an answer, never change one), and no
+// request outlives its deadline budget by more than scheduling slack.
+
+const (
+	// chaosBudget is the per-request deadline budget the router applies.
+	chaosBudget = 800 * time.Millisecond
+	// chaosGrace is the slack on top of the budget a request may take before
+	// the suite calls it a budget overrun: handler teardown after the
+	// deadline fires, response writing, and race-detector scheduling. The
+	// point of the bound is catching requests that ride a fault into the
+	// 30s-client-timeout (or worse, build-timeout) regime.
+	chaosGrace = 1200 * time.Millisecond
+)
+
+// chaosPlanSummary is one plan's run record; CHAOS_SUMMARY names a JSON file
+// the per-plan summaries are written to (uploaded as a CI artifact).
+type chaosPlanSummary struct {
+	Plan        string            `json:"plan"`
+	Queries     int               `json:"queries"`
+	OK          int               `json:"ok"`
+	Errors      int               `json:"errors"`
+	Batches     int               `json:"batches"`
+	BatchErrors int               `json:"batch_slot_errors"`
+	Builds      int               `json:"builds"`
+	BuildErrors int               `json:"build_errors"`
+	P50us       float64           `json:"p50_us"`
+	P99us       float64           `json:"p99_us"`
+	MaxUs       float64           `json:"max_us"`
+	Faults      map[string]uint64 `json:"faults"`
+}
+
+// chaosPlanNames picks the plans to run: CHAOS_PLANS (comma-separated)
+// overrides, -short runs a quick conn-fault subset, otherwise the full
+// catalog.
+func chaosPlanNames(t *testing.T) []string {
+	if v := os.Getenv("CHAOS_PLANS"); v != "" {
+		var out []string
+		for _, p := range strings.Split(v, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			if _, ok := chaos.Named(p); !ok {
+				t.Fatalf("CHAOS_PLANS names unknown plan %q (catalog: %v)", p, chaos.PlanNames())
+			}
+			out = append(out, p)
+		}
+		return out
+	}
+	if testing.Short() {
+		return []string{"latency", "mixed"}
+	}
+	return chaos.PlanNames()
+}
+
+func TestChaosDifferential(t *testing.T) {
+	var summaries []chaosPlanSummary
+	for _, name := range chaosPlanNames(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			summaries = append(summaries, runChaosPlan(t, name))
+		})
+	}
+	if path := os.Getenv("CHAOS_SUMMARY"); path != "" && len(summaries) > 0 {
+		raw, err := json.MarshalIndent(map[string]any{
+			"budget_ms": chaosBudget.Milliseconds(),
+			"plans":     summaries,
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func runChaosPlan(t *testing.T, name string) chaosPlanSummary {
+	plan, ok := chaos.Named(name)
+	if !ok {
+		t.Fatalf("unknown plan %q", name)
+	}
+	// Deterministic per-plan seed: a failing run replays from (plan, seed).
+	var seed int64 = 1
+	for _, c := range name {
+		seed = seed*31 + int64(c)
+	}
+	inj := chaos.New(plan, seed)
+	inj.SetEnabled(false) // boot and fixtures run fault-free; armed below
+
+	lc, err := StartLocal(3, LocalOptions{
+		Replicas:    2,
+		PersistRoot: t.TempDir(),
+		Chaos:       inj,
+		Router: RouterOptions{
+			DefaultBudget: chaosBudget,
+			// Builds are exempt from the query budget but must not ride a
+			// dropped write into the default 15-minute build window.
+			BuildTimeout: 10 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	fixtures := buildFixtures(t, lc.URL(), []int64{411, 412}, []int{0, 4}, 0.3)
+	vfixtures := buildVertexFixtures(t, lc.URL(), 413, []int{0})
+	qs := rebalanceQueries(t, lc.URL(), fixtures, vfixtures)
+	batchReq, batchWant := chaosBatch(t, fixtures[0], vfixtures[0])
+
+	defer inj.SetEnabled(false) // teardown need not fight the plan
+	inj.SetEnabled(true)
+
+	iters := 120
+	if testing.Short() {
+		iters = 40
+	}
+	hasDisk := plan.DiskWriteErrP > 0 || plan.DiskSyncErrP > 0 || plan.DiskReadErrP > 0 ||
+		plan.DiskCorruptP > 0 || plan.DiskTruncP > 0
+	buildEvery := 30
+	if hasDisk {
+		// Steady-state queries serve resident structures and never touch
+		// disk; disk plans need build traffic to have anything to break.
+		buildEvery = 8
+	}
+
+	// Deliberately far past the budget: the SERVER-side budget must be what
+	// bounds latency, not this client.
+	client := &http.Client{Timeout: 30 * time.Second}
+	limit := chaosBudget + chaosGrace
+
+	sum := chaosPlanSummary{Plan: name}
+	var lat []time.Duration
+	buildSeed := int64(500)
+	for i := 0; i < iters; i++ {
+		if i%buildEvery == buildEvery-1 {
+			sum.Builds++
+			if !chaosBuild(client, lc.URL(), buildSeed) {
+				sum.BuildErrors++
+			}
+			buildSeed++
+			continue
+		}
+		if i%9 == 4 {
+			sum.Batches++
+			elapsed, slotErrs := chaosBatchQuery(t, name, client, lc.URL(), batchReq, batchWant)
+			sum.BatchErrors += slotErrs
+			lat = append(lat, elapsed)
+			if elapsed > limit {
+				t.Errorf("plan %s: /batch-query took %v, budget %v + %v grace", name, elapsed, chaosBudget, chaosGrace)
+			}
+			continue
+		}
+		q := qs[(i*13)%len(qs)]
+		start := time.Now()
+		resp, err := client.Get(q.url)
+		elapsed := time.Since(start)
+		lat = append(lat, elapsed)
+		sum.Queries++
+		if elapsed > limit {
+			t.Errorf("plan %s: request outlived its budget: %v (budget %v + %v grace): %s",
+				name, elapsed, chaosBudget, chaosGrace, q.url)
+		}
+		if err != nil {
+			sum.Errors++
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			sum.Errors++
+			continue
+		}
+		var dr struct {
+			Dist int `json:"dist"`
+		}
+		if json.Unmarshal(body, &dr) != nil {
+			t.Errorf("plan %s: unparseable 200 body %q for %s", name, body, q.url)
+			continue
+		}
+		if dr.Dist != q.want {
+			t.Errorf("plan %s: WRONG ANSWER %s = %d, single-node oracle says %d", name, q.url, dr.Dist, q.want)
+		}
+		sum.OK++
+	}
+
+	if sum.OK == 0 {
+		t.Errorf("plan %s: not one of %d queries succeeded — the cluster must keep answering under fire (errors=%d)",
+			name, sum.Queries, sum.Errors)
+	}
+	if inj.Total() == 0 {
+		t.Errorf("plan %s: the injector never fired — this run tested nothing", name)
+	}
+	sum.Faults = inj.Counts()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		sum.P50us = float64(lat[len(lat)/2].Microseconds())
+		sum.P99us = float64(lat[len(lat)*99/100].Microseconds())
+		sum.MaxUs = float64(lat[len(lat)-1].Microseconds())
+	}
+	t.Logf("plan %-8s queries=%d ok=%d errors=%d batches=%d(sloterrs=%d) builds=%d(failed=%d) p50=%.0fµs p99=%.0fµs max=%.0fµs faults=%v",
+		name, sum.Queries, sum.OK, sum.Errors, sum.Batches, sum.BatchErrors,
+		sum.Builds, sum.BuildErrors, sum.P50us, sum.P99us, sum.MaxUs, sum.Faults)
+	return sum
+}
+
+// chaosBatch builds one mixed edge/vertex batch request plus its oracle
+// answers, exercising graceful degradation: a faulted slot may come back as
+// a per-slot error, but a slot answered with "" must match exactly.
+func chaosBatch(t *testing.T, fx fixture, vf vertexFixture) (server.BatchQueryRequest, []int) {
+	t.Helper()
+	req := server.BatchQueryRequest{Graph: fx.fp, Source: fx.source, Eps: &fx.eps}
+	var want []int
+	for i := 0; i < 5 && i < len(fx.edges); i++ {
+		v := (i * 11) % fx.n
+		e := fx.edges[i]
+		w, err := fx.oracle.DistAvoiding(v, e[0], e[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Queries = append(req.Queries, server.BatchQuery{V: v, Fail: e})
+		want = append(want, w)
+	}
+	vsrc := vf.source
+	for i := 0; i < 3; i++ {
+		fw := 1 + (i*5)%(vf.n-1)
+		if fw == vf.source {
+			fw = (fw + 1) % vf.n
+		}
+		v := (i * 17) % vf.n
+		w, err := vf.oracle.DistAvoidingVertex(v, fw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fv := fw
+		req.Queries = append(req.Queries, server.BatchQuery{
+			Graph: vf.fp, Source: &vsrc, V: v, FailedVertex: &fv,
+		})
+		want = append(want, w)
+	}
+	return req, want
+}
+
+// chaosBatchQuery posts the batch and checks answered slots against the
+// oracle; per-slot errors (degraded slots) are tolerated and counted.
+func chaosBatchQuery(t *testing.T, plan string, client *http.Client, base string, req server.BatchQueryRequest, want []int) (time.Duration, int) {
+	t.Helper()
+	raw, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := client.Post(base+"/batch-query", "application/json", bytes.NewReader(raw))
+	elapsed := time.Since(start)
+	if err != nil {
+		return elapsed, len(want)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return elapsed, len(want)
+	}
+	var br server.BatchQueryResponse
+	if json.Unmarshal(body, &br) != nil || len(br.Dists) != len(want) {
+		t.Errorf("plan %s: malformed 200 /batch-query response %q", plan, body)
+		return elapsed, len(want)
+	}
+	slotErrs := 0
+	for i, d := range br.Dists {
+		if len(br.Errors) == len(br.Dists) && br.Errors[i] != "" {
+			slotErrs++
+			continue
+		}
+		if d != want[i] {
+			t.Errorf("plan %s: WRONG ANSWER batch slot %d = %d, oracle says %d", plan, i, d, want[i])
+		}
+	}
+	return elapsed, slotErrs
+}
+
+// chaosBuild runs one /build of a fresh graph under fire. Failures are
+// tolerated (that is the point of the faults); a 200 must have built the
+// requested structure.
+func chaosBuild(client *http.Client, base string, seed int64) bool {
+	g, _ := clusterGraph(30, 40, seed)
+	var text bytes.Buffer
+	if g.Write(&text) != nil {
+		return false
+	}
+	raw, err := json.Marshal(&server.BuildRequest{
+		Graph:   text.String(),
+		Sources: []int{0},
+		Eps:     []float64{0.5},
+	})
+	if err != nil {
+		return false
+	}
+	resp, err := client.Post(base+"/build", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return false
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var br server.BuildResponse
+	return json.Unmarshal(body, &br) == nil && len(br.Structures) == 1
+}

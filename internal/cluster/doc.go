@@ -67,4 +67,53 @@
 // hot key spread over R+k replicas instead of R. Promotion survives
 // membership changes (the widened walk is re-evaluated against the current
 // ring on every lookup) and demotion is simply dropping the entry.
+//
+// # Deadline budgets, retries, and circuit breakers
+//
+// Every query carries a deadline budget. It enters as the wire frame's
+// budget field or the X-Ftbfs-Budget-Ms header (RouterOptions.DefaultBudget
+// applies when the client sends none) and becomes the request context's
+// deadline; as the router forwards or retries, the REMAINING budget is what
+// propagates, so a retry never restarts the clock. The invariant the chaos
+// suite enforces is that no request outlives its budget — a fault may cost
+// an answer (an error inside the budget), never an open-ended wait.
+//
+// Failed attempts retry on the next replica with jittered exponential
+// backoff (RouterOptions.RetryBackoff/MaxRetryBackoff; a negative base
+// disables the delay), bounded by the replica list and the budget rather
+// than a count knob.
+//
+// Each member carries a circuit breaker with the classic three states.
+// BreakerThreshold consecutive request failures trip it closed→open; while
+// open, hedged and retried attempts skip the member (stats: breaker_skips),
+// except that a key whose every owner is open still forces one attempt on
+// the primary (breaker_forced) — an answer beats a guaranteed refusal. Open
+// transitions to half-open either when BreakerCooldown elapses or when a
+// background /readyz probe succeeds (probe-driven recovery); half-open
+// admits exactly one trial request, whose success closes the breaker and
+// whose failure re-opens it. A membership rejoin (same ID through Join)
+// resets the breaker — a rejoining shard is a fresh start. Per-member state
+// and trip counts are exposed in /stats (breaker, breaker_opens).
+//
+// # Load shedding
+//
+// Shards bound their own work: query-serving endpoints (/build, /dist,
+// /dist-avoiding, /dist-avoiding-vertex, /batch-query — health, stats, and
+// handoff surfaces are exempt) pass through a limiter with a bounded
+// in-flight slot pool and a bounded wait queue (Server.SetWorkLimits). A
+// full queue sheds immediately with 503 + Retry-After (in-protocol 503 on
+// the wire path; a shed wire batch fails every slot), a draining shard
+// refuses new work without queueing, and a request whose budget expires
+// while queued answers 504 rather than occupying a freed slot. The router
+// treats a shed like any replica failure: retry elsewhere within budget.
+//
+// # Chaos testing
+//
+// internal/chaos provides the deterministic fault injector these policies
+// are gated against: a named catalog of fault plans (latency, drops,
+// resets, stalls, corrupt, disk, mixed — chaos.PlanNames) wrapping the
+// shards' listeners and store disk I/O via LocalOptions.Chaos. The
+// differential suite (chaos_test.go) runs mixed edge/vertex traffic under
+// every plan and asserts zero wrong answers, no budget overruns, and — in
+// breaker_test.go — the full open→half-open→closed lifecycle.
 package cluster

@@ -6,8 +6,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"time"
 
+	"ftbfs/internal/chaos"
 	"ftbfs/internal/server"
 	"ftbfs/internal/store"
 	"ftbfs/internal/wire"
@@ -26,20 +29,34 @@ type LocalShard struct {
 	ts         *httptest.Server
 	wireLn     net.Listener
 	wireCancel context.CancelFunc
+	chaos      *chaos.Injector // nil when the cluster runs fault-free
 }
 
 // startWire opens a loopback binary-protocol listener for the shard and
-// advertises it on the server (so /healthz, /readyz carry it).
+// advertises it on the server (so /healthz, /readyz carry it). Under a
+// chaos plan the listener is wrapped at the wire layer, where injected
+// corruption is legal (the v2 frame CRC catches it).
 func (s *LocalShard) startWire() error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
+	addr := ln.Addr().String()
+	ln = s.chaos.Listener(ln, chaos.LayerWire)
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() { _ = wire.Serve(ctx, ln, s.Server) }()
 	s.wireLn, s.wireCancel = ln, cancel
-	s.Server.SetWireAddr(ln.Addr().String())
+	s.Server.SetWireAddr(addr)
 	return nil
+}
+
+// startHTTP boots the shard's HTTP listener, wrapped by the chaos injector
+// at the HTTP layer (all faults except byte corruption — HTTP bodies carry
+// no checksum, so corrupting them could silently change answers).
+func (s *LocalShard) startHTTP() {
+	s.ts = httptest.NewUnstartedServer(s.Server)
+	s.ts.Listener = s.chaos.Listener(s.ts.Listener, chaos.LayerHTTP)
+	s.ts.Start()
 }
 
 // stopWire tears the binary listener down (and un-advertises it).
@@ -84,6 +101,15 @@ type LocalOptions struct {
 	Router RouterOptions
 	// StoreCapacity per shard (0 = unlimited).
 	StoreCapacity int
+	// Chaos, when non-nil, runs the whole cluster under the injector's fault
+	// plan: every shard's HTTP and wire listeners are wrapped (corruption
+	// wire-only) and its store gets the injector's disk hooks. nil is a
+	// strict no-op — the fault-free path is byte-identical to before.
+	Chaos *chaos.Injector
+	// PersistRoot, when non-empty, gives each shard a persist directory
+	// under it (PersistRoot/<shardID>) instead of a memory-only store —
+	// required for disk-fault plans to have anything to break.
+	PersistRoot string
 }
 
 // StartLocal boots n shards and a router over them, all on loopback.
@@ -120,16 +146,26 @@ func StartLocal(n int, opts LocalOptions) (*LocalCluster, error) {
 // bootShard starts a fresh shard (store, server, HTTP + wire listeners) with
 // the next unused ID, without touching the membership.
 func (lc *LocalCluster) bootShard() (*LocalShard, error) {
-	st, err := store.New(lc.opts.StoreCapacity, "")
+	id := fmt.Sprintf("shard%d", lc.nextID)
+	lc.nextID++
+	dir := ""
+	if lc.opts.PersistRoot != "" {
+		dir = filepath.Join(lc.opts.PersistRoot, id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	st, err := store.New(lc.opts.StoreCapacity, dir)
 	if err != nil {
 		return nil, err
 	}
-	id := fmt.Sprintf("shard%d", lc.nextID)
-	lc.nextID++
+	if lc.opts.Chaos != nil {
+		st.SetIOHooks(lc.opts.Chaos.StoreHooks())
+	}
 	srv := server.New(st)
 	srv.SetIdentity("shard", id)
-	sh := &LocalShard{ID: id, Store: st, Server: srv}
-	sh.ts = httptest.NewServer(srv)
+	sh := &LocalShard{ID: id, Store: st, Server: srv, chaos: lc.opts.Chaos}
+	sh.startHTTP()
 	if err := sh.startWire(); err != nil {
 		sh.ts.Close()
 		return nil, err
@@ -206,7 +242,7 @@ func (lc *LocalCluster) RestartShard(i int) {
 	if sh.ts != nil {
 		return
 	}
-	sh.ts = httptest.NewServer(sh.Server)
+	sh.startHTTP()
 	_ = sh.startWire()
 	ms := lc.Router.Membership()
 	ms.Join(sh.ID, sh.ts.URL)

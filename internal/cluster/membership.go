@@ -45,6 +45,11 @@ type Member struct {
 	wireAddr atomic.Pointer[string]
 	wireMu   sync.Mutex
 	wireC    *wire.Client
+
+	// cb is the member's circuit breaker (breaker.go): health marks reorder
+	// attempts, the breaker stops spending them on a replica that keeps
+	// failing. Fed by the same markRequest/markProbe observations.
+	cb *breaker
 }
 
 // Addr returns the member's current base URL, e.g. "http://127.0.0.1:7001".
@@ -127,6 +132,9 @@ func (m *Member) resetHealth() {
 	m.probeFailures.Store(0)
 	m.reqDown.Store(false)
 	m.reqFailures.Store(0)
+	// A rejoin is a fresh start for the breaker too — the restarted process
+	// shares nothing with whatever tripped it.
+	m.cb.onResult(true)
 }
 
 // mark folds one observation into a (down, counter) pair: recovery is
@@ -143,15 +151,26 @@ func mark(down *atomic.Bool, failures *atomic.Int64, ok bool, threshold int64) {
 	}
 }
 
-// markProbe records one /readyz probe outcome.
+// markProbe records one /readyz probe outcome. A success while the breaker
+// is open arms its half-open token early — probe-driven recovery.
 func (m *Member) markProbe(ok bool, threshold int64) {
 	mark(&m.probeDown, &m.probeFailures, ok, threshold)
+	m.cb.onProbe(ok)
 }
 
-// markRequest records one proxied-request outcome.
+// markRequest records one proxied-request outcome, feeding both the health
+// strike counter and the circuit breaker.
 func (m *Member) markRequest(ok bool, threshold int64) {
 	mark(&m.reqDown, &m.reqFailures, ok, threshold)
+	m.cb.onResult(ok)
 }
+
+// Breaker state accessors for routing and stats (nil-safe for Members
+// constructed outside Join, e.g. in tests).
+
+func (m *Member) breakerAllow() bool                { return m.cb.Allow() }
+func (m *Member) breakerOpen() bool                 { return m.cb.isOpen() }
+func (m *Member) breakerSnapshot() (string, uint64) { return m.cb.snapshot() }
 
 // Membership is the mutable shard set behind a router: members keyed by ID
 // plus the current ring built from exactly those IDs. Join/Leave rebuild
@@ -160,6 +179,11 @@ func (m *Member) markRequest(ok bool, threshold int64) {
 type Membership struct {
 	replicas int
 	vnodes   int
+
+	// Breaker geometry stamped onto members as they join; NewRouter
+	// overrides the defaults from its options before traffic flows.
+	brThreshold int
+	brCooldown  time.Duration
 
 	mu      sync.RWMutex
 	members map[string]*Member
@@ -173,10 +197,30 @@ func NewMembership(replicas, vnodes int) *Membership {
 		replicas = 1
 	}
 	return &Membership{
-		replicas: replicas,
-		vnodes:   vnodes,
-		members:  make(map[string]*Member),
-		ring:     NewRing(nil, vnodes),
+		replicas:    replicas,
+		vnodes:      vnodes,
+		brThreshold: DefaultBreakerThreshold,
+		brCooldown:  DefaultBreakerCooldown,
+		members:     make(map[string]*Member),
+		ring:        NewRing(nil, vnodes),
+	}
+}
+
+// SetBreakerConfig retunes the breaker geometry for members joining from now
+// on and resets existing members' breakers to the new shape. Zero values
+// keep the defaults.
+func (ms *Membership) SetBreakerConfig(threshold int, cooldown time.Duration) {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.brThreshold, ms.brCooldown = threshold, cooldown
+	for _, m := range ms.members {
+		m.cb = newBreaker(threshold, cooldown)
 	}
 }
 
@@ -194,7 +238,7 @@ func (ms *Membership) Join(id, addr string) {
 		m.resetHealth()
 		return
 	}
-	m := &Member{ID: id}
+	m := &Member{ID: id, cb: newBreaker(ms.brThreshold, ms.brCooldown)}
 	m.setAddr(addr)
 	ms.members[id] = m
 	ms.rebuildLocked()

@@ -218,6 +218,14 @@ func (rt *Router) AddShard(ctx context.Context, id, addr, wireAddr string) (*Reb
 		tasks = append(tasks, pullTask{src: src, keys: keys})
 	}
 	rt.runPulls(ctx, addr, tasks, report)
+	if err := ctx.Err(); err != nil {
+		// The join was aborted mid-transfer (caller cancelled, deadline).
+		// Routing must stay unflipped — the joiner holds an arbitrary prefix
+		// of its ranges and must not start taking traffic for the rest.
+		// runPulls already drained the pending counters; what did transfer is
+		// harmless surplus the next AddShard attempt will skip.
+		return report, fmt.Errorf("cluster: join of %s aborted before routing flip: %w", id, err)
+	}
 
 	// Flip routing only now: the joiner answers its first routed query from
 	// a handed-off structure. Load-through stays the fallback for anything

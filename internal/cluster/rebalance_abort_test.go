@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"ftbfs/internal/chaos"
+)
+
+// TestAddShardAbortKeepsRoutingUnflipped: a join cancelled mid-transfer must
+// fail without flipping routing — the joiner holds an arbitrary prefix of
+// its ranges and must not start taking traffic for the rest — and must not
+// leak ranges_pending.
+func TestAddShardAbortKeepsRoutingUnflipped(t *testing.T) {
+	lc, err := StartLocal(2, LocalOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	fixtures := buildFixtures(t, lc.URL(), []int64{81}, []int{0, 3}, 0.3)
+
+	idsBefore := lc.Router.Membership().IDs()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the join is aborted before (and during) its pulls
+	if _, _, err := lc.AddShard(ctx); err == nil {
+		t.Fatal("AddShard with a cancelled context succeeded")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AddShard abort error = %v, want context.Canceled", err)
+	}
+
+	if ids := lc.Router.Membership().IDs(); len(ids) != len(idsBefore) {
+		t.Fatalf("aborted join flipped routing: members %v, want %v", ids, idsBefore)
+	}
+	var stats RouterStatsResponse
+	if code, body := getJSON(t, lc.URL()+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats: %d %s", code, body)
+	}
+	if stats.RangesPending != 0 {
+		t.Fatalf("aborted join leaked ranges_pending = %d", stats.RangesPending)
+	}
+	// The surviving cluster still answers every query exactly.
+	for _, fx := range fixtures {
+		checkPoint(t, lc.URL(), fx, 3%fx.n, fx.edges[0])
+	}
+}
+
+// TestPullPartialFailureAccounting: a receiver whose persist directory is
+// broken still installs pulled structures in memory — the join reports them
+// Transferred (they serve traffic) AND surfaces the persist errors, with no
+// pending-range leak and no wrong answers afterwards.
+func TestPullPartialFailureAccounting(t *testing.T) {
+	inj := chaos.New(chaos.Plan{Name: "broken-persist", DiskWriteErrP: 1}, 7)
+	inj.SetEnabled(false) // fixture builds persist cleanly; armed for the join
+	lc, err := StartLocal(2, LocalOptions{
+		Replicas:    2,
+		PersistRoot: t.TempDir(),
+		Chaos:       inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	fixtures := buildFixtures(t, lc.URL(), []int64{82, 83}, []int{0, 2}, 0.3)
+
+	defer inj.SetEnabled(false)
+	inj.SetEnabled(true) // every record write on the joiner now fails
+
+	ctx, cancelJoin := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelJoin()
+	_, report, err := lc.AddShard(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Transferred == 0 {
+		t.Fatalf("join moved nothing: %+v", report)
+	}
+	if len(report.Errors) == 0 {
+		t.Fatalf("join with a broken receiver disk reported no errors: %+v", report)
+	}
+	inj.SetEnabled(false)
+
+	var stats RouterStatsResponse
+	if code, body := getJSON(t, lc.URL()+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats: %d %s", code, body)
+	}
+	if stats.RangesPending != 0 {
+		t.Fatalf("partial-failure join leaked ranges_pending = %d", stats.RangesPending)
+	}
+	// The receiver is consistent: routed queries — some now landing on the
+	// joiner's memory-only copies — still match the oracle exactly.
+	for _, fx := range fixtures {
+		for i := 0; i < 6 && i < len(fx.edges); i++ {
+			checkPoint(t, lc.URL(), fx, (i*7)%fx.n, fx.edges[i])
+		}
+	}
+}
+
+// TestClusterShutdownUnderFireLeaksNothing: Close with requests in flight
+// must wind down every router-side resource — wire-client read loops,
+// forwarded HTTP connections, shard handlers — without leaving goroutines
+// parked (the router-shutdown leg of the wire client's lifecycle tests).
+func TestClusterShutdownUnderFireLeaksNothing(t *testing.T) {
+	base := runtime.NumGoroutine()
+	func() {
+		lc, err := StartLocal(3, LocalOptions{Replicas: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lc.Close()
+		fx := buildFixtures(t, lc.URL(), []int64{84}, []int{0}, 0.3)[0]
+
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		client := &http.Client{Timeout: 5 * time.Second}
+		go func() {
+			defer close(done)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := chaosQueryURL(lc.URL(), fx, i)
+				resp, err := client.Get(q)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+		time.Sleep(100 * time.Millisecond) // requests are genuinely in flight
+		close(stop)
+		<-done
+		client.CloseIdleConnections()
+	}()
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("cluster shutdown leaked goroutines: %d now, %d at baseline\n%s",
+				runtime.NumGoroutine(), base, buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// chaosQueryURL builds the i-th rotating point query against a fixture.
+func chaosQueryURL(base string, fx fixture, i int) string {
+	e := fx.edges[i%len(fx.edges)]
+	v := (i * 13) % fx.n
+	return fmt.Sprintf("%s/dist-avoiding?graph=%s&source=%d&eps=%g&v=%d&fu=%d&fv=%d",
+		base, fx.fp, fx.source, fx.eps, v, e[0], e[1])
+}

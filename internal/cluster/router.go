@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,6 +35,13 @@ const DefaultHedgeDelay = 3 * time.Millisecond
 // client's timeout.
 const DefaultBuildTimeout = 15 * time.Minute
 
+// DefaultRetryBackoff is the base delay before a failover retry; attempt n
+// waits roughly base·2^(n−1) with ±50% jitter.
+const DefaultRetryBackoff = 5 * time.Millisecond
+
+// DefaultMaxRetryBackoff caps the exponential growth of retry backoff.
+const DefaultMaxRetryBackoff = 100 * time.Millisecond
+
 // RouterOptions tunes a Router.
 type RouterOptions struct {
 	// HedgeDelay before a point query is hedged to the next replica;
@@ -52,6 +62,27 @@ type RouterOptions struct {
 	// address. The zero value leaves the fast path enabled — a shard that
 	// does not advertise one is routed over HTTP either way.
 	DisableWire bool
+	// DefaultBudget is the deadline budget applied to query requests that
+	// arrive without an X-Ftbfs-Budget-Ms header; 0 leaves them bounded only
+	// by the HTTP client timeout. The remaining budget re-propagates to every
+	// shard attempt (HTTP header, wire frame field), so no attempt outlives
+	// the request that asked for it.
+	DefaultBudget time.Duration
+	// RetryBackoff is the base delay between failover retries: attempt n
+	// waits roughly base·2^(n−1) with ±50% jitter, capped at MaxRetryBackoff
+	// and at the request's remaining budget. DefaultRetryBackoff when 0;
+	// negative disables backoff (retries fire immediately, as they did
+	// before backoff existed — tests use this for speed).
+	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the exponential growth (DefaultMaxRetryBackoff
+	// when 0).
+	MaxRetryBackoff time.Duration
+	// BreakerThreshold is how many consecutive request failures trip a
+	// replica's circuit breaker open (DefaultBreakerThreshold when 0).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before arming a
+	// half-open probe (DefaultBreakerCooldown when 0).
+	BreakerCooldown time.Duration
 }
 
 // Router fronts a shard cluster with the same HTTP surface a single shard
@@ -82,6 +113,8 @@ type Router struct {
 	wirePoints      atomic.Uint64 // point attempts answered over the binary protocol
 	wireBatches     atomic.Uint64 // sub-batches answered over the binary protocol
 	wireFallbacks   atomic.Uint64 // wire transport faults that fell back to HTTP
+	breakerSkips    atomic.Uint64 // attempts not sent because a replica's breaker was open
+	breakerForced   atomic.Uint64 // attempts forced through despite every breaker being open
 	errs            atomic.Uint64 // requests answered with an error status
 	draining        atomic.Bool
 
@@ -111,6 +144,13 @@ func NewRouter(m *Membership, opts RouterOptions) *Router {
 	if opts.BuildTimeout == 0 {
 		opts.BuildTimeout = DefaultBuildTimeout
 	}
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = DefaultRetryBackoff
+	}
+	if opts.MaxRetryBackoff == 0 {
+		opts.MaxRetryBackoff = DefaultMaxRetryBackoff
+	}
+	m.SetBreakerConfig(opts.BreakerThreshold, opts.BreakerCooldown)
 	rt := &Router{
 		m:           m,
 		mux:         http.NewServeMux(),
@@ -150,7 +190,73 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// acceptable body.
 		r.Body = http.MaxBytesReader(w, r.Body, server.MaxBodyBytes)
 	}
+	// Deadline budget: an explicit X-Ftbfs-Budget-Ms header wins, else the
+	// router's configured default. The budget becomes the request context's
+	// deadline; every shard attempt below re-propagates what remains of it,
+	// so no attempt (or backoff sleep) outlives the caller's patience.
+	// /build is exempt by construction — its fan-out detaches via
+	// WithoutCancel and is bounded by BuildTimeout instead.
+	budget := rt.opts.DefaultBudget
+	if h := r.Header.Get(server.BudgetHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			budget = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if budget > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	rt.mux.ServeHTTP(w, r)
+}
+
+// backoffDelay returns the jittered exponential delay before retry `attempt`
+// (1-based): base·2^(attempt−1), capped, then jittered to 50–100% so
+// replicas retrying in lockstep spread out.
+func (rt *Router) backoffDelay(attempt int) time.Duration {
+	base, ceil := rt.opts.RetryBackoff, rt.opts.MaxRetryBackoff
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// sleepBackoff waits the retry delay, bounded by the request's remaining
+// budget. Returns false when the budget expired — the caller must stop
+// retrying rather than fire an attempt the client has already given up on.
+func (rt *Router) sleepBackoff(ctx context.Context, attempt int) bool {
+	d := rt.backoffDelay(attempt)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return false
+		}
+		if d > rem {
+			d = rem
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // retryableStatus reports whether a shard's HTTP status may legitimately
@@ -276,6 +382,16 @@ func (rt *Router) forwardClient(client *http.Client, ctx context.Context, m *Mem
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate what remains of the deadline budget so the shard can shed or
+	// time the request out itself instead of answering into a void. Ceil-ms:
+	// a still-live budget must never round down to "none".
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return attemptResult{err: context.DeadlineExceeded}
+		}
+		req.Header.Set(server.BudgetHeader, strconv.FormatInt(int64((rem+time.Millisecond-1)/time.Millisecond), 10))
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		if ctx.Err() == nil {
@@ -345,27 +461,41 @@ func (rt *Router) noteKey(k store.Key) {
 
 // hedgedDo tries the owners in order until one returns 200: the primary
 // first, the next replica when the hedge timer fires before the primary
-// answers, and immediate failover on transport errors and retryable
-// statuses (404 unknown-graph shard state, 5xx). A deterministic client
-// error (any other 4xx) is relayed immediately — every replica would
-// repeat it; a retryable status is remembered and relayed only when every
-// replica says no.
+// answers, and failover on transport errors and retryable statuses (404
+// unknown-graph shard state, 5xx) after a jittered exponential backoff
+// bounded by the remaining budget. Owners whose circuit breaker is open are
+// skipped — unless every owner's is, in which case one attempt is forced
+// (an answer beats a guaranteed refusal, and the outcome feeds the
+// breaker). A deterministic client error (any other 4xx) is relayed
+// immediately — every replica would repeat it; a retryable status is
+// remembered and relayed only when every replica says no.
 func (rt *Router) hedgedDo(ctx context.Context, owners []*Member, method, path, rawQuery string, body []byte, wq *wireQuery) attemptResult {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan attemptResult, len(owners))
 	next, pending := 0, 0
-	launch := func() bool {
-		if next >= len(owners) {
-			return false
-		}
-		m := owners[next]
-		next++
+	fire := func(m *Member) {
 		pending++
 		go func() { results <- rt.forwardPoint(ctx, m, method, path, rawQuery, body, wq) }()
-		return true
 	}
-	launch()
+	launch := func() bool {
+		for next < len(owners) {
+			m := owners[next]
+			next++
+			if !m.breakerAllow() {
+				rt.breakerSkips.Add(1)
+				continue
+			}
+			fire(m)
+			return true
+		}
+		return false
+	}
+	if !launch() {
+		// Every owner's breaker is open: force the primary anyway.
+		rt.breakerForced.Add(1)
+		fire(owners[0])
+	}
 	var hedgeC <-chan time.Time
 	if rt.opts.HedgeDelay > 0 && len(owners) > 1 {
 		tm := time.NewTimer(rt.opts.HedgeDelay)
@@ -373,6 +503,7 @@ func (rt *Router) hedgedDo(ctx context.Context, owners []*Member, method, path, 
 		hedgeC = tm.C
 	}
 	last := attemptResult{err: fmt.Errorf("cluster: no shard available")}
+	retries := 0
 	for pending > 0 {
 		select {
 		case res := <-results:
@@ -387,6 +518,21 @@ func (rt *Router) hedgedDo(ctx context.Context, owners []*Member, method, path, 
 			// answer of last resort.
 			if res.err == nil || last.code == 0 {
 				last = res
+			}
+			if next >= len(owners) {
+				if pending == 0 {
+					return last
+				}
+				continue
+			}
+			retries++
+			if !rt.sleepBackoff(ctx, retries) {
+				// Budget exhausted mid-backoff: no further attempts; any
+				// stragglers still pending fail fast on the dead context.
+				if pending == 0 {
+					return last
+				}
+				continue
 			}
 			if launch() {
 				rt.failovers.Add(1)
@@ -472,7 +618,13 @@ func (rt *Router) handlePoint(w http.ResponseWriter, r *http.Request) {
 	}
 	res := rt.hedgedDo(r.Context(), owners, r.Method, r.URL.Path, r.URL.RawQuery, body, wq)
 	if res.err != nil {
-		rt.writeErr(w, http.StatusBadGateway, fmt.Errorf("cluster: all %d replicas failed: %w", len(owners), res.err))
+		code := http.StatusBadGateway
+		if errors.Is(res.err, context.DeadlineExceeded) || r.Context().Err() != nil {
+			// The budget ran out, not the replicas: answer 504 like a shard
+			// would, so callers can tell "too slow" from "all dead".
+			code = http.StatusGatewayTimeout
+		}
+		rt.writeErr(w, code, fmt.Errorf("cluster: all %d replicas failed: %w", len(owners), res.err))
 		return
 	}
 	rt.writeRaw(w, res.code, res.body)
@@ -545,6 +697,11 @@ func (rt *Router) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	// every replica holds the structure, so any of them answers correctly.
 	load := make(map[*Member]int)
 	for round := 0; len(pending) > 0 && round < rt.m.Replicas(); round++ {
+		if round > 0 && !rt.sleepBackoff(r.Context(), round) {
+			// Budget exhausted between rounds: pending slots keep the error
+			// their last attempt recorded.
+			break
+		}
 		type subBatch struct {
 			member *Member
 			slots  []int
@@ -558,9 +715,35 @@ func (rt *Router) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 				exhausted = append(exhausted, i)
 				continue
 			}
+			// Graceful degradation: when every remaining replica of this
+			// slot's key has an open breaker, fail the slot now instead of
+			// feeding a sub-batch to shards known to be failing — the rest of
+			// the vector still answers. (Batch selection reads breaker state
+			// without consuming half-open probe tokens; the point path and
+			// readiness probes drive recovery.)
+			allOpen := true
+			for j := rte.tried; j < len(rte.owners); j++ {
+				if !rte.owners[j].breakerOpen() {
+					allOpen = false
+					break
+				}
+			}
+			if allOpen {
+				rt.breakerSkips.Add(1)
+				if errs[i] == "" {
+					errs[i] = fmt.Sprintf("cluster: circuit open: all %d replicas unavailable", len(rte.owners))
+				}
+				continue
+			}
 			best := rte.tried
 			for j := rte.tried + 1; j < len(rte.owners); j++ {
 				cand, cur := rte.owners[j], rte.owners[best]
+				if cand.breakerOpen() != cur.breakerOpen() {
+					if !cand.breakerOpen() {
+						best = j
+					}
+					continue
+				}
 				if cand.Healthy() != cur.Healthy() {
 					if cand.Healthy() {
 						best = j
@@ -1000,12 +1183,14 @@ type buildGraph interface {
 
 // ShardStat is one member's entry in a RouterStatsResponse.
 type ShardStat struct {
-	ID      string                `json:"id"`
-	Addr    string                `json:"addr"`
-	Healthy bool                  `json:"healthy"`
-	Probes  uint64                `json:"probes"`
-	Stats   *server.StatsResponse `json:"stats,omitempty"`
-	Error   string                `json:"error,omitempty"`
+	ID           string                `json:"id"`
+	Addr         string                `json:"addr"`
+	Healthy      bool                  `json:"healthy"`
+	Probes       uint64                `json:"probes"`
+	Breaker      string                `json:"breaker"`                 // closed | open | half-open
+	BreakerOpens uint64                `json:"breaker_opens,omitempty"` // lifetime trips
+	Stats        *server.StatsResponse `json:"stats,omitempty"`
+	Error        string                `json:"error,omitempty"`
 }
 
 // RouterStatsResponse is the reply of the router's GET /stats: router-level
@@ -1025,6 +1210,8 @@ type RouterStatsResponse struct {
 	WirePoints      uint64  `json:"wire_points"`
 	WireBatches     uint64  `json:"wire_batches"`
 	WireFallbacks   uint64  `json:"wire_fallbacks"`
+	BreakerSkips    uint64  `json:"breaker_skips"`
+	BreakerForced   uint64  `json:"breaker_forced"`
 	Errors          uint64  `json:"errors"`
 	Replicas        int     `json:"replicas"`
 
@@ -1063,6 +1250,8 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		WirePoints:      rt.wirePoints.Load(),
 		WireBatches:     rt.wireBatches.Load(),
 		WireFallbacks:   rt.wireFallbacks.Load(),
+		BreakerSkips:    rt.breakerSkips.Load(),
+		BreakerForced:   rt.breakerForced.Load(),
 		Errors:          rt.errs.Load(),
 		Replicas:        rt.m.Replicas(),
 
@@ -1085,7 +1274,11 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	var wg sync.WaitGroup
 	for i, m := range members {
 		i, m := i, m
-		resp.Shards[i] = ShardStat{ID: m.ID, Addr: m.Addr(), Healthy: m.Healthy(), Probes: m.probes.Load()}
+		bstate, bopens := m.breakerSnapshot()
+		resp.Shards[i] = ShardStat{
+			ID: m.ID, Addr: m.Addr(), Healthy: m.Healthy(), Probes: m.probes.Load(),
+			Breaker: bstate, BreakerOpens: bopens,
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

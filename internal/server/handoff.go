@@ -307,12 +307,28 @@ func (s *Server) pull(ctx context.Context, req *HandoffPullRequest) *HandoffPull
 			return fmt.Errorf("graph fetched for %016x has fingerprint %016x", fp, g.Fingerprint())
 		}
 		if _, err := s.store.AddGraph(g); err != nil {
-			return err
+			// A PersistError means the graph is registered and serving from
+			// memory — only durability failed. Keep pulling its records (they
+			// degrade the same way) and surface the error instead of skipping
+			// every key of the graph.
+			var pe *store.PersistError
+			if !errors.As(err, &pe) {
+				return err
+			}
+			resp.Errors = append(resp.Errors, err.Error())
 		}
 		haveGraph[fp] = true
 		return nil
 	}
 	for _, info := range req.Keys {
+		// Check the deadline between keys, not just inside fetches: an aborted
+		// pull must stop cleanly with every unprocessed key reported, so the
+		// router can tell "not transferred" from "silently dropped" and keeps
+		// the pending ledger honest.
+		if err := ctx.Err(); err != nil {
+			resp.Errors = append(resp.Errors, fmt.Sprintf("pull aborted: %v", err))
+			break
+		}
 		k, err := info.StoreKey()
 		if err != nil {
 			resp.Errors = append(resp.Errors, err.Error())
@@ -343,16 +359,24 @@ func (s *Server) pull(ctx context.Context, req *HandoffPullRequest) *HandoffPull
 			data = b
 		}
 		installed, err := s.store.ImportRecord(k, data)
+		if installed {
+			// The structure is resident and serving even if persistence
+			// failed (ImportRecord reports that as installed + PersistError).
+			// Counting it transferred keeps the router's pending ledger
+			// consistent with what this store actually holds; the error still
+			// surfaces so operators see the durability gap.
+			resp.Transferred++
+			resp.Bytes += int64(len(data))
+			if err != nil {
+				resp.Errors = append(resp.Errors, err.Error())
+			}
+			continue
+		}
 		if err != nil {
 			resp.Errors = append(resp.Errors, err.Error())
 			continue
 		}
-		if installed {
-			resp.Transferred++
-			resp.Bytes += int64(len(data))
-		} else {
-			resp.Skipped++
-		}
+		resp.Skipped++
 	}
 	return resp
 }
@@ -360,8 +384,11 @@ func (s *Server) pull(ctx context.Context, req *HandoffPullRequest) *HandoffPull
 // HandoffRecord implements wire.HandoffBackend: the binary-protocol twin of
 // GET /handoff/record. Records larger than the frame bound answer 413 so
 // the puller falls back to HTTP (which has no such bound).
-func (s *Server) HandoffRecord(k *wire.HandoffKey) ([]byte, *wire.Error) {
+func (s *Server) HandoffRecord(ctx context.Context, k *wire.HandoffKey) ([]byte, *wire.Error) {
 	s.wireRequests.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, &wire.Error{Code: http.StatusGatewayTimeout, Msg: err.Error()}
+	}
 	sk := store.Key{Graph: k.FP, Source: int(k.Source), Eps: math.Float64frombits(k.EpsBits), Alg: ftbfs.Algorithm(k.Alg)}
 	if k.Vertex {
 		sk = store.VertexKey(k.FP, int(k.Source))
@@ -382,8 +409,11 @@ func (s *Server) HandoffRecord(k *wire.HandoffKey) ([]byte, *wire.Error) {
 
 // HandoffGraph implements wire.HandoffBackend: the binary-protocol twin of
 // GET /handoff/graph.
-func (s *Server) HandoffGraph(fp uint64) ([]byte, *wire.Error) {
+func (s *Server) HandoffGraph(ctx context.Context, fp uint64) ([]byte, *wire.Error) {
 	s.wireRequests.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, &wire.Error{Code: http.StatusGatewayTimeout, Msg: err.Error()}
+	}
 	data, err := s.store.GraphText(fp)
 	if err != nil {
 		return nil, &wire.Error{Code: http.StatusNotFound, Msg: err.Error()}

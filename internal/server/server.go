@@ -77,6 +77,64 @@ const MaxBuildN = 1_000_000
 // tiers never disagree about what is acceptable.
 const MaxBodyBytes = 64 << 20
 
+// BudgetHeader carries a request's deadline budget in whole milliseconds
+// over HTTP — the JSON-surface twin of the wire frame's budget field. The
+// router stamps the remaining budget on every forwarded request; a server
+// receiving it answers 504 instead of working past the caller's deadline.
+const BudgetHeader = "X-Ftbfs-Budget-Ms"
+
+// Default work-queue limits (see SetWorkLimits). Generous: shedding is a
+// last resort against collapse, not a throttle — a healthy node under normal
+// load never sheds.
+const (
+	DefaultMaxInflight = 256
+	DefaultMaxQueued   = 512
+)
+
+// limiter is the server-wide bounded work queue behind load shedding: at
+// most cap(slots) requests run, at most maxQueue more wait, everyone else is
+// shed with 503 + Retry-After. Draining servers skip the queue entirely —
+// new work fails fast while in-flight requests finish.
+type limiter struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newLimiter(inflight, queue int) *limiter {
+	if inflight < 1 {
+		inflight = 1
+	}
+	return &limiter{slots: make(chan struct{}, inflight), maxQueue: int64(queue)}
+}
+
+// acquire takes a work slot, queueing (bounded) until ctx expires. It
+// reports false when the request must be shed or has outlived its budget —
+// the caller distinguishes via ctx.Err().
+func (l *limiter) acquire(ctx context.Context, draining bool) bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if draining {
+		return false
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		return false
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (l *limiter) release() { <-l.slots }
+
 // identity names a node for /healthz and /stats; held behind an atomic
 // pointer because `serve` only learns its default ID (the bound address)
 // after the listener is up, when probes may already be hitting /healthz.
@@ -104,10 +162,15 @@ type Server struct {
 	// router's probes discover the fast path without extra configuration.
 	wireAddr atomic.Pointer[string]
 
+	// work bounds concurrent query/build work across both transports; see
+	// limiter. Swapped atomically so SetWorkLimits is safe while serving.
+	work atomic.Pointer[limiter]
+
 	requests     atomic.Uint64 // HTTP requests accepted
 	wireRequests atomic.Uint64 // binary-protocol requests accepted
 	queries      atomic.Uint64 // individual distance queries answered
 	errs         atomic.Uint64 // requests answered with an error status
+	shed         atomic.Uint64 // requests refused by the load shedder (503)
 	draining     atomic.Bool   // graceful shutdown in progress (readyz gates on it)
 }
 
@@ -131,7 +194,31 @@ func New(st *store.Store) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.work.Store(newLimiter(DefaultMaxInflight, DefaultMaxQueued))
 	return s
+}
+
+// SetWorkLimits resizes the load shedder: at most inflight requests run
+// concurrently, at most queue more wait for a slot, the rest are answered
+// 503 + Retry-After. Queries and builds on both transports count; health,
+// stats and handoff endpoints are exempt (probes and rebalances must work on
+// an overloaded node). Safe to call while serving — in-flight requests
+// release into the limiter they acquired from.
+func (s *Server) SetWorkLimits(inflight, queue int) {
+	s.work.Store(newLimiter(inflight, queue))
+}
+
+// shedPaths are the endpoints subject to load shedding: the ones doing
+// query/build work. Health and readiness probes must answer on an overloaded
+// node (shedding them would flap the cluster's routing), stats feed
+// dashboards, and the handoff surface stays up so a draining or struggling
+// node can still move its structures away.
+func shedsLoad(path string) bool {
+	switch path {
+	case "/build", "/dist", "/dist-avoiding", "/dist-avoiding-vertex", "/batch-query":
+		return true
+	}
+	return false
 }
 
 // SetIdentity names the node for /healthz and /stats; a cluster shard sets
@@ -168,11 +255,38 @@ func (s *Server) WireAddr() string {
 	return ""
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Two pieces of the robustness story run
+// here, before any handler: the request's deadline budget (BudgetHeader)
+// becomes a context deadline, and work-bearing endpoints pass through the
+// load shedder — a saturated node answers 503 + Retry-After immediately
+// instead of queueing without bound and missing every deadline at once.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	}
+	if h := r.Header.Get(BudgetHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+	}
+	if shedsLoad(r.URL.Path) {
+		work := s.work.Load()
+		if !work.acquire(r.Context(), s.draining.Load()) {
+			if r.Context().Err() != nil {
+				// The budget ran out while queued: the caller is gone, answer
+				// 504 so retries count it against the right failure mode.
+				s.writeErr(w, http.StatusGatewayTimeout, fmt.Errorf("deadline budget exhausted while queued"))
+				return
+			}
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server overloaded; retry later"))
+			return
+		}
+		defer work.release()
 	}
 	s.mux.ServeHTTP(w, r)
 }
@@ -359,7 +473,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	for i, p := range pairs {
 		reqs[i] = store.Req{Source: p.Source, Eps: p.Eps, Alg: alg}
 	}
-	sts, err := s.store.GetOrBuildMany(fp, reqs)
+	sts, err := s.store.GetOrBuildMany(r.Context(), fp, reqs)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
@@ -376,7 +490,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	for _, src := range req.VertexSources {
-		vst, err := s.store.GetOrBuildVertex(fp, src)
+		vst, err := s.store.GetOrBuildVertex(r.Context(), fp, src)
 		if err != nil {
 			s.writeErr(w, statusFor(err), err)
 			return
@@ -557,11 +671,15 @@ func (e *UnknownGraphError) Error() string {
 	return fmt.Sprintf("%s%016x (POST /build first)", UnknownGraphPrefix, e.Fingerprint)
 }
 
-// statusFor classifies an error: persist-directory faults are the server's
-// (503-adjacent 500), an unknown graph is 404 (absent state), everything
-// else on these paths is caused by the request (invalid parameters,
-// non-edge failure).
+// statusFor classifies an error: a spent deadline budget is 504 (the caller
+// stopped waiting — retryable against a faster replica), persist-directory
+// faults are the server's (503-adjacent 500), an unknown graph is 404
+// (absent state), everything else on these paths is caused by the request
+// (invalid parameters, non-edge failure).
 func statusFor(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
 	var pe *store.PersistError
 	if errors.As(err, &pe) {
 		return http.StatusInternalServerError
@@ -575,7 +693,8 @@ func statusFor(err error) int {
 
 // structureForKey resolves (load-through or build-through) a structure by
 // registry key, validating the optional target vertex against its graph.
-func (s *Server) structureForKey(k store.Key, v *int) (*ftbfs.Structure, error) {
+// ctx carries the request's deadline budget into the store's miss path.
+func (s *Server) structureForKey(ctx context.Context, k store.Key, v *int) (*ftbfs.Structure, error) {
 	g, ok := s.store.Graph(k.Graph)
 	if !ok {
 		return nil, &UnknownGraphError{Fingerprint: k.Graph}
@@ -585,18 +704,18 @@ func (s *Server) structureForKey(k store.Key, v *int) (*ftbfs.Structure, error) 
 	}
 	// GetOrBuild serves a resident structure on its fast path; misses fall
 	// through to load- or build-through.
-	return s.store.GetOrBuild(k)
+	return s.store.GetOrBuild(ctx, k)
 }
 
 // structureFor resolves the edge structure a query addresses (/dist and
 // /dist-avoiding always serve the edge model, whatever stray fields the
 // request carries).
-func (s *Server) structureFor(q QueryRequest) (*ftbfs.Structure, store.Key, error) {
+func (s *Server) structureFor(ctx context.Context, q QueryRequest) (*ftbfs.Structure, store.Key, error) {
 	k, err := q.EdgeKey()
 	if err != nil {
 		return nil, k, err
 	}
-	st, err := s.structureForKey(k, q.V)
+	st, err := s.structureForKey(ctx, k, q.V)
 	return st, k, err
 }
 
@@ -614,7 +733,7 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("missing target vertex v"))
 		return
 	}
-	st, _, err := s.structureFor(q)
+	st, _, err := s.structureFor(r.Context(), q)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
@@ -640,7 +759,7 @@ func (s *Server) handleDistAvoiding(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("missing failed edge (fail=[u,v] or fu=&fv=)"))
 		return
 	}
-	st, _, err := s.structureFor(q)
+	st, _, err := s.structureFor(r.Context(), q)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
@@ -664,7 +783,7 @@ func (s *Server) handleDistAvoiding(w http.ResponseWriter, r *http.Request) {
 // vertexStructureForKey resolves (load-through or build-through) a
 // vertex-failure structure by registry key, validating the optional target
 // vertex against its graph.
-func (s *Server) vertexStructureForKey(k store.Key, v *int) (*ftbfs.VertexStructure, error) {
+func (s *Server) vertexStructureForKey(ctx context.Context, k store.Key, v *int) (*ftbfs.VertexStructure, error) {
 	g, ok := s.store.Graph(k.Graph)
 	if !ok {
 		return nil, &UnknownGraphError{Fingerprint: k.Graph}
@@ -672,7 +791,7 @@ func (s *Server) vertexStructureForKey(k store.Key, v *int) (*ftbfs.VertexStruct
 	if v != nil && (*v < 0 || *v >= g.N()) {
 		return nil, fmt.Errorf("vertex %d out of range [0,%d)", *v, g.N())
 	}
-	return s.store.GetOrBuildVertex(k.Graph, k.Source)
+	return s.store.GetOrBuildVertex(ctx, k.Graph, k.Source)
 }
 
 func (s *Server) handleDistAvoidingVertex(w http.ResponseWriter, r *http.Request) {
@@ -694,7 +813,7 @@ func (s *Server) handleDistAvoidingVertex(w http.ResponseWriter, r *http.Request
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.vertexStructureForKey(k, q.V)
+	st, err := s.vertexStructureForKey(r.Context(), k, q.V)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
@@ -803,7 +922,7 @@ type queryGroup struct {
 // cannot amplify into unbounded concurrent builds. Both the HTTP /batch-query
 // handler and the wire-protocol batch handler funnel here, which is what
 // makes the two transports answer-identical by construction.
-func (s *Server) answerGroups(groups []*queryGroup, dists []int, errs []string) uint64 {
+func (s *Server) answerGroups(ctx context.Context, groups []*queryGroup, dists []int, errs []string) uint64 {
 	var answered atomic.Uint64
 	answerGroup := func(gr *queryGroup) {
 		failSlots := func(err error) {
@@ -815,7 +934,7 @@ func (s *Server) answerGroups(groups []*queryGroup, dists []int, errs []string) 
 		subDists := make([]int, len(gr.slots))
 		subErrs := make([]error, len(gr.slots))
 		if gr.key.Model == store.ModelVertex {
-			st, err := s.vertexStructureForKey(gr.key, nil)
+			st, err := s.vertexStructureForKey(ctx, gr.key, nil)
 			if err != nil {
 				failSlots(err)
 				return
@@ -825,7 +944,7 @@ func (s *Server) answerGroups(groups []*queryGroup, dists []int, errs []string) 
 				return nil
 			})
 		} else {
-			st, err := s.structureForKey(gr.key, nil)
+			st, err := s.structureForKey(ctx, gr.key, nil)
 			if err != nil {
 				failSlots(err)
 				return
@@ -844,21 +963,40 @@ func (s *Server) answerGroups(groups []*queryGroup, dists []int, errs []string) 
 			}
 		}
 	}
+	// acquireSem respects the caller's budget: a batch stuck behind other
+	// groups' cold builds gives up when its deadline passes, failing its own
+	// slots with the 504-equivalent error instead of occupying the queue.
+	acquireSem := func(gr *queryGroup) bool {
+		select {
+		case s.groupSem <- struct{}{}:
+			return true
+		case <-ctx.Done():
+			for _, i := range gr.slots {
+				dists[i] = ftbfs.Unreachable
+				errs[i] = ctx.Err().Error()
+			}
+			return false
+		}
+	}
 	switch len(groups) {
 	case 0:
 	case 1:
 		// Inline on the calling goroutine, but still under the server-wide
 		// cap: a burst of single-structure batches on distinct cold keys
 		// is bounded exactly like a multi-group fan-out.
-		s.groupSem <- struct{}{}
+		if !acquireSem(groups[0]) {
+			break
+		}
 		answerGroup(groups[0])
 		<-s.groupSem
 	default:
 		var wg sync.WaitGroup
 		for _, gr := range groups {
 			gr := gr
+			if !acquireSem(gr) {
+				continue
+			}
 			wg.Add(1)
-			s.groupSem <- struct{}{}
 			go func() {
 				defer func() { <-s.groupSem; wg.Done() }()
 				answerGroup(gr)
@@ -913,7 +1051,7 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 			gr.queries = append(gr.queries, ftbfs.FailureQuery{V: q.V, FailedU: q.Fail[0], FailedV: q.Fail[1]})
 		}
 	}
-	s.queries.Add(s.answerGroups(groups, dists, errs))
+	s.queries.Add(s.answerGroups(r.Context(), groups, dists, errs))
 	resp := BatchQueryResponse{Dists: dists}
 	for _, e := range errs {
 		if e != "" {
@@ -935,6 +1073,7 @@ type StatsResponse struct {
 	WireRequests  uint64      `json:"wire_requests"`
 	Queries       uint64      `json:"queries"`
 	Errors        uint64      `json:"errors"`
+	Shed          uint64      `json:"shed"` // requests refused by the load shedder
 	Draining      bool        `json:"draining,omitempty"`
 	Store         store.Stats `json:"store"`
 }
@@ -953,6 +1092,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WireRequests:  s.wireRequests.Load(),
 		Queries:       s.queries.Load(),
 		Errors:        s.errs.Load(),
+		Shed:          s.shed.Load(),
 		Draining:      s.draining.Load(),
 		Store:         s.store.Stats(),
 	})

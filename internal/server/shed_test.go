@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ftbfs/internal/store"
+	"ftbfs/internal/wire"
+)
+
+// White-box load-shedding tests: the limiter is filled by hand (taking its
+// slots directly) so the shed paths are driven deterministically instead of
+// racing real traffic against the queue.
+
+func newShedServer(t *testing.T) *Server {
+	t.Helper()
+	st, err := store.New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(st)
+}
+
+// fillSlots occupies n work slots, returning a release func.
+func fillSlots(t *testing.T, s *Server, n int) func() {
+	t.Helper()
+	w := s.work.Load()
+	for i := 0; i < n; i++ {
+		select {
+		case w.slots <- struct{}{}:
+		default:
+			t.Fatalf("could not occupy slot %d/%d", i, n)
+		}
+	}
+	return func() {
+		for i := 0; i < n; i++ {
+			w.release()
+		}
+	}
+}
+
+func TestShedOverloadAnswers503(t *testing.T) {
+	s := newShedServer(t)
+	s.SetWorkLimits(1, 0) // one slot, no queue
+	release := fillSlots(t, s, 1)
+	defer release()
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/dist?graph=0&source=0&eps=0.5&v=1", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server answered %d, want 503: %s", rec.Code, rec.Body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("503 carried Retry-After %q, want \"1\"", ra)
+	}
+	if got := s.shed.Load(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+
+	// Health, readiness, and stats must keep answering on a saturated node —
+	// shedding them would flap the cluster's routing.
+	for _, path := range []string{"/healthz", "/readyz", "/stats"} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s answered %d on a saturated server, want 200", path, rec.Code)
+		}
+	}
+}
+
+func TestShedQueuedRequestRunsWhenSlotFrees(t *testing.T) {
+	s := newShedServer(t)
+	s.SetWorkLimits(1, 4)
+	release := fillSlots(t, s, 1)
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		// Bogus graph: reaching the handler (404 unknown graph) proves the
+		// request queued and then acquired the freed slot.
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/dist?graph=00000000000000ff&source=0&eps=0.5&v=1", nil))
+		done <- rec
+	}()
+	time.Sleep(20 * time.Millisecond) // parked in the queue
+	release()
+	select {
+	case rec := <-done:
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("queued request answered %d (%s), want 404 from the handler", rec.Code, rec.Body)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request never ran after its slot freed")
+	}
+	if got := s.shed.Load(); got != 0 {
+		t.Fatalf("shed counter = %d after a successfully-queued request, want 0", got)
+	}
+}
+
+func TestShedQueuedPastBudgetAnswers504(t *testing.T) {
+	s := newShedServer(t)
+	s.SetWorkLimits(1, 4)
+	release := fillSlots(t, s, 1)
+	defer release()
+
+	req := httptest.NewRequest(http.MethodGet, "/dist?graph=0&source=0&eps=0.5&v=1", nil)
+	req.Header.Set(BudgetHeader, "30") // 30ms budget, spent in the queue
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("budget-exhausted queued request answered %d, want 504: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "queued") {
+		t.Fatalf("504 body %q does not say the budget died in the queue", rec.Body)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("budget of 30ms held the request %v", elapsed)
+	}
+	if got := s.shed.Load(); got != 0 {
+		t.Fatalf("a budget expiry is a 504, not a shed: shed = %d", got)
+	}
+}
+
+func TestShedDrainingFailsFastWithoutQueueing(t *testing.T) {
+	s := newShedServer(t)
+	s.SetWorkLimits(1, 64) // plenty of queue — draining must skip it anyway
+	release := fillSlots(t, s, 1)
+	defer release()
+	s.SetDraining(true)
+	defer s.SetDraining(false)
+
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/batch-query", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining saturated server answered %d, want 503", rec.Code)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("draining request queued for %v instead of failing fast", elapsed)
+	}
+}
+
+// TestShedWirePaths: the binary protocol shares the HTTP limiter — a
+// saturated node sheds wire points with an in-protocol 503 and fails every
+// slot of a wire batch, and a budget spent queueing comes back 504.
+func TestShedWirePaths(t *testing.T) {
+	s := newShedServer(t)
+	s.SetWorkLimits(1, 0)
+	release := fillSlots(t, s, 1)
+	defer release()
+
+	_, werr := s.WirePoint(context.Background(), wire.TDist, &wire.PointQuery{})
+	if werr == nil || werr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated WirePoint = %v, want in-protocol 503", werr)
+	}
+	if got := s.shed.Load(); got != 1 {
+		t.Fatalf("shed counter = %d after a wire shed, want 1", got)
+	}
+
+	dists, errs := s.WireBatch(context.Background(), make([]wire.BatchSlot, 3))
+	if len(dists) != 3 || len(errs) != 3 {
+		t.Fatalf("shed WireBatch shapes: %d dists, %d errs", len(dists), len(errs))
+	}
+	for i := range errs {
+		if errs[i] == "" {
+			t.Fatalf("shed WireBatch slot %d carries no error", i)
+		}
+		if dists[i] != -1 {
+			t.Fatalf("shed WireBatch slot %d dist = %d, want -1", i, dists[i])
+		}
+	}
+
+	// Queue-capable limiter + expired budget → 504, not 503.
+	s.SetWorkLimits(1, 4)
+	release2 := fillSlots(t, s, 1)
+	defer release2()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, werr = s.WirePoint(ctx, wire.TDist, &wire.PointQuery{})
+	if werr == nil || werr.Code != http.StatusGatewayTimeout {
+		t.Fatalf("budget-exhausted WirePoint = %v, want in-protocol 504", werr)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net/http"
@@ -37,9 +38,31 @@ func keyForPoint(typ byte, q *wire.PointQuery) (store.Key, error) {
 	return store.Key{Graph: q.FP, Source: int(q.Source), Eps: e, Alg: ftbfs.Algorithm(q.Alg)}, nil
 }
 
+// shedWire passes a wire request through the same load shedder as the HTTP
+// handlers. It returns a non-nil in-protocol error when the request is shed
+// (503, mirroring HTTP's Retry-After semantics) or its budget ran out while
+// queued (504); otherwise the caller owns a work slot and must release it.
+func (s *Server) shedWire(ctx context.Context) (*limiter, *wire.Error) {
+	work := s.work.Load()
+	if !work.acquire(ctx, s.draining.Load()) {
+		s.errs.Add(1)
+		if ctx.Err() != nil {
+			return nil, &wire.Error{Code: http.StatusGatewayTimeout, Msg: "deadline budget exhausted while queued"}
+		}
+		s.shed.Add(1)
+		return nil, &wire.Error{Code: http.StatusServiceUnavailable, Msg: "server overloaded; retry later"}
+	}
+	return work, nil
+}
+
 // WirePoint answers one binary point query (wire.Backend).
-func (s *Server) WirePoint(typ byte, q *wire.PointQuery) (int32, *wire.Error) {
+func (s *Server) WirePoint(ctx context.Context, typ byte, q *wire.PointQuery) (int32, *wire.Error) {
 	s.wireRequests.Add(1)
+	work, werr := s.shedWire(ctx)
+	if werr != nil {
+		return 0, werr
+	}
+	defer work.release()
 	k, err := keyForPoint(typ, q)
 	if err != nil {
 		s.errs.Add(1)
@@ -49,14 +72,14 @@ func (s *Server) WirePoint(typ byte, q *wire.PointQuery) (int32, *wire.Error) {
 	var d int
 	switch typ {
 	case wire.TDist:
-		st, err := s.structureForKey(k, &v)
+		st, err := s.structureForKey(ctx, k, &v)
 		if err != nil {
 			s.errs.Add(1)
 			return 0, &wire.Error{Code: statusFor(err), Msg: err.Error()}
 		}
 		d = st.Dist(v)
 	case wire.TDistAvoiding:
-		st, err := s.structureForKey(k, &v)
+		st, err := s.structureForKey(ctx, k, &v)
 		if err != nil {
 			s.errs.Add(1)
 			return 0, &wire.Error{Code: statusFor(err), Msg: err.Error()}
@@ -71,7 +94,7 @@ func (s *Server) WirePoint(typ byte, q *wire.PointQuery) (int32, *wire.Error) {
 			return 0, &wire.Error{Code: http.StatusBadRequest, Msg: err.Error()}
 		}
 	case wire.TDistAvoidingVertex:
-		st, err := s.vertexStructureForKey(k, &v)
+		st, err := s.vertexStructureForKey(ctx, k, &v)
 		if err != nil {
 			s.errs.Add(1)
 			return 0, &wire.Error{Code: statusFor(err), Msg: err.Error()}
@@ -95,10 +118,22 @@ func (s *Server) WirePoint(typ byte, q *wire.PointQuery) (int32, *wire.Error) {
 
 // WireBatch answers one binary batch (wire.Backend): slots group by resolved
 // key and funnel into the same answerGroups machinery as POST /batch-query.
-func (s *Server) WireBatch(slots []wire.BatchSlot) ([]int32, []string) {
+func (s *Server) WireBatch(ctx context.Context, slots []wire.BatchSlot) ([]int32, []string) {
 	s.wireRequests.Add(1)
 	dists := make([]int, len(slots))
 	errs := make([]string, len(slots))
+	if work, werr := s.shedWire(ctx); werr != nil {
+		// A shed batch fails every slot with the shed message; the router's
+		// per-slot retry machinery then redistributes them.
+		out := make([]int32, len(slots))
+		for i := range slots {
+			out[i] = int32(ftbfs.Unreachable)
+			errs[i] = werr.Msg
+		}
+		return out, errs
+	} else {
+		defer work.release()
+	}
 	var groups []*queryGroup
 	byKey := make(map[store.Key]*queryGroup)
 	for i := range slots {
@@ -126,7 +161,7 @@ func (s *Server) WireBatch(slots []wire.BatchSlot) ([]int32, []string) {
 			gr.queries = append(gr.queries, ftbfs.FailureQuery{V: int(sl.V), FailedU: int(sl.A), FailedV: int(sl.B)})
 		}
 	}
-	s.queries.Add(s.answerGroups(groups, dists, errs))
+	s.queries.Add(s.answerGroups(ctx, groups, dists, errs))
 	out := make([]int32, len(dists))
 	for i, d := range dists {
 		out[i] = int32(d)

@@ -103,7 +103,7 @@ func (s *Store) ExportRecord(k Key) ([]byte, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: %v: %w", k, ErrNotHeld)
 	}
-	data, err := os.ReadFile(s.structPath(k))
+	data, err := s.readFile(s.structPath(k))
 	if err != nil {
 		return nil, fmt.Errorf("store: %v: %w", k, ErrNotHeld)
 	}
@@ -175,7 +175,7 @@ func (s *Store) ImportRecord(k Key, data []byte) (installed bool, err error) {
 	s.mu.Unlock()
 	if dir != "" {
 		// Persist the shipped bytes verbatim — the record already validated.
-		if err := writeAtomic(s.structPath(k), func(w io.Writer) error {
+		if err := s.writeAtomic(s.structPath(k), func(w io.Writer) error {
 			_, werr := w.Write(data)
 			return werr
 		}); err != nil {

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -23,11 +24,11 @@ func TestHandoffExportImportRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	ek := Key{Graph: fp, Source: 3, Eps: 0.25}
-	if _, err := src.GetOrBuild(ek); err != nil {
+	if _, err := src.GetOrBuild(context.Background(), ek); err != nil {
 		t.Fatal(err)
 	}
 	vk := VertexKey(fp, 3)
-	if _, err := src.GetOrBuildVertex(fp, 3); err != nil {
+	if _, err := src.GetOrBuildVertex(context.Background(), fp, 3); err != nil {
 		t.Fatal(err)
 	}
 
@@ -129,10 +130,10 @@ func TestHandoffRejectsMisaddressedRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	ek := Key{Graph: fp, Source: 1, Eps: 0.5}
-	if _, err := src.GetOrBuild(ek); err != nil {
+	if _, err := src.GetOrBuild(context.Background(), ek); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := src.GetOrBuildVertex(fp, 1); err != nil {
+	if _, err := src.GetOrBuildVertex(context.Background(), fp, 1); err != nil {
 		t.Fatal(err)
 	}
 	edgeRec, err := src.ExportRecord(ek)
@@ -188,7 +189,7 @@ func TestHandoffPersistedStores(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := Key{Graph: fp, Source: 0, Eps: 0.25}
-	if _, err := src.GetOrBuild(k); err != nil {
+	if _, err := src.GetOrBuild(context.Background(), k); err != nil {
 		t.Fatal(err)
 	}
 	// Reopen the source: the structure is now disk-only until touched.
@@ -242,7 +243,7 @@ func TestHandoffPersistedStores(t *testing.T) {
 	if _, err := dst2.AddGraph(g); err != nil {
 		t.Fatal(err)
 	}
-	st, err := dst2.GetOrBuild(k)
+	st, err := dst2.GetOrBuild(context.Background(), k)
 	if err != nil {
 		t.Fatal(err)
 	}

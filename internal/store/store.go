@@ -18,7 +18,9 @@
 package store
 
 import (
+	"bytes"
 	"container/list"
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -28,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ftbfs"
 	"ftbfs/internal/core"
@@ -96,16 +99,34 @@ type Stats struct {
 	Structures int `json:"structures"`
 	Capacity   int `json:"capacity"`
 
-	Hits        uint64 `json:"hits"`               // served from memory
-	Misses      uint64 `json:"misses"`             // not in memory (led to a load or build)
-	Loads       uint64 `json:"loads"`              // satisfied from the persist directory
-	Builds      uint64 `json:"builds"`             // satisfied by BuildBatch
-	Evictions   uint64 `json:"evictions"`          // structures dropped by the LRU
-	Saves       uint64 `json:"saves"`              // structures written to the directory
-	WarmLoaded  uint64 `json:"warm_start_loaded"`  // files accepted at warm start
-	WarmSkipped uint64 `json:"warm_start_skipped"` // corrupt/truncated files skipped at warm start
-	HandoffsIn  uint64 `json:"handoffs_in"`        // structures installed from another shard's records
-	HandoffsOut uint64 `json:"handoffs_out"`       // structure records exported to other shards
+	Hits            uint64 `json:"hits"`                   // served from memory
+	Misses          uint64 `json:"misses"`                 // not in memory (led to a load or build)
+	Loads           uint64 `json:"loads"`                  // satisfied from the persist directory
+	Builds          uint64 `json:"builds"`                 // satisfied by BuildBatch
+	Evictions       uint64 `json:"evictions"`              // structures dropped by the LRU
+	Saves           uint64 `json:"saves"`                  // structures written to the directory
+	WarmLoaded      uint64 `json:"warm_start_loaded"`      // files accepted at warm start
+	WarmSkipped     uint64 `json:"warm_start_skipped"`     // foreign/unrenamable files skipped at warm start
+	WarmQuarantined uint64 `json:"warm_start_quarantined"` // corrupt/truncated files renamed to *.corrupt
+	HandoffsIn      uint64 `json:"handoffs_in"`            // structures installed from another shard's records
+	HandoffsOut     uint64 `json:"handoffs_out"`           // structure records exported to other shards
+}
+
+// IOHooks intercepts the store's disk I/O. Production stores leave it unset;
+// the chaos harness installs hooks that inject write/fsync errors and
+// corrupted or truncated reads, so differential tests can prove the store
+// degrades (PersistError, rebuild fallback, quarantine) instead of serving
+// wrong answers. Every hook may be nil.
+type IOHooks struct {
+	// BeforeWrite runs before a record write begins; an error aborts the
+	// write and surfaces as a PersistError.
+	BeforeWrite func(path string) error
+	// BeforeSync runs before the post-write fsync; an error surfaces like a
+	// failed fsync (the record is not considered durable).
+	BeforeSync func(path string) error
+	// AfterRead filters every whole-file read: it may rewrite data (corrupt,
+	// truncate) or replace err to simulate unreadable files.
+	AfterRead func(path string, data []byte, err error) ([]byte, error)
 }
 
 // PersistPrefix starts every PersistError message. Like the server's
@@ -148,6 +169,22 @@ type Store struct {
 	lru      *list.List // front = most recently used
 	inflight map[Key]*flight
 	stats    Stats
+	hooks    atomic.Pointer[IOHooks] // fault-injection hooks; nil in production
+}
+
+// SetIOHooks installs (or, with nil, removes) disk fault-injection hooks.
+// Safe to call concurrently with serving, though tests typically install
+// hooks right after New.
+func (s *Store) SetIOHooks(h *IOHooks) { s.hooks.Store(h) }
+
+// readFile is the store's single whole-file read path, filtered through the
+// AfterRead hook so injected corruption hits every disk read the same way.
+func (s *Store) readFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if h := s.hooks.Load(); h != nil && h.AfterRead != nil {
+		return h.AfterRead(path, data, err)
+	}
+	return data, err
 }
 
 // New returns a registry holding at most capacity structures in memory
@@ -176,28 +213,30 @@ func New(capacity int, dir string) (*Store, error) {
 }
 
 // warmStart loads every graph file in the persist directory and
-// integrity-checks every structure record file. Unreadable, truncated or
-// corrupt files are skipped — counted in Stats.WarmSkipped and logged — so
-// one bad file (a crash mid-write on a pre-atomic-rename store, say) cannot
-// make the whole store unbootable. Structure contents still load lazily:
-// the warm scan verifies record integrity (binary checksum, text header)
-// without retaining anything, keys become loadable through GetOrBuild, and
-// the structures themselves stay on disk until requested.
+// integrity-checks every structure record file. A corrupt or truncated file
+// (a crash mid-write on a pre-atomic-rename store, say) cannot make the
+// whole store unbootable: it is quarantined — renamed to <name>.corrupt,
+// counted in Stats.WarmQuarantined and logged — so the damage is preserved
+// for inspection but never rescanned or served. Files the store cannot even
+// claim (foreign names) or cannot rename are merely skipped and counted in
+// Stats.WarmSkipped. Structure contents still load lazily: the warm scan
+// verifies record integrity (binary checksum, text header) without retaining
+// anything, keys become loadable through GetOrBuild, and the structures
+// themselves stay on disk until requested.
 func (s *Store) warmStart() error {
 	paths, err := filepath.Glob(filepath.Join(s.dir, "graph-*.ftg"))
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	for _, p := range paths {
-		f, err := os.Open(p)
+		data, err := s.readFile(p)
 		if err != nil {
-			s.warmSkip(p, err)
+			s.quarantine(p, err)
 			continue
 		}
-		g, err := ftbfs.ReadGraph(f)
-		f.Close()
+		g, err := ftbfs.ReadGraph(bytes.NewReader(data))
 		if err != nil {
-			s.warmSkip(p, err)
+			s.quarantine(p, err)
 			continue
 		}
 		g.Freeze()
@@ -211,11 +250,12 @@ func (s *Store) warmStart() error {
 		}
 		for _, p := range paths {
 			if _, ok := keyFromStructFile(p); !ok {
+				// Not a file this store wrote; leave it alone.
 				s.warmSkip(p, fmt.Errorf("unrecognised structure file name"))
 				continue
 			}
-			if err := checkStructFile(p); err != nil {
-				s.warmSkip(p, err)
+			if err := s.checkStructFile(p); err != nil {
+				s.quarantine(p, err)
 				continue
 			}
 			s.stats.WarmLoaded++
@@ -230,6 +270,20 @@ func (s *Store) warmSkip(path string, err error) {
 	log.Printf("store: warm start: skipping %s: %v", filepath.Base(path), err)
 }
 
+// quarantine moves a corrupt or truncated record file out of the load path
+// by renaming it to <name>.corrupt: the globs never match it again, a later
+// build of the same key writes a fresh file, and the damaged bytes stay
+// available for forensics. A file that cannot even be renamed falls back to
+// a plain skip.
+func (s *Store) quarantine(path string, cause error) {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		s.warmSkip(path, cause)
+		return
+	}
+	s.stats.WarmQuarantined++
+	log.Printf("store: warm start: quarantined %s -> %s.corrupt: %v", filepath.Base(path), filepath.Base(path), cause)
+}
+
 // textRecordPrefix starts every text structure record (versions 1 and 2).
 const textRecordPrefix = "ftbfs-structure "
 
@@ -237,8 +291,8 @@ const textRecordPrefix = "ftbfs-structure "
 // decoding it against a graph: binary records are checksum-verified, text
 // records are sniffed by header. Deep (graph-dependent) validation still
 // happens at load-through; a file failing there falls back to a rebuild.
-func checkStructFile(path string) error {
-	data, err := os.ReadFile(path)
+func (s *Store) checkStructFile(path string) error {
+	data, err := s.readFile(path)
 	if err != nil {
 		return err
 	}
@@ -312,7 +366,7 @@ func (s *Store) AddGraph(g *ftbfs.Graph) (uint64, error) {
 	dir := s.dir
 	s.mu.Unlock()
 	if dir != "" {
-		if err := writeAtomic(s.graphPath(fp), g.Write); err != nil {
+		if err := s.writeAtomic(s.graphPath(fp), g.Write); err != nil {
 			return fp, &PersistError{Err: fmt.Errorf("graph %016x: %w", fp, err)}
 		}
 	}
@@ -392,7 +446,9 @@ func (s *Store) Stats() Stats {
 // directory or building it through BuildBatch on a miss. Concurrent calls
 // for the same key share one load/build. A resident structure is returned
 // on an allocation-free fast path — the steady state of a serving hot loop.
-func (s *Store) GetOrBuild(k Key) (*ftbfs.Structure, error) {
+// ctx bounds the miss path only: an already-expired deadline budget fails
+// fast instead of starting a load or build the caller will never see.
+func (s *Store) GetOrBuild(ctx context.Context, k Key) (*ftbfs.Structure, error) {
 	if k.Model != ModelEdge {
 		return nil, fmt.Errorf("store: %v is not an edge-structure key (use GetOrBuildVertex)", k)
 	}
@@ -404,7 +460,7 @@ func (s *Store) GetOrBuild(k Key) (*ftbfs.Structure, error) {
 		return e.st, nil
 	}
 	s.mu.Unlock()
-	sts, err := s.GetOrBuildMany(k.Graph, []Req{{Source: k.Source, Eps: k.Eps, Alg: k.Alg}})
+	sts, err := s.GetOrBuildMany(ctx, k.Graph, []Req{{Source: k.Source, Eps: k.Eps, Alg: k.Alg}})
 	if err != nil {
 		return nil, err
 	}
@@ -417,9 +473,18 @@ func (s *Store) GetOrBuild(k Key) (*ftbfs.Structure, error) {
 // in a single ftbfs.BuildBatch call, so requests sharing a source share the
 // BFS tree, the replacement-path preprocessing and the reinforcement sweep.
 // Results are returned in request order.
-func (s *Store) GetOrBuildMany(fp uint64, reqs []Req) ([]*ftbfs.Structure, error) {
+//
+// ctx carries the caller's deadline budget. It is checked before any work
+// starts and again while waiting on another call's in-flight build; a build
+// this call owns always runs to completion (other waiters may depend on it,
+// and the result is cached for the retry), so expiry mid-build costs at most
+// one build beyond the budget — never a wrong or partial answer.
+func (s *Store) GetOrBuildMany(ctx context.Context, fp uint64, reqs []Req) ([]*ftbfs.Structure, error) {
 	if len(reqs) == 0 {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for _, r := range reqs {
 		// NaN never compares equal, so a NaN-eps Key would be inserted into
@@ -495,7 +560,16 @@ func (s *Store) GetOrBuildMany(fp uint64, reqs []Req) ([]*ftbfs.Structure, error
 		s.mu.Unlock()
 	}
 	for _, fl := range waits {
-		<-fl.done
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			// The flight's owner still finishes and caches the result; this
+			// caller's budget is spent, so it stops waiting.
+			if firstErr == nil {
+				firstErr = ctx.Err()
+			}
+			continue
+		}
 		if fl.err != nil {
 			if firstErr == nil {
 				firstErr = fl.err
@@ -520,8 +594,8 @@ func (s *Store) GetOrBuildMany(fp uint64, reqs []Req) ([]*ftbfs.Structure, error
 // persisted next to the edge files under its own "stv-" prefix, and — like
 // every structure entering the registry — it is handed out with its query
 // plan pre-built. A resident structure is returned on an allocation-free
-// fast path.
-func (s *Store) GetOrBuildVertex(fp uint64, source int) (*ftbfs.VertexStructure, error) {
+// fast path. ctx follows the same budget rules as GetOrBuildMany.
+func (s *Store) GetOrBuildVertex(ctx context.Context, fp uint64, source int) (*ftbfs.VertexStructure, error) {
 	k := VertexKey(fp, source)
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
@@ -536,10 +610,18 @@ func (s *Store) GetOrBuildVertex(fp uint64, source int) (*ftbfs.VertexStructure,
 		s.mu.Unlock()
 		return nil, fmt.Errorf("store: unknown graph %016x (register it with AddGraph or /build first)", fp)
 	}
+	if err := ctx.Err(); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
 	if fl, ok := s.inflight[k]; ok {
 		s.mu.Unlock()
-		<-fl.done
-		return fl.vst, fl.err
+		select {
+		case <-fl.done:
+			return fl.vst, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	fl := &flight{done: make(chan struct{})}
 	s.inflight[k] = fl
@@ -572,9 +654,8 @@ func (s *Store) resolveVertex(g *ftbfs.Graph, k Key, source int) (*ftbfs.VertexS
 	dir := s.dir
 	s.mu.Unlock()
 	if dir != "" {
-		if f, err := os.Open(s.structPath(k)); err == nil {
-			vst, lerr := ftbfs.LoadVertexStructure(g, f)
-			f.Close()
+		if data, err := s.readFile(s.structPath(k)); err == nil {
+			vst, lerr := ftbfs.LoadVertexStructure(g, bytes.NewReader(data))
 			if lerr == nil && vst.Source() == source {
 				s.mu.Lock()
 				s.stats.Loads++
@@ -595,7 +676,7 @@ func (s *Store) resolveVertex(g *ftbfs.Graph, k Key, source int) (*ftbfs.VertexS
 	s.mu.Unlock()
 	vst.Plan()
 	if dir != "" {
-		if err := writeAtomic(s.structPath(k), vst.SaveSlab); err != nil {
+		if err := s.writeAtomic(s.structPath(k), vst.SaveSlab); err != nil {
 			return vst, &PersistError{Err: fmt.Errorf("%v: %w", k, err)}
 		}
 		s.mu.Lock()
@@ -649,7 +730,7 @@ func (s *Store) resolve(g *ftbfs.Graph, keys []Key) (resolved map[Key]*ftbfs.Str
 	for i, k := range toBuild {
 		resolved[k] = sts[i]
 		if dir != "" {
-			if err := writeAtomic(s.structPath(k), sts[i].SaveSlab); err != nil {
+			if err := s.writeAtomic(s.structPath(k), sts[i].SaveSlab); err != nil {
 				// The builds succeeded — keep serving every one of them from
 				// memory, keep persisting the rest, and surface the first
 				// disk fault to the caller.
@@ -676,12 +757,11 @@ func (s *Store) loadFromDir(k Key, g *ftbfs.Graph) *ftbfs.Structure {
 	if dir == "" {
 		return nil
 	}
-	f, err := os.Open(s.structPath(k))
+	data, err := s.readFile(s.structPath(k))
 	if err != nil {
 		return nil
 	}
-	defer f.Close()
-	st, err := ftbfs.LoadStructure(g, f)
+	st, err := ftbfs.LoadStructure(g, bytes.NewReader(data))
 	if err != nil || st.Source() != k.Source || st.Epsilon() != k.Eps {
 		return nil
 	}
@@ -717,8 +797,16 @@ func (s *Store) insertLocked(k Key, st *ftbfs.Structure, vst *ftbfs.VertexStruct
 // readers never observe a partial structure or graph file — and a crash right
 // after the call cannot leave a renamed-but-unsynced (empty or truncated)
 // record behind. The warm scan would survive such a file anyway, but a synced
-// rename means a completed save is durable, not merely atomic.
-func writeAtomic(path string, write func(io.Writer) error) error {
+// rename means a completed save is durable, not merely atomic. Injected
+// faults (IOHooks) abort before the write or before the fsync, so a faulted
+// save never renames a partial record into place.
+func (s *Store) writeAtomic(path string, write func(io.Writer) error) error {
+	h := s.hooks.Load()
+	if h != nil && h.BeforeWrite != nil {
+		if err := h.BeforeWrite(path); err != nil {
+			return err
+		}
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return err
@@ -727,6 +815,12 @@ func writeAtomic(path string, write func(io.Writer) error) error {
 	if err := write(tmp); err != nil {
 		tmp.Close()
 		return err
+	}
+	if h != nil && h.BeforeSync != nil {
+		if err := h.BeforeSync(path); err != nil {
+			tmp.Close()
+			return err
+		}
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()

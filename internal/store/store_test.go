@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -47,11 +48,11 @@ func TestGetOrBuildCachesAndCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := Key{Graph: fp, Source: 0, Eps: 0.25}
-	st1, err := s.GetOrBuild(k)
+	st1, err := s.GetOrBuild(context.Background(), k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st2, err := s.GetOrBuild(k)
+	st2, err := s.GetOrBuild(context.Background(), k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestGetOrBuildCachesAndCounts(t *testing.T) {
 	if stats.Builds != 1 || stats.Hits < 2 || stats.Misses != 1 || stats.Structures != 1 {
 		t.Fatalf("unexpected stats %+v", stats)
 	}
-	if _, err := s.GetOrBuild(Key{Graph: fp + 1, Source: 0, Eps: 0.25}); err == nil {
+	if _, err := s.GetOrBuild(context.Background(), Key{Graph: fp + 1, Source: 0, Eps: 0.25}); err == nil {
 		t.Fatal("unknown graph accepted")
 	}
 }
@@ -84,7 +85,7 @@ func TestGetOrBuildManyBatchesAndDedups(t *testing.T) {
 		{Source: 3, Eps: 0.3},
 		{Source: 0, Eps: 0.2}, // duplicate inside one batch
 	}
-	sts, err := s.GetOrBuildMany(fp, reqs)
+	sts, err := s.GetOrBuildMany(context.Background(), fp, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,14 +116,14 @@ func TestLRUEviction(t *testing.T) {
 	k2 := Key{Graph: fp, Source: 0, Eps: 0.3}
 	k3 := Key{Graph: fp, Source: 0, Eps: 0.4}
 	for _, k := range []Key{k1, k2} {
-		if _, err := s.GetOrBuild(k); err != nil {
+		if _, err := s.GetOrBuild(context.Background(), k); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if _, ok := s.Get(k1); !ok { // touch k1 so k2 is the LRU victim
 		t.Fatal("k1 not resident")
 	}
-	if _, err := s.GetOrBuild(k3); err != nil {
+	if _, err := s.GetOrBuild(context.Background(), k3); err != nil {
 		t.Fatal(err)
 	}
 	if s.Len() != 2 {
@@ -154,14 +155,14 @@ func TestPersistRoundTripThroughEviction(t *testing.T) {
 	}
 	k1 := Key{Graph: fp, Source: 0, Eps: 0.25}
 	k2 := Key{Graph: fp, Source: 5, Eps: 0.3}
-	st1, err := s.GetOrBuild(k1)
+	st1, err := s.GetOrBuild(context.Background(), k1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := savedBytes(t, st1)
 
 	// Building k2 evicts k1 (capacity 1).
-	if _, err := s.GetOrBuild(k2); err != nil {
+	if _, err := s.GetOrBuild(context.Background(), k2); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get(k1); ok {
@@ -169,7 +170,7 @@ func TestPersistRoundTripThroughEviction(t *testing.T) {
 	}
 	builds := s.Stats().Builds
 
-	st1b, err := s.GetOrBuild(k1) // must load through from disk, not rebuild
+	st1b, err := s.GetOrBuild(context.Background(), k1) // must load through from disk, not rebuild
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestWarmStartFromDirectory(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := Key{Graph: fp, Source: 2, Eps: 0.3}
-	st, err := s1.GetOrBuild(k)
+	st, err := s1.GetOrBuild(context.Background(), k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestWarmStartFromDirectory(t *testing.T) {
 	if _, ok := s2.Graph(fp); !ok {
 		t.Fatal("warm start did not load the graph")
 	}
-	st2, err := s2.GetOrBuild(k)
+	st2, err := s2.GetOrBuild(context.Background(), k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestCorruptFileFallsBackToRebuild(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := Key{Graph: fp, Source: 0, Eps: 0.25}
-	st, err := s.GetOrBuild(k)
+	st, err := s.GetOrBuild(context.Background(), k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,10 +256,10 @@ func TestCorruptFileFallsBackToRebuild(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Evict, then re-request: the corrupt file must be rebuilt around.
-	if _, err := s.GetOrBuild(Key{Graph: fp, Source: 1, Eps: 0.25}); err != nil {
+	if _, err := s.GetOrBuild(context.Background(), Key{Graph: fp, Source: 1, Eps: 0.25}); err != nil {
 		t.Fatal(err)
 	}
-	st2, err := s.GetOrBuild(k)
+	st2, err := s.GetOrBuild(context.Background(), k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,17 +290,17 @@ func TestBatchErrorDoesNotPoisonResolvedKeys(t *testing.T) {
 		t.Fatal(err)
 	}
 	good := Key{Graph: fp, Source: 0, Eps: 0.25}
-	if _, err := s.GetOrBuild(good); err != nil {
+	if _, err := s.GetOrBuild(context.Background(), good); err != nil {
 		t.Fatal(err)
 	}
 	// Evict `good` to disk, then request it together with an unbuildable key.
-	if _, err := s.GetOrBuild(Key{Graph: fp, Source: 1, Eps: 0.25}); err != nil {
+	if _, err := s.GetOrBuild(context.Background(), Key{Graph: fp, Source: 1, Eps: 0.25}); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get(good); ok {
 		t.Fatal("good key not evicted")
 	}
-	_, err = s.GetOrBuildMany(fp, []Req{
+	_, err = s.GetOrBuildMany(context.Background(), fp, []Req{
 		{Source: good.Source, Eps: good.Eps},
 		{Source: 999, Eps: 0.25}, // out of range: fails validation in BuildBatch
 	})
@@ -331,8 +332,11 @@ func TestWarmStartSkipsCorruptGraphFiles(t *testing.T) {
 	if _, ok := s2.Graph(fp); !ok {
 		t.Fatal("healthy graph not loaded alongside the corrupt file")
 	}
-	if got := s2.Stats().WarmSkipped; got != 1 {
-		t.Fatalf("WarmSkipped = %d, want 1", got)
+	if got := s2.Stats().WarmQuarantined; got != 1 {
+		t.Fatalf("WarmQuarantined = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "graph-dead.ftg.corrupt")); err != nil {
+		t.Fatalf("corrupt graph file not quarantined: %v", err)
 	}
 }
 
@@ -357,7 +361,7 @@ func TestConcurrentGetOrBuildSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st, err := s.GetOrBuild(keys[i%len(keys)])
+			st, err := s.GetOrBuild(context.Background(), keys[i%len(keys)])
 			if err != nil {
 				t.Error(err)
 				return
@@ -400,11 +404,11 @@ func TestGetOrBuildVertexCachesAndSeparatesModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1, err := s.GetOrBuildVertex(fp, 0)
+	v1, err := s.GetOrBuildVertex(context.Background(), fp, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := s.GetOrBuildVertex(fp, 0)
+	v2, err := s.GetOrBuildVertex(context.Background(), fp, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +419,7 @@ func TestGetOrBuildVertexCachesAndSeparatesModels(t *testing.T) {
 		t.Fatal("GetVertex missed a resident vertex structure")
 	}
 	// The edge structure of the same (graph, source) is a different entry.
-	est, err := s.GetOrBuild(Key{Graph: fp, Source: 0, Eps: 0.25})
+	est, err := s.GetOrBuild(context.Background(), Key{Graph: fp, Source: 0, Eps: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +433,7 @@ func TestGetOrBuildVertexCachesAndSeparatesModels(t *testing.T) {
 	if _, ok := s.Get(VertexKey(fp, 0)); ok {
 		t.Fatal("Get answered a vertex key")
 	}
-	if _, err := s.GetOrBuild(VertexKey(fp, 0)); err == nil {
+	if _, err := s.GetOrBuild(context.Background(), VertexKey(fp, 0)); err == nil {
 		t.Fatal("GetOrBuild accepted a vertex key")
 	}
 }
@@ -444,7 +448,7 @@ func TestVertexPersistRoundTripThroughEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1, err := s.GetOrBuildVertex(fp, 0)
+	v1, err := s.GetOrBuildVertex(context.Background(), fp, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,14 +461,14 @@ func TestVertexPersistRoundTripThroughEviction(t *testing.T) {
 		t.Fatalf("vertex structure not persisted: %v, %v", files, err)
 	}
 	// Evict the vertex structure by inserting an edge structure.
-	if _, err := s.GetOrBuild(Key{Graph: fp, Source: 0, Eps: 0.25}); err != nil {
+	if _, err := s.GetOrBuild(context.Background(), Key{Graph: fp, Source: 0, Eps: 0.25}); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.GetVertex(fp, 0); ok {
 		t.Fatal("vertex structure survived eviction at capacity 1")
 	}
 	before := s.Stats().Loads
-	v2, err := s.GetOrBuildVertex(fp, 0)
+	v2, err := s.GetOrBuildVertex(context.Background(), fp, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -496,7 +500,7 @@ func TestConcurrentGetOrBuildVertexSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := s.GetOrBuildVertex(fp, 5)
+			v, err := s.GetOrBuildVertex(context.Background(), fp, 5)
 			if err != nil {
 				t.Error(err)
 				return
@@ -529,10 +533,10 @@ func TestStructuresPersistAsSlabRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.GetOrBuild(Key{Graph: fp, Source: 0, Eps: 0.25}); err != nil {
+	if _, err := s.GetOrBuild(context.Background(), Key{Graph: fp, Source: 0, Eps: 0.25}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.GetOrBuildVertex(fp, 0); err != nil {
+	if _, err := s.GetOrBuildVertex(context.Background(), fp, 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, pat := range []string{"st-*.fts", "stv-*.fts"} {
@@ -570,11 +574,11 @@ func TestWarmStartCountsAndSkipsStructureFiles(t *testing.T) {
 	good := Key{Graph: fp, Source: 0, Eps: 0.25}
 	bad := Key{Graph: fp, Source: 1, Eps: 0.25}
 	for _, k := range []Key{good, bad} {
-		if _, err := s1.GetOrBuild(k); err != nil {
+		if _, err := s1.GetOrBuild(context.Background(), k); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s1.GetOrBuildVertex(fp, 0); err != nil {
+	if _, err := s1.GetOrBuildVertex(context.Background(), fp, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Truncate one record mid-payload: the checksum/length check must catch it.
@@ -594,14 +598,21 @@ func TestWarmStartCountsAndSkipsStructureFiles(t *testing.T) {
 	if st.WarmLoaded != 3 { // graph + intact edge record + vertex record
 		t.Fatalf("WarmLoaded = %d, want 3", st.WarmLoaded)
 	}
-	if st.WarmSkipped != 1 {
-		t.Fatalf("WarmSkipped = %d, want 1", st.WarmSkipped)
+	if st.WarmQuarantined != 1 {
+		t.Fatalf("WarmQuarantined = %d, want 1", st.WarmQuarantined)
 	}
-	// The skipped key rebuilds (and overwrites the truncated file).
-	if _, err := s2.GetOrBuild(bad); err != nil {
+	if st.WarmSkipped != 0 {
+		t.Fatalf("WarmSkipped = %d, want 0", st.WarmSkipped)
+	}
+	// The damaged bytes are preserved next to the record, out of glob reach.
+	if _, err := os.Stat(s1.structPath(bad) + ".corrupt"); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	// The quarantined key rebuilds (writing a fresh record).
+	if _, err := s2.GetOrBuild(context.Background(), bad); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkStructFile(s2.structPath(bad)); err != nil {
+	if err := s2.checkStructFile(s2.structPath(bad)); err != nil {
 		t.Fatalf("rebuilt record still corrupt: %v", err)
 	}
 }

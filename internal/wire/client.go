@@ -144,7 +144,7 @@ func (cc *clientConn) readLoop() {
 	br := bufio.NewReaderSize(cc.c, 32<<10)
 	var buf []byte
 	for {
-		typ, id, payload, newBuf, err := readFrame(br, buf)
+		typ, id, _, payload, newBuf, err := readFrame(br, buf)
 		buf = newBuf
 		if err != nil {
 			cc.fail(fmt.Errorf("wire: connection lost: %w", err))
@@ -181,7 +181,7 @@ func (cc *clientConn) fail(err error) {
 }
 
 // send registers a waiter and writes one request frame.
-func (cc *clientConn) send(typ byte, id uint64, payload []byte) (chan response, error) {
+func (cc *clientConn) send(typ byte, id uint64, budget uint32, payload []byte) (chan response, error) {
 	ch := chanPool.Get().(chan response)
 	cc.pmu.Lock()
 	if cc.dead {
@@ -194,7 +194,7 @@ func (cc *clientConn) send(typ byte, id uint64, payload []byte) (chan response, 
 	cc.wpend.Add(1)
 	cc.wmu.Lock()
 	buf := getBuf()
-	*buf = appendFrame((*buf)[:0], typ, id, payload)
+	*buf = appendFrame((*buf)[:0], typ, id, budget, payload)
 	_, err := cc.bw.Write(*buf)
 	// Group flush: if another sender is already waiting on wmu, leave our
 	// frame buffered — the last writer in the burst sees the count hit zero
@@ -227,22 +227,35 @@ func (cc *clientConn) forget(id uint64, err error) {
 	}
 }
 
-// do sends one request and waits for its response.
+// do sends one request and waits for its response. The caller's remaining
+// context deadline travels in the frame's budget field (rounded up to a whole
+// millisecond) so the server stops working when the caller stops waiting.
 func (c *Client) do(ctx context.Context, typ byte, payload []byte) (response, error) {
 	cc, err := c.conn()
 	if err != nil {
 		return response{}, err
 	}
-	id := c.ids.Add(1)
-	ch, err := cc.send(typ, id, payload)
-	if err != nil {
-		return response{}, err
-	}
 	timeout := c.reqTimeout
+	var budget uint32
 	if dl, ok := ctx.Deadline(); ok {
-		if d := time.Until(dl); d < timeout {
+		d := time.Until(dl)
+		if d <= 0 {
+			return response{}, context.DeadlineExceeded
+		}
+		if d < timeout {
 			timeout = d
 		}
+		ms := int64((d + time.Millisecond - 1) / time.Millisecond)
+		if ms > int64(^uint32(0)) {
+			budget = ^uint32(0)
+		} else {
+			budget = uint32(ms)
+		}
+	}
+	id := c.ids.Add(1)
+	ch, err := cc.send(typ, id, budget, payload)
+	if err != nil {
+		return response{}, err
 	}
 	var timer *time.Timer
 	if t, _ := timerPool.Get().(*time.Timer); t != nil {

@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Resource-lifecycle tests: every goroutine the client and server spawn
+// (per-connection read loops, per-connection server handlers) must exit once
+// the client is closed and the server shut down — including with requests
+// still in flight when the teardown starts. Request timers are pooled and
+// stopped on every do() exit path, so a timer leak would surface here as a
+// parked goroutine holding its waiter channel.
+
+// waitForGoroutines polls until the goroutine count settles back to the
+// baseline, dumping all stacks on timeout so the leaked goroutine is named
+// in the failure.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d now, %d at baseline\n%s", n, base, buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClientCloseReleasesResources closes a client with requests in flight:
+// the waiters must fail immediately (not hang out their 30s request timers)
+// and every pooled connection's read loop must exit.
+func TestClientCloseReleasesResources(t *testing.T) {
+	base := runtime.NumGoroutine()
+	addr, shutdown := startWire(t)
+	c := NewClient(addr, 4)
+
+	// Fill every pool slot so all four connections (and read loops) exist.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				v := int32(w*100 + i)
+				if d, werr, err := c.Point(context.Background(), TDist, &PointQuery{V: v, A: 1, B: 1}); err != nil || werr != nil {
+					t.Errorf("Point: %v / %v", werr, err)
+					return
+				} else if want := v + 2 + int32(TDist); d != want {
+					t.Errorf("Point = %d, want %d", d, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Park requests on the stalling backend (A == -9 waits out the budget),
+	// then close the client under them.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	inflight := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, werr, err := c.Point(ctx, TDist, &PointQuery{V: 1, A: -9})
+			if err == nil && werr == nil {
+				inflight <- fmt.Errorf("stalled point succeeded after client close")
+				return
+			}
+			inflight <- nil
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the frames land in flight
+	closed := time.Now()
+	c.Close()
+	for i := 0; i < 4; i++ {
+		if err := <-inflight; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if waited := time.Since(closed); waited > 2*time.Second {
+		t.Fatalf("in-flight requests took %v to fail after Close — they must fail fast, not time out", waited)
+	}
+	shutdown()
+	waitForGoroutines(t, base)
+}
+
+// TestServerShutdownFailsInflightFast drains the server with a request in
+// flight: the client must get a prompt failure (connection closed or an
+// in-protocol 504 written during the drain), never a hang into its 30s
+// request timer, and both sides' goroutines must exit.
+func TestServerShutdownFailsInflightFast(t *testing.T) {
+	base := runtime.NumGoroutine()
+	addr, shutdown := startWire(t)
+	c := NewClient(addr, 1)
+	if _, werr, err := c.Point(context.Background(), TDist, &PointQuery{V: 1, A: 1, B: 1}); err != nil || werr != nil {
+		t.Fatalf("warm-up point: %v / %v", werr, err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	type result struct {
+		werr *Error
+		err  error
+	}
+	res := make(chan result, 1)
+	go func() {
+		_, werr, err := c.Point(ctx, TDist, &PointQuery{V: 1, A: -9})
+		res <- result{werr, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // the frame is in flight, the handler parked
+	start := time.Now()
+	shutdown() // cancels the server ctx, closes conns, waits for handlers
+
+	select {
+	case r := <-res:
+		if r.err == nil && r.werr == nil {
+			t.Fatal("in-flight request reported success across a server shutdown")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("in-flight request still pending 3s after server shutdown")
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("drain took %v", waited)
+	}
+	c.Close()
+	waitForGoroutines(t, base)
+}

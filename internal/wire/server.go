@@ -7,18 +7,22 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Backend answers decoded wire queries; internal/server implements it on top
 // of the same store/oracle machinery the HTTP handlers use, which is what
-// makes the two transports answer-identical by construction.
+// makes the two transports answer-identical by construction. The context
+// carries the caller's deadline budget (derived from the frame's budget
+// field): a backend should stop working when it expires and answer with a
+// 504-equivalent error.
 type Backend interface {
 	// WirePoint answers one point query of the given request type
 	// (TDist / TDistAvoiding / TDistAvoidingVertex).
-	WirePoint(typ byte, q *PointQuery) (int32, *Error)
+	WirePoint(ctx context.Context, typ byte, q *PointQuery) (int32, *Error)
 	// WireBatch answers a batch; dists and errs are parallel to slots, with
 	// "" marking a slot that succeeded.
-	WireBatch(slots []BatchSlot) (dists []int32, errs []string)
+	WireBatch(ctx context.Context, slots []BatchSlot) (dists []int32, errs []string)
 }
 
 // HandoffBackend is the optional shard-to-shard extension of Backend:
@@ -29,9 +33,9 @@ type Backend interface {
 type HandoffBackend interface {
 	// HandoffRecord returns the record bytes of one held structure (or an
 	// in-protocol error: 404 not held, 413 record exceeds MaxPayload).
-	HandoffRecord(k *HandoffKey) ([]byte, *Error)
+	HandoffRecord(ctx context.Context, k *HandoffKey) ([]byte, *Error)
 	// HandoffGraph returns the canonical text of one registered graph.
-	HandoffGraph(fp uint64) ([]byte, *Error)
+	HandoffGraph(ctx context.Context, fp uint64) ([]byte, *Error)
 }
 
 // Serve accepts wire connections on ln until ctx is cancelled or the
@@ -66,7 +70,7 @@ func Serve(ctx context.Context, ln net.Listener, backend Backend) error {
 				mu.Unlock()
 				c.Close()
 			}()
-			serveConn(c, backend)
+			serveConn(ctx, c, backend)
 		}()
 	}
 	mu.Lock()
@@ -82,8 +86,9 @@ func Serve(ctx context.Context, ln net.Listener, backend Backend) error {
 }
 
 // serveConn validates the preamble then answers frames until the peer
-// disconnects or breaks the protocol.
-func serveConn(c net.Conn, backend Backend) {
+// disconnects or breaks the protocol. A frame failing its checksum is
+// treated like any other transport fault: the connection is dropped.
+func serveConn(ctx context.Context, c net.Conn, backend Backend) {
 	br := bufio.NewReaderSize(c, 32<<10)
 	bw := bufio.NewWriterSize(c, 32<<10)
 	var got [8]byte
@@ -93,12 +98,12 @@ func serveConn(c net.Conn, backend Backend) {
 	buf := *getBuf()
 	defer func() { putBuf(&buf) }()
 	for {
-		typ, id, payload, newBuf, err := readFrame(br, buf[:cap(buf)])
+		typ, id, budget, payload, newBuf, err := readFrame(br, buf[:cap(buf)])
 		buf = newBuf
 		if err != nil {
 			return
 		}
-		if err := answer(bw, backend, typ, id, payload); err != nil {
+		if err := answer(ctx, bw, backend, typ, id, budget, payload); err != nil {
 			return
 		}
 		// Flush only when the pipeline drains: back-to-back pipelined
@@ -115,32 +120,39 @@ func serveConn(c net.Conn, backend Backend) {
 // that cannot be answered in-protocol.
 var errProtocol = errors.New("wire: protocol error")
 
-// answer decodes and answers one request frame.
-func answer(w io.Writer, backend Backend, typ byte, id uint64, payload []byte) error {
+// answer decodes and answers one request frame. A non-zero budget bounds the
+// backend's work with a context deadline — the caller has already given up
+// once it expires, so finishing the computation would be wasted work.
+func answer(ctx context.Context, w io.Writer, backend Backend, typ byte, id uint64, budget uint32, payload []byte) error {
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(budget)*time.Millisecond)
+		defer cancel()
+	}
 	switch typ {
 	case TDist, TDistAvoiding, TDistAvoidingVertex:
 		q, err := parsePoint(payload)
 		if err != nil {
 			return errProtocol
 		}
-		d, werr := backend.WirePoint(typ, &q)
+		d, werr := backend.WirePoint(ctx, typ, &q)
 		if werr != nil {
 			buf := getBuf()
 			defer putBuf(buf)
-			return writeFrame(w, RError, id, appendError((*buf)[:0], werr.Code, werr.Msg))
+			return writeFrame(w, RError, id, 0, appendError((*buf)[:0], werr.Code, werr.Msg))
 		}
 		var db [4]byte
 		db[0], db[1], db[2], db[3] = byte(d), byte(d>>8), byte(d>>16), byte(d>>24)
-		return writeFrame(w, RDist, id, db[:])
+		return writeFrame(w, RDist, id, 0, db[:])
 	case TBatch:
 		slots, err := parseBatch(payload)
 		if err != nil {
 			return errProtocol
 		}
-		dists, errs := backend.WireBatch(slots)
+		dists, errs := backend.WireBatch(ctx, slots)
 		buf := getBuf()
 		defer putBuf(buf)
-		return writeFrame(w, RBatch, id, appendBatchResponse((*buf)[:0], dists, errs))
+		return writeFrame(w, RBatch, id, 0, appendBatchResponse((*buf)[:0], dists, errs))
 	case THandoff:
 		k, err := parseHandoffKey(payload)
 		if err != nil {
@@ -150,11 +162,11 @@ func answer(w io.Writer, backend Backend, typ byte, id uint64, payload []byte) e
 		if !ok {
 			return writeError(w, id, 501, "handoff not supported")
 		}
-		data, werr := hb.HandoffRecord(&k)
+		data, werr := hb.HandoffRecord(ctx, &k)
 		if werr != nil {
 			return writeError(w, id, werr.Code, werr.Msg)
 		}
-		return writeFrame(w, RHandoff, id, data)
+		return writeFrame(w, RHandoff, id, 0, data)
 	case TGraph:
 		if len(payload) != 8 {
 			return errProtocol
@@ -165,11 +177,11 @@ func answer(w io.Writer, backend Backend, typ byte, id uint64, payload []byte) e
 		if !ok {
 			return writeError(w, id, 501, "handoff not supported")
 		}
-		data, werr := hb.HandoffGraph(fp)
+		data, werr := hb.HandoffGraph(ctx, fp)
 		if werr != nil {
 			return writeError(w, id, werr.Code, werr.Msg)
 		}
-		return writeFrame(w, RGraph, id, data)
+		return writeFrame(w, RGraph, id, 0, data)
 	default:
 		return errProtocol
 	}
@@ -179,5 +191,5 @@ func answer(w io.Writer, backend Backend, typ byte, id uint64, payload []byte) e
 func writeError(w io.Writer, id uint64, code int, msg string) error {
 	buf := getBuf()
 	defer putBuf(buf)
-	return writeFrame(w, RError, id, appendError((*buf)[:0], code, msg))
+	return writeFrame(w, RError, id, 0, appendError((*buf)[:0], code, msg))
 }

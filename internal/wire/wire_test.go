@@ -15,14 +15,24 @@ import (
 // and A == -7 triggers an in-protocol error.
 type testBackend struct{}
 
-func (testBackend) WirePoint(typ byte, q *PointQuery) (int32, *Error) {
+func (testBackend) WirePoint(ctx context.Context, typ byte, q *PointQuery) (int32, *Error) {
 	if q.A == -7 {
 		return 0, &Error{Code: 404, Msg: "unknown graph 00000000000000ff"}
+	}
+	if q.A == -9 {
+		// Busy-server stand-in: wait out the caller's budget, then prove the
+		// budget arrived by answering with its expiry instead of a distance.
+		select {
+		case <-ctx.Done():
+			return 0, &Error{Code: 504, Msg: "deadline budget exhausted"}
+		case <-time.After(2 * time.Second):
+			return 0, &Error{Code: 500, Msg: "no budget arrived"}
+		}
 	}
 	return q.V + q.A + q.B + int32(typ), nil
 }
 
-func (testBackend) WireBatch(slots []BatchSlot) ([]int32, []string) {
+func (testBackend) WireBatch(ctx context.Context, slots []BatchSlot) ([]int32, []string) {
 	dists := make([]int32, len(slots))
 	errs := make([]string, len(slots))
 	for i, s := range slots {
@@ -208,14 +218,14 @@ func TestServerRejectsGarbage(t *testing.T) {
 // re-encode cleanly.
 func FuzzWireFrame(f *testing.F) {
 	var seed []byte
-	seed = appendFrame(seed, TDistAvoiding, 7, appendPoint(nil, &PointQuery{FP: 1, V: 2, A: 3, B: 4}))
+	seed = appendFrame(seed, TDistAvoiding, 7, 0, appendPoint(nil, &PointQuery{FP: 1, V: 2, A: 3, B: 4}))
 	f.Add(seed)
-	f.Add(appendFrame(nil, TBatch, 9, appendBatch(nil, []BatchSlot{{PointQuery: PointQuery{V: 1}, Vertex: true}})))
-	f.Add(appendFrame(nil, RError, 1, appendError(nil, 404, "nope")))
-	f.Add(appendFrame(nil, RBatch, 2, appendBatchResponse(nil, []int32{1, -1}, []string{"", "bad"})))
+	f.Add(appendFrame(nil, TBatch, 9, 250, appendBatch(nil, []BatchSlot{{PointQuery: PointQuery{V: 1}, Vertex: true}})))
+	f.Add(appendFrame(nil, RError, 1, 0, appendError(nil, 404, "nope")))
+	f.Add(appendFrame(nil, RBatch, 2, 0, appendBatchResponse(nil, []int32{1, -1}, []string{"", "bad"})))
 	f.Add([]byte{0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		typ, _, payload, _, err := readFrame(bytes.NewReader(data), nil)
+		typ, _, _, payload, _, err := readFrame(bytes.NewReader(data), nil)
 		if err != nil {
 			return
 		}
