@@ -15,6 +15,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sort"
 	"sync/atomic"
 	"testing"
@@ -1077,6 +1078,20 @@ func BenchmarkWireServe(b *testing.B) {
 			}
 		})
 	})
+
+	// WIRE_METRICS_OUT (set by CI's bench job) captures the exercised
+	// server's /metrics exposition so each benchmark run ships a telemetry
+	// snapshot artifact alongside its timings.
+	if out := os.Getenv("WIRE_METRICS_OUT"); out != "" {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("/metrics = %d", rec.Code)
+		}
+		if err := os.WriteFile(out, rec.Body.Bytes(), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSlabLoad measures load-to-serving-ready — decode a persisted

@@ -77,11 +77,13 @@ func usage(w io.Writer) {
   verify   -in FILE -source S (-eps E | -structure FILE)
   vertexft -in FILE -source S [-verify] [-save FILE]
   serve    [-addr :8080] [-dir DIR] [-cap N] [-shard] [-id NAME]
-           [-drain-grace 0s] [-in FILE [-sources "0,5"] [-eps "0.25,0.5"] [-alg auto]
+           [-drain-grace 0s] [-pprof localhost:6060]
+           [-in FILE [-sources "0,5"] [-eps "0.25,0.5"] [-alg auto]
            [-vertex-sources "0,5"]]
   route    -shards "s0=host:port,s1=host:port" [-addr :8081] [-replication 2]
            [-vnodes 64] [-hedge 3ms] [-probe 2s] [-drain-grace 0s]
            [-hot-extra K] [-hot-min-hits N] [-hot-interval 30s]
+           [-trace-sample N] [-pprof localhost:6061]
 
 serve answers edge failures on /dist-avoiding and vertex failures on
 /dist-avoiding-vertex (vertex structures build through the store on first

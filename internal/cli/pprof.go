@@ -1,0 +1,38 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// startPprof opens the opt-in profiling listener. The handlers go on their
+// own mux and their own port, never the serving listener: profiling is an
+// operator door, and the query surface must not grow /debug/pprof/* routes
+// just because someone wants a CPU profile.
+func startPprof(ctx context.Context, addr string, stdout io.Writer) error {
+	if addr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "ftbfs: pprof on %s (debug listener, keep it off the public network)\n", ln.Addr().String())
+	return nil
+}

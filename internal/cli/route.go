@@ -66,6 +66,8 @@ func cmdRoute(args []string, stdout io.Writer) error {
 	retryBackoffMax := fs.Duration("retry-backoff-max", cluster.DefaultMaxRetryBackoff, "cap on the exponential retry backoff")
 	breakerThreshold := fs.Int("breaker-threshold", cluster.DefaultBreakerThreshold, "consecutive request failures before a shard's circuit breaker opens")
 	breakerCooldown := fs.Duration("breaker-cooldown", cluster.DefaultBreakerCooldown, "how long an open breaker waits before letting a probe request through")
+	traceSample := fs.Int("trace-sample", 0, "trace every Nth point query end to end, retrievable at /debug/traces (0 = off)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra debug-only address, e.g. \"localhost:6061\" (empty = off; never exposed on the serving listener)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,10 +95,14 @@ func cmdRoute(args []string, stdout io.Writer) error {
 		MaxRetryBackoff:  *retryBackoffMax,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
+		TraceSample:      *traceSample,
 	})
 
 	ctx, cancel := serveSignalContext()
 	defer cancel()
+	if err := startPprof(ctx, *pprofAddr, stdout); err != nil {
+		return err
+	}
 	if *probe > 0 {
 		ms.StartProber(ctx, *probe, &http.Client{Timeout: *probe})
 		ms.ProbeAll(ctx, &http.Client{Timeout: *probe}) // seed health before the first request

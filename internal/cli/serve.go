@@ -62,6 +62,7 @@ func cmdServe(args []string, stdout io.Writer) error {
 	drainGrace := fs.Duration("drain-grace", 0, "on shutdown, keep serving with /readyz=503 this long so balancers stop routing here first")
 	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "concurrent query/build requests served before queueing")
 	maxQueued := fs.Int("max-queued", server.DefaultMaxQueued, "requests allowed to wait for a work slot before load shedding answers 503")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra debug-only address, e.g. \"localhost:6060\" (empty = off; never exposed on the serving listener)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,6 +127,9 @@ func cmdServe(args []string, stdout io.Writer) error {
 
 	ctx, cancel := serveSignalContext()
 	defer cancel()
+	if err := startPprof(ctx, *pprofAddr, stdout); err != nil {
+		return err
+	}
 	srv := server.New(st)
 	srv.SetWorkLimits(*maxInflight, *maxQueued)
 	if *wireAddr != "" {

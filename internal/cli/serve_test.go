@@ -211,3 +211,63 @@ func TestServeWireFlag(t *testing.T) {
 		t.Fatal("serve did not shut down")
 	}
 }
+
+// TestServePprofFlag checks that -pprof opens the profiling handlers on
+// their own debug listener and that the serving listener never grows them.
+func TestServePprofFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	oldCtx, oldReady := serveSignalContext, serveReady
+	defer func() { serveSignalContext, serveReady = oldCtx, oldReady }()
+	serveSignalContext = func() (context.Context, context.CancelFunc) { return ctx, func() {} }
+	addrc := make(chan string, 1)
+	serveReady = func(addr string) { addrc <- addr }
+
+	var out bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- Main([]string{"serve", "-addr", "127.0.0.1:0", "-pprof", "127.0.0.1:0"}, &out, os.Stderr)
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not come up")
+	}
+
+	// startPprof printed its bound address before the serving listener came up.
+	var pprofAddr string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "ftbfs: pprof on ") {
+			pprofAddr = strings.Fields(line)[3]
+		}
+	}
+	if pprofAddr == "" {
+		t.Fatalf("no pprof address in output:\n%s", out.String())
+	}
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug listener /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("the serving listener answered /debug/pprof/ — profiling must stay on the debug listener")
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("serve exited %d; output:\n%s", code, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+}

@@ -6,13 +6,13 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"ftbfs/internal/chaos"
 	"ftbfs/internal/server"
+	"ftbfs/internal/telemetry"
 )
 
 // The chaos differential suite: a cluster under a named fault plan must keep
@@ -150,7 +150,11 @@ func runChaosPlan(t *testing.T, name string) chaosPlanSummary {
 	limit := chaosBudget + chaosGrace
 
 	sum := chaosPlanSummary{Plan: name}
-	var lat []time.Duration
+	// The same log-bucketed histogram the serving plane exposes at /metrics:
+	// the suite's percentiles and production percentiles share one
+	// implementation, so a chaos regression and a dashboard regression can
+	// never disagree about what p99 means.
+	var lat telemetry.Histogram
 	buildSeed := int64(500)
 	for i := 0; i < iters; i++ {
 		if i%buildEvery == buildEvery-1 {
@@ -165,7 +169,7 @@ func runChaosPlan(t *testing.T, name string) chaosPlanSummary {
 			sum.Batches++
 			elapsed, slotErrs := chaosBatchQuery(t, name, client, lc.URL(), batchReq, batchWant)
 			sum.BatchErrors += slotErrs
-			lat = append(lat, elapsed)
+			lat.Observe(elapsed)
 			if elapsed > limit {
 				t.Errorf("plan %s: /batch-query took %v, budget %v + %v grace", name, elapsed, chaosBudget, chaosGrace)
 			}
@@ -175,7 +179,7 @@ func runChaosPlan(t *testing.T, name string) chaosPlanSummary {
 		start := time.Now()
 		resp, err := client.Get(q.url)
 		elapsed := time.Since(start)
-		lat = append(lat, elapsed)
+		lat.Observe(elapsed)
 		sum.Queries++
 		if elapsed > limit {
 			t.Errorf("plan %s: request outlived its budget: %v (budget %v + %v grace): %s",
@@ -212,11 +216,10 @@ func runChaosPlan(t *testing.T, name string) chaosPlanSummary {
 		t.Errorf("plan %s: the injector never fired — this run tested nothing", name)
 	}
 	sum.Faults = inj.Counts()
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	if len(lat) > 0 {
-		sum.P50us = float64(lat[len(lat)/2].Microseconds())
-		sum.P99us = float64(lat[len(lat)*99/100].Microseconds())
-		sum.MaxUs = float64(lat[len(lat)-1].Microseconds())
+	if lat.Count() > 0 {
+		sum.P50us = float64(lat.Quantile(0.5)) / 1e3
+		sum.P99us = float64(lat.Quantile(0.99)) / 1e3
+		sum.MaxUs = float64(lat.Quantile(1)) / 1e3
 	}
 	t.Logf("plan %-8s queries=%d ok=%d errors=%d batches=%d(sloterrs=%d) builds=%d(failed=%d) p50=%.0fµs p99=%.0fµs max=%.0fµs faults=%v",
 		name, sum.Queries, sum.OK, sum.Errors, sum.Batches, sum.BatchErrors,

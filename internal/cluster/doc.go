@@ -107,6 +107,40 @@
 // while queued answers 504 rather than occupying a freed slot. The router
 // treats a shed like any replica failure: retry elsewhere within budget.
 //
+// # Telemetry and fleet aggregation
+//
+// The router instruments itself on an internal/telemetry registry: a
+// per-route outcome-labeled latency histogram for its HTTP surface,
+// per-replica forward latency split by transport
+// (ftbfs_router_replica_seconds), and counters for every routing decision —
+// hedges, failovers, breaker skips and forced attempts, wire fallbacks,
+// rebalance transfers, hot promotions. /stats keeps its JSON shape but now
+// reads the same registry values, so the two surfaces cannot drift.
+// Exposition is /metrics (Prometheus text) and /metrics.json (the raw
+// snapshot).
+//
+// /metrics/fleet is the aggregation point. The router scrapes each
+// member's /metrics.json concurrently (bounded by a short per-scrape
+// timeout; ftbfs_fleet_scraped_shards and ftbfs_fleet_scrape_errors report
+// coverage), then merges the snapshots with telemetry.Merge: counters and
+// gauges sum, and histograms — fixed 256 log-spaced buckets shared by every
+// node — add bucket-by-bucket. Because merging is exact (no rebucketing,
+// no quantile sketches), a fleet quantile computed from the merged
+// histogram equals the quantile of the concatenated per-shard samples at
+// bucket resolution, and merge order cannot matter. The merged families
+// keep their per-shard label sets, so a fleet scrape still breaks down by
+// route, frame type, and outcome.
+//
+// Request tracing rides the same paths the queries do: the router samples
+// every Nth point query (RouterOptions.TraceSample) or honors a
+// caller-supplied X-Ftbfs-Trace header, stamps its own spans, and forwards
+// the trace ID — as a header over HTTP, as the frame's trace field over the
+// wire. Shards answer with their spans in the X-Ftbfs-Spans header, which
+// the router folds into its record under a "shard-id:" prefix; wire-traced
+// requests land in the shard's own ring instead, since response frames
+// carry no span field. Both routers and shards retain a bounded ring of
+// recent traces at /debug/traces.
+//
 // # Chaos testing
 //
 // internal/chaos provides the deterministic fault injector these policies

@@ -122,8 +122,8 @@ func (rt *Router) pullTo(ctx context.Context, targetAddr string, src *Member, ke
 	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
 		return resp, err
 	}
-	rt.structuresMoved.Add(uint64(resp.Transferred))
-	rt.bytesMoved.Add(uint64(resp.Bytes))
+	rt.rm.structuresMoved.Add(uint64(resp.Transferred))
+	rt.rm.bytesMoved.Add(uint64(resp.Bytes))
 	return resp, nil
 }
 
@@ -153,12 +153,12 @@ type pullTask struct {
 func (rt *Router) runPulls(ctx context.Context, targetAddr string, tasks []pullTask, report *RebalanceReport) {
 	for _, t := range tasks {
 		resp, err := rt.pullTo(ctx, targetAddr, t.src, t.keys)
-		rt.rangesPending.Add(-int64(len(t.keys)))
+		rt.rm.rangesPending.Add(-int64(len(t.keys)))
 		if err != nil {
 			report.Errors = append(report.Errors, err.Error())
 			continue
 		}
-		rt.rangesMoved.Add(uint64(len(t.keys)))
+		rt.rm.rangesMoved.Add(uint64(len(t.keys)))
 		report.Transferred += resp.Transferred
 		report.Skipped += resp.Skipped
 		report.Bytes += resp.Bytes
@@ -181,7 +181,7 @@ func (rt *Router) AddShard(ctx context.Context, id, addr, wireAddr string) (*Reb
 		}
 		return &RebalanceReport{Rejoin: true}, nil
 	}
-	rt.rebalances.Add(1)
+	rt.rm.rebalances.Inc()
 	report := &RebalanceReport{}
 	before := ms.Ring()
 	after := NewRing(append(ms.IDs(), id), ms.Vnodes())
@@ -212,7 +212,7 @@ func (rt *Router) AddShard(ctx context.Context, id, addr, wireAddr string) (*Reb
 		bySource[src] = append(bySource[src], server.HandoffKeyFor(k))
 		report.Ranges++
 	}
-	rt.rangesPending.Add(int64(report.Ranges))
+	rt.rm.rangesPending.Add(int64(report.Ranges))
 	var tasks []pullTask
 	for src, keys := range bySource {
 		tasks = append(tasks, pullTask{src: src, keys: keys})
@@ -249,7 +249,7 @@ func (rt *Router) DrainShard(ctx context.Context, id string) (*RebalanceReport, 
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown shard %q", id)
 	}
-	rt.rebalances.Add(1)
+	rt.rm.rebalances.Inc()
 	report := &RebalanceReport{}
 	before := ms.Ring()
 	ids := make([]string, 0, len(ms.IDs()))
@@ -281,7 +281,7 @@ func (rt *Router) DrainShard(ctx context.Context, id string) (*RebalanceReport, 
 			report.Ranges++
 		}
 	}
-	rt.rangesPending.Add(int64(report.Ranges))
+	rt.rm.rangesPending.Add(int64(report.Ranges))
 	for target, tkeys := range byTarget {
 		rt.runPulls(ctx, target.Addr(), []pullTask{{src: leaver, keys: tkeys}}, report)
 	}
@@ -337,7 +337,7 @@ func (rt *Router) PromoteHot(ctx context.Context, extra int, minHits uint64) (in
 		rt.hotMu.Lock()
 		rt.promoted[k] = extra
 		rt.hotMu.Unlock()
-		rt.hotPromotions.Add(1)
+		rt.rm.hotPromotions.Inc()
 		promoted++
 	}
 	return promoted, firstErr

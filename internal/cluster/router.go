@@ -21,6 +21,7 @@ import (
 	"ftbfs/internal/core"
 	"ftbfs/internal/server"
 	"ftbfs/internal/store"
+	"ftbfs/internal/telemetry"
 	"ftbfs/internal/wire"
 )
 
@@ -83,6 +84,12 @@ type RouterOptions struct {
 	// BreakerCooldown is how long an open breaker waits before arming a
 	// half-open probe (DefaultBreakerCooldown when 0).
 	BreakerCooldown time.Duration
+	// TraceSample traces every Nth point query end to end: the router opens
+	// a trace, the shard attempt carries it (HTTP header), the shard's spans
+	// fold back into the router's record, and the finished trace lands in
+	// the ring behind /debug/traces. 0 disables sampling; requests arriving
+	// with an X-Ftbfs-Trace header are traced regardless.
+	TraceSample int
 }
 
 // Router fronts a shard cluster with the same HTTP surface a single shard
@@ -102,28 +109,12 @@ type Router struct {
 
 	buildFlight flightGroup
 
-	requests        atomic.Uint64 // HTTP requests accepted
-	points          atomic.Uint64 // point queries routed (/dist, /dist-avoiding)
-	batches         atomic.Uint64 // /batch-query vectors routed
-	batchQueries    atomic.Uint64 // individual batch query slots routed
-	builds          atomic.Uint64 // /build fan-outs executed
-	buildsCoalesced atomic.Uint64 // /build requests that shared another's flight
-	hedges          atomic.Uint64 // hedge timers that fired a second replica
-	failovers       atomic.Uint64 // replica retries after a failed attempt
-	wirePoints      atomic.Uint64 // point attempts answered over the binary protocol
-	wireBatches     atomic.Uint64 // sub-batches answered over the binary protocol
-	wireFallbacks   atomic.Uint64 // wire transport faults that fell back to HTTP
-	breakerSkips    atomic.Uint64 // attempts not sent because a replica's breaker was open
-	breakerForced   atomic.Uint64 // attempts forced through despite every breaker being open
-	errs            atomic.Uint64 // requests answered with an error status
-	draining        atomic.Bool
-
-	rebalances      atomic.Uint64 // AddShard/DrainShard lifecycles run
-	rangesPending   atomic.Int64  // keys computed to move, pull not yet finished
-	rangesMoved     atomic.Uint64 // keys whose pull finished
-	structuresMoved atomic.Uint64 // structures installed by driven handoff pulls
-	bytesMoved      atomic.Uint64 // record bytes moved by driven pulls
-	hotPromotions   atomic.Uint64 // keys promoted to R+k replication
+	// rm holds every routing counter and histogram (metrics.go); /stats and
+	// /metrics read the same registry-backed series.
+	rm       *routerMetrics
+	traces   *telemetry.TraceRing
+	pointSeq atomic.Uint64 // point queries seen, drives TraceSample
+	draining atomic.Bool
 
 	// hotMu guards the point-path hit counts and the promoted set behind
 	// R+k replication (rebalance.go). The map is size-capped: tracking is a
@@ -160,18 +151,35 @@ func NewRouter(m *Membership, opts RouterOptions) *Router {
 		hotHits:     make(map[store.Key]uint64),
 		promoted:    make(map[store.Key]int),
 	}
-	rt.mux.HandleFunc("/build", rt.handleBuild)
-	rt.mux.HandleFunc("/dist", rt.handlePoint)
-	rt.mux.HandleFunc("/dist-avoiding", rt.handlePoint)
-	// The vertex failure model rides the same point machinery: the request
-	// resolves to its vertex-model registry key (KeyForEndpoint — the
-	// endpoint, not a request field, picks the failure model), lands on that
-	// key's replica set, and gets the same hedged reads + failover.
-	rt.mux.HandleFunc("/dist-avoiding-vertex", rt.handlePoint)
-	rt.mux.HandleFunc("/batch-query", rt.handleBatchQuery)
-	rt.mux.HandleFunc("/stats", rt.handleStats)
-	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
-	rt.mux.HandleFunc("/readyz", rt.handleReadyz)
+	routes := []struct {
+		path    string
+		handler http.HandlerFunc
+	}{
+		{"/build", rt.handleBuild},
+		{"/dist", rt.handlePoint},
+		{"/dist-avoiding", rt.handlePoint},
+		// The vertex failure model rides the same point machinery: the request
+		// resolves to its vertex-model registry key (KeyForEndpoint — the
+		// endpoint, not a request field, picks the failure model), lands on that
+		// key's replica set, and gets the same hedged reads + failover.
+		{"/dist-avoiding-vertex", rt.handlePoint},
+		{"/batch-query", rt.handleBatchQuery},
+		{"/stats", rt.handleStats},
+		{"/healthz", rt.handleHealthz},
+		{"/readyz", rt.handleReadyz},
+		{"/metrics", rt.handleMetrics},
+		{"/metrics/fleet", rt.handleMetricsFleet},
+	}
+	paths := make([]string, 0, len(routes)+1)
+	for _, route := range routes {
+		rt.mux.HandleFunc(route.path, route.handler)
+		paths = append(paths, route.path)
+	}
+	rt.traces = telemetry.NewTraceRing(256, 0)
+	rt.mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		rt.traces.ServeHTTP(w, r)
+	})
+	rt.rm = newRouterMetrics(m, append(paths, "/debug/traces"))
 	return rt
 }
 
@@ -182,9 +190,20 @@ func (rt *Router) Membership() *Membership { return rt.m }
 // graceful shutdown.
 func (rt *Router) SetDraining(v bool) { rt.draining.Store(v) }
 
+// pointPath reports whether the route is a point query — the only routes
+// TraceSample samples (they are the latency-sensitive plane worth tracing).
+func pointPath(path string) bool {
+	switch path {
+	case "/dist", "/dist-avoiding", "/dist-avoiding-vertex":
+		return true
+	}
+	return false
+}
+
 // ServeHTTP implements http.Handler.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	rt.requests.Add(1)
+	rt.rm.requests.Inc()
+	start := time.Now()
 	if r.Body != nil {
 		// Same bound as the shards: the two tiers must agree on what is an
 		// acceptable body.
@@ -207,7 +226,30 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
-	rt.mux.ServeHTTP(w, r)
+	// Tracing: a caller-supplied X-Ftbfs-Trace header always traces; else
+	// TraceSample traces every Nth point query. The trace rides the request
+	// context so every shard attempt propagates the ID, and the shard's
+	// spans fold back in via the response span header (forwardClient).
+	var tr *telemetry.Trace
+	if id, ok := telemetry.ParseTraceID(r.Header.Get(telemetry.TraceHeader)); ok {
+		tr = telemetry.NewTrace(id)
+	} else if n := rt.opts.TraceSample; n > 0 && pointPath(r.URL.Path) && rt.pointSeq.Add(1)%uint64(n) == 0 {
+		tr = telemetry.NewTrace(0)
+	}
+	if tr == nil {
+		sw := clusterStatusWriter{ResponseWriter: w}
+		rt.mux.ServeHTTP(&sw, r)
+		rt.rm.observeHTTP(r.URL.Path, start, sw.status)
+		return
+	}
+	r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
+	bw := &clusterBufferedWriter{clusterStatusWriter: clusterStatusWriter{ResponseWriter: w}}
+	rt.mux.ServeHTTP(bw, r)
+	tr.Add("router.handle", start)
+	bw.Header().Set(telemetry.SpanHeader, tr.SpansJSON())
+	bw.flush()
+	rt.traces.Record(tr, r.URL.Path, time.Since(start))
+	rt.rm.observeHTTP(r.URL.Path, start, bw.status)
 }
 
 // backoffDelay returns the jittered exponential delay before retry `attempt`
@@ -288,14 +330,14 @@ func (rt *Router) writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (rt *Router) writeErr(w http.ResponseWriter, code int, err error) {
-	rt.errs.Add(1)
+	rt.rm.errs.Inc()
 	rt.writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 // writeRaw relays a buffered upstream response verbatim.
 func (rt *Router) writeRaw(w http.ResponseWriter, code int, body []byte) {
 	if code >= http.StatusBadRequest {
-		rt.errs.Add(1)
+		rt.rm.errs.Inc()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -334,16 +376,22 @@ func (rt *Router) wireFor(m *Member) *wire.Client {
 // indistinguishable downstream; only a wire transport fault (dead listener,
 // mid-restart shard) falls back to the HTTP request.
 func (rt *Router) forwardPoint(ctx context.Context, m *Member, method, path, rawQuery string, body []byte, wq *wireQuery) attemptResult {
-	if wq != nil {
+	// Traced attempts go over HTTP even when the shard speaks wire: response
+	// frames carry no span field, so only the HTTP span header can bring the
+	// shard's spans back into the router's trace record.
+	if wq != nil && telemetry.TraceFrom(ctx) == nil {
 		if wc := rt.wireFor(m); wc != nil {
+			attemptStart := time.Now()
 			d, werr, err := wc.Point(ctx, wq.typ, &wq.q)
 			switch {
 			case err == nil && werr == nil:
-				rt.wirePoints.Add(1)
+				rt.rm.wirePoints.Inc()
+				rt.rm.observeReplica(m.ID, "wire", time.Since(attemptStart))
 				m.markRequest(true, downAfter)
 				return attemptResult{code: http.StatusOK, body: []byte(fmt.Sprintf(`{"dist":%d}`, d))}
 			case err == nil:
-				rt.wirePoints.Add(1)
+				rt.rm.wirePoints.Inc()
+				rt.rm.observeReplica(m.ID, "wire", time.Since(attemptStart))
 				m.markRequest(werr.Code < http.StatusInternalServerError, downAfter)
 				eb, _ := json.Marshal(map[string]string{"error": werr.Msg})
 				return attemptResult{code: werr.Code, body: eb}
@@ -353,7 +401,7 @@ func (rt *Router) forwardPoint(ctx context.Context, m *Member, method, path, raw
 			}
 			// Wire transport fault: the HTTP fallback below observes (and
 			// scores) its own outcome against the same shard.
-			rt.wireFallbacks.Add(1)
+			rt.rm.wireFallbacks.Inc()
 		}
 	}
 	return rt.forward(ctx, m, method, path, rawQuery, body)
@@ -392,6 +440,11 @@ func (rt *Router) forwardClient(client *http.Client, ctx context.Context, m *Mem
 		}
 		req.Header.Set(server.BudgetHeader, strconv.FormatInt(int64((rem+time.Millisecond-1)/time.Millisecond), 10))
 	}
+	tr := telemetry.TraceFrom(ctx)
+	if tr != nil {
+		req.Header.Set(telemetry.TraceHeader, tr.IDString())
+	}
+	attemptStart := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
 		if ctx.Err() == nil {
@@ -406,6 +459,21 @@ func (rt *Router) forwardClient(client *http.Client, ctx context.Context, m *Mem
 			m.markRequest(false, downAfter)
 		}
 		return attemptResult{err: err}
+	}
+	rt.rm.observeReplica(m.ID, "http", time.Since(attemptStart))
+	if tr != nil {
+		// Fold the shard's spans into the router's trace, prefixed with the
+		// member ID. Shard offsets are relative to the shard's own trace
+		// start, so they read as per-layer timelines, not one global clock.
+		if spans := resp.Header.Get(telemetry.SpanHeader); spans != "" {
+			var shardSpans []telemetry.Span
+			if json.Unmarshal([]byte(spans), &shardSpans) == nil {
+				for _, sp := range shardSpans {
+					sp.Name = m.ID + ":" + sp.Name
+					tr.AddSpan(sp)
+				}
+			}
+		}
 	}
 	// A 5xx is a request strike: a shard consistently failing requests
 	// (broken persist directory, wedged store) must drift to the back of
@@ -483,7 +551,7 @@ func (rt *Router) hedgedDo(ctx context.Context, owners []*Member, method, path, 
 			m := owners[next]
 			next++
 			if !m.breakerAllow() {
-				rt.breakerSkips.Add(1)
+				rt.rm.breakerSkips.Inc()
 				continue
 			}
 			fire(m)
@@ -493,7 +561,7 @@ func (rt *Router) hedgedDo(ctx context.Context, owners []*Member, method, path, 
 	}
 	if !launch() {
 		// Every owner's breaker is open: force the primary anyway.
-		rt.breakerForced.Add(1)
+		rt.rm.breakerForced.Inc()
 		fire(owners[0])
 	}
 	var hedgeC <-chan time.Time
@@ -535,14 +603,14 @@ func (rt *Router) hedgedDo(ctx context.Context, owners []*Member, method, path, 
 				continue
 			}
 			if launch() {
-				rt.failovers.Add(1)
+				rt.rm.failovers.Inc()
 			} else if pending == 0 {
 				return last
 			}
 		case <-hedgeC:
 			hedgeC = nil
 			if launch() {
-				rt.hedges.Add(1)
+				rt.rm.hedges.Inc()
 			}
 		}
 	}
@@ -585,7 +653,7 @@ func (rt *Router) handlePoint(w http.ResponseWriter, r *http.Request) {
 		rt.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no shards joined"))
 		return
 	}
-	rt.points.Add(1)
+	rt.rm.points.Inc()
 	rt.noteKey(k)
 	// Frame the request for the binary fast path when it is complete enough
 	// to frame; a request missing its target or failure still goes out over
@@ -649,8 +717,8 @@ func (rt *Router) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		rt.writeErr(w, http.StatusBadRequest, fmt.Errorf("empty query vector"))
 		return
 	}
-	rt.batches.Add(1)
-	rt.batchQueries.Add(uint64(n))
+	rt.rm.batches.Inc()
+	rt.rm.batchQueries.Add(uint64(n))
 
 	dists := make([]int, n)
 	errs := make([]string, n)
@@ -729,7 +797,7 @@ func (rt *Router) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			if allOpen {
-				rt.breakerSkips.Add(1)
+				rt.rm.breakerSkips.Inc()
 				if errs[i] == "" {
 					errs[i] = fmt.Sprintf("cluster: circuit open: all %d replicas unavailable", len(rte.owners))
 				}
@@ -772,7 +840,7 @@ func (rt *Router) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if round > 0 {
-			rt.failovers.Add(uint64(len(subs)))
+			rt.rm.failovers.Add(uint64(len(subs)))
 		}
 
 		var mu sync.Mutex
@@ -839,7 +907,7 @@ func (rt *Router) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 					wdists, werrs, werr, err := wc.Batch(r.Context(), slots)
 					switch {
 					case err == nil && werr == nil:
-						rt.wireBatches.Add(1)
+						rt.rm.wireBatches.Inc()
 						sb.member.markRequest(true, downAfter)
 						resp.Dists = make([]int, len(wdists))
 						for j, d := range wdists {
@@ -854,13 +922,13 @@ func (rt *Router) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 						res = attemptResult{code: http.StatusOK}
 						answered, decoded = true, true
 					case err == nil:
-						rt.wireBatches.Add(1)
+						rt.rm.wireBatches.Inc()
 						sb.member.markRequest(werr.Code < http.StatusInternalServerError, downAfter)
 						eb, _ := json.Marshal(map[string]string{"error": werr.Msg})
 						res = attemptResult{code: werr.Code, body: eb}
 						answered = true
 					case r.Context().Err() == nil:
-						rt.wireFallbacks.Add(1)
+						rt.rm.wireFallbacks.Inc()
 					}
 				}
 				if !answered {
@@ -972,7 +1040,7 @@ func (rt *Router) handleBuild(w http.ResponseWriter, r *http.Request) {
 	fp := g.Fingerprint()
 	flightKey := fmt.Sprintf("%016x|%d|%v|v%v", fp, alg, pairs, req.VertexSources)
 	res, shared := rt.buildFlight.Do(flightKey, func() flightResult {
-		rt.builds.Add(1)
+		rt.rm.builds.Inc()
 		// The fan-out is shared work: coalesced waiters must not lose their
 		// build because the first caller hung up, so it is detached from
 		// any one request's cancellation and bounded by BuildTimeout alone.
@@ -981,7 +1049,7 @@ func (rt *Router) handleBuild(w http.ResponseWriter, r *http.Request) {
 		return rt.fanOutBuild(ctx, g, &req, alg, pairs)
 	})
 	if shared {
-		rt.buildsCoalesced.Add(1)
+		rt.rm.buildsCoalesced.Inc()
 	}
 	if res.code == 0 {
 		// The flight died without producing a response (a panic in the
@@ -1239,28 +1307,28 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Role:            "router",
 		ID:              rt.opts.ID,
 		UptimeSeconds:   time.Since(rt.start).Seconds(),
-		Requests:        rt.requests.Load(),
-		PointQueries:    rt.points.Load(),
-		Batches:         rt.batches.Load(),
-		BatchQueries:    rt.batchQueries.Load(),
-		Builds:          rt.builds.Load(),
-		BuildsCoalesced: rt.buildsCoalesced.Load(),
-		Hedges:          rt.hedges.Load(),
-		Failovers:       rt.failovers.Load(),
-		WirePoints:      rt.wirePoints.Load(),
-		WireBatches:     rt.wireBatches.Load(),
-		WireFallbacks:   rt.wireFallbacks.Load(),
-		BreakerSkips:    rt.breakerSkips.Load(),
-		BreakerForced:   rt.breakerForced.Load(),
-		Errors:          rt.errs.Load(),
+		Requests:        rt.rm.requests.Value(),
+		PointQueries:    rt.rm.points.Value(),
+		Batches:         rt.rm.batches.Value(),
+		BatchQueries:    rt.rm.batchQueries.Value(),
+		Builds:          rt.rm.builds.Value(),
+		BuildsCoalesced: rt.rm.buildsCoalesced.Value(),
+		Hedges:          rt.rm.hedges.Value(),
+		Failovers:       rt.rm.failovers.Value(),
+		WirePoints:      rt.rm.wirePoints.Value(),
+		WireBatches:     rt.rm.wireBatches.Value(),
+		WireFallbacks:   rt.rm.wireFallbacks.Value(),
+		BreakerSkips:    rt.rm.breakerSkips.Value(),
+		BreakerForced:   rt.rm.breakerForced.Value(),
+		Errors:          rt.rm.errs.Value(),
 		Replicas:        rt.m.Replicas(),
 
-		Rebalances:            rt.rebalances.Load(),
-		RangesPending:         rt.rangesPending.Load(),
-		RangesMoved:           rt.rangesMoved.Load(),
-		StructuresTransferred: rt.structuresMoved.Load(),
-		BytesMoved:            rt.bytesMoved.Load(),
-		HotPromotions:         rt.hotPromotions.Load(),
+		Rebalances:            rt.rm.rebalances.Value(),
+		RangesPending:         rt.rm.rangesPending.Value(),
+		RangesMoved:           rt.rm.rangesMoved.Value(),
+		StructuresTransferred: rt.rm.structuresMoved.Value(),
+		BytesMoved:            rt.rm.bytesMoved.Value(),
+		HotPromotions:         rt.rm.hotPromotions.Value(),
 
 		Shards: make([]ShardStat, len(members)),
 	}
@@ -1297,6 +1365,66 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+// promContentType is the Prometheus text exposition content type, matching
+// what the shards serve.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// handleMetrics serves the router's own registry in Prometheus text form.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", promContentType)
+	rt.rm.reg.Snapshot().WriteProm(w)
+}
+
+// handleMetricsFleet scrapes every member's /metrics.json snapshot in
+// parallel (the same forward path and timeout discipline as /stats) and
+// serves the merged result: counters sum, histogram buckets add, so a fleet
+// quantile is computed over the union of every shard's observations rather
+// than averaged per shard.
+func (rt *Router) handleMetricsFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rt.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	members := rt.m.Members()
+	snaps := make([]*telemetry.Snapshot, len(members))
+	// A wedged shard must not stall the scrape; it is simply absent from
+	// this merge and counted in ftbfs_fleet_scrape_errors.
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, m := range members {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := rt.forward(ctx, m, http.MethodGet, "/metrics.json", "", nil)
+			if res.err != nil || res.code != http.StatusOK {
+				return
+			}
+			var s telemetry.Snapshot
+			if json.Unmarshal(res.body, &s) == nil {
+				snaps[i] = &s
+			}
+		}()
+	}
+	wg.Wait()
+	scraped := 0
+	for _, s := range snaps {
+		if s != nil {
+			scraped++
+		}
+	}
+	merged := telemetry.Merge(snaps...)
+	merged.Gauges["ftbfs_fleet_scraped_shards"] = int64(scraped)
+	merged.Help["ftbfs_fleet_scraped_shards"] = "Shards whose snapshot this merge includes."
+	merged.Types["ftbfs_fleet_scraped_shards"] = "gauge"
+	merged.Gauges["ftbfs_fleet_scrape_errors"] = int64(len(members) - scraped)
+	merged.Help["ftbfs_fleet_scrape_errors"] = "Shards that failed to answer the snapshot scrape."
+	merged.Types["ftbfs_fleet_scrape_errors"] = "gauge"
+	w.Header().Set("Content-Type", promContentType)
+	merged.WriteProm(w)
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {

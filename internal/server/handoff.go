@@ -385,7 +385,7 @@ func (s *Server) pull(ctx context.Context, req *HandoffPullRequest) *HandoffPull
 // GET /handoff/record. Records larger than the frame bound answer 413 so
 // the puller falls back to HTTP (which has no such bound).
 func (s *Server) HandoffRecord(ctx context.Context, k *wire.HandoffKey) ([]byte, *wire.Error) {
-	s.wireRequests.Add(1)
+	s.m.wireRequests.Inc()
 	if err := ctx.Err(); err != nil {
 		return nil, &wire.Error{Code: http.StatusGatewayTimeout, Msg: err.Error()}
 	}
@@ -410,7 +410,7 @@ func (s *Server) HandoffRecord(ctx context.Context, k *wire.HandoffKey) ([]byte,
 // HandoffGraph implements wire.HandoffBackend: the binary-protocol twin of
 // GET /handoff/graph.
 func (s *Server) HandoffGraph(ctx context.Context, fp uint64) ([]byte, *wire.Error) {
-	s.wireRequests.Add(1)
+	s.m.wireRequests.Inc()
 	if err := ctx.Err(); err != nil {
 		return nil, &wire.Error{Code: http.StatusGatewayTimeout, Msg: err.Error()}
 	}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"ftbfs"
+	"ftbfs/internal/telemetry"
+	"ftbfs/internal/wire"
+)
+
+// serverMetrics is the registry behind the shard's /metrics: request totals,
+// per-route and per-frame-type latency histograms, and the queue-wait
+// histogram that feeds Retry-After. Every pointer is resolved at New — the
+// request path indexes arrays and maps built once, formatting nothing.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	requests     *telemetry.Counter // HTTP requests accepted
+	wireRequests *telemetry.Counter // binary-protocol requests accepted
+	queries      *telemetry.Counter // individual distance queries answered
+	errs         *telemetry.Counter // requests answered with an error status
+	shed         *telemetry.Counter // requests refused by the load shedder
+
+	// httpByRoute holds one outcome-labeled histogram per registered route;
+	// the map is never written after New, so lookups are safe without a lock.
+	httpByRoute map[string]*telemetry.OutcomeHist
+
+	// wireByType is indexed by wire frame type (TDist..TBatch); unused slots
+	// stay nil and OutcomeHist.Observe tolerates nil receivers.
+	wireByType [wire.TBatch + 1]*telemetry.OutcomeHist
+
+	// queueWait times requests that waited in the shedder's bounded queue
+	// (the fast no-queue path records nothing); its live p50 derives the
+	// Retry-After answer on shed responses.
+	queueWait *telemetry.Histogram
+}
+
+// wireTypeNames label the wire request histograms; index = frame type.
+var wireTypeNames = [wire.TBatch + 1]string{
+	wire.TDist:               "dist",
+	wire.TDistAvoiding:       "dist_avoiding",
+	wire.TDistAvoidingVertex: "dist_avoiding_vertex",
+	wire.TBatch:              "batch",
+}
+
+// newServerMetrics builds the shard registry, pre-registering one histogram
+// family per route/frame type and adopting the process-wide query-plan
+// counters as snapshot-time funcs.
+func newServerMetrics(routes []string) *serverMetrics {
+	reg := telemetry.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		requests: reg.Counter("ftbfs_requests_total", `transport="http"`,
+			"Requests accepted, by transport."),
+		wireRequests: reg.Counter("ftbfs_requests_total", `transport="wire"`,
+			"Requests accepted, by transport."),
+		queries: reg.Counter("ftbfs_queries_total", "",
+			"Individual distance queries answered."),
+		errs: reg.Counter("ftbfs_request_errors_total", "",
+			"Requests answered with an error status."),
+		shed: reg.Counter("ftbfs_shed_total", "",
+			"Requests refused by the load shedder."),
+		httpByRoute: make(map[string]*telemetry.OutcomeHist, len(routes)),
+		queueWait: reg.Histogram("ftbfs_queue_wait_seconds", "",
+			"Time requests waited in the shedder queue before a work slot freed."),
+	}
+	for _, route := range routes {
+		m.httpByRoute[route] = reg.OutcomeHist("ftbfs_http_request_seconds",
+			`route="`+route+`"`, "HTTP request latency by route and outcome.")
+	}
+	for typ, name := range wireTypeNames {
+		if name == "" {
+			continue
+		}
+		m.wireByType[typ] = reg.OutcomeHist("ftbfs_wire_request_seconds",
+			`type="`+name+`"`, "Wire request latency by frame type and outcome.")
+	}
+	planCount := func(pick func(eh, er, vh, vr uint64) uint64) func() uint64 {
+		return func() uint64 { return pick(ftbfs.PlanQueryCounts()) }
+	}
+	const planHelp = "Failure queries by answer path: O(1) plan hits vs subtree repairs."
+	reg.CounterFunc("ftbfs_plan_queries_total", `model="edge",path="hit"`, planHelp,
+		planCount(func(eh, _, _, _ uint64) uint64 { return eh }))
+	reg.CounterFunc("ftbfs_plan_queries_total", `model="edge",path="repair"`, planHelp,
+		planCount(func(_, er, _, _ uint64) uint64 { return er }))
+	reg.CounterFunc("ftbfs_plan_queries_total", `model="vertex",path="hit"`, planHelp,
+		planCount(func(_, _, vh, _ uint64) uint64 { return vh }))
+	reg.CounterFunc("ftbfs_plan_queries_total", `model="vertex",path="repair"`, planHelp,
+		planCount(func(_, _, _, vr uint64) uint64 { return vr }))
+	return m
+}
+
+// retryAfterSecs derives the Retry-After hint on shed responses from the
+// observed queue-wait p50, clamped to [1, 5] seconds: a lightly backed-up
+// node invites a quick retry, a deeply backed-up one pushes callers further
+// out instead of inviting a synchronized stampede one second later.
+func (m *serverMetrics) retryAfterSecs() string {
+	p50 := m.queueWait.Quantile(0.5)
+	secs := (p50 + 1e9 - 1) / 1e9
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 5 {
+		secs = 5
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// statusWriter captures the status code a handler writes, so ServeHTTP can
+// label its latency observation with the request outcome.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// bufferedWriter additionally buffers the body of a traced request: the
+// span header must be set before the first body byte reaches the client, and
+// the spans are only complete once the handler returns. Traced requests are
+// a sampled minority, so the extra copy never touches the hot path.
+type bufferedWriter struct {
+	statusWriter
+	body []byte
+}
+
+func (w *bufferedWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+}
+
+func (w *bufferedWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	w.body = append(w.body, b...)
+	return len(b), nil
+}
+
+// flush writes the buffered status and body for real.
+func (w *bufferedWriter) flush() {
+	code := w.status
+	if code == 0 {
+		code = http.StatusOK
+	}
+	w.ResponseWriter.WriteHeader(code)
+	w.ResponseWriter.Write(w.body)
+}

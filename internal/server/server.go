@@ -63,6 +63,7 @@ import (
 	"ftbfs"
 	"ftbfs/internal/core"
 	"ftbfs/internal/store"
+	"ftbfs/internal/telemetry"
 )
 
 // DefaultEps is the tradeoff parameter assumed when a request leaves ε out.
@@ -99,18 +100,20 @@ type limiter struct {
 	slots    chan struct{}
 	queued   atomic.Int64
 	maxQueue int64
+	wait     *telemetry.Histogram // queue-wait times; nil-safe to skip
 }
 
-func newLimiter(inflight, queue int) *limiter {
+func newLimiter(inflight, queue int, wait *telemetry.Histogram) *limiter {
 	if inflight < 1 {
 		inflight = 1
 	}
-	return &limiter{slots: make(chan struct{}, inflight), maxQueue: int64(queue)}
+	return &limiter{slots: make(chan struct{}, inflight), maxQueue: int64(queue), wait: wait}
 }
 
 // acquire takes a work slot, queueing (bounded) until ctx expires. It
 // reports false when the request must be shed or has outlived its budget —
-// the caller distinguishes via ctx.Err().
+// the caller distinguishes via ctx.Err(). Only the queued path records a
+// wait observation; the immediate-slot fast path never reads the clock.
 func (l *limiter) acquire(ctx context.Context, draining bool) bool {
 	select {
 	case l.slots <- struct{}{}:
@@ -125,12 +128,17 @@ func (l *limiter) acquire(ctx context.Context, draining bool) bool {
 		return false
 	}
 	defer l.queued.Add(-1)
+	start := time.Now()
+	ok := false
 	select {
 	case l.slots <- struct{}{}:
-		return true
+		ok = true
 	case <-ctx.Done():
-		return false
 	}
+	if l.wait != nil {
+		l.wait.Observe(time.Since(start))
+	}
+	return ok
 }
 
 func (l *limiter) release() { <-l.slots }
@@ -166,12 +174,12 @@ type Server struct {
 	// limiter. Swapped atomically so SetWorkLimits is safe while serving.
 	work atomic.Pointer[limiter]
 
-	requests     atomic.Uint64 // HTTP requests accepted
-	wireRequests atomic.Uint64 // binary-protocol requests accepted
-	queries      atomic.Uint64 // individual distance queries answered
-	errs         atomic.Uint64 // requests answered with an error status
-	shed         atomic.Uint64 // requests refused by the load shedder (503)
-	draining     atomic.Bool   // graceful shutdown in progress (readyz gates on it)
+	// m backs every request counter and latency histogram; traces keeps the
+	// most recent traced requests for /debug/traces.
+	m      *serverMetrics
+	traces *telemetry.TraceRing
+
+	draining atomic.Bool // graceful shutdown in progress (readyz gates on it)
 }
 
 // New returns a service over the given registry.
@@ -181,20 +189,35 @@ func New(st *store.Store) *Server {
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		groupSem: make(chan struct{}, 8),
+		traces:   telemetry.NewTraceRing(256, 0),
 	}
-	s.mux.HandleFunc("/build", s.handleBuild)
-	s.mux.HandleFunc("/dist", s.handleDist)
-	s.mux.HandleFunc("/dist-avoiding", s.handleDistAvoiding)
-	s.mux.HandleFunc("/dist-avoiding-vertex", s.handleDistAvoidingVertex)
-	s.mux.HandleFunc("/batch-query", s.handleBatchQuery)
-	s.mux.HandleFunc("/handoff/keys", s.handleHandoffKeys)
-	s.mux.HandleFunc("/handoff/record", s.handleHandoffRecord)
-	s.mux.HandleFunc("/handoff/graph", s.handleHandoffGraph)
-	s.mux.HandleFunc("/handoff/pull", s.handleHandoffPull)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.work.Store(newLimiter(DefaultMaxInflight, DefaultMaxQueued))
+	routes := []struct {
+		path    string
+		handler http.HandlerFunc
+	}{
+		{"/build", s.handleBuild},
+		{"/dist", s.handleDist},
+		{"/dist-avoiding", s.handleDistAvoiding},
+		{"/dist-avoiding-vertex", s.handleDistAvoidingVertex},
+		{"/batch-query", s.handleBatchQuery},
+		{"/handoff/keys", s.handleHandoffKeys},
+		{"/handoff/record", s.handleHandoffRecord},
+		{"/handoff/graph", s.handleHandoffGraph},
+		{"/handoff/pull", s.handleHandoffPull},
+		{"/stats", s.handleStats},
+		{"/healthz", s.handleHealthz},
+		{"/readyz", s.handleReadyz},
+		{"/metrics", s.handleMetrics},
+		{"/metrics.json", s.handleMetricsJSON},
+		{"/debug/traces", func(w http.ResponseWriter, r *http.Request) { s.traces.ServeHTTP(w, r) }},
+	}
+	paths := make([]string, len(routes))
+	for i, rt := range routes {
+		s.mux.HandleFunc(rt.path, rt.handler)
+		paths[i] = rt.path
+	}
+	s.m = newServerMetrics(paths)
+	s.work.Store(newLimiter(DefaultMaxInflight, DefaultMaxQueued, s.m.queueWait))
 	return s
 }
 
@@ -205,7 +228,7 @@ func New(st *store.Store) *Server {
 // an overloaded node). Safe to call while serving — in-flight requests
 // release into the limiter they acquired from.
 func (s *Server) SetWorkLimits(inflight, queue int) {
-	s.work.Store(newLimiter(inflight, queue))
+	s.work.Store(newLimiter(inflight, queue, s.m.queueWait))
 }
 
 // shedPaths are the endpoints subject to load shedding: the ones doing
@@ -261,7 +284,8 @@ func (s *Server) WireAddr() string {
 // load shedder — a saturated node answers 503 + Retry-After immediately
 // instead of queueing without bound and missing every deadline at once.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.m.requests.Inc()
+	start := time.Now()
 	if r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 	}
@@ -272,23 +296,72 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			r = r.WithContext(ctx)
 		}
 	}
+	// A trace header makes the request traced: its spans travel back in the
+	// response's span header and the trace is retained at /debug/traces.
+	var tr *telemetry.Trace
+	if id, ok := telemetry.ParseTraceID(r.Header.Get(telemetry.TraceHeader)); ok {
+		tr = telemetry.NewTrace(id)
+		r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
+	}
+	sw := statusWriter{ResponseWriter: w}
 	if shedsLoad(r.URL.Path) {
 		work := s.work.Load()
 		if !work.acquire(r.Context(), s.draining.Load()) {
 			if r.Context().Err() != nil {
 				// The budget ran out while queued: the caller is gone, answer
 				// 504 so retries count it against the right failure mode.
-				s.writeErr(w, http.StatusGatewayTimeout, fmt.Errorf("deadline budget exhausted while queued"))
-				return
+				s.writeErr(&sw, http.StatusGatewayTimeout, fmt.Errorf("deadline budget exhausted while queued"))
+			} else {
+				s.m.shed.Inc()
+				sw.Header().Set("Retry-After", s.m.retryAfterSecs())
+				s.writeErr(&sw, http.StatusServiceUnavailable, fmt.Errorf("server overloaded; retry later"))
 			}
-			s.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
-			s.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server overloaded; retry later"))
+			s.observeHTTP(r.URL.Path, start, sw.status)
 			return
 		}
 		defer work.release()
 	}
-	s.mux.ServeHTTP(w, r)
+	if tr == nil {
+		s.mux.ServeHTTP(&sw, r)
+		s.observeHTTP(r.URL.Path, start, sw.status)
+		return
+	}
+	// Traced path: buffer the response so the span header (complete only
+	// after the handler returns) still precedes the body.
+	bw := &bufferedWriter{statusWriter: statusWriter{ResponseWriter: w}}
+	s.mux.ServeHTTP(bw, r)
+	tr.Add("shard.handle", start)
+	bw.Header().Set(telemetry.SpanHeader, tr.SpansJSON())
+	bw.flush()
+	s.traces.Record(tr, r.URL.Path, time.Since(start))
+	s.observeHTTP(r.URL.Path, start, bw.status)
+}
+
+// observeHTTP records one finished HTTP request into its route's
+// outcome-labeled histogram; unregistered paths (404s) are not a route and
+// record nothing.
+func (s *Server) observeHTTP(path string, start time.Time, status int) {
+	if h := s.m.httpByRoute[path]; h != nil {
+		if status == 0 {
+			status = http.StatusOK
+		}
+		h.Observe(time.Since(start), telemetry.OutcomeOf(status))
+	}
+}
+
+// handleMetrics serves the shard's Prometheus exposition: the server's own
+// registry merged with the store's, one scrape surface per node.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := telemetry.Merge(s.m.reg.Snapshot(), s.store.Telemetry().Snapshot())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = snap.WriteProm(w)
+}
+
+// handleMetricsJSON serves the same merged snapshot as JSON — the payload
+// the cluster router scrapes and merges into /metrics/fleet.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	snap := telemetry.Merge(s.m.reg.Snapshot(), s.store.Telemetry().Snapshot())
+	s.writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
@@ -300,7 +373,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
-	s.errs.Add(1)
+	s.m.errs.Inc()
 	s.writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
@@ -741,7 +814,7 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 	// Intact distances come from the structure's shared cached vector — no
 	// oracle (and no BFS scratch allocation) needed.
 	d := st.Dist(*q.V)
-	s.queries.Add(1)
+	s.m.queries.Inc()
 	s.writeJSON(w, http.StatusOK, distResponse{Dist: d})
 }
 
@@ -776,7 +849,7 @@ func (s *Server) handleDistAvoiding(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.queries.Add(1)
+	s.m.queries.Inc()
 	s.writeJSON(w, http.StatusOK, distResponse{Dist: d})
 }
 
@@ -830,7 +903,7 @@ func (s *Server) handleDistAvoidingVertex(w http.ResponseWriter, r *http.Request
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.queries.Add(1)
+	s.m.queries.Inc()
 	s.writeJSON(w, http.StatusOK, distResponse{Dist: d})
 }
 
@@ -1051,7 +1124,7 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 			gr.queries = append(gr.queries, ftbfs.FailureQuery{V: q.V, FailedU: q.Fail[0], FailedV: q.Fail[1]})
 		}
 	}
-	s.queries.Add(s.answerGroups(r.Context(), groups, dists, errs))
+	s.m.queries.Add(s.answerGroups(r.Context(), groups, dists, errs))
 	resp := BatchQueryResponse{Dists: dists}
 	for _, e := range errs {
 		if e != "" {
@@ -1088,11 +1161,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Role:          ident.role,
 		ID:            ident.id,
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		WireRequests:  s.wireRequests.Load(),
-		Queries:       s.queries.Load(),
-		Errors:        s.errs.Load(),
-		Shed:          s.shed.Load(),
+		Requests:      s.m.requests.Value(),
+		WireRequests:  s.m.wireRequests.Value(),
+		Queries:       s.m.queries.Value(),
+		Errors:        s.m.errs.Value(),
+		Shed:          s.m.shed.Value(),
 		Draining:      s.draining.Load(),
 		Store:         s.store.Stats(),
 	})

@@ -57,7 +57,7 @@ func TestShedOverloadAnswers503(t *testing.T) {
 	if ra := rec.Header().Get("Retry-After"); ra != "1" {
 		t.Fatalf("503 carried Retry-After %q, want \"1\"", ra)
 	}
-	if got := s.shed.Load(); got != 1 {
+	if got := s.m.shed.Value(); got != 1 {
 		t.Fatalf("shed counter = %d, want 1", got)
 	}
 
@@ -95,7 +95,7 @@ func TestShedQueuedRequestRunsWhenSlotFrees(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("queued request never ran after its slot freed")
 	}
-	if got := s.shed.Load(); got != 0 {
+	if got := s.m.shed.Value(); got != 0 {
 		t.Fatalf("shed counter = %d after a successfully-queued request, want 0", got)
 	}
 }
@@ -120,7 +120,7 @@ func TestShedQueuedPastBudgetAnswers504(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("budget of 30ms held the request %v", elapsed)
 	}
-	if got := s.shed.Load(); got != 0 {
+	if got := s.m.shed.Value(); got != 0 {
 		t.Fatalf("a budget expiry is a 504, not a shed: shed = %d", got)
 	}
 }
@@ -157,7 +157,7 @@ func TestShedWirePaths(t *testing.T) {
 	if werr == nil || werr.Code != http.StatusServiceUnavailable {
 		t.Fatalf("saturated WirePoint = %v, want in-protocol 503", werr)
 	}
-	if got := s.shed.Load(); got != 1 {
+	if got := s.m.shed.Value(); got != 1 {
 		t.Fatalf("shed counter = %d after a wire shed, want 1", got)
 	}
 

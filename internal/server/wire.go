@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"time"
 
 	"ftbfs"
 	"ftbfs/internal/core"
 	"ftbfs/internal/store"
+	"ftbfs/internal/telemetry"
 	"ftbfs/internal/wire"
 )
 
@@ -45,19 +47,48 @@ func keyForPoint(typ byte, q *wire.PointQuery) (store.Key, error) {
 func (s *Server) shedWire(ctx context.Context) (*limiter, *wire.Error) {
 	work := s.work.Load()
 	if !work.acquire(ctx, s.draining.Load()) {
-		s.errs.Add(1)
+		s.m.errs.Inc()
 		if ctx.Err() != nil {
 			return nil, &wire.Error{Code: http.StatusGatewayTimeout, Msg: "deadline budget exhausted while queued"}
 		}
-		s.shed.Add(1)
+		s.m.shed.Inc()
 		return nil, &wire.Error{Code: http.StatusServiceUnavailable, Msg: "server overloaded; retry later"}
 	}
 	return work, nil
 }
 
-// WirePoint answers one binary point query (wire.Backend).
+// observeWire records one finished wire request into its frame type's
+// outcome-labeled histogram. Inline starts and a direct array index keep the
+// point-query path allocation-free.
+func (s *Server) observeWire(typ byte, start time.Time, werr *wire.Error) {
+	if int(typ) >= len(s.m.wireByType) {
+		return
+	}
+	out := telemetry.OutcomeOK
+	if werr != nil {
+		out = telemetry.OutcomeOf(werr.Code)
+	}
+	s.m.wireByType[typ].Observe(time.Since(start), out)
+}
+
+// WirePoint answers one binary point query (wire.Backend). It wraps the
+// actual dispatch so the latency observation needs no deferred closure —
+// the point path must stay allocation-free.
 func (s *Server) WirePoint(ctx context.Context, typ byte, q *wire.PointQuery) (int32, *wire.Error) {
-	s.wireRequests.Add(1)
+	s.m.wireRequests.Inc()
+	start := time.Now()
+	d, werr := s.wirePoint(ctx, typ, q)
+	s.observeWire(typ, start, werr)
+	if tr := telemetry.TraceFrom(ctx); tr != nil {
+		// The response frame has no span field, so a wire-traced request's
+		// spans are retrievable from this shard's own /debug/traces ring.
+		tr.Add("shard.wire", start)
+		s.traces.Record(tr, "wire", time.Since(start))
+	}
+	return d, werr
+}
+
+func (s *Server) wirePoint(ctx context.Context, typ byte, q *wire.PointQuery) (int32, *wire.Error) {
 	work, werr := s.shedWire(ctx)
 	if werr != nil {
 		return 0, werr
@@ -65,7 +96,7 @@ func (s *Server) WirePoint(ctx context.Context, typ byte, q *wire.PointQuery) (i
 	defer work.release()
 	k, err := keyForPoint(typ, q)
 	if err != nil {
-		s.errs.Add(1)
+		s.m.errs.Inc()
 		return 0, &wire.Error{Code: http.StatusBadRequest, Msg: err.Error()}
 	}
 	v := int(q.V)
@@ -74,14 +105,14 @@ func (s *Server) WirePoint(ctx context.Context, typ byte, q *wire.PointQuery) (i
 	case wire.TDist:
 		st, err := s.structureForKey(ctx, k, &v)
 		if err != nil {
-			s.errs.Add(1)
+			s.m.errs.Inc()
 			return 0, &wire.Error{Code: statusFor(err), Msg: err.Error()}
 		}
 		d = st.Dist(v)
 	case wire.TDistAvoiding:
 		st, err := s.structureForKey(ctx, k, &v)
 		if err != nil {
-			s.errs.Add(1)
+			s.m.errs.Inc()
 			return 0, &wire.Error{Code: statusFor(err), Msg: err.Error()}
 		}
 		err = st.OraclePool().Do(func(o *ftbfs.Oracle) error {
@@ -90,13 +121,13 @@ func (s *Server) WirePoint(ctx context.Context, typ byte, q *wire.PointQuery) (i
 			return qerr
 		})
 		if err != nil {
-			s.errs.Add(1)
+			s.m.errs.Inc()
 			return 0, &wire.Error{Code: http.StatusBadRequest, Msg: err.Error()}
 		}
 	case wire.TDistAvoidingVertex:
 		st, err := s.vertexStructureForKey(ctx, k, &v)
 		if err != nil {
-			s.errs.Add(1)
+			s.m.errs.Inc()
 			return 0, &wire.Error{Code: statusFor(err), Msg: err.Error()}
 		}
 		err = st.OraclePool().Do(func(o *ftbfs.VertexOracle) error {
@@ -105,21 +136,22 @@ func (s *Server) WirePoint(ctx context.Context, typ byte, q *wire.PointQuery) (i
 			return qerr
 		})
 		if err != nil {
-			s.errs.Add(1)
+			s.m.errs.Inc()
 			return 0, &wire.Error{Code: http.StatusBadRequest, Msg: err.Error()}
 		}
 	default:
-		s.errs.Add(1)
+		s.m.errs.Inc()
 		return 0, &wire.Error{Code: http.StatusBadRequest, Msg: fmt.Sprintf("unknown point type %#x", typ)}
 	}
-	s.queries.Add(1)
+	s.m.queries.Inc()
 	return int32(d), nil
 }
 
 // WireBatch answers one binary batch (wire.Backend): slots group by resolved
 // key and funnel into the same answerGroups machinery as POST /batch-query.
 func (s *Server) WireBatch(ctx context.Context, slots []wire.BatchSlot) ([]int32, []string) {
-	s.wireRequests.Add(1)
+	s.m.wireRequests.Inc()
+	start := time.Now()
 	dists := make([]int, len(slots))
 	errs := make([]string, len(slots))
 	if work, werr := s.shedWire(ctx); werr != nil {
@@ -130,6 +162,7 @@ func (s *Server) WireBatch(ctx context.Context, slots []wire.BatchSlot) ([]int32
 			out[i] = int32(ftbfs.Unreachable)
 			errs[i] = werr.Msg
 		}
+		s.observeWire(wire.TBatch, start, werr)
 		return out, errs
 	} else {
 		defer work.release()
@@ -161,13 +194,20 @@ func (s *Server) WireBatch(ctx context.Context, slots []wire.BatchSlot) ([]int32
 			gr.queries = append(gr.queries, ftbfs.FailureQuery{V: int(sl.V), FailedU: int(sl.A), FailedV: int(sl.B)})
 		}
 	}
-	s.queries.Add(s.answerGroups(ctx, groups, dists, errs))
+	s.m.queries.Add(s.answerGroups(ctx, groups, dists, errs))
 	out := make([]int32, len(dists))
+	var failed bool
 	for i, d := range dists {
 		out[i] = int32(d)
 		if errs[i] != "" {
-			s.errs.Add(1)
+			s.m.errs.Inc()
+			failed = true
 		}
 	}
+	var batchErr *wire.Error
+	if failed {
+		batchErr = &wire.Error{Code: http.StatusBadRequest}
+	}
+	s.observeWire(wire.TBatch, start, batchErr)
 	return out, errs
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"ftbfs"
 	"ftbfs/internal/core"
@@ -80,6 +81,7 @@ func (s *Store) Has(k Key) bool {
 // immutable, so encoding outside the lock is safe. Returns ErrNotHeld
 // (wrapped) when the store has nothing for k.
 func (s *Store) ExportRecord(k Key) ([]byte, error) {
+	exportStart := time.Now()
 	s.mu.Lock()
 	e, ok := s.entries[k]
 	dir := s.dir
@@ -95,9 +97,8 @@ func (s *Store) ExportRecord(k Key) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: export %v: %w", k, err)
 		}
-		s.mu.Lock()
-		s.stats.HandoffsOut++
-		s.mu.Unlock()
+		s.m.handoffsOut.Inc()
+		s.m.handoffDur.Observe(time.Since(exportStart))
 		return buf.Bytes(), nil
 	}
 	if dir == "" {
@@ -107,9 +108,8 @@ func (s *Store) ExportRecord(k Key) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %v: %w", k, ErrNotHeld)
 	}
-	s.mu.Lock()
-	s.stats.HandoffsOut++
-	s.mu.Unlock()
+	s.m.handoffsOut.Inc()
+	s.m.handoffDur.Observe(time.Since(exportStart))
 	return data, nil
 }
 
@@ -121,6 +121,7 @@ func (s *Store) ExportRecord(k Key) ([]byte, error) {
 // is a no-op (installed = false). The graph must be registered first — a
 // handoff pull fetches it from the source before the records.
 func (s *Store) ImportRecord(k Key, data []byte) (installed bool, err error) {
+	importStart := time.Now()
 	s.mu.Lock()
 	_, resident := s.entries[k]
 	g, haveGraph := s.graphs[k.Graph]
@@ -171,7 +172,7 @@ func (s *Store) ImportRecord(k Key, data []byte) (installed bool, err error) {
 		return false, nil
 	}
 	s.insertLocked(k, st, vst)
-	s.stats.HandoffsIn++
+	s.m.handoffsIn.Inc()
 	s.mu.Unlock()
 	if dir != "" {
 		// Persist the shipped bytes verbatim — the record already validated.
@@ -181,10 +182,9 @@ func (s *Store) ImportRecord(k Key, data []byte) (installed bool, err error) {
 		}); err != nil {
 			return true, &PersistError{Err: fmt.Errorf("%v: %w", k, err)}
 		}
-		s.mu.Lock()
-		s.stats.Saves++
-		s.mu.Unlock()
+		s.m.saves.Inc()
 	}
+	s.m.handoffDur.Observe(time.Since(importStart))
 	return true, nil
 }
 

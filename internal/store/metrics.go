@@ -1,0 +1,67 @@
+package store
+
+import (
+	"ftbfs/internal/telemetry"
+)
+
+// storeMetrics is the registry-backed view of the store's counters and
+// timings. Every counter pointer is resolved once at New, so the serving
+// path pays one atomic add per event and never formats a label; Stats()
+// reconstructs the legacy /stats JSON shape from these same series, keeping
+// the registry the single source of truth.
+type storeMetrics struct {
+	reg *telemetry.Registry
+
+	hits, misses, loads, builds, evictions, saves *telemetry.Counter
+	warmLoaded, warmSkipped, warmQuarantined      *telemetry.Counter
+	handoffsIn, handoffsOut                       *telemetry.Counter
+
+	buildDur, loadDur, saveDur, handoffDur *telemetry.Histogram
+}
+
+// newStoreMetrics builds the store's registry. The gauge funcs read the
+// store under its own lock at snapshot time, so residency numbers are always
+// current without a write on every insert/evict.
+func newStoreMetrics(s *Store) *storeMetrics {
+	reg := telemetry.NewRegistry()
+	op := func(kind string) *telemetry.Counter {
+		return reg.Counter("ftbfs_store_ops_total", `op="`+kind+`"`,
+			"Store registry operations by kind.")
+	}
+	m := &storeMetrics{
+		reg:             reg,
+		hits:            op("hit"),
+		misses:          op("miss"),
+		loads:           op("load"),
+		builds:          op("build"),
+		evictions:       op("evict"),
+		saves:           op("save"),
+		warmLoaded:      op("warm_loaded"),
+		warmSkipped:     op("warm_skipped"),
+		warmQuarantined: op("warm_quarantined"),
+		handoffsIn:      op("handoff_in"),
+		handoffsOut:     op("handoff_out"),
+		buildDur: reg.Histogram("ftbfs_store_build_seconds", "",
+			"Time to build one structure batch or vertex structure."),
+		loadDur: reg.Histogram("ftbfs_store_load_seconds", "",
+			"Time to load and validate one persisted structure record."),
+		saveDur: reg.Histogram("ftbfs_store_save_seconds", "",
+			"Time of one atomic record write (temp file, fsync, rename)."),
+		handoffDur: reg.Histogram("ftbfs_store_handoff_seconds", "",
+			"Time to export or import one shard-handoff record."),
+	}
+	reg.GaugeFunc("ftbfs_store_graphs", "", "Registered graphs.", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.graphs))
+	})
+	reg.GaugeFunc("ftbfs_store_structures", "", "Structures resident in memory.", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.entries))
+	})
+	reg.GaugeFunc("ftbfs_store_capacity", "", "Configured LRU capacity (non-positive = unlimited).", func() int64 {
+		return int64(s.capacity)
+	})
+	return m
+}

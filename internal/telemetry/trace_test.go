@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	for _, id := range []uint64{1, 0xdeadbeef, ^uint64(0)} {
+		s := FormatTraceID(id)
+		if len(s) != 16 {
+			t.Fatalf("FormatTraceID(%x) = %q, want 16 hex digits", id, s)
+		}
+		got, ok := ParseTraceID(s)
+		if !ok || got != id {
+			t.Fatalf("ParseTraceID(%q) = %x, %v; want %x", s, got, ok, id)
+		}
+	}
+	if _, ok := ParseTraceID(""); ok {
+		t.Error("empty header must not parse")
+	}
+	if _, ok := ParseTraceID("0000000000000000"); ok {
+		t.Error("zero ID means untraced and must not parse")
+	}
+	if _, ok := ParseTraceID("zzzz"); ok {
+		t.Error("garbage must not parse")
+	}
+	if NewTrace(0).ID() == 0 {
+		t.Error("NewTrace(0) must generate a non-zero ID")
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("background context must carry no trace")
+	}
+	tr := NewTrace(42)
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+}
+
+func TestTraceSpansJSON(t *testing.T) {
+	tr := NewTrace(7)
+	tr.Add("server /dist", tr.Start())
+	tr.AddSpan(Span{Name: "store.resolve", StartUs: 1, DurUs: 2})
+	var spans []Span
+	if err := json.Unmarshal([]byte(tr.SpansJSON()), &spans); err != nil {
+		t.Fatalf("SpansJSON not valid JSON: %v", err)
+	}
+	if len(spans) != 2 || spans[0].Name != "server /dist" || spans[1].DurUs != 2 {
+		t.Fatalf("spans round-trip wrong: %+v", spans)
+	}
+}
+
+func TestTraceRingBoundsAndOrder(t *testing.T) {
+	r := NewTraceRing(3, 0)
+	for i := 1; i <= 5; i++ {
+		r.Record(NewTrace(uint64(i)), "/dist", time.Duration(i)*time.Millisecond)
+	}
+	recs := r.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(recs))
+	}
+	// Newest first: traces 5, 4, 3.
+	if recs[0].ID != FormatTraceID(5) || recs[2].ID != FormatTraceID(3) {
+		t.Fatalf("ring order wrong: %v", []string{recs[0].ID, recs[1].ID, recs[2].ID})
+	}
+}
+
+func TestTraceRingSlowFilter(t *testing.T) {
+	r := NewTraceRing(8, 10*time.Millisecond)
+	r.Record(NewTrace(1), "/dist", time.Millisecond)    // fast: dropped
+	r.Record(NewTrace(2), "/dist", 50*time.Millisecond) // slow: kept
+	if got := r.Snapshot(); len(got) != 1 || got[0].ID != FormatTraceID(2) {
+		t.Fatalf("slow filter wrong: %+v", got)
+	}
+}
+
+func TestTraceRingServeHTTP(t *testing.T) {
+	r := NewTraceRing(4, 0)
+	tr := NewTrace(9)
+	tr.Add("router /dist", tr.Start())
+	r.Record(tr, "/dist", 3*time.Millisecond)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var out []TraceRecord
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("/debug/traces not JSON: %v", err)
+	}
+	if len(out) != 1 || out[0].ID != FormatTraceID(9) || len(out[0].Spans) != 1 {
+		t.Fatalf("trace record wrong: %+v", out)
+	}
+}

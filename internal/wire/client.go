@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ftbfs/internal/telemetry"
 )
 
 // Client is a pooled, pipelining wire client for one server address. It
@@ -144,7 +146,7 @@ func (cc *clientConn) readLoop() {
 	br := bufio.NewReaderSize(cc.c, 32<<10)
 	var buf []byte
 	for {
-		typ, id, _, payload, newBuf, err := readFrame(br, buf)
+		typ, id, _, _, payload, newBuf, err := readFrame(br, buf)
 		buf = newBuf
 		if err != nil {
 			cc.fail(fmt.Errorf("wire: connection lost: %w", err))
@@ -181,7 +183,7 @@ func (cc *clientConn) fail(err error) {
 }
 
 // send registers a waiter and writes one request frame.
-func (cc *clientConn) send(typ byte, id uint64, budget uint32, payload []byte) (chan response, error) {
+func (cc *clientConn) send(typ byte, id uint64, budget uint32, trace uint64, payload []byte) (chan response, error) {
 	ch := chanPool.Get().(chan response)
 	cc.pmu.Lock()
 	if cc.dead {
@@ -194,7 +196,7 @@ func (cc *clientConn) send(typ byte, id uint64, budget uint32, payload []byte) (
 	cc.wpend.Add(1)
 	cc.wmu.Lock()
 	buf := getBuf()
-	*buf = appendFrame((*buf)[:0], typ, id, budget, payload)
+	*buf = appendFrame((*buf)[:0], typ, id, budget, trace, payload)
 	_, err := cc.bw.Write(*buf)
 	// Group flush: if another sender is already waiting on wmu, leave our
 	// frame buffered — the last writer in the burst sees the count hit zero
@@ -229,11 +231,17 @@ func (cc *clientConn) forget(id uint64, err error) {
 
 // do sends one request and waits for its response. The caller's remaining
 // context deadline travels in the frame's budget field (rounded up to a whole
-// millisecond) so the server stops working when the caller stops waiting.
+// millisecond) so the server stops working when the caller stops waiting; a
+// telemetry trace in the context travels in the trace field so shard-side
+// spans share the caller's trace ID.
 func (c *Client) do(ctx context.Context, typ byte, payload []byte) (response, error) {
 	cc, err := c.conn()
 	if err != nil {
 		return response{}, err
+	}
+	var trace uint64
+	if tr := telemetry.TraceFrom(ctx); tr != nil {
+		trace = tr.ID()
 	}
 	timeout := c.reqTimeout
 	var budget uint32
@@ -253,7 +261,7 @@ func (c *Client) do(ctx context.Context, typ byte, payload []byte) (response, er
 		}
 	}
 	id := c.ids.Add(1)
-	ch, err := cc.send(typ, id, budget, payload)
+	ch, err := cc.send(typ, id, budget, trace, payload)
 	if err != nil {
 		return response{}, err
 	}

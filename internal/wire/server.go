@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"ftbfs/internal/telemetry"
 )
 
 // Backend answers decoded wire queries; internal/server implements it on top
@@ -98,12 +100,12 @@ func serveConn(ctx context.Context, c net.Conn, backend Backend) {
 	buf := *getBuf()
 	defer func() { putBuf(&buf) }()
 	for {
-		typ, id, budget, payload, newBuf, err := readFrame(br, buf[:cap(buf)])
+		typ, id, budget, trace, payload, newBuf, err := readFrame(br, buf[:cap(buf)])
 		buf = newBuf
 		if err != nil {
 			return
 		}
-		if err := answer(ctx, bw, backend, typ, id, budget, payload); err != nil {
+		if err := answer(ctx, bw, backend, typ, id, budget, trace, payload); err != nil {
 			return
 		}
 		// Flush only when the pipeline drains: back-to-back pipelined
@@ -122,12 +124,17 @@ var errProtocol = errors.New("wire: protocol error")
 
 // answer decodes and answers one request frame. A non-zero budget bounds the
 // backend's work with a context deadline — the caller has already given up
-// once it expires, so finishing the computation would be wasted work.
-func answer(ctx context.Context, w io.Writer, backend Backend, typ byte, id uint64, budget uint32, payload []byte) error {
+// once it expires, so finishing the computation would be wasted work. A
+// non-zero trace hands the backend a telemetry trace with the caller's ID;
+// the untraced hot path pays a single branch.
+func answer(ctx context.Context, w io.Writer, backend Backend, typ byte, id uint64, budget uint32, trace uint64, payload []byte) error {
 	if budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(budget)*time.Millisecond)
 		defer cancel()
+	}
+	if trace != 0 {
+		ctx = telemetry.WithTrace(ctx, telemetry.NewTrace(trace))
 	}
 	switch typ {
 	case TDist, TDistAvoiding, TDistAvoidingVertex:
@@ -139,11 +146,11 @@ func answer(ctx context.Context, w io.Writer, backend Backend, typ byte, id uint
 		if werr != nil {
 			buf := getBuf()
 			defer putBuf(buf)
-			return writeFrame(w, RError, id, 0, appendError((*buf)[:0], werr.Code, werr.Msg))
+			return writeFrame(w, RError, id, 0, 0, appendError((*buf)[:0], werr.Code, werr.Msg))
 		}
 		var db [4]byte
 		db[0], db[1], db[2], db[3] = byte(d), byte(d>>8), byte(d>>16), byte(d>>24)
-		return writeFrame(w, RDist, id, 0, db[:])
+		return writeFrame(w, RDist, id, 0, 0, db[:])
 	case TBatch:
 		slots, err := parseBatch(payload)
 		if err != nil {
@@ -152,7 +159,7 @@ func answer(ctx context.Context, w io.Writer, backend Backend, typ byte, id uint
 		dists, errs := backend.WireBatch(ctx, slots)
 		buf := getBuf()
 		defer putBuf(buf)
-		return writeFrame(w, RBatch, id, 0, appendBatchResponse((*buf)[:0], dists, errs))
+		return writeFrame(w, RBatch, id, 0, 0, appendBatchResponse((*buf)[:0], dists, errs))
 	case THandoff:
 		k, err := parseHandoffKey(payload)
 		if err != nil {
@@ -166,7 +173,7 @@ func answer(ctx context.Context, w io.Writer, backend Backend, typ byte, id uint
 		if werr != nil {
 			return writeError(w, id, werr.Code, werr.Msg)
 		}
-		return writeFrame(w, RHandoff, id, 0, data)
+		return writeFrame(w, RHandoff, id, 0, 0, data)
 	case TGraph:
 		if len(payload) != 8 {
 			return errProtocol
@@ -181,7 +188,7 @@ func answer(ctx context.Context, w io.Writer, backend Backend, typ byte, id uint
 		if werr != nil {
 			return writeError(w, id, werr.Code, werr.Msg)
 		}
-		return writeFrame(w, RGraph, id, 0, data)
+		return writeFrame(w, RGraph, id, 0, 0, data)
 	default:
 		return errProtocol
 	}
@@ -191,5 +198,5 @@ func answer(ctx context.Context, w io.Writer, backend Backend, typ byte, id uint
 func writeError(w io.Writer, id uint64, code int, msg string) error {
 	buf := getBuf()
 	defer putBuf(buf)
-	return writeFrame(w, RError, id, 0, appendError((*buf)[:0], code, msg))
+	return writeFrame(w, RError, id, 0, 0, appendError((*buf)[:0], code, msg))
 }

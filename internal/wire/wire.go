@@ -6,22 +6,25 @@
 //
 // Connection preamble (client → server, once): "FTBW" + version u32.
 //
-// Frame layout (protocol version 2), everything little-endian:
+// Frame layout (protocol version 3), everything little-endian:
 //
-//	length  u32  bytes after this field: 1 (type) + 8 (id) + 4 (budget) + payload + 4 (crc)
+//	length  u32  bytes after this field: 1 (type) + 8 (id) + 4 (budget) + 8 (trace) + payload + 4 (crc)
 //	type    u8   request or response type
 //	id      u64  request id, echoed verbatim by the response
 //	budget  u32  caller's remaining deadline budget in milliseconds (0 = none);
 //	             meaningful on requests, zero on responses
+//	trace   u64  telemetry trace ID (0 = untraced); meaningful on requests,
+//	             zero on responses — the wire twin of the X-Ftbfs-Trace header
 //	payload      fixed-layout body, see below
-//	crc     u32  CRC-32C (Castagnoli) over type+id+budget+payload
+//	crc     u32  CRC-32C (Castagnoli) over type+id+budget+trace+payload
 //
 // The trailing checksum is what makes "zero wrong answers under corrupted
 // bytes" an honest guarantee: a flipped bit anywhere in a frame surfaces as a
 // transport error (the connection is dropped and the caller retries or falls
 // back to HTTP) instead of a silently wrong distance. The budget field
 // propagates the caller's deadline shard-side so a server never works past
-// the time its caller is still willing to wait.
+// the time its caller is still willing to wait; the trace field propagates
+// the caller's trace ID so a sampled request's spans line up across layers.
 //
 // Point request payload (TDist / TDistAvoiding / TDistAvoidingVertex),
 // 36 bytes: graph fingerprint u64, ε bits u64, source i32, algorithm i32,
@@ -47,16 +50,17 @@ import (
 // Protocol constants.
 const (
 	// Version is the protocol version sent in the connection preamble.
-	// Version 2 added the per-frame budget field and CRC-32C trailer.
-	Version uint32 = 2
+	// Version 2 added the per-frame budget field and CRC-32C trailer;
+	// version 3 added the per-frame trace field.
+	Version uint32 = 3
 
 	// MaxPayload bounds a frame's payload; a peer announcing more is
 	// protocol-corrupt and the connection is dropped. Generous for batches:
 	// 200k slots fit with room to spare.
 	MaxPayload = 8 << 20
 
-	frameOverhead = 1 + 8 + 4 // type + id + budget, covered by the length prefix
-	frameTrailer  = 4         // CRC-32C over type+id+budget+payload
+	frameOverhead = 1 + 8 + 4 + 8 // type + id + budget + trace, covered by the length prefix
+	frameTrailer  = 4             // CRC-32C over type+id+budget+trace+payload
 )
 
 // castagnoli is the CRC-32C table used for the per-frame checksum (hardware
@@ -181,22 +185,23 @@ func putBuf(b *[]byte) { *b = (*b)[:0]; frameBufs.Put(b) }
 
 // appendFrame appends a complete frame to buf: header, payload, and the
 // CRC-32C trailer over everything after the length prefix.
-func appendFrame(buf []byte, typ byte, id uint64, budget uint32, payload []byte) []byte {
+func appendFrame(buf []byte, typ byte, id uint64, budget uint32, trace uint64, payload []byte) []byte {
 	start := len(buf)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(frameOverhead+len(payload)+frameTrailer))
 	buf = append(buf, typ)
 	buf = binary.LittleEndian.AppendUint64(buf, id)
 	buf = binary.LittleEndian.AppendUint32(buf, budget)
+	buf = binary.LittleEndian.AppendUint64(buf, trace)
 	buf = append(buf, payload...)
 	sum := crc32.Checksum(buf[start+4:], castagnoli)
 	return binary.LittleEndian.AppendUint32(buf, sum)
 }
 
 // writeFrame writes one frame to w.
-func writeFrame(w io.Writer, typ byte, id uint64, budget uint32, payload []byte) error {
+func writeFrame(w io.Writer, typ byte, id uint64, budget uint32, trace uint64, payload []byte) error {
 	buf := getBuf()
 	defer putBuf(buf)
-	*buf = appendFrame((*buf)[:0], typ, id, budget, payload)
+	*buf = appendFrame((*buf)[:0], typ, id, budget, trace, payload)
 	_, err := w.Write(*buf)
 	return err
 }
@@ -205,32 +210,33 @@ func writeFrame(w io.Writer, typ byte, id uint64, budget uint32, payload []byte)
 // payload as a sub-slice of the returned buffer — valid until the next call.
 // A checksum mismatch is a transport error: the caller drops the connection
 // rather than act on bytes the wire may have mangled.
-func readFrame(r io.Reader, buf []byte) (typ byte, id uint64, budget uint32, payload, newBuf []byte, err error) {
+func readFrame(r io.Reader, buf []byte) (typ byte, id uint64, budget uint32, trace uint64, payload, newBuf []byte, err error) {
 	var hdr [4 + frameOverhead]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, 0, nil, buf, err
+		return 0, 0, 0, 0, nil, buf, err
 	}
 	length := binary.LittleEndian.Uint32(hdr[:4])
 	if length < frameOverhead+frameTrailer || length > frameOverhead+MaxPayload+frameTrailer {
-		return 0, 0, 0, nil, buf, fmt.Errorf("wire: bad frame length %d", length)
+		return 0, 0, 0, 0, nil, buf, fmt.Errorf("wire: bad frame length %d", length)
 	}
 	typ = hdr[4]
 	id = binary.LittleEndian.Uint64(hdr[5:])
 	budget = binary.LittleEndian.Uint32(hdr[13:])
+	trace = binary.LittleEndian.Uint64(hdr[17:])
 	n := int(length) - frameOverhead // payload + trailer
 	if cap(buf) < n {
 		buf = make([]byte, n, n+n/2)
 	}
 	buf = buf[:n]
 	if _, err = io.ReadFull(r, buf); err != nil {
-		return 0, 0, 0, nil, buf, err
+		return 0, 0, 0, 0, nil, buf, err
 	}
 	sum := crc32.Checksum(hdr[4:], castagnoli)
 	sum = crc32.Update(sum, castagnoli, buf[:n-frameTrailer])
 	if got := binary.LittleEndian.Uint32(buf[n-frameTrailer:]); got != sum {
-		return 0, 0, 0, nil, buf, fmt.Errorf("wire: frame checksum mismatch (corrupted bytes)")
+		return 0, 0, 0, 0, nil, buf, fmt.Errorf("wire: frame checksum mismatch (corrupted bytes)")
 	}
-	return typ, id, budget, buf[:n-frameTrailer], buf, nil
+	return typ, id, budget, trace, buf[:n-frameTrailer], buf, nil
 }
 
 // appendPoint appends the fixed point payload.

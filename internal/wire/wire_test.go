@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ftbfs/internal/telemetry"
 )
 
 // testBackend answers arithmetically so tests can verify routing without a
@@ -218,14 +220,14 @@ func TestServerRejectsGarbage(t *testing.T) {
 // re-encode cleanly.
 func FuzzWireFrame(f *testing.F) {
 	var seed []byte
-	seed = appendFrame(seed, TDistAvoiding, 7, 0, appendPoint(nil, &PointQuery{FP: 1, V: 2, A: 3, B: 4}))
+	seed = appendFrame(seed, TDistAvoiding, 7, 0, 0, appendPoint(nil, &PointQuery{FP: 1, V: 2, A: 3, B: 4}))
 	f.Add(seed)
-	f.Add(appendFrame(nil, TBatch, 9, 250, appendBatch(nil, []BatchSlot{{PointQuery: PointQuery{V: 1}, Vertex: true}})))
-	f.Add(appendFrame(nil, RError, 1, 0, appendError(nil, 404, "nope")))
-	f.Add(appendFrame(nil, RBatch, 2, 0, appendBatchResponse(nil, []int32{1, -1}, []string{"", "bad"})))
+	f.Add(appendFrame(nil, TBatch, 9, 250, 0, appendBatch(nil, []BatchSlot{{PointQuery: PointQuery{V: 1}, Vertex: true}})))
+	f.Add(appendFrame(nil, RError, 1, 0, 7, appendError(nil, 404, "nope")))
+	f.Add(appendFrame(nil, RBatch, 2, 0, 0, appendBatchResponse(nil, []int32{1, -1}, []string{"", "bad"})))
 	f.Add([]byte{0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		typ, _, _, payload, _, err := readFrame(bytes.NewReader(data), nil)
+		typ, _, _, _, payload, _, err := readFrame(bytes.NewReader(data), nil)
 		if err != nil {
 			return
 		}
@@ -253,4 +255,70 @@ func FuzzWireFrame(f *testing.F) {
 			parseBatchResponse(payload)
 		}
 	})
+}
+
+// TestFrameTraceRoundTrip proves the v3 trace field survives encode/decode.
+func TestFrameTraceRoundTrip(t *testing.T) {
+	const want = uint64(0xabcdef0123456789)
+	frame := appendFrame(nil, TDist, 3, 17, want, appendPoint(nil, &PointQuery{V: 1, A: -1, B: -1}))
+	typ, id, budget, trace, _, _, err := readFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if typ != TDist || id != 3 || budget != 17 || trace != want {
+		t.Fatalf("frame fields = %x/%d/%d/%x, want %x/3/17/%x", typ, id, budget, trace, TDist, want)
+	}
+}
+
+// traceBackend records the trace ID each point request's context carried.
+type traceBackend struct {
+	mu   sync.Mutex
+	seen []uint64
+}
+
+func (b *traceBackend) WirePoint(ctx context.Context, typ byte, q *PointQuery) (int32, *Error) {
+	var id uint64
+	if tr := telemetry.TraceFrom(ctx); tr != nil {
+		id = tr.ID()
+	}
+	b.mu.Lock()
+	b.seen = append(b.seen, id)
+	b.mu.Unlock()
+	return q.V, nil
+}
+
+func (b *traceBackend) WireBatch(ctx context.Context, slots []BatchSlot) ([]int32, []string) {
+	return make([]int32, len(slots)), make([]string, len(slots))
+}
+
+// TestClientPropagatesTraceID proves a telemetry trace in the caller's
+// context reaches the backend through the frame's trace field — and that
+// untraced requests arrive with a zero ID.
+func TestClientPropagatesTraceID(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	backend := &traceBackend{}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); Serve(ctx, ln, backend) }()
+	defer func() { cancel(); <-done }()
+
+	c := NewClient(ln.Addr().String(), 1)
+	defer c.Close()
+
+	tr := telemetry.NewTrace(0x1234)
+	tctx := telemetry.WithTrace(context.Background(), tr)
+	if _, werr, err := c.Point(tctx, TDist, &PointQuery{V: 5, A: -1, B: -1}); err != nil || werr != nil {
+		t.Fatalf("traced Point: %v / %v", werr, err)
+	}
+	if _, werr, err := c.Point(context.Background(), TDist, &PointQuery{V: 6, A: -1, B: -1}); err != nil || werr != nil {
+		t.Fatalf("untraced Point: %v / %v", werr, err)
+	}
+	backend.mu.Lock()
+	defer backend.mu.Unlock()
+	if len(backend.seen) != 2 || backend.seen[0] != 0x1234 || backend.seen[1] != 0 {
+		t.Fatalf("backend saw trace IDs %x, want [1234 0]", backend.seen)
+	}
 }

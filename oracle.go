@@ -33,6 +33,12 @@ type Oracle struct {
 	// DistAvoidingMany scratch, reused across batches.
 	ids []graph.EdgeID
 	ord []int32
+
+	// Plan-path accounting, plain counters because an oracle is
+	// single-goroutine by contract; OraclePool.Put folds them into the
+	// process-wide telemetry totals so the 30 ns query path never pays an
+	// atomic op.
+	planHits, planRepairs uint64
 }
 
 // Oracle returns a failure-simulation oracle for the structure.
@@ -94,8 +100,13 @@ func (o *Oracle) planDist(v int, id graph.EdgeID) int32 {
 	if o.repair == nil {
 		o.repair = bfs.NewRepair(o.st.st.G.N())
 	}
-	d, repaired := o.plan.dist(v, id, o.repair, o.repairedID)
+	d, repaired, viaRepair := o.plan.dist(v, id, o.repair, o.repairedID)
 	o.repairedID = repaired
+	if viaRepair {
+		o.planRepairs++
+	} else {
+		o.planHits++
+	}
 	return d
 }
 

@@ -30,13 +30,15 @@ func (s *Structure) OraclePool() *OraclePool {
 // Return it with Put when the query burst is done.
 func (p *OraclePool) Get() *Oracle { return p.p.Get().(*Oracle) }
 
-// Put returns an oracle to the pool. Only oracles of the pool's own structure
-// are accepted; foreign oracles are dropped (their scratch is sized for a
+// Put returns an oracle to the pool, folding its plan-path counts into the
+// process-wide totals. Only oracles of the pool's own structure are
+// accepted; foreign oracles are dropped (their scratch is sized for a
 // different graph).
 func (p *OraclePool) Put(o *Oracle) {
 	if o == nil || o.st != p.s {
 		return
 	}
+	flushPlanCounts(&planEdgeHits, &planEdgeRepairs, &o.planHits, &o.planRepairs)
 	p.p.Put(o)
 }
 

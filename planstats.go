@@ -1,0 +1,39 @@
+package ftbfs
+
+import "sync/atomic"
+
+// Process-wide query-plan path totals: how many failure queries were
+// answered O(1) from the cached intact vector (hits) vs through a subtree
+// repair search. Oracles count in plain per-oracle fields — the plan query
+// path is ~30 ns and must not pay an atomic op — and the pools fold those
+// into these totals when an oracle is checked back in, i.e. once per
+// served request rather than once per query. Direct (non-pooled) oracle
+// users such as benchmarks never flush and never pay.
+var (
+	planEdgeHits      atomic.Uint64
+	planEdgeRepairs   atomic.Uint64
+	planVertexHits    atomic.Uint64
+	planVertexRepairs atomic.Uint64
+)
+
+// flushPlanCounts folds an oracle's plan-path counts into the shared
+// totals and resets them.
+func flushPlanCounts(hits, repairs *atomic.Uint64, oHits, oRepairs *uint64) {
+	if *oHits != 0 {
+		hits.Add(*oHits)
+		*oHits = 0
+	}
+	if *oRepairs != 0 {
+		repairs.Add(*oRepairs)
+		*oRepairs = 0
+	}
+}
+
+// PlanQueryCounts returns the process-wide plan-path totals: edge-failure
+// and vertex-failure queries answered from the intact vector (plan hits)
+// vs through a repair run. Serving layers register these as telemetry
+// counter funcs; the numbers cover every pooled oracle in the process.
+func PlanQueryCounts() (edgeHits, edgeRepairs, vertexHits, vertexRepairs uint64) {
+	return planEdgeHits.Load(), planEdgeRepairs.Load(),
+		planVertexHits.Load(), planVertexRepairs.Load()
+}

@@ -110,21 +110,23 @@ func (p *QueryPlan) treeChild(id graph.EdgeID) int32 {
 // caller owns r and guarantees repairedID is the edge r last ran for
 // (NoEdge for none); dist returns the id the scratch holds afterwards, so
 // consecutive failures of one edge — the shape of a grouped batch — repair
-// once and serve every target from the same scratch.
-func (p *QueryPlan) dist(v int, id graph.EdgeID, r *bfs.Repair, repairedID graph.EdgeID) (int32, graph.EdgeID) {
+// once and serve every target from the same scratch. viaRepair reports
+// whether the answer came out of the repair scratch (telemetry counts plan
+// hits vs repairs without re-deriving the branch).
+func (p *QueryPlan) dist(v int, id graph.EdgeID, r *bfs.Repair, repairedID graph.EdgeID) (d int32, _ graph.EdgeID, viaRepair bool) {
 	c := p.edgeChild[id]
 	if c < 0 {
 		// Not a tree edge of H: the BFS tree survives, no distance changes.
-		return p.intact[v], repairedID
+		return p.intact[v], repairedID, false
 	}
 	if !p.t.InSubtree(int32(v), c) {
 		// Tree edge, but v hangs outside the failed subtree: its tree path
 		// avoids the failure.
-		return p.intact[v], repairedID
+		return p.intact[v], repairedID, false
 	}
 	if id != repairedID {
 		r.Run(p.h, p.intact, p.t.Subtree(c), id)
 		repairedID = id
 	}
-	return r.Dist(int32(v)), repairedID
+	return r.Dist(int32(v)), repairedID, true
 }

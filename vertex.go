@@ -170,16 +170,16 @@ func (p *VertexQueryPlan) SubtreeSize(w int) int {
 // for none) and that v ≠ w; dist returns the vertex the scratch holds
 // afterwards, so consecutive failures of one vertex — the shape of a
 // grouped batch — repair once and serve every target from the same scratch.
-func (p *VertexQueryPlan) dist(v int, w int32, r *bfs.Repair, repairedW int32) (int32, int32) {
+func (p *VertexQueryPlan) dist(v int, w int32, r *bfs.Repair, repairedW int32) (d int32, _ int32, viaRepair bool) {
 	if p.t.PreIndex[w] < 0 || p.t.Size[w] <= 1 {
 		// w is unreachable in H or a leaf of its BFS tree: nobody's tree
 		// path runs through it, every distance survives.
-		return p.intact[v], repairedW
+		return p.intact[v], repairedW, false
 	}
 	if !p.t.InSubtree(int32(v), w) {
 		// Tree vertex, but v hangs outside the failed subtree: its tree
 		// path avoids the failure.
-		return p.intact[v], repairedW
+		return p.intact[v], repairedW, false
 	}
 	if w != repairedW {
 		// Subtree(w) is w followed by its strict descendants in preorder;
@@ -188,7 +188,7 @@ func (p *VertexQueryPlan) dist(v int, w int32, r *bfs.Repair, repairedW int32) (
 		r.RunAvoidingVertex(p.h, p.intact, p.t.Subtree(w)[1:], w)
 		repairedW = w
 	}
-	return r.Dist(int32(v)), repairedW
+	return r.Dist(int32(v)), repairedW, true
 }
 
 // VertexOracle answers distance queries inside a vertex structure under
@@ -216,6 +216,10 @@ type VertexOracle struct {
 	// DistAvoidingVertexMany scratch, reused across batches.
 	ids []int32
 	ord []int32
+
+	// Plan-path accounting, mirroring Oracle: plain counters folded into
+	// the process-wide telemetry totals by VertexOraclePool.Put.
+	planHits, planRepairs uint64
 }
 
 // Oracle returns a vertex-failure-simulation oracle for the structure.
@@ -258,8 +262,13 @@ func (o *VertexOracle) planDist(v int, w int32) int32 {
 	if o.repair == nil {
 		o.repair = bfs.NewRepair(o.st.st.G.N())
 	}
-	d, repaired := o.plan.dist(v, w, o.repair, o.repairedW)
+	d, repaired, viaRepair := o.plan.dist(v, w, o.repair, o.repairedW)
 	o.repairedW = repaired
+	if viaRepair {
+		o.planRepairs++
+	} else {
+		o.planHits++
+	}
 	return d
 }
 
@@ -435,12 +444,14 @@ func (s *VertexStructure) OraclePool() *VertexOraclePool {
 // empty. Return it with Put when the query burst is done.
 func (p *VertexOraclePool) Get() *VertexOracle { return p.p.Get().(*VertexOracle) }
 
-// Put returns an oracle to the pool. Only oracles of the pool's own
-// structure are accepted; foreign oracles are dropped.
+// Put returns an oracle to the pool, folding its plan-path counts into the
+// process-wide totals. Only oracles of the pool's own structure are
+// accepted; foreign oracles are dropped.
 func (p *VertexOraclePool) Put(o *VertexOracle) {
 	if o == nil || o.st != p.s {
 		return
 	}
+	flushPlanCounts(&planVertexHits, &planVertexRepairs, &o.planHits, &o.planRepairs)
 	p.p.Put(o)
 }
 
