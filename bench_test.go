@@ -789,6 +789,154 @@ func BenchmarkRebalance(b *testing.B) {
 	})
 }
 
+// BenchmarkMutate measures the live-graph machinery. "rebuild-delta" vs
+// "rebuild-full" price the two ways a resident structure crosses a
+// generation: the DeltaRebuild carry-over (a deletes-only batch touching no
+// H edge re-keys the edge sets and rebuilds only the serving plan) against
+// the full ftbfs.Build the slow path pays — their ratio is the delta win the
+// store's mutation path banks on. "point-during-mutations" measures routed
+// point-read latency on a 3-shard / R=2 local cluster while a background
+// /mutate stream advances the lineage's generation continuously — deletes
+// (delta carry-over on every holder) alternating with re-inserts (full
+// rebuild) — and reports the p99 alongside the mean; queries never block on
+// a rebuild, and this gate keeps it that way.
+func BenchmarkMutate(b *testing.B) {
+	const n = 400
+	g := ftbfs.NewGraph(n)
+	var edges [][2]int
+	for _, e := range gen.RandomConnected(n, 1200, 9).Edges() {
+		g.MustAddEdge(int(e.U), int(e.V))
+		edges = append(edges, [2]int{int(e.U), int(e.V)})
+	}
+	st, err := ftbfs.Build(g, 0, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A deletes-only batch of non-H edges is exactly what the delta fast
+	// path accepts; H contains a spanning tree, so removing them cannot
+	// disconnect the graph.
+	var victims []ftbfs.Mutation
+	for _, e := range edges {
+		if len(victims) == 3 {
+			break
+		}
+		if !st.Contains(e[0], e[1]) {
+			victims = append(victims, ftbfs.Mutation{Op: ftbfs.MutDelete, U: e[0], V: e[1]})
+		}
+	}
+	if len(victims) < 3 {
+		b.Fatal("degenerate fixture: fewer than 3 non-H edges")
+	}
+	g2, delta, err := g.Mutate(victims)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("rebuild-delta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, ok := ftbfs.DeltaRebuild(st, g2, delta)
+			if !ok || s == nil {
+				b.Fatal("delta fast path refused an eligible batch")
+			}
+		}
+	})
+	b.Run("rebuild-full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ftbfs.Build(g2, 0, 0.3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("point-during-mutations", func(b *testing.B) {
+		lc, err := cluster.StartLocal(3, cluster.LocalOptions{
+			Replicas: 2,
+			Router:   cluster.RouterOptions{HedgeDelay: 50 * time.Millisecond},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer lc.Close()
+		var text bytes.Buffer
+		if err := g.Write(&text); err != nil {
+			b.Fatal(err)
+		}
+		var br server.BuildResponse
+		body, _ := json.Marshal(server.BuildRequest{Graph: text.String(), Sources: []int{0}, Eps: []float64{0.3}})
+		resp, err := http.Post(lc.URL()+"/build", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&br)
+		resp.Body.Close()
+		if err != nil || len(br.Structures) != 1 {
+			b.Fatalf("cluster build failed: %v (%d structures)", err, len(br.Structures))
+		}
+		// The background stream deletes and re-inserts one non-H edge, so
+		// every other generation takes the delta path and the rest pay a
+		// full rebuild — while intact distances (what /dist answers) stay
+		// identical across all of them.
+		churn := victims[0]
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			client := &http.Client{}
+			op := "delete"
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mb, _ := json.Marshal(server.MutateRequest{Graph: br.Fingerprint,
+					Mutations: []server.MutationJSON{{Op: op, U: churn.U, V: churn.V}}})
+				r, err := client.Post(lc.URL()+"/mutate", "application/json", bytes.NewReader(mb))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, r.Body)
+				r.Body.Close()
+				if r.StatusCode != http.StatusOK {
+					b.Errorf("/mutate(%s) status %d mid-stream", op, r.StatusCode)
+					return
+				}
+				if op == "delete" {
+					op = "insert"
+				} else {
+					op = "delete"
+				}
+			}
+		}()
+		client := &http.Client{}
+		lat := make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			url := fmt.Sprintf("%s/dist?graph=%s&source=0&eps=0.3&v=%d", lc.URL(), br.Fingerprint, i%n)
+			t0 := time.Now()
+			r, err := client.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+			lat = append(lat, time.Since(t0))
+			if r.StatusCode != http.StatusOK {
+				b.Fatalf("status %d mid-mutation", r.StatusCode)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		<-done
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds()), "p99-ns")
+	})
+}
+
 func BenchmarkVerifyStructure(b *testing.B) {
 	lb := gen.LowerBoundParams(3, 4, 8)
 	st, err := core.Build(lb.G, lb.S, 0.25, core.Options{})

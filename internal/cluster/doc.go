@@ -57,6 +57,32 @@
 // remove it from the membership last. A rejoin (same ID, new address)
 // moves nothing, by construction of the ring.
 //
+// # Live graphs: mutation fan-out and generation convergence
+//
+// POST /mutate applies an edge-mutation batch to a lineage fleet-wide. The
+// router cannot enumerate which shards hold state for a lineage (per-source
+// structure keys hash to different owners), so the batch fans to every
+// member — TMutate frames on the wire fast path, HTTP /mutate as the
+// per-request fallback — and shards without the graph answer 404, which is
+// tolerated as long as at least one shard applied. Each applying shard
+// derives the new generation deterministically from the same base graph and
+// batch, so all replies must agree on (generation, fingerprint); a diverging
+// shard fails the fan-out with 502 rather than letting replicas silently
+// serve different graphs.
+//
+// Identical concurrent requests coalesce into one single-flight fan-out
+// (keyed by lineage + batch), so a client retry racing its slow original
+// never double-applies; like /build, the fan-out detaches from its
+// requester's cancellation and runs to a BuildTimeout-bounded end, because a
+// partially-applied batch leaves the lineage split across generations. A
+// shard that fails the batch while others applied it surfaces as a gateway
+// error naming how many applied — queries stay safe either way, since every
+// shard serves whichever generation it holds atomically. /stats carries the
+// convergence ledger (mutations, mutation_shards, mutation_rebuilds_delta /
+// _full, wire_mutations); the mutation differential soak asserts the delta
+// path engages and that every answer under churn matches some generation
+// serving during that query's lifetime.
+//
 // # R+k hot-key promotion
 //
 // The router tracks per-key hit counts on the point-query path. PromoteHot

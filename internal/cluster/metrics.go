@@ -23,14 +23,24 @@ type routerMetrics struct {
 	batchQueries    *telemetry.Counter // individual batch query slots routed
 	builds          *telemetry.Counter // /build fan-outs executed
 	buildsCoalesced *telemetry.Counter // /build requests that shared another's flight
-	hedges          *telemetry.Counter // hedge timers that fired a second replica
-	failovers       *telemetry.Counter // replica retries after a failed attempt
-	wirePoints      *telemetry.Counter // point attempts answered over the binary protocol
-	wireBatches     *telemetry.Counter // sub-batches answered over the binary protocol
-	wireFallbacks   *telemetry.Counter // wire transport faults that fell back to HTTP
-	breakerSkips    *telemetry.Counter // attempts not sent because a replica's breaker was open
-	breakerForced   *telemetry.Counter // attempts forced through despite every breaker being open
-	errs            *telemetry.Counter // requests answered with an error status
+
+	// Live-graph convergence ledger: one fan-out mutates every shard holding
+	// the lineage, and the rebuild counters aggregate the shards' replies so
+	// /stats shows how much of the fleet's rebuild work rode the delta path.
+	mutations          *telemetry.Counter // /mutate fan-outs executed
+	mutationsCoalesced *telemetry.Counter // /mutate requests that shared another's flight
+	mutationShards     *telemetry.Counter // shard mutations applied across all fan-outs
+	mutationsDelta     *telemetry.Counter // shard structure rebuilds carried by the delta path
+	mutationsFull      *telemetry.Counter // shard structure rebuilds done from scratch
+	hedges             *telemetry.Counter // hedge timers that fired a second replica
+	failovers          *telemetry.Counter // replica retries after a failed attempt
+	wirePoints         *telemetry.Counter // point attempts answered over the binary protocol
+	wireBatches        *telemetry.Counter // sub-batches answered over the binary protocol
+	wireMutations      *telemetry.Counter // shard mutations answered over the binary protocol
+	wireFallbacks      *telemetry.Counter // wire transport faults that fell back to HTTP
+	breakerSkips       *telemetry.Counter // attempts not sent because a replica's breaker was open
+	breakerForced      *telemetry.Counter // attempts forced through despite every breaker being open
+	errs               *telemetry.Counter // requests answered with an error status
 
 	rebalances      *telemetry.Counter // AddShard/DrainShard lifecycles run
 	rangesPending   *telemetry.Gauge   // keys computed to move, pull not yet finished
@@ -70,6 +80,15 @@ func newRouterMetrics(m *Membership, routes []string) *routerMetrics {
 			"Shard requests answered over the binary protocol."),
 		wireBatches: reg.Counter("ftbfs_router_wire_requests_total", `kind="batch"`,
 			"Shard requests answered over the binary protocol."),
+		wireMutations: reg.Counter("ftbfs_router_wire_requests_total", `kind="mutate"`,
+			"Shard requests answered over the binary protocol."),
+		mutations:          c("ftbfs_router_mutations_total", "Mutation fan-outs executed."),
+		mutationsCoalesced: c("ftbfs_router_mutations_coalesced_total", "Mutation requests that shared another request's fan-out."),
+		mutationShards:     c("ftbfs_router_mutation_shards_total", "Shard generation swaps applied across all mutation fan-outs."),
+		mutationsDelta: reg.Counter("ftbfs_router_mutation_rebuilds_total", `kind="delta"`,
+			"Fleet structure rebuilds on mutation, by rebuild kind."),
+		mutationsFull: reg.Counter("ftbfs_router_mutation_rebuilds_total", `kind="full"`,
+			"Fleet structure rebuilds on mutation, by rebuild kind."),
 		wireFallbacks: c("ftbfs_router_wire_fallbacks_total", "Wire transport faults that fell back to HTTP."),
 		breakerSkips:  c("ftbfs_router_breaker_skips_total", "Attempts skipped because a replica's breaker was open."),
 		breakerForced: c("ftbfs_router_breaker_forced_total", "Attempts forced through despite every breaker being open."),

@@ -107,7 +107,8 @@ type Router struct {
 	// by the BuildTimeout context, not by the query client's deadline.
 	buildClient *http.Client
 
-	buildFlight flightGroup
+	buildFlight  flightGroup
+	mutateFlight flightGroup
 
 	// rm holds every routing counter and histogram (metrics.go); /stats and
 	// /metrics read the same registry-backed series.
@@ -156,6 +157,7 @@ func NewRouter(m *Membership, opts RouterOptions) *Router {
 		handler http.HandlerFunc
 	}{
 		{"/build", rt.handleBuild},
+		{"/mutate", rt.handleMutate},
 		{"/dist", rt.handlePoint},
 		{"/dist-avoiding", rt.handlePoint},
 		// The vertex failure model rides the same point machinery: the request
@@ -1240,6 +1242,202 @@ func (rt *Router) fanOutBuild(ctx context.Context, g buildGraph, req *server.Bui
 	return flightResult{code: http.StatusOK, body: body}
 }
 
+// handleMutate fans an edge-mutation batch out to every shard holding the
+// graph's lineage. Structures of one lineage hash per-source across the whole
+// ring, so the router cannot enumerate which shards hold state for it — the
+// batch goes to every member, and shards that never saw the graph answer 404,
+// which is tolerated as long as at least one shard applied the batch. The
+// fan-out is single-flight per (lineage, batch): concurrent identical
+// requests — a client retry racing its own slow original — coalesce instead
+// of double-applying, which would fail the retry with "edge already absent".
+func (rt *Router) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req server.MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rt.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	lineage, err := strconv.ParseUint(req.Graph, 16, 64)
+	if err != nil {
+		rt.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad graph fingerprint %q", req.Graph))
+		return
+	}
+	// Validate the batch router-side (the same parse the shards run) so a
+	// malformed request is rejected before any shard does work.
+	muts, err := req.ParsedMutations()
+	if err != nil {
+		rt.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	flightKey := fmt.Sprintf("mut|%016x|%v", lineage, req.Mutations)
+	res, shared := rt.mutateFlight.Do(flightKey, func() flightResult {
+		rt.rm.mutations.Inc()
+		// Like /build, the fan-out is shared work detached from any one
+		// request's cancellation: a batch applied on some shards but not
+		// others leaves the lineage split across generations, so once the
+		// fan-out starts it runs to its own BuildTimeout-bounded end.
+		ctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), rt.opts.BuildTimeout)
+		defer cancel()
+		return rt.fanOutMutate(ctx, lineage, &req, muts)
+	})
+	if shared {
+		rt.rm.mutationsCoalesced.Inc()
+	}
+	if res.code == 0 {
+		rt.writeErr(w, http.StatusBadGateway, fmt.Errorf("cluster: mutate fan-out failed"))
+		return
+	}
+	rt.writeRaw(w, res.code, res.body)
+}
+
+// fanOutMutate ships the batch to every member — binary protocol when the
+// shard speaks it, HTTP otherwise — and merges the replies. Every applying
+// shard derives the same new generation from the same batch, so the merged
+// response carries the common identity plus fleet-summed rebuild counts; a
+// genuinely diverging shard (different gen or fingerprint) fails the fan-out
+// loudly rather than letting replicas silently serve different graphs.
+func (rt *Router) fanOutMutate(ctx context.Context, lineage uint64, req *server.MutateRequest, muts []ftbfs.Mutation) flightResult {
+	fail := func(code int, err error) flightResult {
+		body, _ := json.Marshal(map[string]string{"error": err.Error()})
+		return flightResult{code: code, body: body}
+	}
+	members := rt.m.Members()
+	if len(members) == 0 {
+		return fail(http.StatusServiceUnavailable, fmt.Errorf("cluster: no shards joined"))
+	}
+	wmuts := make([]wire.MutationWire, len(muts))
+	for i, m := range muts {
+		wmuts[i] = wire.MutationWire{Op: uint8(m.Op), U: uint32(m.U), V: uint32(m.V)}
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return fail(http.StatusInternalServerError, err)
+	}
+
+	type shardMutate struct {
+		member  *Member
+		resp    server.MutateResponse
+		applied bool
+		notHeld bool
+		err     error
+		code    int // HTTP status behind err, 0 for transport faults
+	}
+	shards := make([]*shardMutate, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		sm := &shardMutate{member: m}
+		shards[i] = sm
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if wc := rt.wireFor(sm.member); wc != nil {
+				res, werr, err := wc.Mutate(ctx, lineage, wmuts)
+				switch {
+				case err == nil && werr == nil:
+					rt.rm.wireMutations.Inc()
+					sm.member.markRequest(true, downAfter)
+					sm.resp = server.MutateResponse{
+						Graph:         fmt.Sprintf("%016x", res.Lineage),
+						Gen:           res.Gen,
+						Fingerprint:   fmt.Sprintf("%016x", res.FP),
+						RebuildsDelta: int(res.RebuildsDelta),
+						RebuildsFull:  int(res.RebuildsFull),
+					}
+					sm.applied = true
+					return
+				case err == nil && werr.Code == http.StatusNotFound:
+					rt.rm.wireMutations.Inc()
+					sm.member.markRequest(true, downAfter)
+					sm.notHeld = true
+					return
+				case err == nil && werr.Code != http.StatusNotImplemented:
+					rt.rm.wireMutations.Inc()
+					sm.member.markRequest(werr.Code < http.StatusInternalServerError, downAfter)
+					sm.err = fmt.Errorf("status %d: %s", werr.Code, werr.Msg)
+					sm.code = werr.Code
+					return
+				case ctx.Err() != nil:
+					sm.err = ctx.Err()
+					return
+				}
+				// Wire transport fault or in-protocol 501: retry over HTTP.
+				rt.rm.wireFallbacks.Inc()
+			}
+			res := rt.forwardClient(rt.buildClient, ctx, sm.member, http.MethodPost, "/mutate", "", payload)
+			switch {
+			case res.err != nil:
+				sm.err = res.err
+			case res.code == http.StatusNotFound:
+				sm.notHeld = true
+			case res.code != http.StatusOK:
+				sm.err = fmt.Errorf("status %d: %s", res.code, bytes.TrimSpace(res.body))
+				sm.code = res.code
+			default:
+				if err := json.Unmarshal(res.body, &sm.resp); err != nil {
+					sm.err = err
+				} else {
+					sm.applied = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := server.MutateResponse{Graph: fmt.Sprintf("%016x", lineage)}
+	applied := 0
+	var firstErr error
+	firstCode := 0
+	for _, sm := range shards {
+		if sm.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %s: %w", sm.member.ID, sm.err)
+				firstCode = sm.code
+			}
+			continue
+		}
+		if !sm.applied {
+			continue
+		}
+		if applied == 0 {
+			out.Gen = sm.resp.Gen
+			out.Fingerprint = sm.resp.Fingerprint
+		} else if out.Gen != sm.resp.Gen || out.Fingerprint != sm.resp.Fingerprint {
+			return fail(http.StatusBadGateway, fmt.Errorf(
+				"cluster: mutation diverged: shard %s reached gen %d fp %s, others gen %d fp %s",
+				sm.member.ID, sm.resp.Gen, sm.resp.Fingerprint, out.Gen, out.Fingerprint))
+		}
+		applied++
+		out.RebuildsDelta += sm.resp.RebuildsDelta
+		out.RebuildsFull += sm.resp.RebuildsFull
+	}
+	if firstErr != nil {
+		// One shard refusing or failing the batch while others applied it
+		// splits the lineage across generations; surface it as a gateway
+		// fault (or the shards' own deterministic 4xx) so the caller knows
+		// convergence is not complete. Queries stay safe either way — every
+		// shard serves whichever generation it holds, atomically.
+		code := http.StatusBadGateway
+		if firstCode >= http.StatusBadRequest && firstCode < http.StatusInternalServerError && !retryableStatus(firstCode) {
+			code = firstCode
+		}
+		return fail(code, fmt.Errorf("cluster: mutate applied on %d of %d shards: %w", applied, len(members), firstErr))
+	}
+	if applied == 0 {
+		return fail(http.StatusNotFound, fmt.Errorf("%s%016x (POST /build first)", server.UnknownGraphPrefix, lineage))
+	}
+	rt.rm.mutationShards.Add(uint64(applied))
+	rt.rm.mutationsDelta.Add(uint64(out.RebuildsDelta))
+	rt.rm.mutationsFull.Add(uint64(out.RebuildsFull))
+	body, err := json.Marshal(&out)
+	if err != nil {
+		return fail(http.StatusInternalServerError, err)
+	}
+	return flightResult{code: http.StatusOK, body: body}
+}
+
 // buildGraph is the slice of the root Graph API fanOutBuild needs; keeping
 // it an interface lets tests fan out without a full build pipeline.
 type buildGraph interface {
@@ -1277,11 +1475,22 @@ type RouterStatsResponse struct {
 	Failovers       uint64  `json:"failovers"`
 	WirePoints      uint64  `json:"wire_points"`
 	WireBatches     uint64  `json:"wire_batches"`
+	WireMutations   uint64  `json:"wire_mutations"`
 	WireFallbacks   uint64  `json:"wire_fallbacks"`
-	BreakerSkips    uint64  `json:"breaker_skips"`
-	BreakerForced   uint64  `json:"breaker_forced"`
-	Errors          uint64  `json:"errors"`
-	Replicas        int     `json:"replicas"`
+
+	// Live-graph convergence ledger: mutation fan-outs executed, shard swaps
+	// they applied, and how the fleet's rebuild work split between the delta
+	// fast path and full rebuilds. A soak asserts MutationRebuildsDelta > 0
+	// (the fast path actually engages) alongside zero wrong answers.
+	Mutations             uint64 `json:"mutations"`
+	MutationsCoalesced    uint64 `json:"mutations_coalesced"`
+	MutationShards        uint64 `json:"mutation_shards"`
+	MutationRebuildsDelta uint64 `json:"mutation_rebuilds_delta"`
+	MutationRebuildsFull  uint64 `json:"mutation_rebuilds_full"`
+	BreakerSkips          uint64 `json:"breaker_skips"`
+	BreakerForced         uint64 `json:"breaker_forced"`
+	Errors                uint64 `json:"errors"`
+	Replicas              int    `json:"replicas"`
 
 	// Rebalance state: a churn soak asserts StructuresTransferred > 0 (the
 	// transfer actually ran — load-through would mask a broken handoff) and
@@ -1317,11 +1526,18 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Failovers:       rt.rm.failovers.Value(),
 		WirePoints:      rt.rm.wirePoints.Value(),
 		WireBatches:     rt.rm.wireBatches.Value(),
+		WireMutations:   rt.rm.wireMutations.Value(),
 		WireFallbacks:   rt.rm.wireFallbacks.Value(),
-		BreakerSkips:    rt.rm.breakerSkips.Value(),
-		BreakerForced:   rt.rm.breakerForced.Value(),
-		Errors:          rt.rm.errs.Value(),
-		Replicas:        rt.m.Replicas(),
+
+		Mutations:             rt.rm.mutations.Value(),
+		MutationsCoalesced:    rt.rm.mutationsCoalesced.Value(),
+		MutationShards:        rt.rm.mutationShards.Value(),
+		MutationRebuildsDelta: rt.rm.mutationsDelta.Value(),
+		MutationRebuildsFull:  rt.rm.mutationsFull.Value(),
+		BreakerSkips:          rt.rm.breakerSkips.Value(),
+		BreakerForced:         rt.rm.breakerForced.Value(),
+		Errors:                rt.rm.errs.Value(),
+		Replicas:              rt.m.Replicas(),
 
 		Rebalances:            rt.rm.rebalances.Value(),
 		RangesPending:         rt.rm.rangesPending.Value(),

@@ -36,11 +36,23 @@ import (
 // CRC-32C digest in the header, and every array is bounds-validated
 // against the base graph before anything downstream touches it — a corrupt
 // or adversarial record fails decoding, it cannot panic a query. Text v1/v2
-// records are unaffected: the magic ("FTB3") is disjoint from the text
-// header prefix, and loaders sniff the first bytes to pick the decoder.
+// records are unaffected: the magic ("FTB3"/"FTB4") is disjoint from the
+// text header prefix, and loaders sniff the first bytes to pick the decoder.
+//
+// The version-4 record is version 3 with the reserved header word carrying
+// the generation of the base graph the structure was built from ("live
+// graphs": every structure knows which generation it serves). A structure
+// built from generation 0 still encodes as a byte-identical version-3
+// record, and a version-3 record loads as generation 0 — so stores and
+// handoff peers that predate generations interoperate unchanged, and
+// records exported for them round-trip byte-for-byte.
 
-// slabMagic is the first four bytes of every version-3 binary record.
-var slabMagic = [4]byte{'F', 'T', 'B', '3'}
+// slabMagic is the first four bytes of a version-3 binary record
+// (generation 0); slabMagicV4 marks a version-4 record (generation > 0).
+var (
+	slabMagic   = [4]byte{'F', 'T', 'B', '3'}
+	slabMagicV4 = [4]byte{'F', 'T', 'B', '4'}
+)
 
 // SlabModel says which failure model a slab record stores.
 type SlabModel uint32
@@ -67,15 +79,25 @@ const (
 	slabOffPairs      = 32 // u32
 	slabOffReachable  = 36 // u32
 	slabOffArcs       = 40 // u32 (directed arc count)
-	slabOffReserved   = 44 // u32, zero
+	slabOffGen        = 44 // u32; base-graph generation in v4, zero (reserved) in v3
 	slabOffPayloadLen = 48 // u64
 	slabOffChecksum   = 56 // u64 (CRC-32C of header[0:56] + payload)
 )
 
-// IsSlabRecord reports whether the byte prefix starts a version-3 binary
-// record; loaders use it to sniff binary vs text before dispatching.
+// IsSlabRecord reports whether the byte prefix starts a version-3 or -4
+// binary record; loaders use it to sniff binary vs text before dispatching.
 func IsSlabRecord(prefix []byte) bool {
-	return len(prefix) >= len(slabMagic) && [4]byte(prefix[:4]) == slabMagic
+	if len(prefix) < len(slabMagic) {
+		return false
+	}
+	magic := [4]byte(prefix[:4])
+	return magic == slabMagic || magic == slabMagicV4
+}
+
+// slabGenOf reads the record's base-graph generation: the reserved word of a
+// v3 record is zero by construction, so one read serves both versions.
+func slabGenOf(data []byte) uint64 {
+	return uint64(binary.LittleEndian.Uint32(data[slabOffGen:]))
 }
 
 // SlabModelOf peeks the failure model of a version-3 record from its header
@@ -106,6 +128,7 @@ type SlabRecord struct {
 	Eps   float64   // edge model only
 	Alg   Algorithm // edge model only
 	Pairs int       // vertex model only
+	Gen   uint64    // base-graph generation; 0 encodes as a v3 record
 
 	Edges      *graph.EdgeSet
 	Reinforced *graph.EdgeSet // edge model only
@@ -169,6 +192,9 @@ func EncodeSlabBytes(g *graph.Graph, rec *SlabRecord) ([]byte, error) {
 	if rec.Model == SlabEdge && (rec.Alg < Auto || rec.Alg > Greedy) {
 		return nil, fmt.Errorf("core: slab encode: unknown algorithm %d", rec.Alg)
 	}
+	if rec.Gen > math.MaxUint32 {
+		return nil, fmt.Errorf("core: slab encode: generation %d exceeds the header's u32 slot", rec.Gen)
+	}
 	if len(rec.Intact) != n || len(rec.Parent) != n || len(rec.ParentEdge) != n || len(rec.RowStart) != n+1 {
 		return nil, fmt.Errorf("core: slab encode: array lengths do not match n=%d", n)
 	}
@@ -176,7 +202,15 @@ func EncodeSlabBytes(g *graph.Graph, rec *SlabRecord) ([]byte, error) {
 	payloadLen := slabPayloadLen(rec.Model, n, m, arcCount, reachable)
 
 	out := make([]byte, slabHeaderSize, slabHeaderSize+payloadLen)
-	copy(out[slabOffMagic:], slabMagic[:])
+	// Generation 0 stays a byte-identical version-3 record (magic FTB3,
+	// reserved word zero), so pre-generation peers and old files interop
+	// without translation; only a live generation needs the v4 magic.
+	if rec.Gen > 0 {
+		copy(out[slabOffMagic:], slabMagicV4[:])
+		binary.LittleEndian.PutUint32(out[slabOffGen:], uint32(rec.Gen))
+	} else {
+		copy(out[slabOffMagic:], slabMagic[:])
+	}
 	le := binary.LittleEndian
 	le.PutUint32(out[slabOffModel:], uint32(rec.Model))
 	le.PutUint32(out[slabOffN:], uint32(n))
@@ -260,6 +294,9 @@ func CheckSlab(data []byte) error {
 	if model != SlabEdge && model != SlabVertex {
 		return fmt.Errorf("core: binary record has unknown model %d", model)
 	}
+	if err := checkSlabGen(data); err != nil {
+		return err
+	}
 	if reachable > n || arcCount > 2*m {
 		return fmt.Errorf("core: binary record header is inconsistent")
 	}
@@ -271,6 +308,24 @@ func CheckSlab(data []byte) error {
 	}
 	if slabChecksum(data) != le.Uint64(data[slabOffChecksum:]) {
 		return fmt.Errorf("core: binary record checksum mismatch")
+	}
+	return nil
+}
+
+// checkSlabGen enforces the version/generation pairing: a v3 record's
+// reserved word must be zero (it always was), and a v4 record must carry a
+// live generation — a zero-generation v4 record would be a v3 record that
+// lies about its version, so it is rejected rather than normalised.
+func checkSlabGen(data []byte) error {
+	gen := slabGenOf(data)
+	if [4]byte(data[:4]) == slabMagicV4 {
+		if gen == 0 {
+			return fmt.Errorf("core: version-4 record claims generation 0 (must encode as version 3)")
+		}
+		return nil
+	}
+	if gen != 0 {
+		return fmt.Errorf("core: version-3 record has nonzero reserved word")
 	}
 	return nil
 }
@@ -405,6 +460,13 @@ func DecodeSlab(data []byte, g *graph.Graph) (*SlabRecord, error) {
 	if model != SlabEdge && model != SlabVertex {
 		return nil, fmt.Errorf("core: binary record has unknown model %d", model)
 	}
+	if err := checkSlabGen(data); err != nil {
+		return nil, err
+	}
+	gen := slabGenOf(data)
+	if gen != g.Generation() {
+		return nil, fmt.Errorf("core: binary record is for generation %d, base graph is generation %d", gen, g.Generation())
+	}
 	if n != g.N() || m != g.M() {
 		return nil, fmt.Errorf("core: binary record is for a %d-vertex %d-edge graph, base graph has n=%d m=%d",
 			n, m, g.N(), g.M())
@@ -441,7 +503,7 @@ func DecodeSlab(data []byte, g *graph.Graph) (*SlabRecord, error) {
 
 	r := &slabReader{buf: data[slabHeaderSize:]}
 	words := (m + 63) / 64
-	rec := &SlabRecord{Model: model, S: source, Eps: eps, Alg: alg, Pairs: pairs}
+	rec := &SlabRecord{Model: model, S: source, Eps: eps, Alg: alg, Pairs: pairs, Gen: gen}
 	var err error
 	readSet := func() (*graph.EdgeSet, error) {
 		ws, err := r.words(words)

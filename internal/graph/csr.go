@@ -17,6 +17,13 @@ type CSR struct {
 	n        int32
 	RowStart []int32 // len n+1; monotone
 	Arcs     []Arc   // packed rows
+
+	// Gen is the generation of the graph the view was extracted from. A
+	// query plan's CSR carries it so a serving layer can assert it never
+	// mixes views from different generations of one lineage; CSRs assembled
+	// from deserialized rows (NewCSR) start at 0 and are stamped by the
+	// decoder that knows the record's generation.
+	Gen uint64
 }
 
 // N returns the number of vertices.
@@ -87,7 +94,7 @@ func (g *Graph) SubgraphCSR(allowed *EdgeSet) *CSR {
 // buildCSR packs the adjacency rows, keeping only arcs in allowed (nil keeps
 // everything).
 func (g *Graph) buildCSR(allowed *EdgeSet) *CSR {
-	c := &CSR{n: g.n, RowStart: make([]int32, g.n+1)}
+	c := &CSR{n: g.n, RowStart: make([]int32, g.n+1), Gen: g.gen}
 	for u := range g.adj {
 		cnt := 0
 		if allowed == nil {

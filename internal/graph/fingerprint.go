@@ -1,29 +1,47 @@
 package graph
 
-// Fingerprint returns a 64-bit FNV-1a hash of the graph's vertex count and
-// canonical edge list. Two graphs share a fingerprint iff they have the same
-// vertex count and the same edge set inserted in the same order (EdgeIDs are
-// part of the identity: every higher-level structure refers to edges by id).
-// The fingerprint is stable across processes, so it can key on-disk caches of
-// built structures.
-func (g *Graph) Fingerprint() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(x uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= x & 0xff
-			h *= prime64
-			x >>= 8
-		}
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds the 8 bytes of x into a running FNV-1a hash h. It is the one
+// mixing primitive behind both the structural fingerprint and the
+// incremental per-generation fingerprint, so the two stay bit-compatible.
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
 	}
-	mix(uint64(g.n))
-	mix(uint64(len(g.edges)))
+	return h
+}
+
+// Fingerprint returns the graph's 64-bit content identity. For a
+// generation-0 graph this is an FNV-1a hash of the vertex count and
+// canonical edge list: two such graphs share a fingerprint iff they have the
+// same vertex count and the same edge set inserted in the same order
+// (EdgeIDs are part of the identity: every higher-level structure refers to
+// edges by id). For a mutated graph (Generation() > 0) the fingerprint is
+// derived incrementally — the parent's fingerprint mixed with the mutation
+// batch — so stamping a new generation costs O(batch), not O(m). Either way
+// the value is stable across processes and keys on-disk caches of built
+// structures. Frozen graphs serve the fingerprint from an immutable cache.
+func (g *Graph) Fingerprint() uint64 {
+	if g.fpSet {
+		return g.fp
+	}
+	return g.computeFingerprint()
+}
+
+// computeFingerprint hashes the structural identity from scratch.
+func (g *Graph) computeFingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvMix(h, uint64(g.n))
+	h = fnvMix(h, uint64(len(g.edges)))
 	for _, e := range g.EdgesView() {
 		c := e.Canonical()
-		mix(uint64(uint32(c.U))<<32 | uint64(uint32(c.V)))
+		h = fnvMix(h, uint64(uint32(c.U))<<32|uint64(uint32(c.V)))
 	}
 	return h
 }

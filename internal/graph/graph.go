@@ -71,6 +71,20 @@ type Graph struct {
 	lookup map[int64]EdgeID
 	frozen bool
 
+	// Live-graph identity: a graph is a (lineage, generation) pair, not just
+	// a fingerprint. gen counts mutations applied since the lineage's root;
+	// lineage is the root's fingerprint and is stable across mutations (it is
+	// what keys registries and the cluster ring, so every generation of one
+	// graph routes to the same shards). fp is the content identity of THIS
+	// generation — structural FNV for generation 0, incrementally mixed from
+	// the parent's fp plus the mutation batch for later generations. All four
+	// fields are set during single-threaded construction (Apply, Decode, or
+	// Freeze) and never after, so concurrent readers need no synchronisation.
+	gen     uint64
+	lineage uint64
+	fp      uint64
+	fpSet   bool
+
 	csrOnce sync.Once
 	csr     *CSR // cached CSRView; valid only after Freeze
 }
@@ -92,6 +106,28 @@ func (g *Graph) N() int { return int(g.n) }
 
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return len(g.edges) }
+
+// Generation returns how many mutation batches separate g from its lineage
+// root. A graph built directly (New + AddEdge) is generation 0.
+func (g *Graph) Generation() uint64 { return g.gen }
+
+// Lineage returns the stable identity shared by every generation of this
+// graph: the fingerprint of the generation-0 root. Registries and the
+// cluster ring key on the lineage so mutations never move a graph between
+// shards. For a generation-0 graph the lineage IS the fingerprint.
+func (g *Graph) Lineage() uint64 {
+	if g.gen == 0 && g.lineage == 0 {
+		return g.Fingerprint()
+	}
+	return g.lineage
+}
+
+// setIdentity stamps the live-graph identity fields; it is only called from
+// single-threaded construction paths (Apply, Decode) before the graph is
+// shared.
+func (g *Graph) setIdentity(gen, lineage, fp uint64) {
+	g.gen, g.lineage, g.fp, g.fpSet = gen, lineage, fp, true
+}
 
 func (g *Graph) key(u, v int32) int64 {
 	if u > v {
@@ -123,6 +159,9 @@ func (g *Graph) AddEdge(u, v int) (EdgeID, error) {
 	g.lookup[k] = id
 	g.adj[u] = append(g.adj[u], Arc{To: vv, ID: id})
 	g.adj[v] = append(g.adj[v], Arc{To: uu, ID: id})
+	// Content changed: any stamped identity is stale. The edited graph is a
+	// fresh generation-0 root, not some generation of its source lineage.
+	g.gen, g.lineage, g.fpSet = 0, 0, false
 	return id, nil
 }
 
@@ -195,13 +234,21 @@ func (g *Graph) Freeze() *Graph {
 		slices.SortFunc(g.adj[u], func(a, b Arc) int { return cmp.Compare(a.To, b.To) })
 	}
 	g.frozen = true
+	if !g.fpSet {
+		// Cache the structural fingerprint now, while construction is still
+		// single-threaded; concurrent Fingerprint calls after Freeze then
+		// read an immutable field instead of racing to write a cache.
+		g.fp, g.fpSet = g.computeFingerprint(), true
+	}
 	return g
 }
 
 // Frozen reports whether Freeze has been called.
 func (g *Graph) Frozen() bool { return g.frozen }
 
-// Clone returns a deep, unfrozen copy of g.
+// Clone returns a deep, unfrozen copy of g. The copy keeps g's live-graph
+// identity (generation, lineage, fingerprint) until it is edited; AddEdge
+// resets an edited clone to a fresh generation-0 root.
 func (g *Graph) Clone() *Graph {
 	c := New(int(g.n))
 	for id, e := range g.edges {
@@ -211,6 +258,7 @@ func (g *Graph) Clone() *Graph {
 	for u := range g.adj {
 		c.adj[u] = append([]Arc(nil), g.adj[u]...)
 	}
+	c.gen, c.lineage, c.fp, c.fpSet = g.gen, g.lineage, g.fp, g.fpSet
 	return c
 }
 

@@ -16,10 +16,25 @@ import (
 //
 // It deliberately mirrors DIMACS so that externally produced graphs can be
 // imported with a one-line header tweak.
+//
+// A mutated graph (Generation() > 0) additionally carries its live-graph
+// identity in a leading comment —
+//
+//	# gen <generation> lineage <hex> fp <hex>
+//
+// — which Decode restores, so a persisted generation round-trips exactly
+// (incremental fingerprints are not recomputable from the edge list alone).
+// Being a comment, the line is invisible to older parsers, and generation-0
+// graphs never emit it: their files stay byte-identical to before.
 
 // Encode writes g in the text format.
 func Encode(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
+	if gen := g.Generation(); gen > 0 {
+		if _, err := fmt.Fprintf(bw, "# gen %d lineage %016x fp %016x\n", gen, g.Lineage(), g.Fingerprint()); err != nil {
+			return err
+		}
+	}
 	if _, err := fmt.Fprintf(bw, "p %d %d\n", g.N(), g.M()); err != nil {
 		return err
 	}
@@ -38,10 +53,22 @@ func Decode(r io.Reader) (*Graph, error) {
 	var g *Graph
 	line := 0
 	declared := -1
+	var gen, lineage, fp uint64
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
+			// Comments are skipped — except the identity header a mutated
+			// graph writes about itself, which must round-trip.
+			if f := strings.Fields(text); len(f) == 7 && f[0] == "#" && f[1] == "gen" && f[3] == "lineage" && f[5] == "fp" {
+				gv, err1 := strconv.ParseUint(f[2], 10, 64)
+				lv, err2 := strconv.ParseUint(f[4], 16, 64)
+				fv, err3 := strconv.ParseUint(f[6], 16, 64)
+				if err1 != nil || err2 != nil || err3 != nil {
+					return nil, fmt.Errorf("graph: line %d: malformed identity header", line)
+				}
+				gen, lineage, fp = gv, lv, fv
+			}
 			continue
 		}
 		fields := strings.Fields(text)
@@ -93,6 +120,9 @@ func Decode(r io.Reader) (*Graph, error) {
 	}
 	if declared >= 0 && g.M() != declared {
 		return nil, fmt.Errorf("graph: header declares %d edges, got %d", declared, g.M())
+	}
+	if gen > 0 {
+		g.setIdentity(gen, lineage, fp)
 	}
 	return g.Freeze(), nil
 }

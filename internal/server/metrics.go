@@ -26,9 +26,9 @@ type serverMetrics struct {
 	// the map is never written after New, so lookups are safe without a lock.
 	httpByRoute map[string]*telemetry.OutcomeHist
 
-	// wireByType is indexed by wire frame type (TDist..TBatch); unused slots
+	// wireByType is indexed by wire frame type (TDist..TMutate); unused slots
 	// stay nil and OutcomeHist.Observe tolerates nil receivers.
-	wireByType [wire.TBatch + 1]*telemetry.OutcomeHist
+	wireByType [wire.TMutate + 1]*telemetry.OutcomeHist
 
 	// queueWait times requests that waited in the shedder's bounded queue
 	// (the fast no-queue path records nothing); its live p50 derives the
@@ -37,11 +37,12 @@ type serverMetrics struct {
 }
 
 // wireTypeNames label the wire request histograms; index = frame type.
-var wireTypeNames = [wire.TBatch + 1]string{
+var wireTypeNames = [wire.TMutate + 1]string{
 	wire.TDist:               "dist",
 	wire.TDistAvoiding:       "dist_avoiding",
 	wire.TDistAvoidingVertex: "dist_avoiding_vertex",
 	wire.TBatch:              "batch",
+	wire.TMutate:             "mutate",
 }
 
 // newServerMetrics builds the shard registry, pre-registering one histogram

@@ -16,6 +16,7 @@
 // Endpoints:
 //
 //	POST /build          register a graph and build structures for it
+//	POST /mutate         apply an edge-mutation batch; atomic generation swap
 //	GET|POST /dist           dist(s, v) in the intact structure H
 //	GET|POST /dist-avoiding  dist(s, v) in H minus one failed edge
 //	GET|POST /dist-avoiding-vertex  dist(s, v) in H minus one failed VERTEX
@@ -196,6 +197,7 @@ func New(st *store.Store) *Server {
 		handler http.HandlerFunc
 	}{
 		{"/build", s.handleBuild},
+		{"/mutate", s.handleMutate},
 		{"/dist", s.handleDist},
 		{"/dist-avoiding", s.handleDistAvoiding},
 		{"/dist-avoiding-vertex", s.handleDistAvoidingVertex},
@@ -238,7 +240,7 @@ func (s *Server) SetWorkLimits(inflight, queue int) {
 // node can still move its structures away.
 func shedsLoad(path string) bool {
 	switch path {
-	case "/build", "/dist", "/dist-avoiding", "/dist-avoiding-vertex", "/batch-query":
+	case "/build", "/mutate", "/dist", "/dist-avoiding", "/dist-avoiding-vertex", "/batch-query":
 		return true
 	}
 	return false
@@ -575,6 +577,103 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// MutationJSON is one edge mutation of a /mutate request: op "insert" or
+// "delete" plus the edge's endpoints.
+type MutationJSON struct {
+	Op string `json:"op"`
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+// MutateRequest is the body of POST /mutate: the graph's lineage (the
+// fingerprint /build returned — stable across generations) plus an ordered
+// mutation batch. The batch applies atomically: one invalid mutation fails
+// the whole batch and the serving generation does not change.
+type MutateRequest struct {
+	Graph     string         `json:"graph"`
+	Mutations []MutationJSON `json:"mutations"`
+}
+
+// ParsedMutations validates and converts the request's mutation list. The
+// cluster router shares this with handleMutate so both tiers reject a
+// malformed batch identically, before any shard does work.
+func (req *MutateRequest) ParsedMutations() ([]ftbfs.Mutation, error) {
+	if len(req.Mutations) == 0 {
+		return nil, fmt.Errorf("empty mutation batch")
+	}
+	muts := make([]ftbfs.Mutation, len(req.Mutations))
+	for i, m := range req.Mutations {
+		var op ftbfs.MutationOp
+		switch m.Op {
+		case "insert":
+			op = ftbfs.MutInsert
+		case "delete":
+			op = ftbfs.MutDelete
+		default:
+			return nil, fmt.Errorf(`mutation %d: op %q is not "insert" or "delete"`, i, m.Op)
+		}
+		muts[i] = ftbfs.Mutation{Op: op, U: m.U, V: m.V}
+	}
+	return muts, nil
+}
+
+// MutateResponse is the reply of POST /mutate: the new serving generation's
+// identity plus how each resident structure crossed over (the convergence
+// ledger the cluster router aggregates). Graph echoes the lineage — the key
+// queries keep using; Fingerprint is the new generation's content identity.
+type MutateResponse struct {
+	Graph         string `json:"graph"`
+	Gen           uint64 `json:"gen"`
+	Fingerprint   string `json:"fingerprint"`
+	RebuildsDelta int    `json:"rebuildsDelta"`
+	RebuildsFull  int    `json:"rebuildsFull"`
+}
+
+// handleMutate applies one edge-mutation batch to a registered graph. The
+// store does the heavy lifting — rebuilding resident structures against the
+// new generation while the old one keeps serving, then swapping atomically —
+// so this handler is thin: parse, validate, delegate, classify the error.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	lineage, err := strconv.ParseUint(req.Graph, 16, 64)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad graph fingerprint %q", req.Graph))
+		return
+	}
+	muts, err := req.ParsedMutations()
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, ok := s.store.Graph(lineage); !ok {
+		// 404, not 400: on a cluster shard the graph may not have reached
+		// this replica, and the router treats 404 as tolerable shard state.
+		err := &UnknownGraphError{Fingerprint: lineage}
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	res, err := s.store.Mutate(r.Context(), lineage, muts)
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, MutateResponse{
+		Graph:         fmt.Sprintf("%016x", res.Lineage),
+		Gen:           res.Gen,
+		Fingerprint:   fmt.Sprintf("%016x", res.Fingerprint),
+		RebuildsDelta: res.RebuildsDelta,
+		RebuildsFull:  res.RebuildsFull,
+	})
 }
 
 // QueryRequest addresses one structure plus one (target, failure) query.

@@ -147,6 +147,48 @@ func (s *Server) wirePoint(ctx context.Context, typ byte, q *wire.PointQuery) (i
 	return int32(d), nil
 }
 
+// WireMutate applies one binary mutation batch (wire.MutateBackend): the
+// same store.Mutate the HTTP /mutate handler delegates to, so both transports
+// apply batches with identical validation and swap semantics.
+func (s *Server) WireMutate(ctx context.Context, lineage uint64, wmuts []wire.MutationWire) (wire.MutateResult, *wire.Error) {
+	s.m.wireRequests.Inc()
+	start := time.Now()
+	res, werr := s.wireMutate(ctx, lineage, wmuts)
+	s.observeWire(wire.TMutate, start, werr)
+	return res, werr
+}
+
+func (s *Server) wireMutate(ctx context.Context, lineage uint64, wmuts []wire.MutationWire) (wire.MutateResult, *wire.Error) {
+	work, werr := s.shedWire(ctx)
+	if werr != nil {
+		return wire.MutateResult{}, werr
+	}
+	defer work.release()
+	if _, ok := s.store.Graph(lineage); !ok {
+		s.m.errs.Inc()
+		err := &UnknownGraphError{Fingerprint: lineage}
+		return wire.MutateResult{}, &wire.Error{Code: statusFor(err), Msg: err.Error()}
+	}
+	muts := make([]ftbfs.Mutation, len(wmuts))
+	for i, m := range wmuts {
+		// The wire parser already rejected ops outside {0, 1}; the numbering
+		// matches ftbfs.MutInsert/MutDelete by design.
+		muts[i] = ftbfs.Mutation{Op: ftbfs.MutationOp(m.Op), U: int(m.U), V: int(m.V)}
+	}
+	res, err := s.store.Mutate(ctx, lineage, muts)
+	if err != nil {
+		s.m.errs.Inc()
+		return wire.MutateResult{}, &wire.Error{Code: statusFor(err), Msg: err.Error()}
+	}
+	return wire.MutateResult{
+		Lineage:       res.Lineage,
+		Gen:           res.Gen,
+		FP:            res.Fingerprint,
+		RebuildsDelta: uint32(res.RebuildsDelta),
+		RebuildsFull:  uint32(res.RebuildsFull),
+	}, nil
+}
+
 // WireBatch answers one binary batch (wire.Backend): slots group by resolved
 // key and funnel into the same answerGroups machinery as POST /batch-query.
 func (s *Server) WireBatch(ctx context.Context, slots []wire.BatchSlot) ([]int32, []string) {

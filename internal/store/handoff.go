@@ -61,6 +61,7 @@ func (s *Store) Keys() []Key {
 // "skip what I already hold" check of a handoff pull.
 func (s *Store) Has(k Key) bool {
 	s.mu.Lock()
+	k = s.normLocked(k)
 	_, ok := s.entries[k]
 	dir := s.dir
 	s.mu.Unlock()
@@ -83,6 +84,7 @@ func (s *Store) Has(k Key) bool {
 func (s *Store) ExportRecord(k Key) ([]byte, error) {
 	exportStart := time.Now()
 	s.mu.Lock()
+	k = s.normLocked(k)
 	e, ok := s.entries[k]
 	dir := s.dir
 	s.mu.Unlock()
@@ -123,6 +125,7 @@ func (s *Store) ExportRecord(k Key) ([]byte, error) {
 func (s *Store) ImportRecord(k Key, data []byte) (installed bool, err error) {
 	importStart := time.Now()
 	s.mu.Lock()
+	k = s.normLocked(k)
 	_, resident := s.entries[k]
 	g, haveGraph := s.graphs[k.Graph]
 	dir := s.dir

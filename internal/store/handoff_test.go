@@ -174,6 +174,112 @@ func TestHandoffRejectsMisaddressedRecords(t *testing.T) {
 	}
 }
 
+// TestHandoffGenerationRecords pins the live-graph interop contract: a
+// generation-0 record is byte-identical to a pre-generation version-3 slab
+// and round-trips through export/import unchanged, so mixed-version fleets
+// can hand records both ways. A mutated lineage hands off version-4 records
+// that carry their generation, and a stale-generation record is rejected
+// rather than silently served against the wrong graph.
+func TestHandoffGenerationRecords(t *testing.T) {
+	src, err := New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t, 40, 60, 12)
+	fp, err := src.AddGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ek := Key{Graph: fp, Source: 2, Eps: 0.3}
+	st, err := src.GetOrBuild(context.Background(), ek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := src.ExportRecord(ek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec[:4]) != "FTB3" {
+		t.Fatalf("generation-0 record magic %q, want the version-3 FTB3", rec[:4])
+	}
+	var buf bytes.Buffer
+	if err := st.SaveSlab(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec, buf.Bytes()) {
+		t.Fatal("export rewrote the gen-0 record — v3 interop requires byte identity")
+	}
+
+	// Unchanged through a full handoff round trip.
+	dst, err := New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.AddGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if installed, err := dst.ImportRecord(ek, rec); err != nil || !installed {
+		t.Fatalf("gen-0 import: installed=%v err=%v", installed, err)
+	}
+	rec2, err := dst.ExportRecord(ek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec, rec2) {
+		t.Fatal("handoff changed gen-0 record bytes")
+	}
+
+	// Mutate the source lineage: the serving record becomes version 4.
+	e := st.Edges()[0]
+	res, err := src.Mutate(context.Background(), fp, []ftbfs.Mutation{
+		{Op: ftbfs.MutDelete, U: e[0], V: e[1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gen != 1 {
+		t.Fatalf("mutation reached gen %d, want 1", res.Gen)
+	}
+	rec3, err := src.ExportRecord(ek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec3[:4]) != "FTB4" {
+		t.Fatalf("generation-1 record magic %q, want the version-4 FTB4", rec3[:4])
+	}
+
+	// A receiver registered at the mutated generation imports the v4 record;
+	// the stale gen-0 record must be rejected, not served.
+	text, err := src.GraphText(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := ftbfs.ReadGraph(bytes.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Generation() != 1 {
+		t.Fatalf("graph text carried generation %d, want 1", g1.Generation())
+	}
+	dst2, err := New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := dst2.AddGraph(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 != fp {
+		t.Fatalf("mutated graph registered under %016x, want lineage %016x", fp2, fp)
+	}
+	if installed, err := dst2.ImportRecord(ek, rec); err == nil && installed {
+		t.Fatal("stale gen-0 record imported against a gen-1 registration")
+	}
+	if installed, err := dst2.ImportRecord(ek, rec3); err != nil || !installed {
+		t.Fatalf("gen-1 import: installed=%v err=%v", installed, err)
+	}
+}
+
 // TestHandoffPersistedStores exercises the disk paths: Keys/Has/Export see
 // evicted (disk-only) structures, and an import persists the record so it
 // survives a store restart.

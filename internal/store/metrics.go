@@ -16,7 +16,10 @@ type storeMetrics struct {
 	warmLoaded, warmSkipped, warmQuarantined      *telemetry.Counter
 	handoffsIn, handoffsOut                       *telemetry.Counter
 
-	buildDur, loadDur, saveDur, handoffDur *telemetry.Histogram
+	// Live-graph convergence ledger (see Store.Mutate).
+	generationsApplied, rebuildsDelta, rebuildsFull, persistGC *telemetry.Counter
+
+	buildDur, loadDur, saveDur, handoffDur, swapDur *telemetry.Histogram
 }
 
 // newStoreMetrics builds the store's registry. The gauge funcs read the
@@ -49,6 +52,16 @@ func newStoreMetrics(s *Store) *storeMetrics {
 			"Time of one atomic record write (temp file, fsync, rename)."),
 		handoffDur: reg.Histogram("ftbfs_store_handoff_seconds", "",
 			"Time to export or import one shard-handoff record."),
+		generationsApplied: reg.Counter("ftbfs_store_generations_applied_total", "",
+			"Mutation batches applied and atomically swapped in."),
+		rebuildsDelta: reg.Counter("ftbfs_store_rebuilds_total", `kind="delta"`,
+			"Structures carried across a generation by the delta fast path."),
+		rebuildsFull: reg.Counter("ftbfs_store_rebuilds_total", `kind="full"`,
+			"Structures rebuilt from scratch on a generation change."),
+		persistGC: reg.Counter("ftbfs_store_persist_gc_total", "",
+			"Superseded-generation record files deleted from the persist directory."),
+		swapDur: reg.Histogram("ftbfs_store_swap_seconds", "",
+			"Lock-held time of the atomic generation swap (queries block only for this)."),
 	}
 	reg.GaugeFunc("ftbfs_store_graphs", "", "Registered graphs.", func() int64 {
 		s.mu.Lock()

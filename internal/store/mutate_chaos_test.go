@@ -1,0 +1,139 @@
+package store_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"ftbfs"
+	"ftbfs/internal/chaos"
+	"ftbfs/internal/store"
+)
+
+// External test package: the in-package store tests cannot import
+// internal/chaos (it imports store), so the disk-fault mutation coverage
+// lives here.
+
+func chaosGraph(n, extra int, seed int64) (*ftbfs.Graph, [][2]int) {
+	rng := rand.New(rand.NewSource(seed))
+	g := ftbfs.NewGraph(n)
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		u := rng.Intn(i)
+		g.MustAddEdge(i, u)
+		edges = append(edges, [2]int{i, u})
+	}
+	for k := 0; k < extra; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return g, edges
+}
+
+// TestMutatePersistFaultKeepsOldGeneration pins the store half of the swap
+// contract under disk faults: a persist failure mid-mutation surfaces as a
+// PersistError with NO swap — the old generation keeps serving, in memory
+// and on disk, and no half-written next-generation files survive.
+func TestMutatePersistFaultKeepsOldGeneration(t *testing.T) {
+	dir := t.TempDir()
+	inj := chaos.New(chaos.Plan{Name: "mutate-disk", DiskWriteErrP: 1}, 7)
+	inj.SetEnabled(false) // the initial build persists fault-free
+	st, err := store.New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetIOHooks(inj.StoreHooks())
+
+	g, edges := chaosGraph(50, 80, 9)
+	lineage, err := st.AddGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.Key{Graph: lineage, Source: 0, Eps: 0.3}
+	est, err := st.GetOrBuild(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := est.Oracle()
+	want := make([]int, g.N())
+	for v := range want {
+		want[v] = o.Dist(v)
+	}
+
+	inj.SetEnabled(true)
+	e := edges[len(edges)-1]
+	_, err = st.Mutate(context.Background(), lineage, []ftbfs.Mutation{
+		{Op: ftbfs.MutDelete, U: e[0], V: e[1]},
+	})
+	var pe *store.PersistError
+	if err == nil || !errors.As(err, &pe) {
+		t.Fatalf("mutate with persist writes failing: err = %v, want a PersistError", err)
+	}
+	if inj.Counts()["disk-write-err"] == 0 {
+		t.Fatal("the disk-fault plan never fired")
+	}
+
+	// No swap: the serving generation, its resident structure, and its
+	// answers are all untouched — with the plan still armed, since reads of
+	// resident state must not touch disk.
+	if gg, ok := st.Graph(lineage); !ok || gg.Generation() != 0 {
+		t.Fatalf("graph registration changed after failed mutate: ok=%v", ok)
+	}
+	est2, ok := st.Get(k)
+	if !ok {
+		t.Fatal("structure no longer resident after failed mutate")
+	}
+	o2 := est2.Oracle()
+	for v := range want {
+		if d := o2.Dist(v); d != want[v] {
+			t.Fatalf("dist(%d) changed after failed mutate: %d != %d", v, d, want[v])
+		}
+	}
+	// No orphaned next-generation files.
+	if m, _ := filepath.Glob(filepath.Join(dir, "*-g1.fts")); len(m) != 0 {
+		t.Fatalf("failed mutate left next-generation files behind: %v", m)
+	}
+
+	// A warm start from the untouched persist directory serves generation 0
+	// without rebuilding.
+	inj.SetEnabled(false)
+	st2, err := store.New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.AddGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	est3, err := st2.GetOrBuild(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Stats().Builds != 0 {
+		t.Fatalf("warm start rebuilt instead of loading the persisted gen-0 record (builds=%d)", st2.Stats().Builds)
+	}
+	o3 := est3.Oracle()
+	for v := range want {
+		if d := o3.Dist(v); d != want[v] {
+			t.Fatalf("warm-start dist(%d) = %d, want %d", v, d, want[v])
+		}
+	}
+
+	// Faults cleared, the same batch applies and swaps.
+	res, err := st.Mutate(context.Background(), lineage, []ftbfs.Mutation{
+		{Op: ftbfs.MutDelete, U: e[0], V: e[1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gen != 1 {
+		t.Fatalf("retry after faults cleared reached gen %d, want 1", res.Gen)
+	}
+	if gg, ok := st.Graph(lineage); !ok || gg.Generation() != 1 {
+		t.Fatalf("store not serving gen 1 after successful retry")
+	}
+}

@@ -15,6 +15,22 @@
 // v1/v2 records from older stores keep working. Structures leave the resolver
 // with their serving QueryPlan pre-built, so the query hot path never pays
 // the CSR extraction or tree preprocessing inline.
+//
+// Graphs are live: a registered graph is a (lineage, generation) pair, and
+// the Graph dimension of every Key is the lineage — stable across mutations,
+// so a graph's structures never change ring owners. Key.Gen selects a
+// generation explicitly; the zero value means "the currently-serving
+// generation" and is normalised on every lookup. Store.Mutate applies an
+// edge-mutation batch: the old generation keeps serving, untouched, while
+// every resident structure of the lineage is rebuilt against the new graph —
+// through the ftbfs.DeltaRebuild fast path when the batch provably cannot
+// have invalidated it, a full build otherwise — and persisted (structures
+// first, graph last); one short critical section then installs graph,
+// generation, and structures together. Queries never block on a rebuild and
+// never observe a torn or mixed-generation view; a persist fault aborts with
+// no swap, and superseded generations' record files are garbage-collected
+// only after a successful swap. Generation-0 records stay byte-identical
+// version-3 slabs, so mixed-version fleets hand records both ways.
 package store
 
 import (
@@ -64,19 +80,31 @@ func (m Model) String() string {
 
 // Key identifies one built structure in the registry.
 type Key struct {
-	Graph  uint64 // fingerprint of the base graph
+	Graph  uint64 // lineage of the base graph (fingerprint of its generation-0 root)
 	Source int
 	Eps    float64
 	Alg    ftbfs.Algorithm
 	Model  Model // failure model; zero value = ModelEdge
+	// Gen is the graph generation the structure serves. Callers normally
+	// leave it 0, meaning "the currently-serving generation" — lookups
+	// normalise it against the registry — so pre-generation keys (and
+	// pre-generation peers) keep working unchanged. The cluster ring hashes
+	// every dimension EXCEPT Gen: all generations of one structure key live
+	// on the same shards, which is what lets a mutation swap in place
+	// instead of re-sharding.
+	Gen uint64
 }
 
 // String implements fmt.Stringer.
 func (k Key) String() string {
-	if k.Model == ModelVertex {
-		return fmt.Sprintf("%016x/s%d/vertex", k.Graph, k.Source)
+	gen := ""
+	if k.Gen > 0 {
+		gen = fmt.Sprintf("@g%d", k.Gen)
 	}
-	return fmt.Sprintf("%016x/s%d/eps%g/%s", k.Graph, k.Source, k.Eps, k.Alg)
+	if k.Model == ModelVertex {
+		return fmt.Sprintf("%016x%s/s%d/vertex", k.Graph, gen, k.Source)
+	}
+	return fmt.Sprintf("%016x%s/s%d/eps%g/%s", k.Graph, gen, k.Source, k.Eps, k.Alg)
 }
 
 // VertexKey returns the canonical registry key of a vertex-failure
@@ -112,6 +140,13 @@ type Stats struct {
 	WarmQuarantined uint64 `json:"warm_start_quarantined"` // corrupt/truncated files renamed to *.corrupt
 	HandoffsIn      uint64 `json:"handoffs_in"`            // structures installed from another shard's records
 	HandoffsOut     uint64 `json:"handoffs_out"`           // structure records exported to other shards
+
+	// Live-graph convergence ledger: how many mutation batches this store
+	// has applied and how each resident structure crossed a generation.
+	GenerationsApplied uint64 `json:"generations_applied"` // mutation batches swapped in
+	RebuildsDelta      uint64 `json:"rebuilds_delta"`      // structures carried over by delta rebuild
+	RebuildsFull       uint64 `json:"rebuilds_full"`       // structures rebuilt from scratch on a mutation
+	PersistGC          uint64 `json:"persist_gc"`          // superseded-generation record files deleted
 }
 
 // IOHooks intercepts the store's disk I/O. Production stores leave it unset;
@@ -164,14 +199,21 @@ type flight struct {
 // Store is the registry. The zero value is not usable; call New.
 type Store struct {
 	mu       sync.Mutex
-	capacity int    // max in-memory structures; ≤ 0 means unlimited
-	dir      string // persist directory; "" means memory-only
-	graphs   map[uint64]*ftbfs.Graph
+	capacity int                     // max in-memory structures; ≤ 0 means unlimited
+	dir      string                  // persist directory; "" means memory-only
+	graphs   map[uint64]*ftbfs.Graph // keyed by lineage; holds the serving generation
+	gens     map[uint64]uint64       // lineage → currently-serving generation
 	entries  map[Key]*entry
 	lru      *list.List // front = most recently used
 	inflight map[Key]*flight
 	m        *storeMetrics           // registry-backed counters and timings
 	hooks    atomic.Pointer[IOHooks] // fault-injection hooks; nil in production
+
+	// mutateMu serialises Mutate calls. Rebuilding happens outside s.mu —
+	// queries keep serving the old generation throughout — but two
+	// overlapping mutations of different lineages still rebuild one at a
+	// time, which keeps generation numbering and persist-dir GC simple.
+	mutateMu sync.Mutex
 }
 
 // SetIOHooks installs (or, with nil, removes) disk fault-injection hooks.
@@ -199,6 +241,7 @@ func New(capacity int, dir string) (*Store, error) {
 		capacity: capacity,
 		dir:      dir,
 		graphs:   make(map[uint64]*ftbfs.Graph),
+		gens:     make(map[uint64]uint64),
 		entries:  make(map[Key]*entry),
 		lru:      list.New(),
 		inflight: make(map[Key]*flight),
@@ -243,7 +286,10 @@ func (s *Store) warmStart() error {
 			continue
 		}
 		g.Freeze()
-		s.graphs[g.Fingerprint()] = g
+		// The text record carries the graph's identity header, so a mutated
+		// graph warm-starts at the generation it was persisted at.
+		s.graphs[g.Lineage()] = g
+		s.gens[g.Lineage()] = g.Generation()
 		s.m.warmLoaded.Inc()
 	}
 	for _, pat := range []string{"st-*.fts", "stv-*.fts"} {
@@ -252,9 +298,23 @@ func (s *Store) warmStart() error {
 			return fmt.Errorf("store: %w", err)
 		}
 		for _, p := range paths {
-			if _, ok := keyFromStructFile(p); !ok {
+			k, ok := keyFromStructFile(p)
+			if !ok {
 				// Not a file this store wrote; leave it alone.
 				s.warmSkip(p, fmt.Errorf("unrecognised structure file name"))
+				continue
+			}
+			if gen, known := s.gens[k.Graph]; known && k.Gen != gen {
+				// A superseded (or failed-future) generation of a graph we
+				// serve: garbage a crash kept the swap-time GC from
+				// collecting. It is not corrupt — just never loadable again —
+				// so it is GC'd, not quarantined.
+				if err := os.Remove(p); err != nil {
+					s.warmSkip(p, fmt.Errorf("stale generation %d (serving %d): %v", k.Gen, gen, err))
+					continue
+				}
+				s.m.persistGC.Inc()
+				log.Printf("store: warm start: gc %s: generation %d superseded by %d", filepath.Base(p), k.Gen, gen)
 				continue
 			}
 			if err := s.checkStructFile(p); err != nil {
@@ -317,13 +377,19 @@ func (s *Store) graphPath(fp uint64) string {
 // its IEEE-754 bit pattern so every distinct key maps to a distinct file.
 // Vertex structures live under their own "stv-" prefix — the failure model
 // is a filename dimension exactly like it is a Key dimension, so an edge
-// and a vertex structure of the same (graph, source) never collide.
+// and a vertex structure of the same (graph, source) never collide. A live
+// generation adds a "-g<gen>" suffix; generation 0 keeps the historical
+// name, so pre-generation directories stay valid without renames.
 func (s *Store) structPath(k Key) string {
-	if k.Model == ModelVertex {
-		return filepath.Join(s.dir, fmt.Sprintf("stv-%016x-s%d.fts", k.Graph, k.Source))
+	gen := ""
+	if k.Gen > 0 {
+		gen = fmt.Sprintf("-g%d", k.Gen)
 	}
-	return filepath.Join(s.dir, fmt.Sprintf("st-%016x-s%d-e%016x-a%d.fts",
-		k.Graph, k.Source, math.Float64bits(k.Eps), int(k.Alg)))
+	if k.Model == ModelVertex {
+		return filepath.Join(s.dir, fmt.Sprintf("stv-%016x-s%d%s.fts", k.Graph, k.Source, gen))
+	}
+	return filepath.Join(s.dir, fmt.Sprintf("st-%016x-s%d-e%016x-a%d%s.fts",
+		k.Graph, k.Source, math.Float64bits(k.Eps), int(k.Alg), gen))
 }
 
 // keyFromStructFile parses a structure file name produced by the store back
@@ -332,13 +398,26 @@ func (s *Store) structPath(k Key) string {
 func keyFromStructFile(name string) (Key, bool) {
 	name = strings.TrimSuffix(filepath.Base(name), ".fts")
 	parts := strings.Split(name, "-")
+	// An optional trailing "g<gen>" part names a live generation; its absence
+	// means generation 0 (the historical file name).
+	var gen uint64
+	if last := parts[len(parts)-1]; len(parts) > 1 && strings.HasPrefix(last, "g") {
+		gv, err := strconv.ParseUint(last[1:], 10, 64)
+		if err != nil || gv == 0 {
+			return Key{}, false
+		}
+		gen = gv
+		parts = parts[:len(parts)-1]
+	}
 	if len(parts) == 3 && parts[0] == "stv" && strings.HasPrefix(parts[2], "s") {
 		fp, err1 := strconv.ParseUint(parts[1], 16, 64)
 		src, err2 := strconv.Atoi(parts[2][1:])
 		if err1 != nil || err2 != nil {
 			return Key{}, false
 		}
-		return VertexKey(fp, src), true
+		k := VertexKey(fp, src)
+		k.Gen = gen
+		return k, true
 	}
 	if len(parts) != 5 || parts[0] != "st" ||
 		!strings.HasPrefix(parts[2], "s") || !strings.HasPrefix(parts[3], "e") || !strings.HasPrefix(parts[4], "a") {
@@ -351,21 +430,24 @@ func keyFromStructFile(name string) (Key, bool) {
 	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 		return Key{}, false
 	}
-	return Key{Graph: fp, Source: src, Eps: math.Float64frombits(bits), Alg: ftbfs.Algorithm(alg)}, true
+	return Key{Graph: fp, Source: src, Eps: math.Float64frombits(bits), Alg: ftbfs.Algorithm(alg), Gen: gen}, true
 }
 
 // AddGraph registers (and freezes) a graph, persisting it when the store has
-// a directory, and returns its fingerprint. Re-adding a known fingerprint is
-// a no-op returning the existing registration.
+// a directory, and returns its lineage — which, for the generation-0 graphs
+// this path registers, is exactly the fingerprint it always returned.
+// Re-adding a known lineage is a no-op returning the existing registration
+// (whatever generation it has mutated to since).
 func (s *Store) AddGraph(g *ftbfs.Graph) (uint64, error) {
 	g.Freeze()
-	fp := g.Fingerprint()
+	fp := g.Lineage()
 	s.mu.Lock()
 	if _, ok := s.graphs[fp]; ok {
 		s.mu.Unlock()
 		return fp, nil
 	}
 	s.graphs[fp] = g
+	s.gens[fp] = g.Generation()
 	dir := s.dir
 	s.mu.Unlock()
 	if dir != "" {
@@ -376,12 +458,23 @@ func (s *Store) AddGraph(g *ftbfs.Graph) (uint64, error) {
 	return fp, nil
 }
 
-// Graph returns the registered graph with the given fingerprint.
+// Graph returns the currently-serving generation of the registered graph
+// with the given lineage.
 func (s *Store) Graph(fp uint64) (*ftbfs.Graph, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	g, ok := s.graphs[fp]
 	return g, ok
+}
+
+// normLocked resolves a caller key against the serving state: a zero Gen
+// means "whatever generation is serving now". Keys naming an explicit
+// generation pass through untouched. s.mu must be held.
+func (s *Store) normLocked(k Key) Key {
+	if k.Gen == 0 {
+		k.Gen = s.gens[k.Graph]
+	}
+	return k
 }
 
 // Graphs returns the fingerprints of every registered graph.
@@ -401,7 +494,7 @@ func (s *Store) Graphs() []uint64 {
 func (s *Store) Get(k Key) (*ftbfs.Structure, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.entries[k]
+	e, ok := s.entries[s.normLocked(k)]
 	if !ok || e.st == nil {
 		s.m.misses.Inc()
 		return nil, false
@@ -417,7 +510,7 @@ func (s *Store) Get(k Key) (*ftbfs.Structure, bool) {
 func (s *Store) GetVertex(fp uint64, source int) (*ftbfs.VertexStructure, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.entries[VertexKey(fp, source)]
+	e, ok := s.entries[s.normLocked(VertexKey(fp, source))]
 	if !ok || e.vst == nil {
 		s.m.misses.Inc()
 		return nil, false
@@ -457,6 +550,11 @@ func (s *Store) Stats() Stats {
 		WarmQuarantined: m.warmQuarantined.Value(),
 		HandoffsIn:      m.handoffsIn.Value(),
 		HandoffsOut:     m.handoffsOut.Value(),
+
+		GenerationsApplied: m.generationsApplied.Value(),
+		RebuildsDelta:      m.rebuildsDelta.Value(),
+		RebuildsFull:       m.rebuildsFull.Value(),
+		PersistGC:          m.persistGC.Value(),
 	}
 }
 
@@ -476,7 +574,7 @@ func (s *Store) GetOrBuild(ctx context.Context, k Key) (*ftbfs.Structure, error)
 		return nil, fmt.Errorf("store: %v is not an edge-structure key (use GetOrBuildVertex)", k)
 	}
 	s.mu.Lock()
-	if e, ok := s.entries[k]; ok {
+	if e, ok := s.entries[s.normLocked(k)]; ok {
 		s.m.hits.Inc()
 		s.lru.MoveToFront(e.el)
 		s.mu.Unlock()
@@ -523,13 +621,14 @@ func (s *Store) GetOrBuildMany(ctx context.Context, fp uint64, reqs []Req) ([]*f
 		s.mu.Unlock()
 		return nil, fmt.Errorf("store: unknown graph %016x (register it with AddGraph or /build first)", fp)
 	}
+	gen := s.gens[fp] // resolve the batch against one serving generation
 	out := make([]*ftbfs.Structure, len(reqs))
 	var mine []Key // keys this call is responsible for resolving
 	mineIdx := make(map[Key][]int)
 	var waits []*flight // flights owned by other calls
 	waitIdx := make(map[*flight][]int)
 	for i, r := range reqs {
-		k := Key{Graph: fp, Source: r.Source, Eps: r.Eps, Alg: r.Alg}
+		k := Key{Graph: fp, Source: r.Source, Eps: r.Eps, Alg: r.Alg, Gen: gen}
 		if e, ok := s.entries[k]; ok {
 			s.m.hits.Inc()
 			s.lru.MoveToFront(e.el)
@@ -623,8 +722,8 @@ func (s *Store) GetOrBuildMany(ctx context.Context, fp uint64, reqs []Req) ([]*f
 // plan pre-built. A resident structure is returned on an allocation-free
 // fast path. ctx follows the same budget rules as GetOrBuildMany.
 func (s *Store) GetOrBuildVertex(ctx context.Context, fp uint64, source int) (*ftbfs.VertexStructure, error) {
-	k := VertexKey(fp, source)
 	s.mu.Lock()
+	k := s.normLocked(VertexKey(fp, source))
 	if e, ok := s.entries[k]; ok {
 		s.m.hits.Inc()
 		s.lru.MoveToFront(e.el)
@@ -803,6 +902,12 @@ func (s *Store) loadFromDir(k Key, g *ftbfs.Graph) *ftbfs.Structure {
 // insertLocked adds a resolved structure (edge or vertex, matching the
 // key's model) and evicts down to capacity. s.mu must be held.
 func (s *Store) insertLocked(k Key, st *ftbfs.Structure, vst *ftbfs.VertexStructure) {
+	if gen, ok := s.gens[k.Graph]; ok && k.Gen != gen {
+		// A load/build that resolved against a generation a concurrent
+		// Mutate swapped out while it ran: nothing will ever look this key
+		// up again, so inserting it would only waste an LRU slot.
+		return
+	}
 	if e, ok := s.entries[k]; ok { // lost a race; keep the resident one
 		s.lru.MoveToFront(e.el)
 		return

@@ -373,6 +373,38 @@ func (c *Client) FetchGraph(ctx context.Context, fp uint64) ([]byte, *Error, err
 	}
 }
 
+// Mutate applies one edge-mutation batch to the graph of the given lineage on
+// a peer shard and returns the new generation's identity plus the shard's
+// rebuild ledger. A non-nil *Error is the shard's definitive in-protocol
+// answer (404 graph not held there, 501 transport lacks mutation support —
+// the caller then falls back to HTTP); a non-nil error is a transport
+// failure.
+func (c *Client) Mutate(ctx context.Context, lineage uint64, muts []MutationWire) (MutateResult, *Error, error) {
+	buf := getBuf()
+	payload := appendMutate((*buf)[:0], lineage, muts)
+	r, err := c.do(ctx, TMutate, payload)
+	putBuf(buf)
+	if err != nil {
+		return MutateResult{}, nil, err
+	}
+	switch r.typ {
+	case RMutate:
+		res, perr := parseMutateResponse(r.payload)
+		if perr != nil {
+			return MutateResult{}, nil, perr
+		}
+		return res, nil, nil
+	case RError:
+		werr, perr := parseError(r.payload)
+		if perr != nil {
+			return MutateResult{}, nil, perr
+		}
+		return MutateResult{}, werr, nil
+	default:
+		return MutateResult{}, nil, fmt.Errorf("wire: unexpected response type %#x", r.typ)
+	}
+}
+
 // Batch answers a batch of slots; dists and errs are parallel to slots with
 // "" marking success. A non-nil *Error means the server rejected the whole
 // batch; a non-nil error is a transport failure.

@@ -40,6 +40,18 @@ type HandoffBackend interface {
 	HandoffGraph(ctx context.Context, fp uint64) ([]byte, *Error)
 }
 
+// MutateBackend is the optional live-graph extension of Backend: backends
+// implementing it additionally serve TMutate frames, applying an edge
+// mutation batch and atomically swapping the shard to the new generation. A
+// backend without it answers with an in-protocol 501 — the router then falls
+// back to the HTTP /mutate surface.
+type MutateBackend interface {
+	// WireMutate applies one mutation batch to the graph of the given
+	// lineage (or answers an in-protocol error: 404 unknown graph, 400
+	// invalid batch, 500 persist fault).
+	WireMutate(ctx context.Context, lineage uint64, muts []MutationWire) (MutateResult, *Error)
+}
+
 // Serve accepts wire connections on ln until ctx is cancelled or the
 // listener fails, answering frames through backend. Each connection is
 // handled by its own goroutine; frames on one connection are answered in
@@ -189,6 +201,22 @@ func answer(ctx context.Context, w io.Writer, backend Backend, typ byte, id uint
 			return writeError(w, id, werr.Code, werr.Msg)
 		}
 		return writeFrame(w, RGraph, id, 0, 0, data)
+	case TMutate:
+		lineage, muts, err := parseMutate(payload)
+		if err != nil {
+			return errProtocol
+		}
+		mb, ok := backend.(MutateBackend)
+		if !ok {
+			return writeError(w, id, 501, "mutate not supported")
+		}
+		res, werr := mb.WireMutate(ctx, lineage, muts)
+		if werr != nil {
+			return writeError(w, id, werr.Code, werr.Msg)
+		}
+		buf := getBuf()
+		defer putBuf(buf)
+		return writeFrame(w, RMutate, id, 0, 0, appendMutateResponse((*buf)[:0], &res))
 	default:
 		return errProtocol
 	}

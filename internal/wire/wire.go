@@ -36,6 +36,13 @@
 // errCount × (slot u32, len u32, message); RError carries an HTTP-equivalent
 // status code u32 + len u32 + message, so the router's retry classification
 // works identically over either transport.
+//
+// Mutation request payload (TMutate): graph lineage u64, count u32, then
+// count 9-byte entries (op u8 — 0 insert, 1 delete — u u32, v u32). The
+// RMutate response is fixed 32 bytes: lineage u64, new generation u64, new
+// fingerprint u64, delta-rebuild count u32, full-rebuild count u32. Backends
+// without mutation support answer an in-protocol 501 and the caller falls
+// back to the HTTP /mutate surface.
 package wire
 
 import (
@@ -78,10 +85,12 @@ const (
 	TBatch              byte = 0x04 // mixed batch of the above
 	THandoff            byte = 0x05 // fetch one structure record (shard-to-shard)
 	TGraph              byte = 0x06 // fetch one graph's canonical text
+	TMutate             byte = 0x07 // apply a mutation batch to a live graph
 	RDist               byte = 0x81 // point answer
 	RBatch              byte = 0x84 // batch answer
 	RHandoff            byte = 0x85 // raw structure record bytes
 	RGraph              byte = 0x86 // raw graph text bytes
+	RMutate             byte = 0x87 // new generation identity + rebuild ledger
 	RError              byte = 0xff // status code + message
 )
 
@@ -163,6 +172,98 @@ func parseHandoffKey(payload []byte) (HandoffKey, error) {
 		Source:  int32(le.Uint32(payload[16:])),
 		Alg:     int32(le.Uint32(payload[20:])),
 		Vertex:  flags&handoffFlagVertex != 0,
+	}, nil
+}
+
+// MutationWire is one edge mutation in a TMutate frame. Op is 0 for insert,
+// 1 for delete — the same numbering graph.MutationOp uses, validated on parse
+// so a corrupt op byte is a protocol error, not a surprise downstream.
+type MutationWire struct {
+	Op   uint8
+	U, V uint32
+}
+
+// mutEntryLen is the per-mutation entry length in a TMutate payload.
+const mutEntryLen = 1 + 4 + 4
+
+// mutateResponseLen is the fixed RMutate payload length.
+const mutateResponseLen = 8 + 8 + 8 + 4 + 4
+
+// MutateResult is the decoded RMutate payload: the new generation's identity
+// plus the shard's rebuild ledger for this batch, which the router aggregates
+// into its convergence counters.
+type MutateResult struct {
+	Lineage       uint64 // stable graph identity (unchanged by mutation)
+	Gen           uint64 // new serving generation
+	FP            uint64 // content fingerprint of the new generation
+	RebuildsDelta uint32 // structures carried over by the delta fast path
+	RebuildsFull  uint32 // structures rebuilt from scratch
+}
+
+// appendMutate appends a TMutate payload: lineage u64, count u32, then count
+// 9-byte entries (op u8, u u32, v u32).
+func appendMutate(buf []byte, lineage uint64, muts []MutationWire) []byte {
+	le := binary.LittleEndian
+	buf = le.AppendUint64(buf, lineage)
+	buf = le.AppendUint32(buf, uint32(len(muts)))
+	for i := range muts {
+		buf = append(buf, muts[i].Op)
+		buf = le.AppendUint32(buf, muts[i].U)
+		buf = le.AppendUint32(buf, muts[i].V)
+	}
+	return buf
+}
+
+// parseMutate decodes a TMutate payload.
+func parseMutate(payload []byte) (lineage uint64, muts []MutationWire, err error) {
+	le := binary.LittleEndian
+	if len(payload) < 12 {
+		return 0, nil, fmt.Errorf("wire: mutate payload truncated")
+	}
+	lineage = le.Uint64(payload[0:])
+	count := int(le.Uint32(payload[8:]))
+	if count < 0 || len(payload) != 12+count*mutEntryLen {
+		return 0, nil, fmt.Errorf("wire: mutate payload is %d bytes for %d mutations", len(payload), count)
+	}
+	muts = make([]MutationWire, count)
+	off := 12
+	for i := range muts {
+		op := payload[off]
+		if op > 1 {
+			return 0, nil, fmt.Errorf("wire: mutate entry %d has unknown op %d", i, op)
+		}
+		muts[i] = MutationWire{
+			Op: op,
+			U:  le.Uint32(payload[off+1:]),
+			V:  le.Uint32(payload[off+5:]),
+		}
+		off += mutEntryLen
+	}
+	return lineage, muts, nil
+}
+
+// appendMutateResponse appends the fixed RMutate payload.
+func appendMutateResponse(buf []byte, r *MutateResult) []byte {
+	le := binary.LittleEndian
+	buf = le.AppendUint64(buf, r.Lineage)
+	buf = le.AppendUint64(buf, r.Gen)
+	buf = le.AppendUint64(buf, r.FP)
+	buf = le.AppendUint32(buf, r.RebuildsDelta)
+	return le.AppendUint32(buf, r.RebuildsFull)
+}
+
+// parseMutateResponse decodes the fixed RMutate payload.
+func parseMutateResponse(payload []byte) (MutateResult, error) {
+	if len(payload) != mutateResponseLen {
+		return MutateResult{}, fmt.Errorf("wire: mutate response is %d bytes, want %d", len(payload), mutateResponseLen)
+	}
+	le := binary.LittleEndian
+	return MutateResult{
+		Lineage:       le.Uint64(payload[0:]),
+		Gen:           le.Uint64(payload[8:]),
+		FP:            le.Uint64(payload[16:]),
+		RebuildsDelta: le.Uint32(payload[24:]),
+		RebuildsFull:  le.Uint32(payload[28:]),
 	}, nil
 }
 

@@ -1,6 +1,6 @@
 package ftbfs
 
-import "sync/atomic"
+import "ftbfs/internal/telemetry"
 
 // Process-wide query-plan path totals: how many failure queries were
 // answered O(1) from the cached intact vector (hits) vs through a subtree
@@ -8,17 +8,20 @@ import "sync/atomic"
 // path is ~30 ns and must not pay an atomic op — and the pools fold those
 // into these totals when an oracle is checked back in, i.e. once per
 // served request rather than once per query. Direct (non-pooled) oracle
-// users such as benchmarks never flush and never pay.
+// users such as benchmarks never flush and never pay. The counters are
+// standalone telemetry.Counter values (not registered here — this package
+// must not depend on any registry); serving layers adopt them as
+// CounterFuncs via PlanQueryCounts.
 var (
-	planEdgeHits      atomic.Uint64
-	planEdgeRepairs   atomic.Uint64
-	planVertexHits    atomic.Uint64
-	planVertexRepairs atomic.Uint64
+	planEdgeHits      telemetry.Counter
+	planEdgeRepairs   telemetry.Counter
+	planVertexHits    telemetry.Counter
+	planVertexRepairs telemetry.Counter
 )
 
 // flushPlanCounts folds an oracle's plan-path counts into the shared
 // totals and resets them.
-func flushPlanCounts(hits, repairs *atomic.Uint64, oHits, oRepairs *uint64) {
+func flushPlanCounts(hits, repairs *telemetry.Counter, oHits, oRepairs *uint64) {
 	if *oHits != 0 {
 		hits.Add(*oHits)
 		*oHits = 0
@@ -34,6 +37,6 @@ func flushPlanCounts(hits, repairs *atomic.Uint64, oHits, oRepairs *uint64) {
 // vs through a repair run. Serving layers register these as telemetry
 // counter funcs; the numbers cover every pooled oracle in the process.
 func PlanQueryCounts() (edgeHits, edgeRepairs, vertexHits, vertexRepairs uint64) {
-	return planEdgeHits.Load(), planEdgeRepairs.Load(),
-		planVertexHits.Load(), planVertexRepairs.Load()
+	return planEdgeHits.Value(), planEdgeRepairs.Value(),
+		planVertexHits.Value(), planVertexRepairs.Value()
 }

@@ -28,6 +28,7 @@ func (s *Structure) SaveSlab(w io.Writer) error {
 		S:          s.st.S,
 		Eps:        s.st.Eps,
 		Alg:        alg,
+		Gen:        s.st.G.Generation(),
 		Edges:      s.st.Edges,
 		Reinforced: s.st.Reinforced,
 		TreeEdges:  s.st.TreeEdges,
@@ -49,6 +50,7 @@ func (s *VertexStructure) SaveSlab(w io.Writer) error {
 		Model:      core.SlabVertex,
 		S:          s.st.S,
 		Pairs:      s.st.Pairs,
+		Gen:        s.st.G.Generation(),
 		Edges:      s.st.Edges,
 		Intact:     p.intact,
 		RowStart:   p.h.RowStart,
@@ -83,6 +85,7 @@ func slabStructure(g *graph.Graph, rec *core.SlabRecord) (*Structure, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.Gen = rec.Gen // the decoder verified rec.Gen == g.Generation()
 	cs := &core.Structure{
 		G:          g,
 		S:          rec.S,
@@ -121,6 +124,7 @@ func slabVertexStructure(g *graph.Graph, rec *core.SlabRecord) (*VertexStructure
 	if err != nil {
 		return nil, err
 	}
+	h.Gen = rec.Gen // the decoder verified rec.Gen == g.Generation()
 	s := &VertexStructure{st: &vertexft.Structure{G: g, S: rec.S, Edges: rec.Edges, Pairs: rec.Pairs}}
 	s.intactOnce.Do(func() { s.intactDist = rec.Intact })
 	s.planOnce.Do(func() {
